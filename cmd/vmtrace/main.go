@@ -1,0 +1,170 @@
+// vmtrace runs a memory-access script against a simulated machine and
+// traces every fault the machine-independent layer services, together with
+// the hardware events (TLB misses, walks, shootdowns) it provokes.
+//
+// Usage:
+//
+//	vmtrace -arch rtpc -script "alloc a 16K; write a+0; write a+4096; copy a b 16K; write b+0; stats"
+//
+// Script commands (semicolon separated):
+//
+//	alloc <name> <size>       vm_allocate, bind address to <name>
+//	write <name>[+off]        one-byte write
+//	read <name>[+off]         one-byte read
+//	protect <name> <size> ro|rw
+//	copy <src> <dst> <size>   vm_copy to a fresh allocation named <dst>
+//	fork                      fork the task; subsequent ops hit the child
+//	dealloc <name> <size>
+//	stats                     print vm_statistics and pmap counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"machvm"
+)
+
+var (
+	archFlag   = flag.String("arch", "vax", "architecture: vax, rtpc, sun3, ns32082, tlbonly")
+	scriptFlag = flag.String("script", "alloc a 16K; write a+0; read a+0; write a+4096; copy a b 16K; write b+0; stats", "trace script")
+)
+
+var archs = map[string]machvm.Arch{
+	"vax": machvm.VAX, "vax8200": machvm.VAX8200, "vax8650": machvm.VAX8650,
+	"rtpc": machvm.RTPC, "sun3": machvm.Sun3, "ns32082": machvm.NS32082, "tlbonly": machvm.TLBOnly,
+}
+
+func parseSize(s string) uint64 {
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1024, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		log.Fatalf("bad size %q", s)
+	}
+	return v * mult
+}
+
+func main() {
+	flag.Parse()
+	arch, ok := archs[*archFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *archFlag)
+		os.Exit(2)
+	}
+	sys := machvm.New(arch, machvm.Options{MemoryMB: 8})
+	cpu := sys.CPU(0)
+	tk := sys.NewTask("trace")
+	th := tk.SpawnThread(cpu)
+	names := map[string]machvm.VA{}
+
+	resolve := func(ref string) machvm.VA {
+		name, off := ref, uint64(0)
+		if i := strings.IndexByte(ref, '+'); i >= 0 {
+			name = ref[:i]
+			off = parseSize(ref[i+1:])
+		}
+		base, ok := names[name]
+		if !ok {
+			log.Fatalf("unknown name %q", name)
+		}
+		return base + machvm.VA(off)
+	}
+
+	lastFaults := func() (f, zf, cow uint64) {
+		st := sys.Statistics()
+		return st.Faults, st.ZeroFillFaults, st.CowFaults
+	}
+
+	for _, raw := range strings.Split(*scriptFlag, ";") {
+		fields := strings.Fields(strings.TrimSpace(raw))
+		if len(fields) == 0 {
+			continue
+		}
+		f0, z0, c0 := lastFaults()
+		t0 := sys.VirtualTime()
+		switch fields[0] {
+		case "alloc":
+			size := parseSize(fields[2])
+			addr, err := tk.Map.Allocate(0, size, true)
+			if err != nil {
+				log.Fatalf("alloc: %v", err)
+			}
+			names[fields[1]] = addr
+			fmt.Printf("%-28s -> %#x\n", raw, addr)
+		case "write", "read":
+			va := resolve(fields[1])
+			var err error
+			if fields[0] == "write" {
+				err = th.Write(va, []byte{1})
+			} else {
+				b := make([]byte, 1)
+				err = th.Read(va, b)
+			}
+			status := "ok"
+			if err != nil {
+				status = err.Error()
+			}
+			f1, z1, c1 := lastFaults()
+			fmt.Printf("%-28s -> %s [faults+%d zf+%d cow+%d, %.1fus]\n",
+				raw, status, f1-f0, z1-z0, c1-c0, float64(sys.VirtualTime()-t0)/1e3)
+			continue
+		case "protect":
+			va := resolve(fields[1])
+			size := parseSize(fields[2])
+			prot := machvm.ProtDefault
+			if fields[3] == "ro" {
+				prot = machvm.ProtRead
+			}
+			if err := tk.Map.Protect(va, size, false, prot); err != nil {
+				log.Fatalf("protect: %v", err)
+			}
+			fmt.Printf("%-28s -> ok\n", raw)
+		case "copy":
+			size := parseSize(fields[3])
+			src := resolve(fields[1])
+			dst, err := tk.Map.Allocate(0, size, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tk.Map.Copy(src, size, dst); err != nil {
+				log.Fatalf("copy: %v", err)
+			}
+			names[fields[2]] = dst
+			fmt.Printf("%-28s -> %#x (copy-on-write)\n", raw, dst)
+		case "fork":
+			child := tk.Fork("child")
+			th.Detach()
+			tk = child
+			th = tk.SpawnThread(cpu)
+			fmt.Printf("%-28s -> now in child\n", raw)
+		case "dealloc":
+			va := resolve(fields[1])
+			if err := tk.Map.Deallocate(va, parseSize(fields[2])); err != nil {
+				log.Fatalf("dealloc: %v", err)
+			}
+			fmt.Printf("%-28s -> ok\n", raw)
+		case "stats":
+			st := sys.Statistics()
+			ms := sys.PmapModule().Stats()
+			fmt.Printf("vm: faults=%d zf=%d cow=%d reactivations=%d\n",
+				st.Faults, st.ZeroFillFaults, st.CowFaults, st.Reactivations)
+			fmt.Printf("pmap(%s): enters=%d removes=%d walks=%d misses=%d table=%dB\n",
+				sys.PmapModule().Name(), ms.Enters.Load(), ms.Removes.Load(),
+				ms.Walks.Load(), ms.WalkMisses.Load(), ms.TableBytes.Load())
+			fmt.Printf("virtual time: %.3fms\n", float64(sys.VirtualTime())/1e6)
+		default:
+			log.Fatalf("unknown command %q", fields[0])
+		}
+		_ = t0
+	}
+}

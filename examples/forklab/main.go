@@ -1,0 +1,79 @@
+// forklab: the §3.5 shadow-chain story, live. A process forks repeatedly
+// while writing its memory — the pattern that would build an ever-growing
+// chain of shadow objects down to the object backing the stack — and the
+// kernel's shadow collapse keeps the chain short. The same scenario is run
+// on every architecture to show the machine-independent layer behaving
+// identically over five very different MMUs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"machvm"
+)
+
+func main() {
+	archs := []struct {
+		arch machvm.Arch
+		name string
+	}{
+		{machvm.VAX, "VAX (linear page tables)"},
+		{machvm.RTPC, "IBM RT PC (inverted page table)"},
+		{machvm.Sun3, "SUN 3 (segments + 8 contexts)"},
+		{machvm.NS32082, "NS32082 (MultiMax/Balance)"},
+		{machvm.TLBOnly, "RP3-style (TLB only)"},
+	}
+
+	fmt.Println("repeated fork+write, 16 generations, per architecture:")
+	fmt.Printf("%-34s %10s %10s %10s %12s\n", "architecture", "shadows", "collapsed", "faults", "virt time")
+	for _, a := range archs {
+		sys := machvm.New(a.arch, machvm.Options{MemoryMB: 8})
+		cpu := sys.CPU(0)
+
+		tk := sys.NewTask("gen0")
+		th := tk.SpawnThread(cpu)
+		addr, err := tk.Map.Allocate(0, 64<<10, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := th.Write(addr, []byte{1}); err != nil {
+			log.Fatal(err)
+		}
+
+		const generations = 16
+		for g := 0; g < generations; g++ {
+			child := tk.Fork(fmt.Sprintf("gen%d", g+1))
+			// The parent writes (forcing a shadow), then exits.
+			if err := th.Write(addr, []byte{byte(g)}); err != nil {
+				log.Fatal(err)
+			}
+			th.Detach()
+			tk.Destroy()
+			tk = child
+			th = tk.SpawnThread(cpu)
+			// The child writes too.
+			if err := th.Write(addr+4096, []byte{byte(g)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// The survivor must still see its latest writes.
+		b := make([]byte, 1)
+		if err := th.Read(addr+4096, b); err != nil {
+			log.Fatal(err)
+		}
+		if b[0] != byte(generations-1) {
+			log.Fatalf("%s: data corrupted across generations", a.name)
+		}
+		st := sys.Statistics()
+		fmt.Printf("%-34s %10d %10d %10d %10.2fms\n",
+			a.name, st.ShadowsCreated, st.ShadowsCollapsed, st.Faults,
+			float64(sys.VirtualTime())/1e6)
+		if st.ShadowsCollapsed == 0 {
+			log.Fatalf("%s: shadow chains never collapsed", a.name)
+		}
+		tk.Destroy()
+	}
+	fmt.Println("\nevery architecture ran the identical machine-independent code;")
+	fmt.Println("only the pmap module differed (the paper's whole point).")
+}

@@ -1,0 +1,89 @@
+// Quickstart: boot a simulated VAX, create a task, exercise the basic VM
+// operations of Table 2-1 (allocate, write, protect, copy, deallocate),
+// and print vm_statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"machvm"
+)
+
+func main() {
+	sys := machvm.New(machvm.VAX, machvm.Options{MemoryMB: 8})
+	cpu := sys.CPU(0)
+
+	tk := sys.NewTask("quickstart")
+	th := tk.SpawnThread(cpu)
+
+	// vm_allocate: 64KB of zero-filled memory, anywhere.
+	addr, err := tk.Map.Allocate(0, 64<<10, true)
+	if err != nil {
+		log.Fatalf("vm_allocate: %v", err)
+	}
+	fmt.Printf("allocated 64KB at %#x\n", addr)
+
+	// Touch it: zero-fill faults happen on demand.
+	if err := th.Write(addr, []byte("hello, mach")); err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 11)
+	if err := th.Read(addr, buf); err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	fmt.Printf("read back: %q\n", buf)
+
+	// vm_copy: a virtual (copy-on-write) copy of the region.
+	dst, err := tk.Map.Allocate(0, 64<<10, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tk.Map.Copy(addr, 64<<10, dst); err != nil {
+		log.Fatalf("vm_copy: %v", err)
+	}
+	if err := th.Read(dst, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("virtual copy reads: %q (no page was copied yet)\n", buf)
+
+	// Writing the copy pushes just that page into a shadow object.
+	if err := th.Write(dst, []byte("HELLO")); err != nil {
+		log.Fatal(err)
+	}
+	if err := th.Read(addr, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original after writing the copy: %q\n", buf)
+
+	// vm_protect: make the original read-only; writes now fault.
+	if err := tk.Map.Protect(addr, 64<<10, false, machvm.ProtRead); err != nil {
+		log.Fatalf("vm_protect: %v", err)
+	}
+	if err := th.Write(addr, []byte("x")); err == nil {
+		log.Fatal("write through read-only region unexpectedly succeeded")
+	} else {
+		fmt.Println("write to protected region correctly faulted")
+	}
+
+	// UNIX-style fork: the child is a copy-on-write copy of the parent.
+	child := tk.Fork("child")
+	thc := child.SpawnThread(cpu)
+	if err := thc.Read(dst, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("child sees parent data after fork: %q\n", buf[:5])
+
+	// vm_deallocate and vm_statistics.
+	if err := tk.Map.Deallocate(dst, 64<<10); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Statistics()
+	fmt.Printf("\nvm_statistics: faults=%d zero-fill=%d cow=%d free=%d active=%d\n",
+		st.Faults, st.ZeroFillFaults, st.CowFaults, st.FreeCount, st.ActiveCount)
+	fmt.Printf("virtual time elapsed: %.3fms on %s\n",
+		float64(sys.VirtualTime())/1e6, sys.Machine().Cost.Name)
+
+	child.Destroy()
+	tk.Destroy()
+}

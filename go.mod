@@ -1,0 +1,3 @@
+module machvm
+
+go 1.22

@@ -1,0 +1,506 @@
+// Package baseline implements the comparison system of the paper's §7:
+// a traditional UNIX virtual memory in the style of 4.3bsd (and, with the
+// COWFork option, SunOS 3.2), running on the same simulated hardware and
+// cost model as the Mach layer so that measured differences are
+// algorithmic, not environmental.
+//
+// The deliberate differences from the Mach side are exactly the ones the
+// paper's Table 7-1/7-2 rows exercise:
+//
+//   - fork copies the address space eagerly, page by page (4.3bsd), or
+//     lazily but with heavier per-operation overheads (SunOS variant);
+//   - file I/O goes through a fixed-size buffer cache rather than mapped
+//     objects backed by all of free memory;
+//   - the fault path carries the heavier traditional overheads (validating
+//     cluster maps, u-area bookkeeping), modelled by Costs.FaultExtra.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/unixfs"
+	"machvm/internal/vmtypes"
+)
+
+// Baseline errors.
+var (
+	// ErrNoMemory means physical memory is exhausted (baseline
+	// experiments are sized to fit; exhaustion is a configuration bug).
+	ErrNoMemory = errors.New("baseline: out of physical memory")
+	// ErrBadAddress means an access touched no segment.
+	ErrBadAddress = errors.New("baseline: bad address")
+)
+
+// Costs are the baseline's additional per-architecture overheads, tuned so
+// each baseline behaves like the system the paper compared against on that
+// machine (see EXPERIMENTS.md for the calibration).
+type Costs struct {
+	// FaultExtra is charged on every page fault on top of the machine's
+	// FaultTrap (traditional fault-path bookkeeping).
+	FaultExtra int64
+	// ForkBaseExtra is charged once per fork on top of TaskCreate.
+	ForkBaseExtra int64
+	// ForkPerPage is charged per copied (or COW-marked) page at fork.
+	ForkPerPage int64
+	// COWFork selects SunOS-style lazy copy instead of eager copying.
+	COWFork bool
+	// ReadExtra is charged per read(2) call (syscall bookkeeping beyond
+	// the machine Syscall cost).
+	ReadExtra int64
+}
+
+// BSD43 returns the 4.3bsd-style overheads (VAX-class comparisons).
+func BSD43() Costs {
+	return Costs{
+		FaultExtra:    hw.Microseconds(600),
+		ForkBaseExtra: hw.Microseconds(3000),
+		ForkPerPage:   hw.Microseconds(290),
+		COWFork:       false,
+		ReadExtra:     hw.Microseconds(80),
+	}
+}
+
+// ACIS42 returns IBM ACIS 4.2a-style overheads (the RT PC comparison).
+func ACIS42() Costs {
+	return Costs{
+		FaultExtra:    hw.Microseconds(130),
+		ForkBaseExtra: hw.Microseconds(2000),
+		ForkPerPage:   hw.Microseconds(330),
+		COWFork:       false,
+		ReadExtra:     hw.Microseconds(60),
+	}
+}
+
+// SunOS32 returns SunOS 3.2-style overheads (the SUN 3 comparison):
+// fork is lazy, but every operation carries more weight than Mach's.
+func SunOS32() Costs {
+	return Costs{
+		FaultExtra:    hw.Microseconds(100),
+		ForkBaseExtra: hw.Microseconds(15000),
+		ForkPerPage:   hw.Microseconds(200),
+		COWFork:       true,
+		ReadExtra:     hw.Microseconds(40),
+	}
+}
+
+// System is one booted baseline UNIX: a physical page allocator, a
+// buffer cache and a process table, sharing the machine's pmap module for
+// hardware mapping.
+type System struct {
+	machine *hw.Machine
+	mod     pmap.Module
+	costs   Costs
+
+	fs *unixfs.FS
+	bc *unixfs.BufferCache
+
+	pageSize uint64 // baseline page (cluster) size == Mach page size for fairness
+	hwRatio  int
+
+	mu        sync.Mutex
+	freePages []vmtypes.PFN // first frame of each free cluster
+	frameRefs map[vmtypes.PFN]int
+
+	faults, forks, forkPagesCopied uint64
+}
+
+// Config configures a baseline system.
+type Config struct {
+	Machine *hw.Machine
+	Module  pmap.Module
+	Costs   Costs
+	FS      *unixfs.FS
+	// NBufs is the buffer-cache size in blocks (the paper's "400
+	// buffers" vs "generic configuration" knob).
+	NBufs int
+	// PageSize is the VM cluster size; 0 uses 4096 or the hardware page
+	// size, whichever is larger.
+	PageSize int
+}
+
+// New boots a baseline system.
+func New(cfg Config) *System {
+	hwPage := cfg.Machine.Mem.PageSize()
+	ps := cfg.PageSize
+	if ps == 0 {
+		ps = hwPage
+		for ps < 4096 {
+			ps *= 2
+		}
+	}
+	if ps%hwPage != 0 {
+		panic("baseline: page size must be a multiple of the hardware page size")
+	}
+	s := &System{
+		machine:   cfg.Machine,
+		mod:       cfg.Module,
+		costs:     cfg.Costs,
+		fs:        cfg.FS,
+		pageSize:  uint64(ps),
+		hwRatio:   ps / hwPage,
+		frameRefs: make(map[vmtypes.PFN]int),
+	}
+	if cfg.FS != nil {
+		s.bc = unixfs.NewBufferCache(cfg.Machine, cfg.FS.Disk, cfg.NBufs)
+	}
+	limit := cfg.Module.MaxFrames()
+	clusters := cfg.Machine.Mem.NumFrames() / s.hwRatio
+	for c := 0; c < clusters; c++ {
+		first := vmtypes.PFN(c * s.hwRatio)
+		ok := true
+		for i := 0; i < s.hwRatio; i++ {
+			f := first + vmtypes.PFN(i)
+			if int(f) >= limit || !cfg.Machine.Mem.Valid(f) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			s.freePages = append(s.freePages, first)
+		}
+	}
+	return s
+}
+
+// BufferCache returns the system's buffer cache.
+func (s *System) BufferCache() *unixfs.BufferCache { return s.bc }
+
+// FS returns the system's filesystem.
+func (s *System) FS() *unixfs.FS { return s.fs }
+
+// PageSize returns the baseline page size.
+func (s *System) PageSize() uint64 { return s.pageSize }
+
+// FreePages returns the free cluster count.
+func (s *System) FreePages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.freePages)
+}
+
+// Stats returns fault and fork counters.
+func (s *System) Stats() (faults, forks, forkPagesCopied uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults, s.forks, s.forkPagesCopied
+}
+
+func (s *System) allocCluster() (vmtypes.PFN, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.freePages) == 0 {
+		return 0, ErrNoMemory
+	}
+	p := s.freePages[len(s.freePages)-1]
+	s.freePages = s.freePages[:len(s.freePages)-1]
+	s.frameRefs[p] = 1
+	return p, nil
+}
+
+func (s *System) refCluster(p vmtypes.PFN) {
+	s.mu.Lock()
+	s.frameRefs[p]++
+	s.mu.Unlock()
+}
+
+func (s *System) releaseCluster(p vmtypes.PFN) {
+	s.mu.Lock()
+	s.frameRefs[p]--
+	if s.frameRefs[p] <= 0 {
+		delete(s.frameRefs, p)
+		s.freePages = append(s.freePages, p)
+	}
+	s.mu.Unlock()
+}
+
+func (s *System) clusterRefs(p vmtypes.PFN) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frameRefs[p]
+}
+
+// segment is a contiguous region of a process image (text, data, stack —
+// a typical 4.3bsd process has a handful).
+type segment struct {
+	start, end vmtypes.VA
+	pages      map[uint64]vmtypes.PFN // page index within segment -> cluster
+	cow        map[uint64]bool        // page shared COW after a SunOS fork
+}
+
+// Proc is one baseline UNIX process.
+type Proc struct {
+	sys *System
+	pm  pmap.Map
+
+	mu   sync.Mutex
+	segs []*segment
+	brk  vmtypes.VA
+	dead bool
+}
+
+// NewProc creates a process with an empty image.
+func (s *System) NewProc() *Proc {
+	s.machine.Charge(s.machine.Cost.TaskCreate)
+	return &Proc{sys: s, pm: s.mod.Create(), brk: vmtypes.VA(s.pageSize)}
+}
+
+// Pmap exposes the process's hardware map.
+func (p *Proc) Pmap() pmap.Map { return p.pm }
+
+// AllocZeroFill adds a demand-zero segment of the given size and returns
+// its base address.
+func (p *Proc) AllocZeroFill(size uint64) vmtypes.VA {
+	p.sys.machine.Charge(p.sys.machine.Cost.Syscall)
+	size = vmtypes.RoundUp(size, p.sys.pageSize)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	base := p.brk
+	p.brk += vmtypes.VA(size)
+	p.segs = append(p.segs, &segment{
+		start: base,
+		end:   base + vmtypes.VA(size),
+		pages: make(map[uint64]vmtypes.PFN),
+		cow:   make(map[uint64]bool),
+	})
+	return base
+}
+
+func (p *Proc) segFor(va vmtypes.VA) *segment {
+	for _, seg := range p.segs {
+		if va >= seg.start && va < seg.end {
+			return seg
+		}
+	}
+	return nil
+}
+
+// fault services one page fault the traditional way.
+func (p *Proc) fault(va vmtypes.VA, write bool) error {
+	machine := p.sys.machine
+	machine.Charge(machine.Cost.FaultTrap + p.sys.costs.FaultExtra)
+	p.mu.Lock()
+	seg := p.segFor(va)
+	if seg == nil {
+		p.mu.Unlock()
+		return ErrBadAddress
+	}
+	pageVA := vmtypes.VA(vmtypes.RoundDown(uint64(va), p.sys.pageSize))
+	idx := uint64(pageVA-seg.start) / p.sys.pageSize
+	cluster, resident := seg.pages[idx]
+	isCOW := seg.cow[idx]
+	p.mu.Unlock()
+
+	p.sys.mu.Lock()
+	p.sys.faults++
+	p.sys.mu.Unlock()
+
+	switch {
+	case !resident:
+		// Demand zero fill.
+		c, err := p.sys.allocCluster()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < p.sys.hwRatio; i++ {
+			p.sys.mod.ZeroPage(c + vmtypes.PFN(i))
+		}
+		p.mu.Lock()
+		seg.pages[idx] = c
+		p.mu.Unlock()
+		p.enterCluster(pageVA, c, true)
+	case isCOW && write:
+		// SunOS-style copy-on-write resolution.
+		if p.sys.clusterRefs(cluster) > 1 {
+			c, err := p.sys.allocCluster()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < p.sys.hwRatio; i++ {
+				p.sys.mod.CopyPage(cluster+vmtypes.PFN(i), c+vmtypes.PFN(i))
+			}
+			p.sys.releaseCluster(cluster)
+			cluster = c
+		}
+		p.mu.Lock()
+		seg.pages[idx] = cluster
+		delete(seg.cow, idx)
+		p.mu.Unlock()
+		p.enterCluster(pageVA, cluster, true)
+	default:
+		// Resident but unmapped (or read on COW page): enter with the
+		// protection the state allows.
+		p.enterCluster(pageVA, cluster, !isCOW)
+	}
+	return nil
+}
+
+// enterCluster maps a cluster's hardware pages.
+func (p *Proc) enterCluster(pageVA vmtypes.VA, cluster vmtypes.PFN, writable bool) {
+	prot := vmtypes.ProtRead | vmtypes.ProtExecute
+	if writable {
+		prot |= vmtypes.ProtWrite
+	}
+	hwPage := vmtypes.VA(p.sys.machine.Mem.PageSize())
+	for i := 0; i < p.sys.hwRatio; i++ {
+		p.pm.Enter(pageVA+vmtypes.VA(i)*hwPage, cluster+vmtypes.PFN(i), prot, false)
+	}
+}
+
+// AccessBytes performs a user memory access through the hardware path.
+func (p *Proc) AccessBytes(cpu *hw.CPU, va vmtypes.VA, buf []byte, write bool) error {
+	access := vmtypes.ProtRead
+	if write {
+		access = vmtypes.ProtWrite
+	}
+	machine := p.sys.machine
+	hwPage := uint64(machine.Mem.PageSize())
+	done := 0
+	for done < len(buf) {
+		cur := uint64(va) + uint64(done)
+		n := len(buf) - done
+		if in := int(hwPage - cur%hwPage); n > in {
+			n = in
+		}
+		var pfn vmtypes.PFN
+		resolved := false
+		for try := 0; try < 8; try++ {
+			res := pmap.Access(p.sys.mod, cpu, p.pm, vmtypes.VA(cur), access)
+			if res.Fault == vmtypes.FaultNone {
+				pfn = res.PFN
+				resolved = true
+				break
+			}
+			serviced := res.Reported
+			if res.Fault == vmtypes.FaultProtection {
+				serviced = p.sys.mod.CorrectFaultAccess(res.Reported, res.MappingProt)
+			}
+			if err := p.fault(vmtypes.VA(cur), serviced.Allows(vmtypes.ProtWrite)); err != nil {
+				return err
+			}
+		}
+		if !resolved {
+			return fmt.Errorf("baseline: access did not settle at %#x", cur)
+		}
+		fb := machine.Mem.Frame(pfn)
+		off := int(cur % hwPage)
+		if write {
+			copy(fb[off:off+n], buf[done:done+n])
+		} else {
+			copy(buf[done:done+n], fb[off:off+n])
+		}
+		done += n
+	}
+	return nil
+}
+
+// Touch performs a single-byte access.
+func (p *Proc) Touch(cpu *hw.CPU, va vmtypes.VA, write bool) error {
+	var b [1]byte
+	return p.AccessBytes(cpu, va, b[:], write)
+}
+
+// Fork creates a child process. The 4.3bsd variant copies every resident
+// page eagerly; the SunOS variant marks pages copy-on-write but pays
+// higher fixed costs.
+func (p *Proc) Fork() (*Proc, error) {
+	s := p.sys
+	machine := s.machine
+	machine.Charge(machine.Cost.TaskCreate + s.costs.ForkBaseExtra)
+
+	child := &Proc{sys: s, pm: s.mod.Create(), brk: p.brk}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s.mu.Lock()
+	s.forks++
+	s.mu.Unlock()
+
+	for _, seg := range p.segs {
+		cs := &segment{
+			start: seg.start,
+			end:   seg.end,
+			pages: make(map[uint64]vmtypes.PFN, len(seg.pages)),
+			cow:   make(map[uint64]bool),
+		}
+		for idx, cluster := range seg.pages {
+			machine.Charge(s.costs.ForkPerPage)
+			if s.costs.COWFork {
+				// Share the cluster copy-on-write.
+				s.refCluster(cluster)
+				cs.pages[idx] = cluster
+				cs.cow[idx] = true
+				seg.cow[idx] = true
+				// Write-protect the parent's mapping.
+				pageVA := seg.start + vmtypes.VA(idx*s.pageSize)
+				p.pm.Protect(pageVA, pageVA+vmtypes.VA(s.pageSize), vmtypes.ProtRead|vmtypes.ProtExecute)
+				continue
+			}
+			// Eager copy.
+			c, err := s.allocCluster()
+			if err != nil {
+				child.exitLocked()
+				return nil, err
+			}
+			for i := 0; i < s.hwRatio; i++ {
+				s.mod.CopyPage(cluster+vmtypes.PFN(i), c+vmtypes.PFN(i))
+			}
+			cs.pages[idx] = c
+			s.mu.Lock()
+			s.forkPagesCopied++
+			s.mu.Unlock()
+		}
+		child.segs = append(child.segs, cs)
+	}
+	return child, nil
+}
+
+// Exit frees the process's memory and hardware map.
+func (p *Proc) Exit() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.exitLocked()
+}
+
+func (p *Proc) exitLocked() {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	for _, seg := range p.segs {
+		for _, cluster := range seg.pages {
+			p.sys.releaseCluster(cluster)
+		}
+	}
+	p.segs = nil
+	p.pm.Destroy()
+}
+
+// ReadFile implements read(2): data moves from disk through the fixed
+// buffer cache into the process's buffer.
+func (p *Proc) ReadFile(cpu *hw.CPU, ino *unixfs.Inode, offset uint64, va vmtypes.VA, n int) (int, error) {
+	machine := p.sys.machine
+	machine.Charge(machine.Cost.Syscall + p.sys.costs.ReadExtra)
+	buf := make([]byte, n)
+	got, err := p.sys.bc.ReadAt(ino, buf, offset)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.AccessBytes(cpu, va, buf[:got], true); err != nil {
+		return 0, err
+	}
+	return got, nil
+}
+
+// WriteFile implements write(2) through the buffer cache.
+func (p *Proc) WriteFile(cpu *hw.CPU, ino *unixfs.Inode, offset uint64, va vmtypes.VA, n int) error {
+	machine := p.sys.machine
+	machine.Charge(machine.Cost.Syscall + p.sys.costs.ReadExtra)
+	buf := make([]byte, n)
+	if err := p.AccessBytes(cpu, va, buf, false); err != nil {
+		return err
+	}
+	return p.sys.bc.WriteAt(ino, buf, offset)
+}

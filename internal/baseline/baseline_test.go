@@ -1,0 +1,249 @@
+package baseline_test
+
+import (
+	"bytes"
+	"testing"
+
+	"machvm/internal/baseline"
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/unixfs"
+	"machvm/internal/vmtypes"
+)
+
+func newSys(t testing.TB, costs baseline.Costs, frames int) (*baseline.System, *hw.Machine) {
+	t.Helper()
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: frames,
+		CPUs:       1,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	fs := unixfs.NewFS(unixfs.NewDisk(machine, 4096))
+	sys := baseline.New(baseline.Config{
+		Machine: machine, Module: mod, Costs: costs, FS: fs, NBufs: 64, PageSize: 4096,
+	})
+	return sys, machine
+}
+
+func TestProcZeroFillAndReadback(t *testing.T) {
+	sys, machine := newSys(t, baseline.BSD43(), 4096)
+	cpu := machine.CPU(0)
+	p := sys.NewProc()
+	defer p.Exit()
+	p.Pmap().Activate(cpu)
+	va := p.AllocZeroFill(64 * 1024)
+	buf := make([]byte, 100)
+	if err := p.AccessBytes(cpu, va, buf, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("demand-zero memory not zero")
+		}
+	}
+	data := bytes.Repeat([]byte{0x3C}, 20000)
+	if err := p.AccessBytes(cpu, va+100, data, true); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := p.AccessBytes(cpu, va+100, got, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("readback mismatch")
+	}
+	if err := p.Touch(cpu, 0x7fffff00, false); err == nil {
+		t.Fatal("access outside segments must fail")
+	}
+}
+
+func TestEagerForkCopiesPages(t *testing.T) {
+	sys, machine := newSys(t, baseline.BSD43(), 4096)
+	cpu := machine.CPU(0)
+	p := sys.NewProc()
+	defer p.Exit()
+	p.Pmap().Activate(cpu)
+	va := p.AllocZeroFill(32 * 1024)
+	if err := p.AccessBytes(cpu, va, bytes.Repeat([]byte{7}, 32*1024), true); err != nil {
+		t.Fatal(err)
+	}
+	free0 := sys.FreePages()
+	child, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Exit()
+	// Eager: the child got its own 8 pages immediately.
+	if got := free0 - sys.FreePages(); got != 8 {
+		t.Fatalf("fork consumed %d pages; want 8 (eager copy)", got)
+	}
+	_, _, copied := sys.Stats()
+	if copied != 8 {
+		t.Fatalf("forkPagesCopied = %d", copied)
+	}
+	// And the copies are isolated.
+	child.Pmap().Activate(cpu)
+	if err := child.AccessBytes(cpu, va, []byte{9}, true); err != nil {
+		t.Fatal(err)
+	}
+	p.Pmap().Activate(cpu)
+	b := make([]byte, 1)
+	if err := p.AccessBytes(cpu, va, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 7 {
+		t.Fatal("child write leaked into parent")
+	}
+}
+
+func TestCOWForkSharesThenCopies(t *testing.T) {
+	sys, machine := newSys(t, baseline.SunOS32(), 4096)
+	cpu := machine.CPU(0)
+	p := sys.NewProc()
+	defer p.Exit()
+	p.Pmap().Activate(cpu)
+	va := p.AllocZeroFill(32 * 1024)
+	if err := p.AccessBytes(cpu, va, bytes.Repeat([]byte{7}, 32*1024), true); err != nil {
+		t.Fatal(err)
+	}
+	free0 := sys.FreePages()
+	child, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child.Exit()
+	// Lazy: no pages consumed at fork.
+	if got := free0 - sys.FreePages(); got != 0 {
+		t.Fatalf("COW fork consumed %d pages; want 0", got)
+	}
+	// Child reads parent's data.
+	child.Pmap().Activate(cpu)
+	b := make([]byte, 1)
+	if err := child.AccessBytes(cpu, va, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 7 {
+		t.Fatal("child does not see parent data")
+	}
+	// Child write copies exactly one page and stays isolated.
+	if err := child.AccessBytes(cpu, va, []byte{9}, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := free0 - sys.FreePages(); got != 1 {
+		t.Fatalf("first COW write consumed %d pages; want 1", got)
+	}
+	p.Pmap().Activate(cpu)
+	if err := p.AccessBytes(cpu, va, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 7 {
+		t.Fatal("COW leak")
+	}
+	// Parent's write to the same page: it is the last sharer, so it
+	// reuses the frame without copying.
+	if err := p.AccessBytes(cpu, va+1, []byte{8}, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExitReleasesMemory(t *testing.T) {
+	sys, machine := newSys(t, baseline.BSD43(), 1024)
+	cpu := machine.CPU(0)
+	free0 := sys.FreePages()
+	p := sys.NewProc()
+	p.Pmap().Activate(cpu)
+	va := p.AllocZeroFill(64 * 1024)
+	if err := p.AccessBytes(cpu, va, make([]byte, 64*1024), true); err != nil {
+		t.Fatal(err)
+	}
+	if sys.FreePages() == free0 {
+		t.Fatal("touching should consume pages")
+	}
+	p.Exit()
+	if sys.FreePages() != free0 {
+		t.Fatalf("exit leaked: %d vs %d", sys.FreePages(), free0)
+	}
+	// Exit is idempotent.
+	p.Exit()
+}
+
+func TestReadWriteFileThroughBufferCache(t *testing.T) {
+	sys, machine := newSys(t, baseline.BSD43(), 4096)
+	cpu := machine.CPU(0)
+	p := sys.NewProc()
+	defer p.Exit()
+	p.Pmap().Activate(cpu)
+
+	content := bytes.Repeat([]byte("unix file "), 2000)
+	ino, err := sys.FS().Create("f", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := p.AllocZeroFill(uint64(len(content)))
+	n, err := p.ReadFile(cpu, ino, 0, va, len(content))
+	if err != nil || n != len(content) {
+		t.Fatalf("ReadFile = %d, %v", n, err)
+	}
+	got := make([]byte, len(content))
+	if err := p.AccessBytes(cpu, va, got, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("read content mismatch")
+	}
+	hits0, misses0, _ := sys.BufferCache().Stats()
+	if misses0 == 0 {
+		t.Fatal("first read should miss the cache")
+	}
+	// Second read of a small file hits the cache.
+	if _, err := p.ReadFile(cpu, ino, 0, va, len(content)); err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1, _ := sys.BufferCache().Stats()
+	if misses1 != misses0 {
+		t.Fatal("second read should not miss")
+	}
+	if hits1 == hits0 {
+		t.Fatal("second read should hit")
+	}
+
+	// Write a file back out through the cache.
+	out, err := sys.FS().Create("out", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteFile(cpu, out, 0, va, 8192); err != nil {
+		t.Fatal(err)
+	}
+	sys.BufferCache().Sync()
+	check := make([]byte, 8192)
+	if _, err := out.ReadAt(check, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(check, content[:8192]) {
+		t.Fatal("written file content mismatch")
+	}
+}
+
+func TestMemoryExhaustion(t *testing.T) {
+	sys, machine := newSys(t, baseline.BSD43(), 64) // 32KB of memory, 8 clusters
+	cpu := machine.CPU(0)
+	p := sys.NewProc()
+	defer p.Exit()
+	p.Pmap().Activate(cpu)
+	va := p.AllocZeroFill(1 << 20)
+	var failed bool
+	for off := uint64(0); off < 1<<20; off += 4096 {
+		if err := p.Touch(cpu, va+vmtypes.VA(off), true); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("baseline has no pageout; oversubscription must fail loudly")
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"machvm/internal/vmtypes"
+)
+
+// Fault errors.
+var (
+	// ErrFaultNoEntry means the address is not allocated.
+	ErrFaultNoEntry = errors.New("vm_fault: no map entry for address")
+	// ErrFaultProtection means the access exceeds the entry's current
+	// protection.
+	ErrFaultProtection = errors.New("vm_fault: protection violation")
+	// ErrFaultUnavailable means the object's pager reported the data
+	// does not exist.
+	ErrFaultUnavailable = errors.New("vm_fault: data unavailable from pager")
+)
+
+// Fault resolves one page fault at va in map m for the given access
+// (§3 and DESIGN.md §5: the fault path). All virtual memory information
+// can be reconstructed here from the machine-independent structures, which
+// is what lets the pmap layer forget mappings at will.
+func (k *Kernel) Fault(m *Map, va vmtypes.VA, access vmtypes.Prot) error {
+	k.stats.Faults.Add(1)
+	k.machine.Charge(k.machine.Cost.FaultTrap)
+
+	pageAddr := vmtypes.VA(k.truncPage(uint64(va)))
+
+	m.mu.Lock()
+	entry, hit := m.lookupEntryLocked(pageAddr)
+	if !hit {
+		m.mu.Unlock()
+		return ErrFaultNoEntry
+	}
+
+	// Resolve a sharing map: the target entry lives one level down.
+	if entry.submap != nil {
+		sm := entry.submap
+		smOff := vmtypes.VA(entry.offset) + (pageAddr - entry.start)
+		outerProt := entry.prot
+		sm.mu.Lock()
+		inner, ok := sm.lookupEntryLocked(smOff)
+		if !ok {
+			sm.mu.Unlock()
+			m.mu.Unlock()
+			return ErrFaultNoEntry
+		}
+		if !outerProt.Allows(access) {
+			sm.mu.Unlock()
+			m.mu.Unlock()
+			return ErrFaultProtection
+		}
+		err := k.faultResolveLocked(m, sm, inner, pageAddr, smOff, outerProt, access)
+		sm.mu.Unlock()
+		m.mu.Unlock()
+		return err
+	}
+
+	if !entry.prot.Allows(access) {
+		m.mu.Unlock()
+		return ErrFaultProtection
+	}
+	err := k.faultResolveLocked(m, m, entry, pageAddr, pageAddr, entry.prot, access)
+	m.mu.Unlock()
+	return err
+}
+
+// faultResolveLocked finishes a fault against entry, which lives in
+// entryMap (either topMap itself or a sharing map reached from it); both
+// maps' locks are held. pageAddr is the faulting page address in topMap;
+// entryAddr the corresponding address in entryMap's coordinates.
+func (k *Kernel) faultResolveLocked(topMap, entryMap *Map, entry *MapEntry, pageAddr, entryAddr vmtypes.VA, prot vmtypes.Prot, access vmtypes.Prot) error {
+	wantWrite := access.Allows(vmtypes.ProtWrite)
+
+	// Remember the pager-backed object the data will come from; the
+	// pager_data_lock negotiation below applies to it (a private shadow
+	// copy created for COW is never pager-locked).
+	lockObj := entry.object
+	lockOffset := uint64(0)
+	if lockObj != nil {
+		lockOffset = k.truncPage(entry.offset + uint64(entryAddr-entry.start))
+	}
+
+	// Copy-on-write: a write through a needs-copy entry pushes data into
+	// a fresh shadow object first (§3.4).
+	if wantWrite && entry.needsCopy {
+		k.shadowEntryLocked(entryMap, entry)
+		lockObj = nil
+	}
+
+	// Lazy allocation: zero-fill memory gets its internal object on
+	// first touch.
+	if entry.object == nil {
+		entry.object = k.NewObject(entry.Span(), nil, "anonymous")
+		entry.offset = 0
+	}
+
+	offset := entry.offset + uint64(entryAddr-entry.start)
+	offset = k.truncPage(offset)
+
+	page, firstObj, err := k.faultPageLookup(entry.object, offset, wantWrite, entryMap.isShare)
+	if err != nil {
+		return err
+	}
+
+	// pager_data_lock enforcement: the pager may have delivered the data
+	// locked (pager_data_provided's lock_value). If the lock forbids this
+	// access, send pager_data_unlock and block until the pager grants it;
+	// whatever the pager still prohibits is withheld from the hardware
+	// mapping so those accesses refault and renegotiate.
+	var pagerProhibits vmtypes.Prot
+	if lockObj != nil {
+		pagerProhibits, err = k.checkPagerLock(lockObj, lockOffset, access)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Decide the hardware protection: reads through needs-copy entries
+	// or of pages still owned by a backing object must not be writable,
+	// so the eventual write faults and copies.
+	enterProt := prot &^ pagerProhibits
+	if !wantWrite && (entry.needsCopy || !firstObj) {
+		enterProt = enterProt.Intersect(vmtypes.ProtRead | vmtypes.ProtExecute)
+	}
+
+	// Enter the mapping in the top map's pmap, one hardware page at a
+	// time (a Mach page is a power-of-two multiple of hardware pages).
+	if topMap.pm != nil {
+		hwSize := vmtypes.VA(k.machine.Mem.PageSize())
+		for i := 0; i < k.hwRatio; i++ {
+			topMap.pm.Enter(pageAddr+vmtypes.VA(i)*hwSize, page.pfn+vmtypes.PFN(i), enterProt, entry.wired)
+		}
+	}
+	if wantWrite {
+		k.pageMu.Lock()
+		page.dirty = true
+		k.pageMu.Unlock()
+	}
+	k.activatePage(page)
+	return nil
+}
+
+// shadowEntryLocked replaces entry's object with a new shadow (§3.4).
+// The entry map's lock is held.
+func (k *Kernel) shadowEntryLocked(m *Map, entry *MapEntry) {
+	if entry.object == nil {
+		// Nothing to copy from: plain zero-fill memory needs no shadow.
+		entry.needsCopy = false
+		return
+	}
+	shadow := k.shadowObject(entry.object, entry.offset, entry.Span())
+	entry.object = shadow
+	entry.offset = 0
+	entry.needsCopy = false
+	// The shadow chain behind the new shadow may now be collapsible.
+	k.collapseShadow(shadow)
+}
+
+// faultPageLookup walks the shadow chain from obj looking for the page at
+// offset (§3.4: "the system will find the page in some object in the list
+// and make a copy, if necessary"). It returns the page to map and whether
+// it belongs to the first object. For a write, a page found in a backing
+// object is copied into the first object; for a read it is mapped
+// read-only in place.
+//
+// sharedFront is true when the first object belongs to a sharing map: in
+// that case every sharer resolves through the same shadow, so after a copy
+// the backing page's existing hardware mappings are stale for the sharers
+// and must be removed (they refault and find the shadow's page; snapshot
+// holders refault and still reach the original).
+func (k *Kernel) faultPageLookup(obj *Object, offset uint64, wantWrite, sharedFront bool) (*Page, bool, error) {
+	first := obj
+	curOffset := offset
+	cur := first
+	depth := 0
+	for {
+		depth++
+		if depth > 1000 {
+			panic(fmt.Sprintf("vm_fault: runaway shadow chain at depth %d", depth))
+		}
+		if page := k.lookupPage(cur, curOffset, true); page != nil {
+			if cur == first {
+				k.stats.ReactivateHits.Add(1)
+				return page, true, nil
+			}
+			// Found in a backing object.
+			if !wantWrite {
+				return page, false, nil
+			}
+			// Copy the page up into the first object (§3.4).
+			newPage := k.allocPage(first, offset)
+			k.copyPage(page, newPage)
+			k.stats.CowFaults.Add(1)
+			k.pageMu.Lock()
+			newPage.dirty = true
+			k.pageMu.Unlock()
+			k.pageWakeup(newPage)
+			if sharedFront {
+				// Sharers must not keep reading the superseded page.
+				k.removeAllMappings(page)
+			}
+			// The new page hides the backing page for this object
+			// chain; other chains may still share the old page, so it
+			// simply stays where it is.
+			return newPage, true, nil
+		}
+
+		cur.mu.Lock()
+		pager := cur.pager
+		shadow := cur.shadow
+		shadowOffset := cur.shadowOffset
+		if pager != nil {
+			cur.pagingInProgress++
+			cur.mu.Unlock()
+			page, err := k.pageIn(cur, curOffset, pager)
+			cur.mu.Lock()
+			cur.pagingInProgress--
+			cur.mu.Unlock()
+			if err != nil {
+				return nil, false, err
+			}
+			if page != nil {
+				if cur == first {
+					return page, true, nil
+				}
+				if !wantWrite {
+					return page, false, nil
+				}
+				newPage := k.allocPage(first, offset)
+				k.copyPage(page, newPage)
+				k.stats.CowFaults.Add(1)
+				k.pageMu.Lock()
+				newPage.dirty = true
+				k.pageMu.Unlock()
+				k.pageWakeup(newPage)
+				if sharedFront {
+					k.removeAllMappings(page)
+				}
+				return newPage, true, nil
+			}
+			// Pager has no data: fall through to the shadow, or
+			// zero-fill at the end of the chain.
+		} else {
+			cur.mu.Unlock()
+		}
+
+		if shadow == nil {
+			// End of the chain: zero fill in the first object
+			// ("memory with no pager is automatically zero filled").
+			page := k.allocPage(first, offset)
+			k.zeroPage(page)
+			k.stats.ZeroFillFaults.Add(1)
+			if wantWrite {
+				k.pageMu.Lock()
+				page.dirty = true
+				k.pageMu.Unlock()
+			}
+			k.pageWakeup(page)
+			return page, true, nil
+		}
+		curOffset += shadowOffset
+		cur = shadow
+	}
+}
+
+// pageIn asks the object's pager for the page at offset. It returns nil
+// (no error) if the pager reports the data unavailable, in which case the
+// caller continues down the chain or zero-fills.
+func (k *Kernel) pageIn(obj *Object, offset uint64, pager Pager) (*Page, error) {
+	// Insert a busy page first so concurrent faulters wait instead of
+	// issuing duplicate requests.
+	page := k.allocPage(obj, offset)
+	page.absent = true
+
+	data, unavailable := pager.DataRequest(obj, offset, int(k.pageSize))
+	if unavailable {
+		k.freePage(page)
+		k.pageCond.Broadcast()
+		return nil, nil
+	}
+	// Copy the pager's data into physical memory, charging the copy.
+	k.machine.ChargeKB(k.machine.Cost.CopyPerKB, len(data))
+	hwPage := k.machine.Mem.PageSize()
+	for i := 0; i < k.hwRatio; i++ {
+		frame := k.frameBytes(page, i)
+		lo := i * hwPage
+		if lo >= len(data) {
+			clear(frame)
+			continue
+		}
+		n := copy(frame, data[lo:])
+		clear(frame[n:])
+	}
+	k.pageMu.Lock()
+	page.absent = false
+	k.pageMu.Unlock()
+	k.pageWakeup(page)
+	k.stats.Pageins.Add(1)
+	return page, nil
+}

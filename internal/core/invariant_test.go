@@ -1,0 +1,275 @@
+package core
+
+// White-box structural invariant tests: whatever sequence of operations
+// runs, an address map must remain a sorted, non-overlapping list of
+// entries whose accounting matches (§3.2), and every resident page must be
+// exactly where the hash, the object list and the queues agree it is.
+
+import (
+	"math/rand"
+	"testing"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+func newTestKernel(t testing.TB) *Kernel {
+	t.Helper()
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: 8192,
+		CPUs:       1,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	return NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
+}
+
+// checkMapInvariants verifies the §3.2 structure.
+func checkMapInvariants(t *testing.T, m *Map) {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var prev *MapEntry
+	n := 0
+	var size uint64
+	for e := m.head; e != nil; e = e.next {
+		n++
+		size += e.Span()
+		if e.start >= e.end {
+			t.Fatalf("entry [%x,%x) is empty or inverted", e.start, e.end)
+		}
+		if e.start < m.min || e.end > m.max {
+			t.Fatalf("entry [%x,%x) outside map bounds [%x,%x)", e.start, e.end, m.min, m.max)
+		}
+		if prev != nil {
+			if prev.next != e || e.prev != prev {
+				t.Fatal("list links corrupted")
+			}
+			if prev.end > e.start {
+				t.Fatalf("entries overlap or unsorted: [%x,%x) then [%x,%x)", prev.start, prev.end, e.start, e.end)
+			}
+		} else if e.prev != nil {
+			t.Fatal("head has a prev")
+		}
+		if e.object != nil && e.submap != nil {
+			t.Fatal("entry has both object and submap")
+		}
+		if !e.maxProt.Allows(e.prot) {
+			t.Fatalf("current prot %v exceeds max %v", e.prot, e.maxProt)
+		}
+		prev = e
+	}
+	if prev != m.tail {
+		t.Fatal("tail link corrupted")
+	}
+	if n != m.nentries {
+		t.Fatalf("nentries = %d, counted %d", m.nentries, n)
+	}
+	if size != m.sizeBytes {
+		t.Fatalf("sizeBytes = %d, counted %d", m.sizeBytes, size)
+	}
+	if m.hint != nil {
+		found := false
+		for e := m.head; e != nil; e = e.next {
+			if e == m.hint {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("hint points at an unlinked entry")
+		}
+	}
+}
+
+// checkPageAccounting verifies the resident page table's three-way
+// linkage: hash, object lists, queues.
+func checkPageAccounting(t *testing.T, k *Kernel) {
+	t.Helper()
+	k.pageMu.Lock()
+	defer k.pageMu.Unlock()
+	// Every hashed page is on its object's list at the right offset.
+	for key, p := range k.hash {
+		if p.object != key.obj || p.offset != key.offset {
+			t.Fatal("hash entry disagrees with page identity")
+		}
+	}
+	// Queue counts are consistent and partition the pages.
+	counts := map[int]int{}
+	for _, p := range k.pages {
+		counts[p.queue]++
+		if p.queue == queueFree && p.object != nil {
+			t.Fatal("free page still belongs to an object")
+		}
+		if p.wireCount > 0 && p.queue != queueNone {
+			t.Fatal("wired page on a pageable queue")
+		}
+	}
+	if counts[queueFree] != k.free.count {
+		t.Fatalf("free count %d vs %d", counts[queueFree], k.free.count)
+	}
+	if counts[queueActive] != k.active.count {
+		t.Fatalf("active count %d vs %d", counts[queueActive], k.active.count)
+	}
+	if counts[queueInactive] != k.inactive.count {
+		t.Fatalf("inactive count %d vs %d", counts[queueInactive], k.inactive.count)
+	}
+	// Object resident counts match their lists.
+	seen := map[*Object]int{}
+	for _, p := range k.hash {
+		seen[p.object]++
+	}
+	for obj, n := range seen {
+		if obj.resident != n {
+			t.Fatalf("object %q resident=%d, hash says %d", obj.name, obj.resident, n)
+		}
+	}
+}
+
+func TestMapInvariantsUnderRandomOps(t *testing.T) {
+	k := newTestKernel(t)
+	cpu := k.Machine().CPU(0)
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+
+	rng := rand.New(rand.NewSource(42))
+	type region struct {
+		addr vmtypes.VA
+		size uint64
+	}
+	var regions []region
+
+	const steps = 600
+	for i := 0; i < steps; i++ {
+		switch op := rng.Intn(10); {
+		case op < 3: // allocate
+			size := uint64(rng.Intn(16)+1) * k.PageSize()
+			addr, err := m.Allocate(0, size, true)
+			if err == nil {
+				regions = append(regions, region{addr, size})
+			}
+		case op < 5 && len(regions) > 0: // deallocate whole region
+			idx := rng.Intn(len(regions))
+			r := regions[idx]
+			if err := m.Deallocate(r.addr, r.size); err != nil {
+				t.Fatalf("dealloc: %v", err)
+			}
+			regions = append(regions[:idx], regions[idx+1:]...)
+		case op < 6 && len(regions) > 0: // partial deallocate (forces clipping)
+			r := regions[rng.Intn(len(regions))]
+			if r.size >= 3*k.PageSize() {
+				_ = m.Deallocate(r.addr+vmtypes.VA(k.PageSize()), k.PageSize())
+				// The region record is now stale; drop all records and
+				// rediscover from the map to keep the test simple.
+				regions = regions[:0]
+				for _, ri := range m.Regions() {
+					regions = append(regions, region{ri.Start, uint64(ri.End - ri.Start)})
+				}
+			}
+		case op < 8 && len(regions) > 0: // protect a sub-range
+			r := regions[rng.Intn(len(regions))]
+			prot := []vmtypes.Prot{vmtypes.ProtRead, vmtypes.ProtDefault, vmtypes.ProtRead | vmtypes.ProtExecute}[rng.Intn(3)]
+			off := uint64(rng.Intn(int(r.size/k.PageSize()))) * k.PageSize()
+			sz := r.size - off
+			_ = m.Protect(r.addr+vmtypes.VA(off), sz, false, prot)
+		case op < 9 && len(regions) > 0: // inherit a sub-range
+			r := regions[rng.Intn(len(regions))]
+			inh := []vmtypes.Inherit{vmtypes.InheritShared, vmtypes.InheritCopy, vmtypes.InheritNone}[rng.Intn(3)]
+			_ = m.SetInherit(r.addr, r.size, inh)
+		default: // touch something
+			if len(regions) > 0 {
+				r := regions[rng.Intn(len(regions))]
+				_ = k.Touch(cpu, m, r.addr, rng.Intn(2) == 0)
+			}
+		}
+		checkMapInvariants(t, m)
+	}
+	checkPageAccounting(t, k)
+}
+
+func TestPageAccountingAfterChurn(t *testing.T) {
+	k := newTestKernel(t)
+	cpu := k.Machine().CPU(0)
+	rng := rand.New(rand.NewSource(7))
+
+	for round := 0; round < 5; round++ {
+		m := k.NewMap()
+		m.Pmap().Activate(cpu)
+		addr, err := m.Allocate(0, 64*k.PageSize(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			if rng.Intn(2) == 0 {
+				if err := k.Touch(cpu, m, addr+vmtypes.VA(uint64(i)*k.PageSize()), true); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Copy half of it, touch the copy.
+		dst, err := m.CopyTo(m, addr, 32*k.PageSize(), 0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 32; i += 3 {
+			if err := k.Touch(cpu, m, dst+vmtypes.VA(uint64(i)*k.PageSize()), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkPageAccounting(t, k)
+		m.Pmap().Deactivate(cpu)
+		m.Destroy()
+		checkPageAccounting(t, k)
+	}
+	// After everything is destroyed, all pages must be free again.
+	if k.FreeCount() != k.TotalPages() {
+		t.Fatalf("leak: %d of %d pages free after destroying all maps", k.FreeCount(), k.TotalPages())
+	}
+}
+
+func TestShadowChainBoundedByCollapse(t *testing.T) {
+	k := newTestKernel(t)
+	cpu := k.Machine().CPU(0)
+	m := k.NewMap()
+	m.Pmap().Activate(cpu)
+	addr, _ := m.Allocate(0, 4*k.PageSize(), true)
+	_ = k.Touch(cpu, m, addr, true)
+
+	for i := 0; i < 24; i++ {
+		child := m.Fork()
+		_ = k.Touch(cpu, m, addr, true) // parent write forces a shadow
+		m.Destroy()
+		m = child
+		m.Pmap().Activate(cpu)
+		_ = k.Touch(cpu, m, addr, true)
+
+		m.mu.Lock()
+		e, ok := m.lookupEntryLocked(addr)
+		var chain int
+		if ok && e.object != nil {
+			chain = e.object.ChainLength()
+		}
+		m.mu.Unlock()
+		if chain > 4 {
+			t.Fatalf("generation %d: shadow chain length %d; collapse is not keeping up", i, chain)
+		}
+	}
+	m.Destroy()
+}
+
+func TestTransitMapHoldsNoPmap(t *testing.T) {
+	k := newTestKernel(t)
+	tm := k.NewTransitMap(64 * 1024)
+	if tm.Pmap() != nil {
+		t.Fatal("transit map must not own hardware state")
+	}
+	if !tm.IsShareMap() {
+		t.Fatal("transit map should be pmap-less (share-map-like)")
+	}
+	tm.Destroy()
+}

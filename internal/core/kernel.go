@@ -1,0 +1,193 @@
+// Package core implements the machine-independent half of the Mach virtual
+// memory system: the four basic data structures of the paper's §3 —
+// the resident page table, the address map, the memory object and (through
+// the pmap interface) the physical map — plus the fault handler, the
+// paging daemon, sharing maps, shadow-object garbage collection and the
+// user-visible VM operations of Table 2-1.
+//
+// All information important to the management of virtual memory lives
+// here, in machine-independent structures; the machine-dependent modules
+// under internal/pmap hold only the mappings needed to run the current mix
+// of programs and may discard them at will.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/vmtypes"
+)
+
+// Kernel is the machine-independent VM system for one machine.
+type Kernel struct {
+	machine *hw.Machine
+	mod     pmap.Module
+
+	// pageSize is the Mach page size: a boot-time parameter, any
+	// power-of-two multiple of the hardware page size (§3.1).
+	pageSize uint64
+	hwRatio  int // hardware pages per Mach page
+
+	// pageMu guards the resident page table, its queues and the
+	// object/offset hash. pageCond signals busy-page completion.
+	pageMu   sync.Mutex
+	pageCond *sync.Cond
+	pages    []*Page
+	free     pageQueue
+	active   pageQueue
+	inactive pageQueue
+	hash     map[pageKey]*Page
+
+	// Pageout tuning: the daemon runs when free pages drop below
+	// freeMin and aims for freeTarget.
+	freeMin    int
+	freeTarget int
+
+	cache objectCache
+
+	// disableHints and prewarmFork hold the ablation switches.
+	disableHints bool
+	prewarmFork  bool
+
+	// swap is the pager of last resort for internal objects being
+	// paged out (the paper's default pager).
+	swap Pager
+
+	stats Stats
+}
+
+// Config configures a kernel.
+type Config struct {
+	// Machine is the simulated hardware.
+	Machine *hw.Machine
+	// Module is the machine-dependent pmap module.
+	Module pmap.Module
+	// PageSize is the Mach page size; 0 selects the smallest legal
+	// value of at least 4096 bytes. It must be a power-of-two multiple
+	// of the hardware page size.
+	PageSize int
+	// ObjectCacheSize bounds the cache of unreferenced persistent
+	// memory objects; 0 selects a default.
+	ObjectCacheSize int
+	// FreeTarget and FreeMin tune the paging daemon; 0 selects
+	// proportional defaults.
+	FreeTarget int
+	FreeMin    int
+	// DisableMapHints turns off the §3.2 last-fault hints (for the
+	// ablation benchmarks).
+	DisableMapHints bool
+	// PrewarmFork uses the optional pmap_copy routine (Table 3-4), when
+	// the module implements it, to duplicate the parent's hardware
+	// mappings into the child at fork: the child avoids refaults at the
+	// price of a longer fork.
+	PrewarmFork bool
+}
+
+// NewKernel boots the machine-independent VM layer.
+func NewKernel(cfg Config) *Kernel {
+	if cfg.Machine == nil || cfg.Module == nil {
+		panic("core: Config needs Machine and Module")
+	}
+	hwPage := cfg.Machine.Mem.PageSize()
+	pageSize := cfg.PageSize
+	if pageSize == 0 {
+		pageSize = hwPage
+		for pageSize < 4096 {
+			pageSize *= 2
+		}
+	}
+	if pageSize < hwPage || !vmtypes.IsPowerOfTwo(uint64(pageSize)) || pageSize%hwPage != 0 {
+		panic(fmt.Sprintf("core: Mach page size %d must be a power-of-two multiple of the hardware page size %d", pageSize, hwPage))
+	}
+	k := &Kernel{
+		machine:  cfg.Machine,
+		mod:      cfg.Module,
+		pageSize: uint64(pageSize),
+		hwRatio:  pageSize / hwPage,
+		hash:     make(map[pageKey]*Page),
+	}
+	k.pageCond = sync.NewCond(&k.pageMu)
+	k.initResidentPages()
+	if cfg.FreeTarget > 0 {
+		k.freeTarget = cfg.FreeTarget
+	} else {
+		k.freeTarget = len(k.pages) / 16
+		if k.freeTarget < 4 {
+			k.freeTarget = 4
+		}
+	}
+	if cfg.FreeMin > 0 {
+		k.freeMin = cfg.FreeMin
+	} else {
+		k.freeMin = k.freeTarget / 2
+		if k.freeMin < 2 {
+			k.freeMin = 2
+		}
+	}
+	size := cfg.ObjectCacheSize
+	if size == 0 {
+		size = 64
+	}
+	k.cache.init(size)
+	k.disableHints = cfg.DisableMapHints
+	k.prewarmFork = cfg.PrewarmFork
+	k.swap = newMemorySwapPager(k.machine)
+	return k
+}
+
+// initResidentPages builds the resident page table: one entry per Mach
+// page of usable physical memory. A Mach page is usable only if all of its
+// hardware frames are populated (no SUN 3 display-memory holes) and lie
+// below the module's physical addressing limit (the NS32082's 32MB cap).
+func (k *Kernel) initResidentPages() {
+	mem := k.machine.Mem
+	limit := k.mod.MaxFrames()
+	machPages := mem.NumFrames() / k.hwRatio
+	for mp := 0; mp < machPages; mp++ {
+		first := vmtypes.PFN(mp * k.hwRatio)
+		usable := true
+		for i := 0; i < k.hwRatio; i++ {
+			f := first + vmtypes.PFN(i)
+			if int(f) >= limit || !mem.Valid(f) {
+				usable = false
+				break
+			}
+		}
+		if !usable {
+			continue
+		}
+		p := &Page{pfn: first}
+		k.pages = append(k.pages, p)
+		k.free.pushBack(p)
+		p.queue = queueFree
+	}
+}
+
+// Machine returns the simulated hardware.
+func (k *Kernel) Machine() *hw.Machine { return k.machine }
+
+// Module returns the machine-dependent pmap module.
+func (k *Kernel) Module() pmap.Module { return k.mod }
+
+// PageSize returns the Mach page size in bytes.
+func (k *Kernel) PageSize() uint64 { return k.pageSize }
+
+// HWRatio returns the number of hardware pages per Mach page.
+func (k *Kernel) HWRatio() int { return k.hwRatio }
+
+// SetSwapPager replaces the default pager used to back internal objects at
+// pageout time (e.g. with the inode pager once a filesystem exists).
+func (k *Kernel) SetSwapPager(p Pager) { k.swap = p }
+
+// SwapPager returns the current default pager.
+func (k *Kernel) SwapPager() Pager { return k.swap }
+
+// TotalPages returns the number of usable Mach pages of physical memory.
+func (k *Kernel) TotalPages() int { return len(k.pages) }
+
+// roundPage and truncPage align addresses to Mach page boundaries — the
+// only restriction Mach imposes on regions (§2.1).
+func (k *Kernel) roundPage(v uint64) uint64 { return vmtypes.RoundUp(v, k.pageSize) }
+func (k *Kernel) truncPage(v uint64) uint64 { return vmtypes.RoundDown(v, k.pageSize) }

@@ -1,0 +1,54 @@
+package core
+
+import "machvm/internal/vmtypes"
+
+// LockingPager is the optional interface behind pager_data_lock /
+// pager_data_unlock (Tables 3-1/3-2): a pager may deliver data with a lock
+// value that forbids some access kinds ("prevents further access to the
+// specified data until an unlock"); when a fault needs more access than
+// the lock allows, the kernel asks the pager to unlock
+// (pager_data_unlock) and blocks the faulting thread until the pager
+// grants it (a new pager_data_lock with permissive bits).
+//
+// Simple pagers do not implement this interface and their data is always
+// fully accessible — "simple pagers can be implemented by largely ignoring
+// the more sophisticated interface calls".
+type LockingPager interface {
+	Pager
+
+	// CheckLock reports whether the access is currently permitted at
+	// offset.
+	CheckLock(obj *Object, offset uint64, access vmtypes.Prot) bool
+
+	// RequestUnlock asks the pager to permit the access, blocking until
+	// it answers. It returns false if the pager refuses.
+	RequestUnlock(obj *Object, offset uint64, length int, access vmtypes.Prot) bool
+}
+
+// checkPagerLock enforces a locking pager's lock values on the fault
+// path. It returns the access kinds that remain prohibited (so the
+// mapping is entered without them and later faults renegotiate), and
+// ErrFaultProtection when the pager refuses to unlock the requested
+// access itself.
+func (k *Kernel) checkPagerLock(obj *Object, offset uint64, access vmtypes.Prot) (vmtypes.Prot, error) {
+	obj.mu.Lock()
+	pager := obj.pager
+	obj.mu.Unlock()
+	lp, ok := pager.(LockingPager)
+	if !ok {
+		return 0, nil
+	}
+	if !lp.CheckLock(obj, offset, access) {
+		// pager_data_unlock: the faulting thread blocks on the pager.
+		if !lp.RequestUnlock(obj, offset, int(k.pageSize), access) {
+			return 0, ErrFaultProtection
+		}
+	}
+	var prohibited vmtypes.Prot
+	for _, bit := range []vmtypes.Prot{vmtypes.ProtRead, vmtypes.ProtWrite, vmtypes.ProtExecute} {
+		if !lp.CheckLock(obj, offset, bit) {
+			prohibited |= bit
+		}
+	}
+	return prohibited, nil
+}

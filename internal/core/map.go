@@ -1,0 +1,608 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"machvm/internal/pmap"
+	"machvm/internal/vmtypes"
+)
+
+// VM operation errors.
+var (
+	// ErrNoSpace means no address range of the requested size exists.
+	ErrNoSpace = errors.New("vm: no space in address map")
+	// ErrInvalidAddress means the range touches unallocated space.
+	ErrInvalidAddress = errors.New("vm: invalid address")
+	// ErrBadAlignment means an address was not page aligned.
+	ErrBadAlignment = errors.New("vm: address not page aligned")
+	// ErrProtectionFailure means the requested protection exceeds the
+	// maximum protection of the range.
+	ErrProtectionFailure = errors.New("vm: protection failure")
+	// ErrOutOfRange means the range exceeds the hardware addressing
+	// limits.
+	ErrOutOfRange = errors.New("vm: address beyond machine limit")
+)
+
+// MapEntry maps a contiguous range of virtual addresses onto a contiguous
+// area of a memory object (§3.2). All addresses within the range share the
+// same inheritance and protection attributes — which can force two entries
+// for adjacent regions of one object when the attributes differ.
+type MapEntry struct {
+	prev, next *MapEntry
+
+	start, end vmtypes.VA
+
+	// Exactly one of object/submap is non-nil, or both are nil for
+	// unfaulted zero-fill memory (the object is created lazily).
+	object *Object
+	submap *Map
+
+	// offset locates start within the object or submap.
+	offset uint64
+
+	// prot is the current protection; maxProt the ceiling it may never
+	// exceed (§2.1).
+	prot    vmtypes.Prot
+	maxProt vmtypes.Prot
+
+	inherit vmtypes.Inherit
+
+	// needsCopy means the entry's object must be shadowed before any
+	// write through this entry (the copy-on-write state).
+	needsCopy bool
+
+	// wired prevents pageout of the entry's pages.
+	wired bool
+}
+
+// Span returns the entry's size in bytes.
+func (e *MapEntry) Span() uint64 { return uint64(e.end - e.start) }
+
+// Start and End expose the entry's range.
+func (e *MapEntry) Start() vmtypes.VA { return e.start }
+func (e *MapEntry) End() vmtypes.VA   { return e.end }
+
+// Protections returns the entry's current and maximum protection.
+func (e *MapEntry) Protections() (cur, max vmtypes.Prot) { return e.prot, e.maxProt }
+
+// Inheritance returns the entry's inheritance attribute.
+func (e *MapEntry) Inheritance() vmtypes.Inherit { return e.inherit }
+
+// NeedsCopy reports the entry's copy-on-write state.
+func (e *MapEntry) NeedsCopy() bool { return e.needsCopy }
+
+// IsSubmap reports whether the entry points to a sharing map.
+func (e *MapEntry) IsSubmap() bool { return e.submap != nil }
+
+// Map is an address map (§3.2): a doubly-linked list of entries sorted by
+// ascending virtual address, chosen because it was the simplest structure
+// that efficiently supports the frequent operations — fault lookups,
+// copy/protection on ranges, and allocation/deallocation — without
+// penalising large, sparse address spaces. A sharing map is identical to
+// an address map but is referenced by other maps' entries and has no pmap.
+type Map struct {
+	k *Kernel
+
+	mu sync.Mutex
+
+	head, tail *MapEntry
+	nentries   int
+	sizeBytes  uint64
+
+	min, max vmtypes.VA
+
+	// hint remembers the last entry found, so the list can be searched
+	// from the last fault's position (§3.2 "last fault hints").
+	hint *MapEntry
+
+	// pm is the task's physical map; nil for sharing maps.
+	pm pmap.Map
+
+	isShare bool
+	refs    atomic.Int32
+}
+
+// NewMap creates a task address map covering [0, limit) where limit is the
+// machine's user address-space bound.
+func (k *Kernel) NewMap() *Map {
+	m := &Map{
+		k:   k,
+		min: 0,
+		max: k.mod.MaxVA(),
+		pm:  k.mod.Create(),
+	}
+	m.refs.Store(1)
+	return m
+}
+
+// NewTransitMap creates a pmap-less holding map used to keep out-of-line
+// message data in transit between a sender and a receiver: the data is
+// copied into it copy-on-write at send time and copied out at receive
+// time, so no physical copy happens end to end.
+func (k *Kernel) NewTransitMap(size uint64) *Map {
+	m := &Map{
+		k:       k,
+		min:     0,
+		max:     vmtypes.VA(k.roundPage(size)*2 + k.pageSize*2),
+		isShare: true,
+	}
+	m.refs.Store(1)
+	return m
+}
+
+// newShareMap creates a sharing map spanning [0, size).
+func (k *Kernel) newShareMap(size uint64) *Map {
+	m := &Map{
+		k:       k,
+		min:     0,
+		max:     vmtypes.VA(size),
+		isShare: true,
+	}
+	m.refs.Store(1)
+	k.stats.ShareMapsMade.Add(1)
+	return m
+}
+
+// Pmap returns the map's physical map (nil for sharing maps).
+func (m *Map) Pmap() pmap.Map { return m.pm }
+
+// IsShareMap reports whether this is a sharing map.
+func (m *Map) IsShareMap() bool { return m.isShare }
+
+// Kernel returns the owning kernel.
+func (m *Map) Kernel() *Kernel { return m.k }
+
+// Size returns the total bytes of allocated virtual memory.
+func (m *Map) Size() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sizeBytes
+}
+
+// EntryCount returns the number of map entries (a typical VAX UNIX
+// process has five upon creation, §3.2).
+func (m *Map) EntryCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nentries
+}
+
+// Reference adds a reference to the map (used for sharing maps).
+func (m *Map) Reference() { m.refs.Add(1) }
+
+// Destroy releases the map; the last release deallocates everything and
+// destroys the pmap.
+func (m *Map) Destroy() {
+	if m.refs.Add(-1) > 0 {
+		return
+	}
+	m.mu.Lock()
+	var objs []*Object
+	var subs []*Map
+	for e := m.head; e != nil; e = e.next {
+		if e.object != nil {
+			objs = append(objs, e.object)
+		}
+		if e.submap != nil {
+			subs = append(subs, e.submap)
+		}
+	}
+	m.head, m.tail, m.hint = nil, nil, nil
+	m.nentries = 0
+	m.sizeBytes = 0
+	m.mu.Unlock()
+	if m.pm != nil {
+		m.pm.Destroy()
+	}
+	for _, o := range objs {
+		m.k.releaseObject(o)
+	}
+	for _, s := range subs {
+		s.Destroy()
+	}
+}
+
+// charge accounts one address-map entry operation.
+func (m *Map) charge() { m.k.machine.Charge(m.k.machine.Cost.MapEntryOp) }
+
+// lookupEntryLocked finds the entry containing va, using the hint first.
+func (m *Map) lookupEntryLocked(va vmtypes.VA) (*MapEntry, bool) {
+	m.k.stats.MapLookups.Add(1)
+	if h := m.hint; h != nil && !m.k.disableHints {
+		if h.start <= va && va < h.end {
+			m.k.stats.MapHintHits.Add(1)
+			m.k.machine.Charge(m.k.machine.Cost.MemAccess)
+			return h, true
+		}
+		// Faults walk forward: try the next entry before scanning.
+		if h.next != nil && h.next.start <= va && va < h.next.end {
+			m.k.stats.MapHintHits.Add(1)
+			m.k.machine.Charge(2 * m.k.machine.Cost.MemAccess)
+			m.hint = h.next
+			return h.next, true
+		}
+	}
+	steps := 0
+	for e := m.head; e != nil; e = e.next {
+		steps++
+		if va < e.start {
+			m.k.machine.Charge(int64(steps) * m.k.machine.Cost.MemAccess)
+			return e.prev, false
+		}
+		if va < e.end {
+			m.k.machine.Charge(int64(steps) * m.k.machine.Cost.MemAccess)
+			m.hint = e
+			return e, true
+		}
+	}
+	m.k.machine.Charge(int64(steps) * m.k.machine.Cost.MemAccess)
+	return m.tail, false
+}
+
+// insertAfterLocked links e after prev (nil prev = head).
+func (m *Map) insertAfterLocked(prev, e *MapEntry) {
+	e.prev = prev
+	if prev != nil {
+		e.next = prev.next
+		prev.next = e
+	} else {
+		e.next = m.head
+		m.head = e
+	}
+	if e.next != nil {
+		e.next.prev = e
+	} else {
+		m.tail = e
+	}
+	m.nentries++
+	m.sizeBytes += e.Span()
+	m.charge()
+}
+
+// removeEntryLocked unlinks e.
+func (m *Map) removeEntryLocked(e *MapEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		m.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		m.tail = e.prev
+	}
+	if m.hint == e {
+		m.hint = e.prev
+	}
+	m.nentries--
+	m.sizeBytes -= e.Span()
+	e.prev, e.next = nil, nil
+	m.charge()
+}
+
+// clipStartLocked splits e so that it begins exactly at va.
+func (m *Map) clipStartLocked(e *MapEntry, va vmtypes.VA) {
+	if va <= e.start || va >= e.end {
+		return
+	}
+	left := &MapEntry{
+		start:     e.start,
+		end:       va,
+		object:    e.object,
+		submap:    e.submap,
+		offset:    e.offset,
+		prot:      e.prot,
+		maxProt:   e.maxProt,
+		inherit:   e.inherit,
+		needsCopy: e.needsCopy,
+		wired:     e.wired,
+	}
+	if left.object != nil {
+		left.object.Reference()
+	}
+	if left.submap != nil {
+		left.submap.Reference()
+	}
+	e.offset += uint64(va - e.start)
+	m.sizeBytes -= uint64(va - e.start) // the insert adds it back
+	e.start = va
+	m.insertAfterLocked(e.prev, left)
+}
+
+// clipEndLocked splits e so that it ends exactly at va.
+func (m *Map) clipEndLocked(e *MapEntry, va vmtypes.VA) {
+	if va <= e.start || va >= e.end {
+		return
+	}
+	right := &MapEntry{
+		start:     va,
+		end:       e.end,
+		object:    e.object,
+		submap:    e.submap,
+		offset:    e.offset + uint64(va-e.start),
+		prot:      e.prot,
+		maxProt:   e.maxProt,
+		inherit:   e.inherit,
+		needsCopy: e.needsCopy,
+		wired:     e.wired,
+	}
+	if right.object != nil {
+		right.object.Reference()
+	}
+	if right.submap != nil {
+		right.submap.Reference()
+	}
+	m.sizeBytes -= uint64(e.end - va)
+	e.end = va
+	m.insertAfterLocked(e, right)
+}
+
+// findSpaceLocked finds a first-fit hole of the given size.
+func (m *Map) findSpaceLocked(size uint64) (vmtypes.VA, error) {
+	// Leave page 0 unmapped so nil-pointer-style bugs fault.
+	start := m.min + vmtypes.VA(m.k.pageSize)
+	for e := m.head; e != nil; e = e.next {
+		if uint64(e.start)-uint64(start) >= size && e.start > start {
+			return start, nil
+		}
+		if e.end > start {
+			start = e.end
+		}
+	}
+	if uint64(m.max)-uint64(start) >= size {
+		return start, nil
+	}
+	return 0, ErrNoSpace
+}
+
+// checkRange validates page alignment and machine limits.
+func (m *Map) checkRange(addr vmtypes.VA, size uint64) error {
+	if uint64(addr)%m.k.pageSize != 0 {
+		return ErrBadAlignment
+	}
+	if size == 0 || uint64(addr)+size > uint64(m.max) {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// Allocate implements vm_allocate: allocate and fill with zeros new
+// virtual memory, either anywhere or at a specified address (Table 2-1).
+// The memory is zero-filled lazily, at fault time.
+func (m *Map) Allocate(addr vmtypes.VA, size uint64, anywhere bool) (vmtypes.VA, error) {
+	m.k.machine.Charge(m.k.machine.Cost.Syscall)
+	size = m.k.roundPage(size)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocateLocked(addr, size, anywhere, nil, 0, vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+}
+
+// AllocateWithObject maps object bytes [offset, offset+size) at addr (or
+// anywhere). This is vm_allocate_with_pager (Table 3-2) generalised: the
+// object may come from any pager.
+func (m *Map) AllocateWithObject(addr vmtypes.VA, size uint64, anywhere bool, obj *Object, offset uint64, prot, maxProt vmtypes.Prot, inherit vmtypes.Inherit, copyOnWrite bool) (vmtypes.VA, error) {
+	m.k.machine.Charge(m.k.machine.Cost.Syscall)
+	size = m.k.roundPage(size)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocateLocked(addr, size, anywhere, obj, offset, prot, maxProt, inherit, copyOnWrite)
+}
+
+func (m *Map) allocateLocked(addr vmtypes.VA, size uint64, anywhere bool, obj *Object, offset uint64, prot, maxProt vmtypes.Prot, inherit vmtypes.Inherit, needsCopy bool) (vmtypes.VA, error) {
+	if anywhere {
+		var err error
+		addr, err = m.findSpaceLocked(size)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := m.checkRange(addr, size); err != nil {
+		return 0, err
+	}
+	// The range must be vacant.
+	prev, hit := m.lookupEntryLocked(addr)
+	if hit {
+		return 0, ErrInvalidAddress
+	}
+	next := m.head
+	if prev != nil {
+		next = prev.next
+	}
+	if next != nil && next.start < addr+vmtypes.VA(size) {
+		return 0, ErrInvalidAddress
+	}
+	entry := &MapEntry{
+		start:     addr,
+		end:       addr + vmtypes.VA(size),
+		object:    obj,
+		offset:    offset,
+		prot:      prot,
+		maxProt:   maxProt,
+		inherit:   inherit,
+		needsCopy: needsCopy,
+	}
+	m.insertAfterLocked(prev, entry)
+	return addr, nil
+}
+
+// Deallocate implements vm_deallocate: make a range of addresses no
+// longer valid (Table 2-1).
+func (m *Map) Deallocate(addr vmtypes.VA, size uint64) error {
+	m.k.machine.Charge(m.k.machine.Cost.Syscall)
+	size = m.k.roundPage(size)
+	if err := m.checkRange(addr, size); err != nil {
+		return err
+	}
+	end := addr + vmtypes.VA(size)
+
+	m.mu.Lock()
+	var objs []*Object
+	var subs []*Map
+	e, hit := m.lookupEntryLocked(addr)
+	if !hit {
+		if e == nil {
+			e = m.head
+		} else {
+			e = e.next
+		}
+	} else {
+		m.clipStartLocked(e, addr)
+	}
+	for e != nil && e.start < end {
+		m.clipEndLocked(e, end)
+		next := e.next
+		if e.object != nil {
+			objs = append(objs, e.object)
+		}
+		if e.submap != nil {
+			subs = append(subs, e.submap)
+		}
+		m.removeEntryLocked(e)
+		if m.pm != nil {
+			m.pm.Remove(e.start, e.end)
+		}
+		e = next
+	}
+	m.mu.Unlock()
+
+	for _, o := range objs {
+		m.k.releaseObject(o)
+	}
+	for _, s := range subs {
+		s.Destroy()
+	}
+	return nil
+}
+
+// Protect implements vm_protect: set the protection attribute of an
+// address range (Table 2-1). If setMax is true the maximum protection is
+// lowered (it can never be raised); lowering it below the current
+// protection drags the current protection down with it.
+func (m *Map) Protect(addr vmtypes.VA, size uint64, setMax bool, prot vmtypes.Prot) error {
+	m.k.machine.Charge(m.k.machine.Cost.Syscall)
+	size = m.k.roundPage(size)
+	if err := m.checkRange(addr, size); err != nil {
+		return err
+	}
+	end := addr + vmtypes.VA(size)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, hit := m.lookupEntryLocked(addr)
+	if !hit {
+		return ErrInvalidAddress
+	}
+	m.clipStartLocked(e, addr)
+	for e != nil && e.start < end {
+		m.clipEndLocked(e, end)
+		if setMax {
+			// The maximum protection can only be lowered.
+			e.maxProt = e.maxProt.Intersect(prot)
+			if !e.maxProt.Allows(e.prot) {
+				e.prot = e.prot.Intersect(e.maxProt)
+				if m.pm != nil {
+					m.pm.Protect(e.start, e.end, e.prot)
+				}
+			}
+		} else {
+			if !e.maxProt.Allows(prot) {
+				return ErrProtectionFailure
+			}
+			raised := prot&^e.prot != 0
+			e.prot = prot
+			if m.pm != nil {
+				if raised {
+					// Raising protection cannot be done by a
+					// pmap_protect (it only reduces); drop the
+					// mappings and let faults re-enter with the
+					// new protection.
+					m.pm.Remove(e.start, e.end)
+				} else {
+					m.pm.Protect(e.start, e.end, prot)
+				}
+			}
+		}
+		if e.next == nil || e.next.start != e.end {
+			if e.end < end {
+				return ErrInvalidAddress
+			}
+		}
+		e = e.next
+	}
+	return nil
+}
+
+// SetInherit implements vm_inherit: set the inheritance attribute of an
+// address range (Table 2-1).
+func (m *Map) SetInherit(addr vmtypes.VA, size uint64, inherit vmtypes.Inherit) error {
+	m.k.machine.Charge(m.k.machine.Cost.Syscall)
+	size = m.k.roundPage(size)
+	if err := m.checkRange(addr, size); err != nil {
+		return err
+	}
+	end := addr + vmtypes.VA(size)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, hit := m.lookupEntryLocked(addr)
+	if !hit {
+		return ErrInvalidAddress
+	}
+	m.clipStartLocked(e, addr)
+	for e != nil && e.start < end {
+		m.clipEndLocked(e, end)
+		e.inherit = inherit
+		e = e.next
+	}
+	return nil
+}
+
+// RegionInfo describes one allocated region (vm_regions).
+type RegionInfo struct {
+	Start, End vmtypes.VA
+	Prot       vmtypes.Prot
+	MaxProt    vmtypes.Prot
+	Inherit    vmtypes.Inherit
+	Shared     bool
+	NeedsCopy  bool
+	ObjectName string
+}
+
+// Regions implements vm_regions: return descriptions of the regions of
+// the address space (Table 2-1).
+func (m *Map) Regions() []RegionInfo {
+	m.k.machine.Charge(m.k.machine.Cost.Syscall)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []RegionInfo
+	for e := m.head; e != nil; e = e.next {
+		ri := RegionInfo{
+			Start:     e.start,
+			End:       e.end,
+			Prot:      e.prot,
+			MaxProt:   e.maxProt,
+			Inherit:   e.inherit,
+			Shared:    e.submap != nil,
+			NeedsCopy: e.needsCopy,
+		}
+		if e.object != nil {
+			ri.ObjectName = e.object.name
+		} else if e.submap != nil {
+			ri.ObjectName = "(share map)"
+		}
+		out = append(out, ri)
+	}
+	return out
+}
+
+// String renders the map for debugging.
+func (m *Map) String() string {
+	regions := m.Regions()
+	s := fmt.Sprintf("map[%d entries]", len(regions))
+	for _, r := range regions {
+		s += fmt.Sprintf(" [%x-%x %v %v]", r.Start, r.End, r.Prot, r.Inherit)
+	}
+	return s
+}

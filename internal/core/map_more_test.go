@@ -1,0 +1,276 @@
+package core_test
+
+import (
+	"testing"
+
+	"machvm/internal/core"
+	"machvm/internal/vmtypes"
+)
+
+func TestAllocateErrors(t *testing.T) {
+	k, _ := newVAXKernel(t, 1)
+	m := k.NewMap()
+	defer m.Destroy()
+
+	if _, err := m.Allocate(0, 0, true); err != core.ErrOutOfRange {
+		t.Fatalf("zero-size allocate: %v", err)
+	}
+	// Exhaust the address space search: a map the size of the whole VA
+	// space cannot be found twice.
+	max := uint64(2) << 30
+	if _, err := m.Allocate(0, max*2, true); err != core.ErrNoSpace {
+		t.Fatalf("oversized allocate: %v", err)
+	}
+}
+
+func TestDeallocateErrors(t *testing.T) {
+	k, _ := newVAXKernel(t, 1)
+	m := k.NewMap()
+	defer m.Destroy()
+	if err := m.Deallocate(0x1001, 4096); err != core.ErrBadAlignment {
+		t.Fatalf("unaligned dealloc: %v", err)
+	}
+	// Deallocating never-allocated space is harmless (Mach semantics:
+	// the range simply becomes/"stays" invalid).
+	if err := m.Deallocate(0x10000, 8192); err != nil {
+		t.Fatalf("dealloc of hole: %v", err)
+	}
+}
+
+func TestProtectErrors(t *testing.T) {
+	k, _ := newVAXKernel(t, 1)
+	m := k.NewMap()
+	defer m.Destroy()
+	if err := m.Protect(0x10000, 4096, false, vmtypes.ProtRead); err != core.ErrInvalidAddress {
+		t.Fatalf("protect of unallocated: %v", err)
+	}
+	addr, _ := m.Allocate(0, 8192, true)
+	if err := m.Protect(addr, 16384, false, vmtypes.ProtRead); err != core.ErrInvalidAddress {
+		t.Fatalf("protect past the end: %v", err)
+	}
+}
+
+func TestInheritClipsEntries(t *testing.T) {
+	k, _ := newVAXKernel(t, 1)
+	m := k.NewMap()
+	defer m.Destroy()
+	addr, _ := m.Allocate(0, 4*4096, true)
+	if err := m.SetInherit(addr+4096, 8192, vmtypes.InheritShared); err != nil {
+		t.Fatal(err)
+	}
+	regions := m.Regions()
+	if len(regions) != 3 {
+		t.Fatalf("expected 3 entries after middle inherit, got %d", len(regions))
+	}
+	if regions[0].Inherit != vmtypes.InheritCopy ||
+		regions[1].Inherit != vmtypes.InheritShared ||
+		regions[2].Inherit != vmtypes.InheritCopy {
+		t.Fatalf("inherit pattern wrong: %+v", regions)
+	}
+	if regions[1].Start != addr+4096 || regions[1].End != addr+4096+8192 {
+		t.Fatal("clip boundaries wrong")
+	}
+}
+
+func TestEntryCountMatchesPaperExample(t *testing.T) {
+	// "A typical VAX UNIX process has five mapping entries upon creation
+	// — one for its u-area and one each for code, stack, initialized and
+	// uninitialized data" (§3.2). Build that process shape and verify
+	// the map stays at five entries.
+	k, _ := newVAXKernel(t, 1)
+	m := k.NewMap()
+	defer m.Destroy()
+	for i, r := range []struct {
+		size uint64
+		prot vmtypes.Prot
+	}{
+		{16 * 1024, vmtypes.ProtDefault},                     // u-area
+		{256 * 1024, vmtypes.ProtRead | vmtypes.ProtExecute}, // code
+		{64 * 1024, vmtypes.ProtDefault},                     // stack
+		{128 * 1024, vmtypes.ProtDefault},                    // data
+		{512 * 1024, vmtypes.ProtDefault},                    // bss
+	} {
+		addr, err := m.Allocate(0, r.size, true)
+		if err != nil {
+			t.Fatalf("region %d: %v", i, err)
+		}
+		if err := m.Protect(addr, r.size, false, r.prot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.EntryCount(); got != 5 {
+		t.Fatalf("process has %d entries; the paper's example has 5", got)
+	}
+}
+
+func TestCopyWithinTaskReplacesDestination(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	cpu := machine.CPU(0)
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+
+	src, _ := m.Allocate(0, 8192, true)
+	dst, _ := m.Allocate(0, 8192, true)
+	if err := k.AccessBytes(cpu, m, src, []byte{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AccessBytes(cpu, m, dst, []byte{2}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Copy(src, 8192, dst); err != nil {
+		t.Fatalf("vm_copy: %v", err)
+	}
+	b := make([]byte, 1)
+	if err := k.AccessBytes(cpu, m, dst, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1 {
+		t.Fatalf("destination reads %d after vm_copy; want 1", b[0])
+	}
+}
+
+func TestCopyToWithHoleFails(t *testing.T) {
+	k, _ := newVAXKernel(t, 1)
+	m := k.NewMap()
+	defer m.Destroy()
+	a, _ := m.Allocate(0x10000, 4096, false)
+	if _, err := m.Allocate(0x13000, 4096, false); err != nil {
+		t.Fatal(err)
+	}
+	// [a, a+3 pages) contains a hole at 0x11000-0x13000.
+	if _, err := m.CopyTo(m, a, 3*4096, 0, true); err != core.ErrInvalidAddress {
+		t.Fatalf("copy across hole: %v", err)
+	}
+}
+
+func TestSharedRangeSurvivesGrandchildren(t *testing.T) {
+	// Sharing maps must not need to reference other sharing maps for
+	// full task-to-task sharing (§3.4): share a range down three
+	// generations and write from each.
+	k, machine := newVAXKernel(t, 1)
+	cpu := machine.CPU(0)
+	gen0 := k.NewMap()
+	gen0.Pmap().Activate(cpu)
+	addr, _ := gen0.Allocate(0, 8192, true)
+	if err := gen0.SetInherit(addr, 8192, vmtypes.InheritShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(cpu, gen0, addr, true); err != nil {
+		t.Fatal(err)
+	}
+
+	gen1 := gen0.Fork()
+	gen2 := gen1.Fork()
+	maps := []*core.Map{gen0, gen1, gen2}
+	for i, m := range maps {
+		m.Pmap().Activate(cpu)
+		if err := k.AccessBytes(cpu, m, addr, []byte{byte(10 + i)}, true); err != nil {
+			t.Fatalf("gen%d write: %v", i, err)
+		}
+		// All generations see it.
+		for j, mm := range maps {
+			mm.Pmap().Activate(cpu)
+			b := make([]byte, 1)
+			if err := k.AccessBytes(cpu, mm, addr, b, false); err != nil {
+				t.Fatalf("gen%d read after gen%d write: %v", j, i, err)
+			}
+			if b[0] != byte(10+i) {
+				t.Fatalf("gen%d sees %d after gen%d wrote %d", j, b[0], i, 10+i)
+			}
+		}
+	}
+	// No nested share maps were needed.
+	if k.Stats().ShareMapsMade.Load() != 1 {
+		t.Fatalf("created %d share maps; 1 should serve all generations", k.Stats().ShareMapsMade.Load())
+	}
+	gen2.Destroy()
+	gen1.Destroy()
+	gen0.Destroy()
+}
+
+func TestCopyOfSharedRegionIsSnapshot(t *testing.T) {
+	// vm_copy of a share-mapped region must be a by-value snapshot, not
+	// another sharer.
+	k, machine := newVAXKernel(t, 1)
+	cpu := machine.CPU(0)
+	parent := k.NewMap()
+	parent.Pmap().Activate(cpu)
+	addr, _ := parent.Allocate(0, 8192, true)
+	if err := parent.SetInherit(addr, 8192, vmtypes.InheritShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AccessBytes(cpu, parent, addr, []byte{0xAA}, true); err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Fork()
+	defer child.Destroy()
+	defer parent.Destroy()
+
+	// Snapshot the shared region.
+	snap, err := parent.CopyTo(parent, addr, 8192, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sharer writes after the snapshot.
+	child.Pmap().Activate(cpu)
+	if err := k.AccessBytes(cpu, child, addr, []byte{0xBB}, true); err != nil {
+		t.Fatal(err)
+	}
+	// The other sharer sees the write; the snapshot does not.
+	parent.Pmap().Activate(cpu)
+	b := make([]byte, 1)
+	if err := k.AccessBytes(cpu, parent, addr, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xBB {
+		t.Fatalf("sharer sees %x; want BB", b[0])
+	}
+	if err := k.AccessBytes(cpu, parent, snap, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xAA {
+		t.Fatalf("snapshot sees %x; want AA (copy must not track later writes)", b[0])
+	}
+}
+
+func TestMapStringAndAccessors(t *testing.T) {
+	k, _ := newVAXKernel(t, 1)
+	m := k.NewMap()
+	defer m.Destroy()
+	addr, _ := m.Allocate(0, 8192, true)
+	_ = addr
+	if m.String() == "" {
+		t.Fatal("String should render")
+	}
+	if m.Size() != 8192 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	if m.IsShareMap() {
+		t.Fatal("task map is not a share map")
+	}
+	if m.Kernel() != k {
+		t.Fatal("Kernel accessor wrong")
+	}
+	if m.Pmap() == nil {
+		t.Fatal("task map needs a pmap")
+	}
+}
+
+func TestFaultErrors(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	cpu := machine.CPU(0)
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	if err := k.Fault(m, 0x40000, vmtypes.ProtRead); err != core.ErrFaultNoEntry {
+		t.Fatalf("fault on hole: %v", err)
+	}
+	addr, _ := m.Allocate(0, 4096, true)
+	if err := m.Protect(addr, 4096, false, vmtypes.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Fault(m, addr, vmtypes.ProtWrite); err != core.ErrFaultProtection {
+		t.Fatalf("write fault on read-only: %v", err)
+	}
+}

@@ -1,0 +1,272 @@
+package core_test
+
+// Model-based equivalence testing: a reference model (flat Go byte maps)
+// runs the same random operation stream — writes, reads, virtual copies,
+// forks, protection flips, deallocations — as the full VM stack, on every
+// architecture, under memory pressure that forces paging. Any divergence
+// between what a task reads and what the model says is a correctness bug
+// somewhere in the maps / objects / shadow chains / pmaps / pageout.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/ns32082"
+	"machvm/internal/pmap/rtpc"
+	"machvm/internal/pmap/sun3"
+	"machvm/internal/pmap/tlbonly"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+type modelArch struct {
+	name     string
+	hwPage   int
+	machPage int
+	frames   int
+	build    func(*hw.Machine, pmap.Strategy) pmap.Module
+	cost     hw.CostModel
+}
+
+func modelArchs() []modelArch {
+	return []modelArch{
+		{"vax", vax.HWPageSize, 4096, 8192, func(m *hw.Machine, s pmap.Strategy) pmap.Module { return vax.New(m, s) }, vax.DefaultCost()},
+		{"rtpc", rtpc.HWPageSize, 4096, 2048, func(m *hw.Machine, s pmap.Strategy) pmap.Module { return rtpc.New(m, s) }, rtpc.DefaultCost()},
+		{"sun3", sun3.HWPageSize, 8192, 512, func(m *hw.Machine, s pmap.Strategy) pmap.Module { return sun3.New(m, s) }, sun3.DefaultCost()},
+		{"ns32082", ns32082.HWPageSize, 4096, 8192, func(m *hw.Machine, s pmap.Strategy) pmap.Module { return ns32082.New(m, s) }, ns32082.DefaultCost()},
+		{"tlbonly", tlbonly.HWPageSize, 4096, 1024, func(m *hw.Machine, s pmap.Strategy) pmap.Module { return tlbonly.New(m, s) }, tlbonly.DefaultCost()},
+	}
+}
+
+// modelTask pairs a real map with its reference model.
+type modelTask struct {
+	m       *core.Map
+	mem     map[vmtypes.VA]byte // expected content of every allocated+touched byte
+	ro      map[vmtypes.VA]bool // pages currently read-only (by page address)
+	regions []modelRegion
+}
+
+type modelRegion struct {
+	addr vmtypes.VA
+	size uint64
+}
+
+func TestModelEquivalenceAllArchs(t *testing.T) {
+	for _, a := range modelArchs() {
+		for _, strategy := range []pmap.Strategy{pmap.ShootImmediate, pmap.ShootDeferred} {
+			t.Run(fmt.Sprintf("%s/%s", a.name, strategy), func(t *testing.T) {
+				runModelEquivalence(t, a, strategy)
+			})
+		}
+	}
+}
+
+func runModelEquivalence(t *testing.T, a modelArch, strategy pmap.Strategy) {
+	machine := hw.NewMachine(hw.Config{
+		Cost:       a.cost,
+		HWPageSize: a.hwPage,
+		PhysFrames: a.frames,
+		CPUs:       2,
+		TLBSize:    32,
+	})
+	mod := a.build(machine, strategy)
+	k := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: a.machPage})
+	cpu := machine.CPU(0)
+	pageSize := k.PageSize()
+
+	rng := rand.New(rand.NewSource(int64(len(a.name)) * 7919))
+	newTask := func() *modelTask {
+		mt := &modelTask{
+			m:   k.NewMap(),
+			mem: make(map[vmtypes.VA]byte),
+			ro:  make(map[vmtypes.VA]bool),
+		}
+		mt.m.Pmap().Activate(cpu)
+		return mt
+	}
+	tasks := []*modelTask{newTask()}
+	defer func() {
+		for _, mt := range tasks {
+			mt.m.Destroy()
+		}
+	}()
+
+	pickRegion := func(mt *modelTask) (modelRegion, bool) {
+		if len(mt.regions) == 0 {
+			return modelRegion{}, false
+		}
+		return mt.regions[rng.Intn(len(mt.regions))], true
+	}
+
+	readCheck := func(mt *modelTask, va vmtypes.VA, n int) {
+		buf := make([]byte, n)
+		if err := k.AccessBytes(cpu, mt.m, va, buf, false); err != nil {
+			t.Fatalf("read %#x+%d: %v", va, n, err)
+		}
+		for i := range buf {
+			want := mt.mem[va+vmtypes.VA(i)] // zero if never written
+			if buf[i] != want {
+				t.Fatalf("divergence at %#x: got %d want %d", va+vmtypes.VA(i), buf[i], want)
+			}
+		}
+	}
+
+	const steps = 400
+	for step := 0; step < steps; step++ {
+		mt := tasks[rng.Intn(len(tasks))]
+		mt.m.Pmap().Activate(cpu)
+		switch op := rng.Intn(20); {
+		case op < 5: // allocate
+			size := uint64(rng.Intn(8)+1) * pageSize
+			addr, err := mt.m.Allocate(0, size, true)
+			if err != nil {
+				continue
+			}
+			mt.regions = append(mt.regions, modelRegion{addr, size})
+			// Model: fresh memory reads zero (delete any stale keys).
+			for off := uint64(0); off < size; off++ {
+				delete(mt.mem, addr+vmtypes.VA(off))
+			}
+		case op < 11: // write random bytes
+			r, ok := pickRegion(mt)
+			if !ok {
+				continue
+			}
+			off := uint64(rng.Intn(int(r.size)))
+			n := rng.Intn(200) + 1
+			if uint64(n) > r.size-off {
+				n = int(r.size - off)
+			}
+			va := r.addr + vmtypes.VA(off)
+			pageVA := vmtypes.VA(uint64(va) &^ (pageSize - 1))
+			if mt.ro[pageVA] {
+				continue // writes on read-only pages are tested separately
+			}
+			data := make([]byte, n)
+			rng.Read(data)
+			if err := k.AccessBytes(cpu, mt.m, va, data, true); err != nil {
+				for _, ri := range mt.m.Regions() {
+					if ri.Start <= va && va < ri.End {
+						t.Logf("faulting region %#x-%#x prot=%v max=%v nc=%v shared=%v; model ro=%v",
+							ri.Start, ri.End, ri.Prot, ri.MaxProt, ri.NeedsCopy, ri.Shared, mt.ro[pageVA])
+					}
+				}
+				t.Fatalf("write %#x+%d at step %d: %v", va, n, step, err)
+			}
+			for i, b := range data {
+				mt.mem[va+vmtypes.VA(i)] = b
+			}
+		case op < 15: // read + verify
+			r, ok := pickRegion(mt)
+			if !ok {
+				continue
+			}
+			off := uint64(rng.Intn(int(r.size)))
+			n := rng.Intn(300) + 1
+			if uint64(n) > r.size-off {
+				n = int(r.size - off)
+			}
+			readCheck(mt, r.addr+vmtypes.VA(off), n)
+		case op < 16: // vm_copy into a fresh place
+			r, ok := pickRegion(mt)
+			if !ok {
+				continue
+			}
+			dst, err := mt.m.CopyTo(mt.m, r.addr, r.size, 0, true)
+			if err != nil {
+				continue
+			}
+			mt.regions = append(mt.regions, modelRegion{dst, r.size})
+			for off := uint64(0); off < r.size; off++ {
+				src := r.addr + vmtypes.VA(off)
+				d := dst + vmtypes.VA(off)
+				if b, ok := mt.mem[src]; ok {
+					mt.mem[d] = b
+				} else {
+					delete(mt.mem, d)
+				}
+			}
+			// The clone inherits the source's protections.
+			for off := uint64(0); off < r.size; off += pageSize {
+				if mt.ro[r.addr+vmtypes.VA(off)] {
+					mt.ro[dst+vmtypes.VA(off)] = true
+				} else {
+					delete(mt.ro, dst+vmtypes.VA(off))
+				}
+			}
+		case op < 17 && len(tasks) < 5: // fork
+			child := &modelTask{
+				m:   mt.m.Fork(),
+				mem: make(map[vmtypes.VA]byte, len(mt.mem)),
+				ro:  make(map[vmtypes.VA]bool, len(mt.ro)),
+			}
+			for kk, v := range mt.mem {
+				child.mem[kk] = v
+			}
+			// The child inherits the parent's protections with its
+			// entries.
+			for kk, v := range mt.ro {
+				child.ro[kk] = v
+			}
+			child.regions = append([]modelRegion(nil), mt.regions...)
+			tasks = append(tasks, child)
+		case op < 18: // protect a region read-only or back
+			r, ok := pickRegion(mt)
+			if !ok {
+				continue
+			}
+			pageVA := r.addr
+			if rng.Intn(2) == 0 {
+				if err := mt.m.Protect(r.addr, r.size, false, vmtypes.ProtRead); err == nil {
+					for off := uint64(0); off < r.size; off += pageSize {
+						mt.ro[pageVA+vmtypes.VA(off)] = true
+					}
+				}
+			} else {
+				if err := mt.m.Protect(r.addr, r.size, false, vmtypes.ProtDefault); err == nil {
+					for off := uint64(0); off < r.size; off += pageSize {
+						delete(mt.ro, pageVA+vmtypes.VA(off))
+					}
+				}
+			}
+		case op < 19 && len(mt.regions) > 2: // deallocate a region
+			idx := rng.Intn(len(mt.regions))
+			r := mt.regions[idx]
+			if err := mt.m.Deallocate(r.addr, r.size); err != nil {
+				continue
+			}
+			mt.regions = append(mt.regions[:idx], mt.regions[idx+1:]...)
+			for off := uint64(0); off < r.size; off++ {
+				delete(mt.mem, r.addr+vmtypes.VA(off))
+			}
+			for off := uint64(0); off < r.size; off += pageSize {
+				delete(mt.ro, r.addr+vmtypes.VA(off))
+			}
+		default: // pmap forgets everything (legal at any time!)
+			mt.m.Pmap().Collect()
+			mod.Update()
+		}
+	}
+
+	// Final sweep: every byte of every task matches its model.
+	for ti, mt := range tasks {
+		mt.m.Pmap().Activate(cpu)
+		for _, r := range mt.regions {
+			buf := make([]byte, r.size)
+			if err := k.AccessBytes(cpu, mt.m, r.addr, buf, false); err != nil {
+				t.Fatalf("task %d final read: %v", ti, err)
+			}
+			for i := range buf {
+				want := mt.mem[r.addr+vmtypes.VA(i)]
+				if buf[i] != want {
+					t.Fatalf("task %d final divergence at %#x: got %d want %d",
+						ti, r.addr+vmtypes.VA(i), buf[i], want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Object is a memory object (§3.3): logically a repository for data,
+// indexed by byte, in many respects resembling a UNIX file. All backing
+// store is implemented by memory objects; address maps map address ranges
+// to byte offsets within them. A reference counter lets the object be
+// garbage collected when all mapped references are removed — or cached,
+// for frequently used objects like text segments.
+type Object struct {
+	mu sync.Mutex
+
+	refs int
+
+	// size is the object's extent in bytes.
+	size uint64
+
+	// pager manages this object's non-resident data; nil means the
+	// object is internal (zero-filled on first touch, paged to the
+	// default pager).
+	pager Pager
+
+	// internal objects are kernel-created anonymous memory; external
+	// objects belong to user or file pagers.
+	internal bool
+
+	// canPersist allows the object to enter the object cache when the
+	// last reference disappears (pager_cache).
+	canPersist bool
+
+	// cached is true while the object sits unreferenced in the cache.
+	cached bool
+
+	// shadow chains (§3.4): this object relies on the shadowed object
+	// for all data it does not hold itself. shadowOffset locates this
+	// object's byte 0 within the shadow.
+	shadow       *Object
+	shadowOffset uint64
+
+	// pageList heads the memory-object page list; resident counts it.
+	pageList *Page
+	resident int
+
+	// pagingInProgress delays destruction and collapse while a pager
+	// conversation is outstanding.
+	pagingInProgress int
+
+	// name is a debugging label.
+	name string
+
+	// generation distinguishes cache reuse from a fresh object.
+	generation uint64
+}
+
+var objectGen atomic.Uint64
+
+// NewObject creates a memory object of the given size, managed by pager
+// (nil for internal zero-fill memory).
+func (k *Kernel) NewObject(size uint64, pager Pager, name string) *Object {
+	o := &Object{
+		refs:       1,
+		size:       k.roundPage(size),
+		pager:      pager,
+		internal:   pager == nil,
+		name:       name,
+		generation: objectGen.Add(1),
+	}
+	if pager != nil {
+		pager.Init(o)
+	}
+	k.stats.ObjectsCreated.Add(1)
+	return o
+}
+
+// Name returns the object's debugging label.
+func (o *Object) Name() string { return o.name }
+
+// Size returns the object's extent in bytes.
+func (o *Object) Size() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.size
+}
+
+// Resident returns the number of resident pages.
+func (o *Object) Resident() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.resident
+}
+
+// Refs returns the current reference count.
+func (o *Object) Refs() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.refs
+}
+
+// Pager returns the object's pager (nil for internal memory).
+func (o *Object) Pager() Pager {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.pager
+}
+
+// SetCanPersist marks the object cacheable after its last release
+// (the pager_cache call of Table 3-2).
+func (o *Object) SetCanPersist(v bool) {
+	o.mu.Lock()
+	o.canPersist = v
+	o.mu.Unlock()
+}
+
+// Shadow returns the object this object shadows, if any.
+func (o *Object) Shadow() *Object {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.shadow
+}
+
+// ChainLength returns the length of the shadow chain starting here
+// (1 for an unshadowed object) — the quantity §3.5's garbage collection
+// exists to bound.
+func (o *Object) ChainLength() int {
+	n := 0
+	for cur := o; cur != nil; {
+		n++
+		cur.mu.Lock()
+		next := cur.shadow
+		cur.mu.Unlock()
+		cur = next
+	}
+	return n
+}
+
+// Reference adds a reference.
+func (o *Object) Reference() {
+	o.mu.Lock()
+	o.refs++
+	o.mu.Unlock()
+}
+
+// releaseObject drops a reference. When the last reference disappears the
+// object is either cached (if it can persist — keeping its physical pages
+// so reuse is very inexpensive) or terminated.
+func (k *Kernel) releaseObject(o *Object) {
+	for o != nil {
+		o.mu.Lock()
+		o.refs--
+		if o.refs > 0 {
+			// Somebody still needs it; but a shadow chain whose
+			// intermediate links have a single reference may now be
+			// collapsible from above. Collapse is driven by the
+			// shadow-creation and fault paths.
+			o.mu.Unlock()
+			return
+		}
+		if o.canPersist && o.pager != nil {
+			// Keep it warm in the object cache.
+			o.refs = 0
+			o.cached = true
+			o.mu.Unlock()
+			k.cache.insert(k, o)
+			return
+		}
+		shadow := o.shadow
+		o.shadow = nil
+		o.mu.Unlock()
+		k.terminateObject(o)
+		o = shadow // drop our reference on the backing object too
+	}
+}
+
+// terminateObject frees the object's pages and tells its pager.
+func (k *Kernel) terminateObject(o *Object) {
+	// Free every resident page. Hardware mappings are removed before a
+	// page reaches the free list so it can never be reallocated while a
+	// stale translation survives.
+	for {
+		k.pageMu.Lock()
+		p := o.pageList
+		if p == nil {
+			k.pageMu.Unlock()
+			break
+		}
+		if p.busy {
+			// Wait for I/O to settle before freeing.
+			k.stats.BusyWaits.Add(1)
+			k.pageCond.Wait()
+			k.pageMu.Unlock()
+			continue
+		}
+		k.removePageLocked(p)
+		k.removeFromQueueLocked(p)
+		p.busy = true // keep it unreachable while we unmap
+		k.pageMu.Unlock()
+		k.removeAllMappings(p)
+		k.pageMu.Lock()
+		p.busy = false
+		p.wireCount = 0
+		k.setQueueLocked(p, queueFree)
+		k.pageMu.Unlock()
+		k.pageCond.Broadcast()
+		k.stats.PagesFreed.Add(1)
+	}
+	if o.pager != nil {
+		o.pager.Terminate(o)
+	}
+	k.stats.ObjectsTerminated.Add(1)
+}
+
+// shadowObject makes a new shadow object in front of o: an initially empty
+// internal object, without a pager but with a pointer to the shadowed
+// object (§3.4). The caller transfers its reference on o to the shadow.
+func (k *Kernel) shadowObject(o *Object, offset, size uint64) *Object {
+	s := &Object{
+		refs:         1,
+		size:         k.roundPage(size),
+		internal:     true,
+		shadow:       o,
+		shadowOffset: offset,
+		name:         "shadow",
+		generation:   objectGen.Add(1),
+	}
+	k.stats.ObjectsCreated.Add(1)
+	k.stats.ShadowsCreated.Add(1)
+	return s
+}
+
+// collapseShadow attempts the shadow-chain garbage collection of §3.5:
+// when an intermediate shadow is no longer needed — its only reference is
+// the object shadowing it — its pages are swallowed and it is bypassed.
+// The argument is the front object whose backing chain should be checked.
+func (k *Kernel) collapseShadow(front *Object) {
+	for {
+		front.mu.Lock()
+		backing := front.shadow
+		if backing == nil {
+			front.mu.Unlock()
+			return
+		}
+		backing.mu.Lock()
+		// The backing object can be collapsed into front only when
+		// front holds the sole reference, no pager owns the backing
+		// data, and no paging conversation is in flight.
+		if backing.refs != 1 || backing.pager != nil || backing.pagingInProgress > 0 || front.pagingInProgress > 0 {
+			backing.mu.Unlock()
+			front.mu.Unlock()
+			return
+		}
+		shadowOffset := front.shadowOffset
+		// Move every page of backing that front lacks (and that falls
+		// inside front's window) into front; free the rest.
+		k.pageMu.Lock()
+		var moves, frees []*Page
+		for p := backing.pageList; p != nil; p = p.objNext {
+			if p.busy {
+				// Give up; try again another time.
+				k.pageMu.Unlock()
+				backing.mu.Unlock()
+				front.mu.Unlock()
+				return
+			}
+			newOffset := int64(p.offset) - int64(shadowOffset)
+			inWindow := newOffset >= 0 && uint64(newOffset) < front.size
+			if inWindow && k.hash[pageKey{obj: front, offset: uint64(newOffset)}] == nil {
+				moves = append(moves, p)
+			} else {
+				frees = append(frees, p)
+			}
+		}
+		for _, p := range moves {
+			newOffset := uint64(int64(p.offset) - int64(shadowOffset))
+			k.removePageLocked(p)
+			k.insertPageLocked(p, front, newOffset)
+		}
+		for _, p := range frees {
+			k.removePageLocked(p)
+			k.removeFromQueueLocked(p)
+		}
+		k.pageMu.Unlock()
+		for _, p := range frees {
+			// Unmap before the page becomes allocatable again.
+			k.removeAllMappings(p)
+		}
+		k.pageMu.Lock()
+		for _, p := range frees {
+			k.setQueueLocked(p, queueFree)
+			k.stats.PagesFreed.Add(1)
+		}
+		k.pageMu.Unlock()
+		// Bypass: front now shadows what backing shadowed.
+		front.shadow = backing.shadow
+		front.shadowOffset = shadowOffset + backing.shadowOffset
+		backing.shadow = nil
+		backing.refs = 0
+		backing.mu.Unlock()
+		front.mu.Unlock()
+		k.stats.ShadowsCollapsed.Add(1)
+		k.stats.ObjectsTerminated.Add(1)
+		// Loop: the new backing may be collapsible as well.
+	}
+}
+
+// objectCache retains frequently used memory objects after their last
+// mapping reference disappears (§3.3), so reusing a text segment or hot
+// file is very inexpensive.
+type objectCache struct {
+	mu    sync.Mutex
+	limit int
+	// FIFO of cached objects, oldest first.
+	objs                    []*Object
+	hits, misses, evictions uint64
+}
+
+func (c *objectCache) init(limit int) { c.limit = limit }
+
+// insert places an unreferenced, persistent object in the cache, evicting
+// the oldest entry beyond the limit.
+func (c *objectCache) insert(k *Kernel, o *Object) {
+	var evict *Object
+	c.mu.Lock()
+	c.objs = append(c.objs, o)
+	if len(c.objs) > c.limit {
+		evict = c.objs[0]
+		c.objs = c.objs[1:]
+		c.evictions++
+	}
+	c.mu.Unlock()
+	if evict != nil {
+		evict.mu.Lock()
+		stillCached := evict.cached && evict.refs == 0
+		evict.cached = false
+		shadow := evict.shadow
+		evict.shadow = nil
+		evict.mu.Unlock()
+		if stillCached {
+			k.terminateObject(evict)
+			if shadow != nil {
+				k.releaseObject(shadow)
+			}
+		}
+	}
+}
+
+// take removes o from the cache if present, returning whether it was.
+func (c *objectCache) take(o *Object) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cand := range c.objs {
+		if cand == o {
+			c.objs = append(c.objs[:i], c.objs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of cached objects.
+func (c *objectCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.objs)
+}
+
+// LookupCached revives an object from the cache: the caller gets a fresh
+// reference and the object keeps its resident pages — this is what makes
+// the second read of a hot file cheap under Mach.
+func (k *Kernel) LookupCached(o *Object) bool {
+	o.mu.Lock()
+	if !o.cached {
+		o.mu.Unlock()
+		k.cache.mu.Lock()
+		k.cache.misses++
+		k.cache.mu.Unlock()
+		return false
+	}
+	o.mu.Unlock()
+	if !k.cache.take(o) {
+		return false
+	}
+	o.mu.Lock()
+	o.cached = false
+	o.refs = 1
+	o.mu.Unlock()
+	k.cache.mu.Lock()
+	k.cache.hits++
+	k.cache.mu.Unlock()
+	k.stats.CacheRevives.Add(1)
+	return true
+}
+
+// CachedObjects returns the current object-cache population.
+func (k *Kernel) CachedObjects() int { return k.cache.Len() }
+
+// CanPersist reports whether the object will enter the cache on its last
+// release.
+func (o *Object) CanPersist() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.canPersist
+}
+
+// ReleaseObjectRef drops one reference to the object (the public face of
+// object deallocation; maps drop their references automatically).
+func (k *Kernel) ReleaseObjectRef(o *Object) { k.releaseObject(o) }

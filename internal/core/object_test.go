@@ -1,0 +1,300 @@
+package core_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"machvm/internal/core"
+	"machvm/internal/vmtypes"
+)
+
+// countingPager records pager traffic for object-level tests.
+type countingPager struct {
+	mu       sync.Mutex
+	name     string
+	data     map[uint64][]byte
+	requests int
+	writes   int
+	inits    int
+	terms    int
+}
+
+func newCountingPager(name string) *countingPager {
+	return &countingPager{name: name, data: make(map[uint64][]byte)}
+}
+
+func (p *countingPager) Name() string { return p.name }
+func (p *countingPager) Init(obj *core.Object) {
+	p.mu.Lock()
+	p.inits++
+	p.mu.Unlock()
+}
+func (p *countingPager) DataRequest(obj *core.Object, offset uint64, length int) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.requests++
+	d, ok := p.data[offset]
+	if !ok {
+		return nil, true
+	}
+	return d, false
+}
+func (p *countingPager) DataWrite(obj *core.Object, offset uint64, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.writes++
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	p.data[offset] = cp
+}
+func (p *countingPager) Terminate(obj *core.Object) {
+	p.mu.Lock()
+	p.terms++
+	p.mu.Unlock()
+}
+
+func (p *countingPager) counts() (req, wr, init, term int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.requests, p.writes, p.inits, p.terms
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	k, _ := newVAXKernel(t, 1)
+	p := newCountingPager("test")
+	obj := k.NewObject(64*1024, p, "lifecycle")
+	if obj.Size() != 64*1024 {
+		t.Fatalf("size = %d", obj.Size())
+	}
+	if obj.Refs() != 1 {
+		t.Fatalf("fresh refs = %d", obj.Refs())
+	}
+	if _, _, inits, _ := p.counts(); inits != 1 {
+		t.Fatal("pager_init not delivered")
+	}
+	obj.Reference()
+	if obj.Refs() != 2 {
+		t.Fatal("Reference did not count")
+	}
+	k.ReleaseObjectRef(obj)
+	k.ReleaseObjectRef(obj)
+	if _, _, _, terms := p.counts(); terms != 1 {
+		t.Fatal("pager not terminated on last release")
+	}
+}
+
+func TestObjectCacheEviction(t *testing.T) {
+	machineKernel, _ := newVAXKernel(t, 1)
+	k := machineKernel
+	// Small cache: 2 objects.
+	var objs []*core.Object
+	p := newCountingPager("cache")
+	_ = p
+	// Rebuild kernel with tiny cache: use a fresh kernel.
+	// (newVAXKernel uses default cache size 64; create objects enough to
+	// evict is cheap either way — use 70.)
+	for i := 0; i < 70; i++ {
+		pg := newCountingPager("c")
+		obj := k.NewObject(4096, pg, "cached")
+		obj.SetCanPersist(true)
+		objs = append(objs, obj)
+		k.ReleaseObjectRef(obj) // goes to cache
+	}
+	if got := k.CachedObjects(); got > 64 {
+		t.Fatalf("cache grew past its limit: %d", got)
+	}
+	// The earliest objects were evicted and terminated; reviving them
+	// fails.
+	if k.LookupCached(objs[0]) {
+		t.Fatal("evicted object should not revive")
+	}
+	// The latest are revivable.
+	if !k.LookupCached(objs[69]) {
+		t.Fatal("recent object should revive")
+	}
+	k.ReleaseObjectRef(objs[69])
+}
+
+func TestNonPersistentObjectNeverCached(t *testing.T) {
+	k, _ := newVAXKernel(t, 1)
+	p := newCountingPager("np")
+	obj := k.NewObject(4096, p, "np")
+	before := k.CachedObjects()
+	k.ReleaseObjectRef(obj)
+	if k.CachedObjects() != before {
+		t.Fatal("non-persistent object entered the cache")
+	}
+	if _, _, _, terms := p.counts(); terms != 1 {
+		t.Fatal("object should be terminated immediately")
+	}
+}
+
+func TestCleanObjectRangeWritesDirtyData(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	cpu := machine.CPU(0)
+	p := newCountingPager("clean")
+	obj := k.NewObject(8*4096, p, "clean")
+
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	addr, err := m.AllocateWithObject(0, obj.Size(), true, obj, 0, vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("dirty page content")
+	if err := k.AccessBytes(cpu, m, addr, payload, true); err != nil {
+		t.Fatal(err)
+	}
+	k.CleanObjectRange(obj, 0, obj.Size())
+	_, writes, _, _ := p.counts()
+	if writes == 0 {
+		t.Fatal("clean should have written the dirty page")
+	}
+	if got := p.data[0]; !bytes.HasPrefix(got, payload) {
+		t.Fatalf("pager received %q", got[:20])
+	}
+	// The page is still resident and mapped; a read works without a
+	// pager request.
+	req0, _, _, _ := p.counts()
+	b := make([]byte, len(payload))
+	if err := k.AccessBytes(cpu, m, addr, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if req1, _, _, _ := p.counts(); req1 != req0 {
+		t.Fatal("clean must not evict the page")
+	}
+	// A write after clean redirties (write-protect was reasserted).
+	if err := k.AccessBytes(cpu, m, addr, []byte("more"), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushObjectRangeDestroysCachedCopies(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	cpu := machine.CPU(0)
+	p := newCountingPager("flush")
+	p.data[0] = bytes.Repeat([]byte{9}, 4096)
+	obj := k.NewObject(4*4096, p, "flush")
+
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	addr, _ := m.AllocateWithObject(0, obj.Size(), true, obj, 0, vmtypes.ProtRead, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	b := make([]byte, 1)
+	if err := k.AccessBytes(cpu, m, addr, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 9 {
+		t.Fatal("pager data missing")
+	}
+	req0, _, _, _ := p.counts()
+	k.FlushObjectRange(obj, 0, obj.Size())
+	if obj.Resident() != 0 {
+		t.Fatalf("flush left %d resident pages", obj.Resident())
+	}
+	// Next touch must ask the pager again.
+	if err := k.AccessBytes(cpu, m, addr, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if req1, _, _, _ := p.counts(); req1 != req0+1 {
+		t.Fatalf("refault did not reach the pager (req %d -> %d)", req0, req1)
+	}
+}
+
+func TestChainLengthAndShadowAccessors(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	cpu := machine.CPU(0)
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	addr, _ := m.Allocate(0, 8192, true)
+	if err := k.Touch(cpu, m, addr, true); err != nil {
+		t.Fatal(err)
+	}
+	// Force one COW level.
+	dst, err := m.CopyTo(m, addr, 8192, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Touch(cpu, m, dst, true); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range m.Regions() {
+		if r.Start == dst && r.ObjectName == "shadow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("written copy should be backed by a shadow object")
+	}
+}
+
+func TestBusyPageWaiters(t *testing.T) {
+	// Two goroutines fault the same pager-backed page; the pager blocks
+	// the first request until the second goroutine is provably waiting.
+	k, machine := newVAXKernel(t, 2)
+	release := make(chan struct{})
+	slow := &slowPager{release: release, data: bytes.Repeat([]byte{5}, 4096)}
+	obj := k.NewObject(4096, slow, "slow")
+
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(machine.CPU(0))
+	m.Pmap().Activate(machine.CPU(1))
+	addr, _ := m.AllocateWithObject(0, 4096, true, obj, 0, vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		cpu := machine.CPU(i)
+		go func() {
+			b := make([]byte, 1)
+			results <- k.AccessBytes(cpu, m, addr, b, false)
+		}()
+	}
+	// Let both faulters arrive, then release the pager.
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("concurrent fault: %v", err)
+		}
+	}
+	if got := slow.requests.Load(); got > 2 {
+		t.Fatalf("pager asked %d times; busy-page waiting should bound duplicates", got)
+	}
+}
+
+type slowPager struct {
+	release  chan struct{}
+	data     []byte
+	requests atomicInt64
+}
+
+type atomicInt64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomicInt64) Add(d int64) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.v += d
+	return a.v
+}
+func (a *atomicInt64) Load() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+func (p *slowPager) Name() string                                   { return "slow" }
+func (p *slowPager) Init(obj *core.Object)                          {}
+func (p *slowPager) Terminate(o *core.Object)                       {}
+func (p *slowPager) DataWrite(o *core.Object, off uint64, d []byte) {}
+func (p *slowPager) DataRequest(o *core.Object, off uint64, n int) ([]byte, bool) {
+	p.requests.Add(1)
+	<-p.release
+	return p.data, false
+}

@@ -1,0 +1,78 @@
+package core
+
+// Object-range operations used by the external pager interface: a pager
+// may force its modified cached data back (pager_clean_request) or have
+// the cached copies destroyed outright (pager_flush_request), Table 3-2.
+
+// collectObjectRange snapshots the object's resident pages overlapping
+// [offset, offset+length).
+func (k *Kernel) collectObjectRange(obj *Object, offset, length uint64) []*Page {
+	var pages []*Page
+	k.pageMu.Lock()
+	for p := obj.pageList; p != nil; p = p.objNext {
+		if p.offset >= offset && p.offset < offset+length {
+			pages = append(pages, p)
+		}
+	}
+	k.pageMu.Unlock()
+	return pages
+}
+
+// CleanObjectRange forces modified physically cached data in the range
+// back to the object's pager (pager_clean_request).
+func (k *Kernel) CleanObjectRange(obj *Object, offset, length uint64) {
+	obj.mu.Lock()
+	pager := obj.pager
+	obj.mu.Unlock()
+	if pager == nil {
+		return
+	}
+	for _, p := range k.collectObjectRange(obj, offset, length) {
+		k.pageMu.Lock()
+		if p.object != obj || p.busy {
+			k.pageMu.Unlock()
+			continue
+		}
+		dirty := p.dirty
+		pOff := p.offset
+		p.busy = true
+		k.pageMu.Unlock()
+
+		if dirty || k.isModified(p) {
+			// Write-protect so post-clean writes dirty it again.
+			k.writeProtectAll(p)
+			k.mod.Update()
+			data := make([]byte, k.pageSize)
+			hwPage := k.machine.Mem.PageSize()
+			for i := 0; i < k.hwRatio; i++ {
+				copy(data[i*hwPage:], k.frameBytes(p, i))
+			}
+			pager.DataWrite(obj, pOff, data)
+			k.clearModify(p)
+			k.pageMu.Lock()
+			p.dirty = false
+			k.pageMu.Unlock()
+			k.stats.Pageouts.Add(1)
+		}
+		k.pageWakeup(p)
+	}
+}
+
+// FlushObjectRange forces physically cached data in the range to be
+// destroyed (pager_flush_request). Mappings are removed first; the next
+// touch refaults and asks the pager again.
+func (k *Kernel) FlushObjectRange(obj *Object, offset, length uint64) {
+	for _, p := range k.collectObjectRange(obj, offset, length) {
+		k.pageMu.Lock()
+		if p.object != obj || p.busy || p.wireCount > 0 {
+			k.pageMu.Unlock()
+			continue
+		}
+		p.busy = true
+		k.pageMu.Unlock()
+		k.removeAllMappings(p)
+		k.mod.Update()
+		k.freePage(p)
+		k.pageCond.Broadcast()
+	}
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+
+	"machvm/internal/vmtypes"
+)
+
+// Page is one entry of the resident page table (§3.1). Physical memory is
+// treated primarily as a cache for the contents of virtual memory objects;
+// each page entry may simultaneously be linked into a memory-object list,
+// a memory-allocation queue, and an object/offset hash bucket.
+type Page struct {
+	// pfn is the first hardware frame of this Mach page.
+	pfn vmtypes.PFN
+
+	// Object membership (nil object when free). offset is the byte
+	// offset within the object — byte offsets are used throughout to
+	// avoid linking the implementation to a notion of page size.
+	object *Object
+	offset uint64
+
+	// Memory-object list links.
+	objPrev, objNext *Page
+
+	// Allocation-queue links and membership.
+	queue int
+	qPrev *Page
+	qNext *Page
+
+	// wireCount pins the page in memory while > 0.
+	wireCount int
+
+	// busy marks a page with I/O or fill in progress; faulters wait.
+	busy bool
+	// absent marks a busy page whose data has not yet arrived from the
+	// pager.
+	absent bool
+	// dirty means the page has data its object's pager has not seen.
+	dirty bool
+	// precious means the pager wants the data back even if clean.
+	precious bool
+}
+
+// PFN returns the page's first hardware frame number.
+func (p *Page) PFN() vmtypes.PFN { return p.pfn }
+
+// Offset returns the page's byte offset within its object.
+func (p *Page) Offset() uint64 { return p.offset }
+
+// Queue identifiers.
+const (
+	queueNone = iota
+	queueFree
+	queueActive
+	queueInactive
+)
+
+type pageKey struct {
+	obj    *Object
+	offset uint64
+}
+
+// pageQueue is an intrusive FIFO of pages.
+type pageQueue struct {
+	head, tail *Page
+	count      int
+}
+
+func (q *pageQueue) pushBack(p *Page) {
+	p.qPrev = q.tail
+	p.qNext = nil
+	if q.tail != nil {
+		q.tail.qNext = p
+	} else {
+		q.head = p
+	}
+	q.tail = p
+	q.count++
+}
+
+func (q *pageQueue) remove(p *Page) {
+	if p.qPrev != nil {
+		p.qPrev.qNext = p.qNext
+	} else {
+		q.head = p.qNext
+	}
+	if p.qNext != nil {
+		p.qNext.qPrev = p.qPrev
+	} else {
+		q.tail = p.qPrev
+	}
+	p.qPrev, p.qNext = nil, nil
+	q.count--
+}
+
+func (q *pageQueue) popFront() *Page {
+	p := q.head
+	if p != nil {
+		q.remove(p)
+	}
+	return p
+}
+
+// queueFor returns the kernel queue with the given id.
+func (k *Kernel) queueFor(id int) *pageQueue {
+	switch id {
+	case queueFree:
+		return &k.free
+	case queueActive:
+		return &k.active
+	case queueInactive:
+		return &k.inactive
+	default:
+		return nil
+	}
+}
+
+// removeFromQueueLocked detaches p from whatever queue holds it.
+func (k *Kernel) removeFromQueueLocked(p *Page) {
+	if q := k.queueFor(p.queue); q != nil {
+		q.remove(p)
+	}
+	p.queue = queueNone
+}
+
+// setQueueLocked moves p to the queue with the given id.
+func (k *Kernel) setQueueLocked(p *Page, id int) {
+	k.removeFromQueueLocked(p)
+	if q := k.queueFor(id); q != nil {
+		q.pushBack(p)
+	}
+	p.queue = id
+}
+
+// allocPage grabs a free page and inserts it, busy, into obj at offset.
+// It blocks (running pageout synchronously) if memory is exhausted.
+// The object lock must be held; the page is returned busy so the caller
+// can fill it without the kernel lock.
+func (k *Kernel) allocPage(obj *Object, offset uint64) *Page {
+	k.pageMu.Lock()
+	for k.free.count == 0 {
+		k.pageMu.Unlock()
+		freed := k.PageoutScan()
+		k.pageMu.Lock()
+		if freed == 0 && k.free.count == 0 {
+			k.pageMu.Unlock()
+			panic("core: out of physical memory and nothing is reclaimable")
+		}
+	}
+	p := k.free.popFront()
+	p.queue = queueNone
+	p.busy = true
+	p.absent = false
+	p.dirty = false
+	p.precious = false
+	p.wireCount = 0
+	k.insertPageLocked(p, obj, offset)
+	if k.free.count < k.freeMin {
+		k.stats.PageoutsWanted.Add(1)
+	}
+	k.pageMu.Unlock()
+	k.stats.PagesAllocated.Add(1)
+	return p
+}
+
+// insertPageLocked links p into obj's resident list and the hash.
+func (k *Kernel) insertPageLocked(p *Page, obj *Object, offset uint64) {
+	p.object = obj
+	p.offset = offset
+	key := pageKey{obj: obj, offset: offset}
+	if k.hash[key] != nil {
+		panic(fmt.Sprintf("core: duplicate resident page for object %p offset %d", obj, offset))
+	}
+	k.hash[key] = p
+	// Object list: push front (cheap; order is not semantic).
+	p.objNext = obj.pageList
+	p.objPrev = nil
+	if obj.pageList != nil {
+		obj.pageList.objPrev = p
+	}
+	obj.pageList = p
+	obj.resident++
+}
+
+// removePageLocked unlinks p from its object and the hash.
+func (k *Kernel) removePageLocked(p *Page) {
+	obj := p.object
+	if obj == nil {
+		return
+	}
+	delete(k.hash, pageKey{obj: obj, offset: p.offset})
+	if p.objPrev != nil {
+		p.objPrev.objNext = p.objNext
+	} else {
+		obj.pageList = p.objNext
+	}
+	if p.objNext != nil {
+		p.objNext.objPrev = p.objPrev
+	}
+	p.objPrev, p.objNext = nil, nil
+	obj.resident--
+	p.object = nil
+}
+
+// freePage returns p to the free list, severing object links.
+func (k *Kernel) freePage(p *Page) {
+	k.pageMu.Lock()
+	k.removePageLocked(p)
+	k.removeFromQueueLocked(p)
+	p.busy = false
+	p.absent = false
+	p.dirty = false
+	p.wireCount = 0
+	k.setQueueLocked(p, queueFree)
+	k.pageMu.Unlock()
+	k.stats.PagesFreed.Add(1)
+}
+
+// lookupPage finds the resident page for (obj, offset) via the bucket hash
+// (§3.1: "fast lookup of a physical page associated with an object/offset
+// at the time of a page fault"). If the page is busy, lookupPage waits for
+// it unless wait is false.
+func (k *Kernel) lookupPage(obj *Object, offset uint64, wait bool) *Page {
+	k.pageMu.Lock()
+	defer k.pageMu.Unlock()
+	for {
+		p := k.hash[pageKey{obj: obj, offset: offset}]
+		if p == nil {
+			return nil
+		}
+		if !p.busy || !wait {
+			return p
+		}
+		k.stats.BusyWaits.Add(1)
+		k.pageCond.Wait()
+	}
+}
+
+// pageWakeup clears busy and wakes waiters.
+func (k *Kernel) pageWakeup(p *Page) {
+	k.pageMu.Lock()
+	p.busy = false
+	k.pageMu.Unlock()
+	k.pageCond.Broadcast()
+}
+
+// activatePage puts p on the active queue (it is in use).
+func (k *Kernel) activatePage(p *Page) {
+	k.pageMu.Lock()
+	if p.queue != queueFree && p.wireCount == 0 {
+		k.setQueueLocked(p, queueActive)
+	}
+	k.pageMu.Unlock()
+}
+
+// deactivatePage moves p to the inactive queue (pageout candidate).
+func (k *Kernel) deactivatePage(p *Page) {
+	k.pageMu.Lock()
+	if p.queue == queueActive {
+		k.setQueueLocked(p, queueInactive)
+		for i := 0; i < k.hwRatio; i++ {
+			k.mod.ClearReference(p.pfn + vmtypes.PFN(i))
+		}
+	}
+	k.pageMu.Unlock()
+}
+
+// wirePage pins p in memory (removing it from pageout's reach).
+func (k *Kernel) wirePage(p *Page) {
+	k.pageMu.Lock()
+	p.wireCount++
+	if p.wireCount == 1 {
+		k.removeFromQueueLocked(p)
+	}
+	k.pageMu.Unlock()
+}
+
+// unwirePage releases a pin.
+func (k *Kernel) unwirePage(p *Page) {
+	k.pageMu.Lock()
+	if p.wireCount > 0 {
+		p.wireCount--
+		if p.wireCount == 0 {
+			k.setQueueLocked(p, queueActive)
+		}
+	}
+	k.pageMu.Unlock()
+}
+
+// FreeCount returns the number of free Mach pages.
+func (k *Kernel) FreeCount() int {
+	k.pageMu.Lock()
+	defer k.pageMu.Unlock()
+	return k.free.count
+}
+
+// ActiveCount returns the number of active Mach pages.
+func (k *Kernel) ActiveCount() int {
+	k.pageMu.Lock()
+	defer k.pageMu.Unlock()
+	return k.active.count
+}
+
+// InactiveCount returns the number of inactive Mach pages.
+func (k *Kernel) InactiveCount() int {
+	k.pageMu.Lock()
+	defer k.pageMu.Unlock()
+	return k.inactive.count
+}
+
+// zeroPage zero-fills every hardware frame of the Mach page.
+func (k *Kernel) zeroPage(p *Page) {
+	for i := 0; i < k.hwRatio; i++ {
+		k.mod.ZeroPage(p.pfn + vmtypes.PFN(i))
+	}
+}
+
+// copyPage copies the contents of one Mach page to another.
+func (k *Kernel) copyPage(src, dst *Page) {
+	for i := 0; i < k.hwRatio; i++ {
+		k.mod.CopyPage(src.pfn+vmtypes.PFN(i), dst.pfn+vmtypes.PFN(i))
+	}
+}
+
+// pageBytes returns the raw bytes of the Mach page as a contiguous slice
+// view (copying across hardware frames is handled by the callers, who work
+// frame by frame).
+func (k *Kernel) frameBytes(p *Page, hwIndex int) []byte {
+	return k.machine.Mem.Frame(p.pfn + vmtypes.PFN(hwIndex))
+}
+
+// removeAllMappings removes every hardware mapping of the Mach page
+// (pmap_remove_all over each frame).
+func (k *Kernel) removeAllMappings(p *Page) {
+	for i := 0; i < k.hwRatio; i++ {
+		k.mod.RemoveAll(p.pfn + vmtypes.PFN(i))
+	}
+}
+
+// writeProtectAll write-protects every hardware mapping of the Mach page
+// (pmap_copy_on_write over each frame).
+func (k *Kernel) writeProtectAll(p *Page) {
+	for i := 0; i < k.hwRatio; i++ {
+		k.mod.CopyOnWrite(p.pfn + vmtypes.PFN(i))
+	}
+}
+
+// isModified reports whether any frame of the Mach page is dirty at the
+// hardware level.
+func (k *Kernel) isModified(p *Page) bool {
+	for i := 0; i < k.hwRatio; i++ {
+		if k.mod.IsModified(p.pfn + vmtypes.PFN(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isReferenced reports whether any frame of the Mach page was referenced.
+func (k *Kernel) isReferenced(p *Page) bool {
+	for i := 0; i < k.hwRatio; i++ {
+		if k.mod.IsReferenced(p.pfn + vmtypes.PFN(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// clearModify clears the hardware modify bits of the Mach page.
+func (k *Kernel) clearModify(p *Page) {
+	for i := 0; i < k.hwRatio; i++ {
+		k.mod.ClearModify(p.pfn + vmtypes.PFN(i))
+	}
+}

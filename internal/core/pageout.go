@@ -1,0 +1,264 @@
+package core
+
+import (
+	"time"
+
+	"machvm/internal/vmtypes"
+)
+
+// The paging daemon (§3.1) maintains the allocation queues: it balances
+// the active and inactive queues, reclaims clean inactive pages, and
+// writes dirty ones back to their pagers. Before pageout I/O the mapping
+// is first removed from every pmap and the deferred TLB flushes are forced
+// to completion (pmap_update) — strategy (2) of §5.2: "the system first
+// removes the mapping from any primary memory mapping data structures and
+// then initiates pageout only after all referencing TLBs have been
+// flushed."
+
+// PageoutScan runs one pass of the paging daemon synchronously and returns
+// the number of pages freed. It is also invoked from the allocator when
+// free memory is exhausted.
+func (k *Kernel) PageoutScan() int {
+	freed := 0
+
+	// Rebalance: keep roughly a third of non-free pages inactive so the
+	// daemon has candidates.
+	k.pageMu.Lock()
+	wantInactive := (k.active.count + k.inactive.count) / 3
+	var toDeactivate []*Page
+	for p := k.active.head; p != nil && k.inactive.count+len(toDeactivate) < wantInactive; p = p.qNext {
+		toDeactivate = append(toDeactivate, p)
+	}
+	k.pageMu.Unlock()
+	for _, p := range toDeactivate {
+		k.deactivatePage(p)
+	}
+
+	// Scan the inactive queue.
+	k.pageMu.Lock()
+	var candidates []*Page
+	budget := k.inactive.count
+	for p := k.inactive.head; p != nil && budget > 0; budget-- {
+		next := p.qNext
+		if !p.busy && p.wireCount == 0 && p.object != nil {
+			candidates = append(candidates, p)
+		}
+		p = next
+	}
+	k.pageMu.Unlock()
+
+	var flushed bool
+	for _, p := range candidates {
+		if k.FreeCount() >= k.freeTarget {
+			break
+		}
+		if k.isReferenced(p) {
+			// Recently used: give it another chance.
+			k.activatePage(p)
+			k.stats.ReactivateHits.Add(1)
+			continue
+		}
+		if k.reclaimPage(p, &flushed) {
+			freed++
+		}
+	}
+	return freed
+}
+
+// reclaimPage tries to free one inactive page, writing it to its pager
+// first if dirty. flushed tracks whether a pmap_update has been issued for
+// this batch of removals.
+func (k *Kernel) reclaimPage(p *Page, flushed *bool) bool {
+	// Lock the object without violating the object→page lock order:
+	// try-lock, and skip the page on contention (as Mach's daemon does).
+	k.pageMu.Lock()
+	obj := p.object
+	if obj == nil || p.busy || p.wireCount > 0 || p.queue != queueInactive {
+		k.pageMu.Unlock()
+		return false
+	}
+	k.pageMu.Unlock()
+	if !obj.mu.TryLock() {
+		return false
+	}
+	defer obj.mu.Unlock()
+
+	k.pageMu.Lock()
+	// Revalidate after the race window.
+	if p.object != obj || p.busy || p.wireCount > 0 || p.queue != queueInactive {
+		k.pageMu.Unlock()
+		return false
+	}
+	p.busy = true
+	dirty := p.dirty
+	offset := p.offset
+	k.pageMu.Unlock()
+
+	// Remove all mappings; with the deferred strategy the invalidations
+	// sit in per-CPU queues until pmap_update forces them — which must
+	// happen before the page's frame is reused or written out.
+	k.removeAllMappings(p)
+	if !*flushed {
+		k.mod.Update()
+		*flushed = true
+	}
+
+	dirty = dirty || k.isModified(p)
+	if dirty {
+		pager := obj.pager
+		if pager == nil {
+			// Internal object: the default pager takes the data
+			// ("page-out is done to a default pager").
+			pager = k.swap
+			obj.pager = pager
+			obj.mu.Unlock()
+			pager.Init(obj)
+			obj.mu.Lock()
+		}
+		data := make([]byte, k.pageSize)
+		hwPage := k.machine.Mem.PageSize()
+		for i := 0; i < k.hwRatio; i++ {
+			copy(data[i*hwPage:], k.frameBytes(p, i))
+		}
+		obj.pagingInProgress++
+		obj.mu.Unlock()
+		pager.DataWrite(obj, offset, data)
+		obj.mu.Lock()
+		obj.pagingInProgress--
+		k.clearModify(p)
+		k.stats.Pageouts.Add(1)
+	}
+
+	k.freePage(p)
+	k.pageCond.Broadcast()
+	return true
+}
+
+// StartPageoutDaemon runs the paging daemon in the background until stop
+// is closed. Tests and benchmarks usually call PageoutScan directly for
+// determinism; long-running examples use the daemon.
+func (k *Kernel) StartPageoutDaemon(stop <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if k.FreeCount() < k.freeMin {
+					k.PageoutScan()
+				}
+			}
+		}
+	}()
+}
+
+// Wire faults in and wires every page of [addr, addr+size) in the map so
+// pageout cannot touch it (used for kernel-critical buffers; the paper's
+// kernel mappings "must always be kept complete and accurate").
+func (m *Map) Wire(addr vmtypes.VA, size uint64) error {
+	k := m.k
+	size = k.roundPage(size)
+	if err := m.checkRange(addr, size); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	e, hit := m.lookupEntryLocked(addr)
+	if !hit {
+		m.mu.Unlock()
+		return ErrInvalidAddress
+	}
+	m.clipStartLocked(e, addr)
+	end := addr + vmtypes.VA(size)
+	for e != nil && e.start < end {
+		m.clipEndLocked(e, end)
+		e.wired = true
+		e = e.next
+	}
+	m.mu.Unlock()
+
+	// Touch every page so it is resident and mapped wired.
+	for va := addr; va < addr+vmtypes.VA(size); va += vmtypes.VA(k.pageSize) {
+		if err := k.Fault(m, va, vmtypes.ProtRead); err != nil {
+			return err
+		}
+		if p := m.residentPageAt(va); p != nil {
+			k.wirePage(p)
+		}
+	}
+	return nil
+}
+
+// Unwire releases wiring on [addr, addr+size).
+func (m *Map) Unwire(addr vmtypes.VA, size uint64) error {
+	k := m.k
+	size = k.roundPage(size)
+	if err := m.checkRange(addr, size); err != nil {
+		return err
+	}
+	for va := addr; va < addr+vmtypes.VA(size); va += vmtypes.VA(k.pageSize) {
+		if p := m.residentPageAt(va); p != nil {
+			k.unwirePage(p)
+		}
+	}
+	m.mu.Lock()
+	e, hit := m.lookupEntryLocked(addr)
+	if hit {
+		m.clipStartLocked(e, addr)
+		end := addr + vmtypes.VA(size)
+		for e != nil && e.start < end {
+			m.clipEndLocked(e, end)
+			e.wired = false
+			e = e.next
+		}
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// residentPageAt resolves the resident page backing va, if any.
+func (m *Map) residentPageAt(va vmtypes.VA) *Page {
+	k := m.k
+	pageAddr := vmtypes.VA(k.truncPage(uint64(va)))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entry, hit := m.lookupEntryLocked(pageAddr)
+	if !hit {
+		return nil
+	}
+	obj := entry.object
+	offset := entry.offset + uint64(pageAddr-entry.start)
+	if entry.submap != nil {
+		sm := entry.submap
+		smOff := vmtypes.VA(entry.offset) + (pageAddr - entry.start)
+		sm.mu.Lock()
+		inner, ok := sm.lookupEntryLocked(smOff)
+		if !ok || inner.object == nil {
+			sm.mu.Unlock()
+			return nil
+		}
+		obj = inner.object
+		offset = inner.offset + uint64(smOff-inner.start)
+		sm.mu.Unlock()
+	}
+	if obj == nil {
+		return nil
+	}
+	// Walk the shadow chain without side effects.
+	curOffset := k.truncPage(offset)
+	for cur := obj; cur != nil; {
+		if p := k.lookupPage(cur, curOffset, false); p != nil {
+			return p
+		}
+		cur.mu.Lock()
+		next := cur.shadow
+		curOffset += cur.shadowOffset
+		cur.mu.Unlock()
+		cur = next
+	}
+	return nil
+}

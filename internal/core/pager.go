@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+
+	"machvm/internal/hw"
+)
+
+// Pager is the kernel-side view of a memory manager. An important feature
+// of Mach's virtual memory is that page faults and page-out requests can
+// be handled outside the kernel (§3.3): the kernel translates a fault into
+// a request for data from whatever task manages the object. The message
+// protocol of Tables 3-1/3-2 lives in internal/pager; at this layer the
+// conversation appears as synchronous calls, because the faulting thread
+// blocks until pager_data_provided arrives anyway.
+type Pager interface {
+	// Name identifies the pager for diagnostics.
+	Name() string
+
+	// Init introduces a memory object to the pager (pager_init).
+	Init(obj *Object)
+
+	// DataRequest asks for [offset, offset+length) of the object
+	// (pager_data_request). It returns the data, or unavailable=true if
+	// the pager has none (pager_data_unavailable), in which case the
+	// kernel zero-fills.
+	DataRequest(obj *Object, offset uint64, length int) (data []byte, unavailable bool)
+
+	// DataWrite returns modified data to the pager (pager_data_write,
+	// issued by the pageout daemon).
+	DataWrite(obj *Object, offset uint64, data []byte)
+
+	// Terminate tells the pager the kernel is done with the object.
+	Terminate(obj *Object)
+}
+
+// memorySwapPager is the built-in default pager used when no filesystem-
+// backed inode pager has been configured. It stores paged-out data in a
+// map, charging disk costs so that paging is not free.
+type memorySwapPager struct {
+	machine *hw.Machine
+
+	mu    sync.Mutex
+	store map[swapKey][]byte
+}
+
+type swapKey struct {
+	obj    *Object
+	offset uint64
+}
+
+func newMemorySwapPager(m *hw.Machine) *memorySwapPager {
+	return &memorySwapPager{machine: m, store: make(map[swapKey][]byte)}
+}
+
+func (s *memorySwapPager) Name() string { return "default-swap" }
+
+func (s *memorySwapPager) Init(obj *Object) {}
+
+func (s *memorySwapPager) DataRequest(obj *Object, offset uint64, length int) ([]byte, bool) {
+	s.mu.Lock()
+	data, ok := s.store[swapKey{obj: obj, offset: offset}]
+	s.mu.Unlock()
+	if !ok {
+		return nil, true
+	}
+	s.machine.Charge(s.machine.Cost.DiskLatency)
+	s.machine.ChargeKB(s.machine.Cost.DiskPerKB, length)
+	return data, false
+}
+
+func (s *memorySwapPager) DataWrite(obj *Object, offset uint64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.machine.Charge(s.machine.Cost.DiskLatency)
+	s.machine.ChargeKB(s.machine.Cost.DiskPerKB, len(data))
+	s.mu.Lock()
+	s.store[swapKey{obj: obj, offset: offset}] = cp
+	s.mu.Unlock()
+}
+
+func (s *memorySwapPager) Terminate(obj *Object) {
+	s.mu.Lock()
+	for k := range s.store {
+		if k.obj == obj {
+			delete(s.store, k)
+		}
+	}
+	s.mu.Unlock()
+}

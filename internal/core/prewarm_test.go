@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"testing"
+
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+// TestForkPrewarmUsesOptionalPmapCopy verifies Table 3-4's optional
+// pmap_copy: with PrewarmFork enabled on a machine that implements it
+// (VAX), the child's first reads after fork take no faults, data is still
+// correct, and copy-on-write isolation still holds.
+func TestForkPrewarmUsesOptionalPmapCopy(t *testing.T) {
+	for _, prewarm := range []bool{false, true} {
+		machine := hw.NewMachine(hw.Config{
+			Cost:       vax.DefaultCost(),
+			HWPageSize: vax.HWPageSize,
+			PhysFrames: 4096,
+			CPUs:       1,
+			TLBSize:    64,
+		})
+		mod := vax.New(machine, pmap.ShootImmediate)
+		k := core.NewKernel(core.Config{
+			Machine: machine, Module: mod, PageSize: 4096, PrewarmFork: prewarm,
+		})
+		cpu := machine.CPU(0)
+
+		parent := k.NewMap()
+		parent.Pmap().Activate(cpu)
+		const pages = 16
+		addr, _ := parent.Allocate(0, pages*4096, true)
+		for i := 0; i < pages; i++ {
+			if err := k.AccessBytes(cpu, parent, addr+vmtypes.VA(i*4096), []byte{byte(i)}, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		child := parent.Fork()
+		child.Pmap().Activate(cpu)
+
+		faults0 := k.Stats().Faults.Load()
+		for i := 0; i < pages; i++ {
+			b := make([]byte, 1)
+			if err := k.AccessBytes(cpu, child, addr+vmtypes.VA(i*4096), b, false); err != nil {
+				t.Fatal(err)
+			}
+			if b[0] != byte(i) {
+				t.Fatalf("prewarm=%v: child page %d corrupted", prewarm, i)
+			}
+		}
+		readFaults := k.Stats().Faults.Load() - faults0
+		if prewarm && readFaults != 0 {
+			t.Fatalf("prewarmed child took %d read faults; want 0", readFaults)
+		}
+		if !prewarm && readFaults == 0 {
+			t.Fatal("lazy child should fault on first reads")
+		}
+
+		// COW isolation must survive prewarming (copies entered
+		// read-only).
+		if err := k.AccessBytes(cpu, child, addr, []byte{99}, true); err != nil {
+			t.Fatal(err)
+		}
+		b := make([]byte, 1)
+		parent.Pmap().Activate(cpu)
+		if err := k.AccessBytes(cpu, parent, addr, b, false); err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != 0 {
+			t.Fatalf("prewarm=%v: child write leaked into parent", prewarm)
+		}
+		child.Destroy()
+		parent.Destroy()
+	}
+}
+
+// TestMapHintsSaveLookups verifies the §3.2 hint ablation switch.
+func TestMapHintsSaveLookups(t *testing.T) {
+	run := func(disable bool) (hintHits uint64) {
+		machine := hw.NewMachine(hw.Config{
+			Cost:       vax.DefaultCost(),
+			HWPageSize: vax.HWPageSize,
+			PhysFrames: 4096,
+			CPUs:       1,
+		})
+		mod := vax.New(machine, pmap.ShootImmediate)
+		k := core.NewKernel(core.Config{
+			Machine: machine, Module: mod, PageSize: 4096, DisableMapHints: disable,
+		})
+		cpu := machine.CPU(0)
+		m := k.NewMap()
+		defer m.Destroy()
+		m.Pmap().Activate(cpu)
+		// Many entries, then a sequential fault scan — the hint's best
+		// case.
+		var addrs []vmtypes.VA
+		for i := 0; i < 32; i++ {
+			a, _ := m.Allocate(0, 4096, true)
+			addrs = append(addrs, a)
+		}
+		for _, a := range addrs {
+			if err := k.Touch(cpu, m, a, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k.Stats().MapHintHits.Load()
+	}
+	withHints := run(false)
+	withoutHints := run(true)
+	if withHints == 0 {
+		t.Fatal("sequential scan should hit the hint")
+	}
+	if withoutHints != 0 {
+		t.Fatalf("disabled hints still hit %d times", withoutHints)
+	}
+}

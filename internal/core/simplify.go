@@ -1,0 +1,84 @@
+package core
+
+// Map simplification (vm_map_simplify): §3.2 notes the address-map design
+// "can force the system to allocate two address map entries that map
+// adjacent memory regions to the same memory object simply because the
+// properties of the two regions are different". When later operations make
+// the properties equal again, Simplify merges the fragments back, keeping
+// maps small.
+
+import "machvm/internal/vmtypes"
+
+// canMergeLocked reports whether e and its successor describe one
+// contiguous mapping with identical attributes.
+func (m *Map) canMergeLocked(e *MapEntry) bool {
+	n := e.next
+	if n == nil || e.end != n.start {
+		return false
+	}
+	if e.prot != n.prot || e.maxProt != n.maxProt || e.inherit != n.inherit ||
+		e.needsCopy != n.needsCopy || e.wired != n.wired {
+		return false
+	}
+	switch {
+	case e.object != nil:
+		return e.object == n.object && e.offset+e.Span() == n.offset
+	case e.submap != nil:
+		return e.submap == n.submap && e.offset+e.Span() == n.offset
+	default:
+		// Two untouched zero-fill entries merge trivially; they have
+		// no object yet, so there is no offset to respect.
+		return n.object == nil && n.submap == nil
+	}
+}
+
+// mergeWithNextLocked folds e.next into e.
+func (m *Map) mergeWithNextLocked(e *MapEntry) {
+	n := e.next
+	if n.object != nil {
+		// e and n hold two references to the same object; one goes.
+		defer m.k.releaseObject(n.object)
+	}
+	if n.submap != nil {
+		defer n.submap.Destroy()
+	}
+	e.end = n.end
+	m.sizeBytes += n.Span() // removeEntryLocked subtracts it again
+	m.removeEntryLocked(n)
+	m.charge()
+}
+
+// Simplify merges adjacent entries with identical attributes in
+// [start, end). It returns the number of entries eliminated.
+func (m *Map) Simplify(start, end vmtypes.VA) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	merged := 0
+	e, hit := m.lookupEntryLocked(start)
+	if !hit {
+		if e == nil {
+			e = m.head
+		} else {
+			e = e.next
+		}
+	}
+	// Consider the predecessor too: the boundary at start may itself be
+	// mergeable.
+	if e != nil && e.prev != nil {
+		e = e.prev
+	}
+	for e != nil && e.start < end {
+		if m.canMergeLocked(e) {
+			m.mergeWithNextLocked(e)
+			merged++
+			continue // e may merge again with its new successor
+		}
+		e = e.next
+	}
+	return merged
+}
+
+// SimplifyAll merges across the whole map.
+func (m *Map) SimplifyAll() int {
+	return m.Simplify(m.min, m.max)
+}

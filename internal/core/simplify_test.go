@@ -1,0 +1,170 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"machvm/internal/core"
+	"machvm/internal/vmtypes"
+)
+
+func TestSimplifyMergesRestoredAttributes(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	cpu := machine.CPU(0)
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+
+	addr, _ := m.Allocate(0, 8*4096, true)
+	if err := k.AccessBytes(cpu, m, addr, make([]byte, 8*4096), true); err != nil {
+		t.Fatal(err)
+	}
+	// Fragment the entry: protect the middle read-only.
+	if err := m.Protect(addr+2*4096, 2*4096, false, vmtypes.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.EntryCount(); got != 3 {
+		t.Fatalf("after middle protect: %d entries; want 3", got)
+	}
+	// Restore: the fragments are now identical but still split.
+	if err := m.Protect(addr+2*4096, 2*4096, false, vmtypes.ProtDefault); err != nil {
+		t.Fatal(err)
+	}
+	merged := m.SimplifyAll()
+	if merged != 2 {
+		t.Fatalf("Simplify merged %d; want 2", merged)
+	}
+	if got := m.EntryCount(); got != 1 {
+		t.Fatalf("after simplify: %d entries; want 1", got)
+	}
+	// Data is intact and the map still works.
+	b := make([]byte, 1)
+	for off := 0; off < 8*4096; off += 4096 {
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(off), b, false); err != nil {
+			t.Fatalf("read after simplify at %d: %v", off, err)
+		}
+	}
+}
+
+func TestSimplifyRespectsDifferences(t *testing.T) {
+	k, _ := newVAXKernel(t, 1)
+	m := k.NewMap()
+	defer m.Destroy()
+	addr, _ := m.Allocate(0, 4*4096, true)
+	if err := m.SetInherit(addr, 4096, vmtypes.InheritShared); err != nil {
+		t.Fatal(err)
+	}
+	// Different inheritance: must not merge.
+	if merged := m.SimplifyAll(); merged != 0 {
+		t.Fatalf("merged %d entries with differing inheritance", merged)
+	}
+	// Fresh zero-fill allocations with identical attributes do merge.
+	a1, _ := m.Allocate(0, 4096, true)
+	a2, _ := m.Allocate(a1+4096, 4096, false)
+	_ = a2
+	before := m.EntryCount()
+	merged := m.Simplify(a1, a1+2*4096)
+	if merged == 0 {
+		t.Fatal("adjacent identical zero-fill entries should merge")
+	}
+	if m.EntryCount() != before-merged {
+		t.Fatalf("entry count %d after merging %d from %d", m.EntryCount(), merged, before)
+	}
+}
+
+func TestSimplifyAccountsObjectRefs(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	cpu := machine.CPU(0)
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	addr, _ := m.Allocate(0, 4*4096, true)
+	if err := k.Touch(cpu, m, addr, true); err != nil {
+		t.Fatal(err)
+	}
+	// Clip via protect round-trip; both halves now reference the same
+	// object with two references.
+	if err := m.Protect(addr, 2*4096, false, vmtypes.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(addr, 2*4096, false, vmtypes.ProtDefault); err != nil {
+		t.Fatal(err)
+	}
+	if m.SimplifyAll() == 0 {
+		t.Fatal("expected a merge")
+	}
+	// Destroying the map must free everything exactly once (no
+	// double-release panic, no leak).
+	m.Destroy()
+	if k.FreeCount() != k.TotalPages() {
+		t.Fatal("object reference accounting leaked pages")
+	}
+}
+
+func TestPageoutDaemonBackground(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	cpu := machine.CPU(0)
+	stop := make(chan struct{})
+	k.StartPageoutDaemon(stop, time.Millisecond)
+	defer close(stop)
+
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	// Walk through 3/4 of memory repeatedly; the daemon keeps free
+	// memory above zero without explicit PageoutScan calls.
+	size := uint64(k.TotalPages()) * k.PageSize() * 3 / 4
+	addr, err := m.Allocate(0, size, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for off := uint64(0); off < size; off += k.PageSize() {
+			if err := k.Touch(cpu, m, addr+vmtypes.VA(off), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if k.FreeCount() == 0 {
+		t.Fatal("free memory exhausted despite the daemon")
+	}
+}
+
+func TestParallelFaultsAcrossCPUs(t *testing.T) {
+	// Threads on two CPUs hammer a shared region and private regions
+	// concurrently; run under -race this exercises the locking rules
+	// §3.5 complains about.
+	k, machine := newVAXKernel(t, 2)
+	parent := k.NewMap()
+	defer parent.Destroy()
+	shared, _ := parent.Allocate(0, 64*4096, true)
+	if err := parent.SetInherit(shared, 64*4096, vmtypes.InheritShared); err != nil {
+		t.Fatal(err)
+	}
+	priv, _ := parent.Allocate(0, 64*4096, true)
+	child := parent.Fork()
+	defer child.Destroy()
+
+	var wg sync.WaitGroup
+	run := func(m *core.Map, cpuID, seed int) {
+		defer wg.Done()
+		cpu := machine.CPU(cpuID)
+		m.Pmap().Activate(cpu)
+		for i := 0; i < 400; i++ {
+			off := vmtypes.VA(((i*seed + i) % 64) * 4096)
+			if err := k.Touch(cpu, m, shared+off, i%2 == 0); err != nil {
+				t.Errorf("shared touch: %v", err)
+				return
+			}
+			if err := k.Touch(cpu, m, priv+off, true); err != nil {
+				t.Errorf("private touch: %v", err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go run(parent, 0, 3)
+	go run(child, 1, 7)
+	wg.Wait()
+}

@@ -1,0 +1,77 @@
+package core
+
+import "sync/atomic"
+
+// Stats are the machine-independent VM counters, the basis of
+// vm_statistics (Table 2-1).
+type Stats struct {
+	Faults            atomic.Uint64 // total vm_fault calls
+	ZeroFillFaults    atomic.Uint64 // faults satisfied by zero fill
+	CowFaults         atomic.Uint64 // faults that copied a page
+	ReactivateHits    atomic.Uint64 // faults satisfied by a resident page
+	Pageins           atomic.Uint64 // pages filled from a pager
+	Pageouts          atomic.Uint64 // pages written to a pager
+	PageoutsWanted    atomic.Uint64 // times free memory dipped below min
+	PagesAllocated    atomic.Uint64
+	PagesFreed        atomic.Uint64
+	BusyWaits         atomic.Uint64
+	ObjectsCreated    atomic.Uint64
+	ObjectsTerminated atomic.Uint64
+	ShadowsCreated    atomic.Uint64
+	ShadowsCollapsed  atomic.Uint64
+	CacheRevives      atomic.Uint64
+	MapHintHits       atomic.Uint64
+	MapLookups        atomic.Uint64
+	ShareMapsMade     atomic.Uint64
+}
+
+// Stats returns the kernel's counters.
+func (k *Kernel) Stats() *Stats { return &k.stats }
+
+// Statistics is the snapshot returned by vm_statistics (Table 2-1).
+type Statistics struct {
+	PageSize         uint64
+	FreeCount        int
+	ActiveCount      int
+	InactiveCount    int
+	WireCount        int
+	Faults           uint64
+	ZeroFillFaults   uint64
+	CowFaults        uint64
+	Pageins          uint64
+	Pageouts         uint64
+	Reactivations    uint64
+	ObjectCacheLen   int
+	ShadowsCreated   uint64
+	ShadowsCollapsed uint64
+}
+
+// VMStatistics implements vm_statistics: statistics about the use of
+// memory by the system.
+func (k *Kernel) VMStatistics() Statistics {
+	k.pageMu.Lock()
+	wired := 0
+	for _, p := range k.pages {
+		if p.wireCount > 0 {
+			wired++
+		}
+	}
+	s := Statistics{
+		PageSize:      k.pageSize,
+		FreeCount:     k.free.count,
+		ActiveCount:   k.active.count,
+		InactiveCount: k.inactive.count,
+		WireCount:     wired,
+	}
+	k.pageMu.Unlock()
+	s.Faults = k.stats.Faults.Load()
+	s.ZeroFillFaults = k.stats.ZeroFillFaults.Load()
+	s.CowFaults = k.stats.CowFaults.Load()
+	s.Pageins = k.stats.Pageins.Load()
+	s.Pageouts = k.stats.Pageouts.Load()
+	s.Reactivations = k.stats.ReactivateHits.Load()
+	s.ObjectCacheLen = k.CachedObjects()
+	s.ShadowsCreated = k.stats.ShadowsCreated.Load()
+	s.ShadowsCollapsed = k.stats.ShadowsCollapsed.Load()
+	return s
+}

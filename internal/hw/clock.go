@@ -1,0 +1,32 @@
+// Package hw simulates the hardware substrate the Mach VM reproduction runs
+// on: physical memory holding real bytes, a virtual clock driven by a
+// per-architecture cost model, CPUs with private translation lookaside
+// buffers, and inter-processor interrupts.
+//
+// The paper's machine-independent claim is about software structure, so the
+// substrate's job is to recreate the *pressures* each 1987 machine put on
+// the pmap layer — TLBs that go stale, page tables that cost memory, a
+// physical address space with holes — rather than to emulate instruction
+// sets. See DESIGN.md §2 for the substitution argument.
+package hw
+
+import "sync/atomic"
+
+// Clock is the virtual clock. It advances only when components charge
+// simulated time against it, so identical workloads produce identical
+// virtual durations regardless of host speed.
+type Clock struct {
+	ns atomic.Int64
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (c *Clock) Now() int64 { return c.ns.Load() }
+
+// Advance adds d virtual nanoseconds and returns the new time.
+// Negative charges are ignored.
+func (c *Clock) Advance(d int64) int64 {
+	if d <= 0 {
+		return c.ns.Load()
+	}
+	return c.ns.Add(d)
+}

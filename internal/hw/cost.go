@@ -1,0 +1,72 @@
+package hw
+
+// CostModel holds the virtual-time charges (nanoseconds) for the primitive
+// operations of one architecture. The evaluation in the paper compares
+// algorithms — lazy copy-on-write against eager copying, an object cache
+// against a fixed buffer cache — so what matters is that each machine's
+// relative costs are plausible for its era, not that absolute 1987
+// latencies are matched (DESIGN.md §2).
+//
+// All values are in virtual nanoseconds.
+type CostModel struct {
+	// Name identifies the modelled machine, e.g. "uVAX II".
+	Name string
+
+	// TLBMiss is charged when a translation misses the TLB, before any
+	// table walk begins.
+	TLBMiss int64
+	// WalkLevel is charged per level of page-table walk (or per hash
+	// probe on an inverted-page-table machine).
+	WalkLevel int64
+	// MemAccess is the cost of one word-sized access to simulated
+	// physical memory that hits the TLB.
+	MemAccess int64
+
+	// FaultTrap is the fixed cost of taking a page fault into the kernel
+	// and returning (trap, register save, dispatch, return).
+	FaultTrap int64
+	// Syscall is the fixed cost of a kernel call (e.g. vm_allocate).
+	Syscall int64
+
+	// ZeroPerKB and CopyPerKB are the per-kilobyte costs of zero-filling
+	// and copying physical pages.
+	ZeroPerKB int64
+	CopyPerKB int64
+
+	// PTEOp is the cost of creating, modifying or invalidating one
+	// hardware mapping entry (PTE, IPT slot, segment-map slot).
+	PTEOp int64
+	// MapEntryOp is the cost of one machine-independent address-map
+	// entry operation (allocate, clip, copy, link).
+	MapEntryOp int64
+
+	// TLBFlushPage and TLBFlushAll are the local costs of invalidating a
+	// single TLB entry and the whole TLB.
+	TLBFlushPage int64
+	TLBFlushAll  int64
+	// IPI is the cost, on the sending CPU, of interrupting one other CPU
+	// (the receiver is additionally charged TLBFlush* for the flush).
+	IPI int64
+	// ContextLoad is the cost of activating an address space on a CPU
+	// (loading a root pointer, or finding/stealing a SUN 3 context).
+	ContextLoad int64
+
+	// TaskCreate is the fixed overhead of creating a task/process
+	// (ports, accounting, thread setup) beyond address-space work.
+	TaskCreate int64
+
+	// MsgOp is the fixed cost of one port message send or receive.
+	MsgOp int64
+
+	// DiskLatency is the fixed per-operation cost of a disk transfer
+	// (seek + rotation), and DiskPerKB the per-kilobyte transfer cost.
+	DiskLatency int64
+	DiskPerKB   int64
+}
+
+// Microseconds converts a microsecond count to the nanoseconds this
+// package's charges are expressed in.
+func Microseconds(us int64) int64 { return us * 1000 }
+
+// Milliseconds converts a millisecond count to nanoseconds.
+func Milliseconds(ms int64) int64 { return ms * 1000 * 1000 }

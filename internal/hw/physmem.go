@@ -1,0 +1,112 @@
+package hw
+
+import (
+	"fmt"
+
+	"machvm/internal/vmtypes"
+)
+
+// FrameRange is a half-open range [Start, End) of hardware page frame
+// numbers. It is used to describe holes in the physical address space —
+// the SUN 3's display memory appears as "high" physical memory, leaving a
+// large unpopulated gap that the resident page table must cope with (§5.1).
+type FrameRange struct {
+	Start, End vmtypes.PFN
+}
+
+// Contains reports whether the range contains pfn.
+func (r FrameRange) Contains(pfn vmtypes.PFN) bool {
+	return pfn >= r.Start && pfn < r.End
+}
+
+// PhysMem is the simulated physical memory: an array of hardware page
+// frames holding real bytes. Frames inside declared holes are unpopulated
+// and must never be touched.
+type PhysMem struct {
+	pageSize  int
+	frames    [][]byte
+	holes     []FrameRange
+	populated int
+}
+
+// NewPhysMem creates physical memory of nframes hardware pages of
+// pageSize bytes each, excluding the given holes. pageSize must be a power
+// of two.
+func NewPhysMem(pageSize int, nframes int, holes ...FrameRange) *PhysMem {
+	if !vmtypes.IsPowerOfTwo(uint64(pageSize)) {
+		panic(fmt.Sprintf("hw: page size %d is not a power of two", pageSize))
+	}
+	if nframes <= 0 {
+		panic("hw: physical memory needs at least one frame")
+	}
+	m := &PhysMem{
+		pageSize: pageSize,
+		frames:   make([][]byte, nframes),
+		holes:    holes,
+	}
+	for i := range m.frames {
+		if m.inHole(vmtypes.PFN(i)) {
+			continue
+		}
+		m.frames[i] = make([]byte, pageSize)
+		m.populated++
+	}
+	return m
+}
+
+func (m *PhysMem) inHole(pfn vmtypes.PFN) bool {
+	for _, h := range m.holes {
+		if h.Contains(pfn) {
+			return true
+		}
+	}
+	return false
+}
+
+// PageSize returns the hardware page size in bytes.
+func (m *PhysMem) PageSize() int { return m.pageSize }
+
+// NumFrames returns the total number of frame numbers, including holes.
+func (m *PhysMem) NumFrames() int { return len(m.frames) }
+
+// PopulatedFrames returns the number of frames backed by real memory.
+func (m *PhysMem) PopulatedFrames() int { return m.populated }
+
+// Holes returns the declared holes in the physical address space.
+func (m *PhysMem) Holes() []FrameRange { return m.holes }
+
+// Valid reports whether pfn names a populated frame.
+func (m *PhysMem) Valid(pfn vmtypes.PFN) bool {
+	return pfn < vmtypes.PFN(len(m.frames)) && m.frames[pfn] != nil
+}
+
+// Frame returns the byte contents of a frame. It panics on an invalid or
+// hole frame: touching a hole is a simulation bug, exactly as touching
+// display memory through the page cache would be a kernel bug on a SUN 3.
+func (m *PhysMem) Frame(pfn vmtypes.PFN) []byte {
+	if !m.Valid(pfn) {
+		panic(fmt.Sprintf("hw: access to invalid physical frame %d", pfn))
+	}
+	return m.frames[pfn]
+}
+
+// Zero clears a frame (pmap_zero_page's data movement).
+func (m *PhysMem) Zero(pfn vmtypes.PFN) {
+	f := m.Frame(pfn)
+	clear(f)
+}
+
+// Copy copies a whole frame (pmap_copy_page's data movement).
+func (m *PhysMem) Copy(src, dst vmtypes.PFN) {
+	copy(m.Frame(dst), m.Frame(src))
+}
+
+// Addr converts a frame number to the physical address of its first byte.
+func (m *PhysMem) Addr(pfn vmtypes.PFN) vmtypes.PA {
+	return vmtypes.PA(uint64(pfn) * uint64(m.pageSize))
+}
+
+// FrameOf converts a physical address to its frame number.
+func (m *PhysMem) FrameOf(pa vmtypes.PA) vmtypes.PFN {
+	return vmtypes.PFN(uint64(pa) / uint64(m.pageSize))
+}

@@ -1,0 +1,135 @@
+package hw
+
+import (
+	"sync"
+
+	"machvm/internal/vmtypes"
+)
+
+// TLBKey identifies one translation: an address-space identifier assigned
+// by the pmap layer plus a virtual page number (in hardware pages).
+type TLBKey struct {
+	Space uint32
+	VPN   uint64
+}
+
+// TLBEntry is a cached translation.
+type TLBEntry struct {
+	PFN  vmtypes.PFN
+	Prot vmtypes.Prot
+}
+
+// TLBStats counts TLB traffic. None of the paper's multiprocessors could
+// reference or modify a remote TLB (§5.2), so these counters — especially
+// flushes induced by shootdowns — are a primary evaluation signal.
+type TLBStats struct {
+	Hits         uint64
+	Misses       uint64
+	PageFlushes  uint64
+	SpaceFlushes uint64
+	FullFlushes  uint64
+	Evictions    uint64
+}
+
+// TLB is a finite translation lookaside buffer with FIFO replacement.
+// Replacement order is deterministic so simulations are reproducible.
+type TLB struct {
+	mu      sync.Mutex
+	size    int
+	entries map[TLBKey]*TLBEntry
+	fifo    []TLBKey
+	stats   TLBStats
+}
+
+// NewTLB creates a TLB holding at most size entries.
+func NewTLB(size int) *TLB {
+	if size <= 0 {
+		size = 64
+	}
+	return &TLB{
+		size:    size,
+		entries: make(map[TLBKey]*TLBEntry, size),
+	}
+}
+
+// Size returns the TLB capacity in entries.
+func (t *TLB) Size() int { return t.size }
+
+// Lookup probes the TLB. It returns the cached entry and whether the probe
+// hit.
+func (t *TLB) Lookup(key TLBKey) (TLBEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[key]; ok {
+		t.stats.Hits++
+		return *e, true
+	}
+	t.stats.Misses++
+	return TLBEntry{}, false
+}
+
+// Insert loads a translation, evicting the oldest entry if full.
+func (t *TLB) Insert(key TLBKey, entry TLBEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[key]; ok {
+		*e = entry
+		return
+	}
+	for len(t.entries) >= t.size {
+		victim := t.fifo[0]
+		t.fifo = t.fifo[1:]
+		if _, ok := t.entries[victim]; ok {
+			delete(t.entries, victim)
+			t.stats.Evictions++
+		}
+	}
+	e := entry
+	t.entries[key] = &e
+	t.fifo = append(t.fifo, key)
+}
+
+// FlushPage invalidates a single translation if present.
+func (t *TLB) FlushPage(key TLBKey) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.entries[key]; ok {
+		delete(t.entries, key)
+	}
+	t.stats.PageFlushes++
+}
+
+// FlushSpace invalidates every translation belonging to one address space.
+func (t *TLB) FlushSpace(space uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k := range t.entries {
+		if k.Space == space {
+			delete(t.entries, k)
+		}
+	}
+	t.stats.SpaceFlushes++
+}
+
+// FlushAll empties the TLB.
+func (t *TLB) FlushAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.entries)
+	t.fifo = t.fifo[:0]
+	t.stats.FullFlushes++
+}
+
+// Stats returns a snapshot of the TLB counters.
+func (t *TLB) Stats() TLBStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Len returns the number of currently valid entries.
+func (t *TLB) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

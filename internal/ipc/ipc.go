@@ -1,0 +1,279 @@
+// Package ipc implements the Mach communication abstractions of §2:
+// ports — kernel-protected message queues used as object references — and
+// typed messages, which may carry port capabilities and out-of-line memory
+// moved by copy-on-write mapping rather than physical copy.
+//
+// The key to efficiency in Mach is that virtual memory management is
+// integrated with the message facility: "large amounts of data including
+// whole files and even whole address spaces [can] be sent in a single
+// message with the efficiency of simple memory remapping". Out-of-line
+// regions here ride exactly that machinery (core.Map.CopyTo).
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"machvm/internal/core"
+	"machvm/internal/vmtypes"
+)
+
+// IPC errors.
+var (
+	// ErrPortDead means the port has been destroyed.
+	ErrPortDead = errors.New("ipc: port is dead")
+	// ErrWouldBlock is returned by non-blocking receives on empty ports.
+	ErrWouldBlock = errors.New("ipc: no message available")
+)
+
+// MsgID identifies the operation a message requests.
+type MsgID uint32
+
+// A small well-known ID space for the kernel interfaces; user protocols
+// may use any values at or above MsgUserBase.
+const (
+	MsgInvalid MsgID = iota
+	// Kernel → external pager (Table 3-1).
+	MsgPagerInit
+	MsgPagerCreate
+	MsgPagerDataRequest
+	MsgPagerDataUnlock
+	MsgPagerDataWrite
+	// External pager → kernel (Table 3-2).
+	MsgPagerDataProvided
+	MsgPagerDataUnavailable
+	MsgPagerDataLock
+	MsgPagerCleanRequest
+	MsgPagerFlushRequest
+	MsgPagerReadonly
+	MsgPagerCache
+	// Task control.
+	MsgTaskSuspend
+	MsgTaskResume
+
+	// MsgUserBase is the first ID available to user protocols.
+	MsgUserBase MsgID = 0x1000
+)
+
+// TypeTag describes a typed data item in a message, in the spirit of
+// Mach's typed message format.
+type TypeTag uint8
+
+// Message item types.
+const (
+	TypeInt TypeTag = iota
+	TypeBytes
+	TypeString
+	TypePort
+	TypeOOL
+)
+
+// Item is one typed datum.
+type Item struct {
+	Tag   TypeTag
+	Int   uint64
+	Bytes []byte
+	Str   string
+	Port  *Port
+	OOL   *OOLRegion
+}
+
+// OOLRegion is out-of-line data: a memory region detached from the
+// sender's address space at send time (held copy-on-write in a transit
+// map) and mapped into the receiver at receive time.
+type OOLRegion struct {
+	transit *core.Map
+	base    vmtypes.VA
+	size    uint64
+}
+
+// Size returns the region's size in bytes.
+func (o *OOLRegion) Size() uint64 { return o.size }
+
+// Message is a typed collection of data objects used in communication
+// between threads (§2). It may be of any size and may contain port
+// capabilities and out-of-line memory.
+type Message struct {
+	ID    MsgID
+	Items []Item
+	// Reply is the port to answer on, if the operation expects one.
+	Reply *Port
+	// Remote names the sender for diagnostics.
+	Remote string
+}
+
+// intItem, bytesItem etc. are convenience constructors.
+
+// Int builds an integer item.
+func Int(v uint64) Item { return Item{Tag: TypeInt, Int: v} }
+
+// Bytes builds a byte-slice item.
+func Bytes(b []byte) Item { return Item{Tag: TypeBytes, Bytes: b} }
+
+// String builds a string item.
+func String(s string) Item { return Item{Tag: TypeString, Str: s} }
+
+// PortItem builds a port-capability item.
+func PortItem(p *Port) Item { return Item{Tag: TypePort, Port: p} }
+
+// Port is a communication channel: logically a queue for messages
+// protected by the kernel, used the way object references would be used in
+// an object-oriented system (§2).
+type Port struct {
+	name string
+	id   uint64
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*Message
+	dead  bool
+	limit int
+	sends atomic.Uint64
+	recvs atomic.Uint64
+}
+
+var portIDs atomic.Uint64
+
+// NewPort allocates a port. The name is a debugging label.
+func NewPort(name string) *Port {
+	p := &Port{name: name, id: portIDs.Add(1), limit: 1024}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Name returns the port's debugging label.
+func (p *Port) Name() string { return p.name }
+
+// ID returns a unique port identifier.
+func (p *Port) ID() uint64 { return p.id }
+
+// String renders the port for diagnostics.
+func (p *Port) String() string { return fmt.Sprintf("port(%s#%d)", p.name, p.id) }
+
+// Send enqueues a message. Send is the fundamental primitive operation on
+// ports, together with Receive.
+func (p *Port) Send(m *Message) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for !p.dead && len(p.queue) >= p.limit {
+		p.cond.Wait()
+	}
+	if p.dead {
+		return ErrPortDead
+	}
+	p.queue = append(p.queue, m)
+	p.sends.Add(1)
+	p.cond.Broadcast()
+	return nil
+}
+
+// Receive dequeues the next message, blocking until one arrives or the
+// port dies.
+func (p *Port) Receive() (*Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 && !p.dead {
+		p.cond.Wait()
+	}
+	if len(p.queue) == 0 {
+		return nil, ErrPortDead
+	}
+	m := p.queue[0]
+	p.queue = p.queue[1:]
+	p.recvs.Add(1)
+	p.cond.Broadcast()
+	return m, nil
+}
+
+// TryReceive dequeues a message without blocking.
+func (p *Port) TryReceive() (*Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead && len(p.queue) == 0 {
+		return nil, ErrPortDead
+	}
+	if len(p.queue) == 0 {
+		return nil, ErrWouldBlock
+	}
+	m := p.queue[0]
+	p.queue = p.queue[1:]
+	p.recvs.Add(1)
+	p.cond.Broadcast()
+	return m, nil
+}
+
+// Destroy kills the port; blocked senders and receivers fail.
+func (p *Port) Destroy() {
+	p.mu.Lock()
+	p.dead = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Pending returns the queued message count.
+func (p *Port) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Traffic returns the send and receive counts.
+func (p *Port) Traffic() (sends, recvs uint64) {
+	return p.sends.Load(), p.recvs.Load()
+}
+
+// MoveOut detaches [addr, addr+size) of the sender's map into an
+// out-of-line region: a copy-on-write snapshot with no physical copying.
+// If dealloc is true the range is removed from the sender afterwards
+// (move semantics, as used for whole-address-space transfers).
+func MoveOut(k *core.Kernel, src *core.Map, addr vmtypes.VA, size uint64, dealloc bool) (*OOLRegion, error) {
+	k.Machine().Charge(k.Machine().Cost.MsgOp)
+	transit := k.NewTransitMap(size)
+	base, err := src.CopyTo(transit, addr, size, 0, true)
+	if err != nil {
+		transit.Destroy()
+		return nil, err
+	}
+	if dealloc {
+		if err := src.Deallocate(addr, size); err != nil {
+			transit.Destroy()
+			return nil, err
+		}
+	}
+	return &OOLRegion{transit: transit, base: base, size: size}, nil
+}
+
+// MoveIn maps an out-of-line region into the receiver's address space and
+// consumes the region. It returns the chosen address.
+func (o *OOLRegion) MoveIn(k *core.Kernel, dst *core.Map) (vmtypes.VA, error) {
+	k.Machine().Charge(k.Machine().Cost.MsgOp)
+	if o.transit == nil {
+		return 0, errors.New("ipc: out-of-line region already consumed")
+	}
+	va, err := o.transit.CopyTo(dst, o.base, o.size, 0, true)
+	if err != nil {
+		return 0, err
+	}
+	o.transit.Destroy()
+	o.transit = nil
+	return va, nil
+}
+
+// Discard drops an unconsumed region.
+func (o *OOLRegion) Discard() {
+	if o.transit != nil {
+		o.transit.Destroy()
+		o.transit = nil
+	}
+}
+
+// OOLItem builds an out-of-line data item from a sender region.
+func OOLItem(k *core.Kernel, src *core.Map, addr vmtypes.VA, size uint64, dealloc bool) (Item, error) {
+	r, err := MoveOut(k, src, addr, size, dealloc)
+	if err != nil {
+		return Item{}, err
+	}
+	return Item{Tag: TypeOOL, OOL: r}, nil
+}

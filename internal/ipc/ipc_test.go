@@ -1,0 +1,301 @@
+package ipc_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/ipc"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+)
+
+func newKernel(t testing.TB) (*core.Kernel, *hw.Machine) {
+	t.Helper()
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: 4096,
+		CPUs:       2,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	return core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096}), machine
+}
+
+func TestPortSendReceive(t *testing.T) {
+	p := ipc.NewPort("test")
+	go func() {
+		_ = p.Send(&ipc.Message{ID: ipc.MsgUserBase, Items: []ipc.Item{ipc.String("hi")}})
+	}()
+	m, err := p.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Items[0].Str != "hi" {
+		t.Fatalf("got %q", m.Items[0].Str)
+	}
+	if _, err := p.TryReceive(); err != ipc.ErrWouldBlock {
+		t.Fatalf("TryReceive on empty = %v; want ErrWouldBlock", err)
+	}
+	p.Destroy()
+	if err := p.Send(&ipc.Message{}); err != ipc.ErrPortDead {
+		t.Fatalf("send to dead port = %v; want ErrPortDead", err)
+	}
+	if _, err := p.Receive(); err != ipc.ErrPortDead {
+		t.Fatalf("receive from dead port = %v; want ErrPortDead", err)
+	}
+}
+
+func TestPortFIFOAndConcurrency(t *testing.T) {
+	p := ipc.NewPort("fifo")
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := p.Send(&ipc.Message{ID: ipc.MsgID(ipc.MsgUserBase) + ipc.MsgID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m, err := p.Receive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ID != ipc.MsgID(ipc.MsgUserBase)+ipc.MsgID(i) {
+			t.Fatalf("out of order: got %d at %d", m.ID, i)
+		}
+	}
+
+	// Concurrent senders/receivers do not lose messages.
+	var wg sync.WaitGroup
+	const senders, per = 8, 50
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = p.Send(&ipc.Message{ID: ipc.MsgUserBase})
+			}
+		}()
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got < senders*per {
+			if _, err := p.Receive(); err != nil {
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got != senders*per {
+		t.Fatalf("received %d of %d", got, senders*per)
+	}
+}
+
+func TestOOLTransferIsCopyOnWrite(t *testing.T) {
+	k, machine := newKernel(t)
+	sender := k.NewMap()
+	receiver := k.NewMap()
+	defer sender.Destroy()
+	defer receiver.Destroy()
+	cpuS, cpuR := machine.CPU(0), machine.CPU(1)
+	sender.Pmap().Activate(cpuS)
+	receiver.Pmap().Activate(cpuR)
+
+	const size = 256 * 1024
+	addr, err := sender.Allocate(0, size, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("0123456789abcdef"), size/16)
+	if err := k.AccessBytes(cpuS, sender, addr, payload, true); err != nil {
+		t.Fatal(err)
+	}
+
+	copiesBefore := k.Stats().CowFaults.Load()
+	port := ipc.NewPort("ool")
+	item, err := ipc.OOLItem(k, sender, addr, size, false)
+	if err != nil {
+		t.Fatalf("OOLItem: %v", err)
+	}
+	if err := port.Send(&ipc.Message{ID: ipc.MsgUserBase, Items: []ipc.Item{item}}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := port.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAddr, err := msg.Items[0].OOL.MoveIn(k, receiver)
+	if err != nil {
+		t.Fatalf("MoveIn: %v", err)
+	}
+	// The transfer itself must not have copied page data.
+	if got := k.Stats().CowFaults.Load(); got != copiesBefore {
+		t.Fatalf("OOL transfer physically copied %d pages", got-copiesBefore)
+	}
+
+	// Receiver sees the payload.
+	got := make([]byte, size)
+	if err := k.AccessBytes(cpuR, receiver, rAddr, got, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch after OOL transfer")
+	}
+
+	// Writes after the transfer do not leak either way.
+	if err := k.AccessBytes(cpuS, sender, addr, []byte{0xFF}, true); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 1)
+	if err := k.AccessBytes(cpuR, receiver, rAddr, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != payload[0] {
+		t.Fatal("sender write leaked into receiver after transfer")
+	}
+}
+
+func TestOOLMoveSemantics(t *testing.T) {
+	k, machine := newKernel(t)
+	sender := k.NewMap()
+	receiver := k.NewMap()
+	defer sender.Destroy()
+	defer receiver.Destroy()
+	cpu := machine.CPU(0)
+	sender.Pmap().Activate(cpu)
+
+	addr, _ := sender.Allocate(0, 8192, true)
+	if err := k.AccessBytes(cpu, sender, addr, []byte{42}, true); err != nil {
+		t.Fatal(err)
+	}
+	region, err := ipc.MoveOut(k, sender, addr, 8192, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moved out: the sender's range is gone.
+	if err := k.Touch(cpu, sender, addr, false); err == nil {
+		t.Fatal("moved-out range still accessible in sender")
+	}
+	rAddr, err := region.MoveIn(k, receiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.VMRead(receiver, rAddr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatalf("receiver sees %d; want 42", got[0])
+	}
+	// Double consume fails.
+	if _, err := region.MoveIn(k, receiver); err == nil {
+		t.Fatal("double MoveIn must fail")
+	}
+}
+
+func TestPortCapabilityTransfer(t *testing.T) {
+	// Ports can be carried in messages and used by the receiver — the
+	// object-reference style of §2.
+	service := ipc.NewPort("service")
+	intro := ipc.NewPort("intro")
+	if err := intro.Send(&ipc.Message{ID: ipc.MsgUserBase, Items: []ipc.Item{ipc.PortItem(service)}}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := intro.Receive()
+	carried := m.Items[0].Port
+	go func() { _ = carried.Send(&ipc.Message{ID: ipc.MsgUserBase + 1}) }()
+	reply, err := service.Receive()
+	if err != nil || reply.ID != ipc.MsgUserBase+1 {
+		t.Fatalf("reply %v err %v", reply, err)
+	}
+}
+
+func TestPortAccessors(t *testing.T) {
+	p := ipc.NewPort("acc")
+	if p.Name() != "acc" || p.ID() == 0 || p.String() == "" {
+		t.Fatal("port accessors broken")
+	}
+	if p.Pending() != 0 {
+		t.Fatal("fresh port has pending messages")
+	}
+	_ = p.Send(&ipc.Message{ID: ipc.MsgUserBase})
+	if p.Pending() != 1 {
+		t.Fatal("Pending should count")
+	}
+	if _, err := p.TryReceive(); err != nil {
+		t.Fatal(err)
+	}
+	sends, recvs := p.Traffic()
+	if sends != 1 || recvs != 1 {
+		t.Fatalf("traffic = %d/%d", sends, recvs)
+	}
+	p.Destroy()
+	if _, err := p.TryReceive(); err != ipc.ErrPortDead {
+		t.Fatalf("TryReceive on dead empty port = %v", err)
+	}
+}
+
+func TestItemConstructors(t *testing.T) {
+	if ipc.Int(7).Int != 7 || ipc.Int(7).Tag != ipc.TypeInt {
+		t.Fatal("Int item wrong")
+	}
+	if string(ipc.Bytes([]byte("x")).Bytes) != "x" || ipc.Bytes(nil).Tag != ipc.TypeBytes {
+		t.Fatal("Bytes item wrong")
+	}
+	if ipc.String("s").Str != "s" || ipc.String("s").Tag != ipc.TypeString {
+		t.Fatal("String item wrong")
+	}
+	port := ipc.NewPort("cap")
+	if ipc.PortItem(port).Port != port || ipc.PortItem(port).Tag != ipc.TypePort {
+		t.Fatal("Port item wrong")
+	}
+}
+
+func TestOOLDiscardAndErrors(t *testing.T) {
+	k, machine := newKernel(t)
+	sender := k.NewMap()
+	defer sender.Destroy()
+	cpu := machine.CPU(0)
+	sender.Pmap().Activate(cpu)
+
+	// MoveOut of unallocated memory fails cleanly.
+	if _, err := ipc.MoveOut(k, sender, 0x100000, 8192, false); err == nil {
+		t.Fatal("MoveOut of a hole should fail")
+	}
+
+	addr, _ := sender.Allocate(0, 8192, true)
+	if err := k.AccessBytes(cpu, sender, addr, []byte{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	region, err := ipc.MoveOut(k, sender, addr, 8192, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Size() != 8192 {
+		t.Fatalf("Size = %d", region.Size())
+	}
+	region.Discard()
+	receiver := k.NewMap()
+	defer receiver.Destroy()
+	if _, err := region.MoveIn(k, receiver); err == nil {
+		t.Fatal("MoveIn after Discard must fail")
+	}
+	// Discard is idempotent.
+	region.Discard()
+
+	// OOLItem wraps MoveOut.
+	item, err := ipc.OOLItem(k, sender, addr, 8192, false)
+	if err != nil || item.Tag != ipc.TypeOOL || item.OOL == nil {
+		t.Fatalf("OOLItem = %+v, %v", item, err)
+	}
+	item.OOL.Discard()
+	if _, err := ipc.OOLItem(k, sender, 0x200000, 8192, false); err == nil {
+		t.Fatal("OOLItem of a hole should fail")
+	}
+}

@@ -1,0 +1,94 @@
+// Package measure formats experiment results in the style of the paper's
+// tables: rows of operations with Mach and UNIX columns in virtual time.
+package measure
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one table line.
+type Row struct {
+	Label string
+	// Mach and Unix are virtual nanoseconds (or any paired quantity).
+	Mach, Unix int64
+	// Paper records the published numbers for reference, as strings
+	// (e.g. "41ms / 145ms"); optional.
+	Paper string
+}
+
+// Table is a paper-style results table.
+type Table struct {
+	Title   string
+	Unit    Unit
+	Rows    []Row
+	Comment string
+}
+
+// Unit selects time rendering.
+type Unit int
+
+// Units.
+const (
+	Millis Unit = iota
+	Seconds
+	MinutesSeconds
+)
+
+func render(u Unit, ns int64) string {
+	switch u {
+	case Millis:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case Seconds:
+		return fmt.Sprintf("%.1fs", float64(ns)/1e9)
+	case MinutesSeconds:
+		total := ns / 1e9
+		return fmt.Sprintf("%d:%02dmin", total/60, total%60)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// Ratio returns unix/mach as a factor string.
+func Ratio(mach, unix int64) string {
+	if mach == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(unix)/float64(mach))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-34s %12s %12s %8s", "Operation", "Mach", "UNIX", "ratio")
+	hasPaper := false
+	for _, r := range t.Rows {
+		if r.Paper != "" {
+			hasPaper = true
+		}
+	}
+	if hasPaper {
+		fmt.Fprintf(&b, "   %s", "paper (Mach/UNIX)")
+	}
+	b.WriteString("\n")
+	width := 70
+	if hasPaper {
+		width = 92
+	}
+	b.WriteString(strings.Repeat("-", width) + "\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-34s %12s %12s %8s", r.Label, render(t.Unit, r.Mach), render(t.Unit, r.Unix), Ratio(r.Mach, r.Unix))
+		if hasPaper {
+			fmt.Fprintf(&b, "   %s", r.Paper)
+		}
+		b.WriteString("\n")
+	}
+	if t.Comment != "" {
+		fmt.Fprintf(&b, "%s\n", t.Comment)
+	}
+	return b.String()
+}
+
+// MS converts milliseconds to nanoseconds (for paper reference values).
+func MS(ms float64) int64 { return int64(ms * 1e6) }

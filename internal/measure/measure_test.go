@@ -1,0 +1,49 @@
+package measure_test
+
+import (
+	"strings"
+	"testing"
+
+	"machvm/internal/measure"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &measure.Table{
+		Title: "Test Table",
+		Unit:  measure.Millis,
+		Rows: []measure.Row{
+			{Label: "op one", Mach: 1_500_000, Unix: 3_000_000, Paper: "1ms / 3ms"},
+			{Label: "op two", Mach: 2_000_000, Unix: 2_000_000},
+		},
+		Comment: "a comment",
+	}
+	s := tbl.String()
+	for _, want := range []string{"Test Table", "op one", "1.50ms", "3.00ms", "2.00x", "paper", "a comment"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestUnits(t *testing.T) {
+	secs := &measure.Table{Unit: measure.Seconds, Rows: []measure.Row{{Label: "x", Mach: 1_500_000_000, Unix: 500_000_000}}}
+	if !strings.Contains(secs.String(), "1.5s") {
+		t.Error("seconds rendering wrong")
+	}
+	mins := &measure.Table{Unit: measure.MinutesSeconds, Rows: []measure.Row{{Label: "x", Mach: 95_000_000_000, Unix: 60_000_000_000}}}
+	if !strings.Contains(mins.String(), "1:35min") {
+		t.Errorf("minutes rendering wrong: %s", mins.String())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if measure.Ratio(0, 5) != "-" {
+		t.Error("zero denominator should render '-'")
+	}
+	if measure.Ratio(2, 5) != "2.50x" {
+		t.Errorf("ratio = %s", measure.Ratio(2, 5))
+	}
+	if measure.MS(1.5) != 1_500_000 {
+		t.Error("MS conversion wrong")
+	}
+}

@@ -1,0 +1,428 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"machvm/internal/core"
+	"machvm/internal/ipc"
+	"machvm/internal/vmtypes"
+)
+
+// ExternalObject implements the optional locking interface.
+var _ core.LockingPager = (*ExternalObject)(nil)
+
+// ErrPagerTimeout means an external pager failed to answer a data request.
+var ErrPagerTimeout = errors.New("pager: external pager did not respond")
+
+// ObjectPorts are the three ports the kernel associates with an
+// externally managed memory object (§3.3): the paging_object port the
+// kernel sends requests to, the paging_object_request port the pager uses
+// to call back into the kernel, and the paging_name port that identifies
+// the object.
+type ObjectPorts struct {
+	// PagerPort is the pager's service port (paging_object): the kernel
+	// sends pager_data_request etc. here; the pager task receives.
+	PagerPort *ipc.Port
+	// RequestPort is the kernel's service port (paging_object_request):
+	// the pager sends pager_data_provided etc. here.
+	RequestPort *ipc.Port
+	// NamePort identifies the object (paging_name).
+	NamePort *ipc.Port
+}
+
+// ExternalObject is the kernel-side proxy for an externally managed
+// memory object. It implements core.Pager by translating the synchronous
+// kernel calls into the asynchronous message protocol of Tables 3-1/3-2
+// and blocking the faulting thread until the pager answers — which is
+// exactly what happens to a faulting thread on real Mach.
+type ExternalObject struct {
+	kernel *core.Kernel
+	ports  ObjectPorts
+	obj    *core.Object
+
+	mu            sync.Mutex
+	waiters       map[uint64][]chan provided
+	unlockWaiters map[uint64][]chan struct{}
+	readonly      bool
+	locks         map[uint64]uint64 // offset -> lock_value (pager_data_lock)
+	timeout       time.Duration
+	done          chan struct{}
+}
+
+type provided struct {
+	data        []byte
+	unavailable bool
+}
+
+// NewExternalObject wires a kernel memory object to an external pager
+// reachable at pagerPort. It allocates the request and name ports, starts
+// the kernel-side service loop, sends pager_init, and returns the proxy
+// plus the created object of the given size.
+func NewExternalObject(k *core.Kernel, pagerPort *ipc.Port, size uint64, name string) (*ExternalObject, *core.Object) {
+	eo := &ExternalObject{
+		kernel: k,
+		ports: ObjectPorts{
+			PagerPort:   pagerPort,
+			RequestPort: ipc.NewPort("paging_object_request:" + name),
+			NamePort:    ipc.NewPort("paging_name:" + name),
+		},
+		waiters:       make(map[uint64][]chan provided),
+		unlockWaiters: make(map[uint64][]chan struct{}),
+		locks:         make(map[uint64]uint64),
+		timeout:       10 * time.Second,
+		done:          make(chan struct{}),
+	}
+	obj := k.NewObject(size, eo, name)
+	eo.obj = obj
+	go eo.serve()
+	// pager_init(paging_object, pager_request_port, pager_name).
+	_ = pagerPort.Send(&ipc.Message{
+		ID: ipc.MsgPagerInit,
+		Items: []ipc.Item{
+			ipc.PortItem(eo.ports.RequestPort),
+			ipc.PortItem(eo.ports.NamePort),
+			ipc.String(name),
+		},
+	})
+	return eo, obj
+}
+
+// Ports returns the object's port triple.
+func (eo *ExternalObject) Ports() ObjectPorts { return eo.ports }
+
+// SetTimeout changes how long the kernel waits for this pager to answer
+// data requests and unlocks before giving up.
+func (eo *ExternalObject) SetTimeout(d time.Duration) {
+	eo.mu.Lock()
+	eo.timeout = d
+	eo.mu.Unlock()
+}
+
+// Readonly reports whether the pager demanded copy-on-write treatment
+// (pager_readonly).
+func (eo *ExternalObject) Readonly() bool {
+	eo.mu.Lock()
+	defer eo.mu.Unlock()
+	return eo.readonly
+}
+
+// LockValue returns the pager_data_lock value recorded for offset.
+func (eo *ExternalObject) LockValue(offset uint64) uint64 {
+	eo.mu.Lock()
+	defer eo.mu.Unlock()
+	return eo.locks[offset]
+}
+
+// serve is the kernel-side loop handling pager → kernel calls
+// (Table 3-2).
+func (eo *ExternalObject) serve() {
+	for {
+		msg, err := eo.ports.RequestPort.Receive()
+		if err != nil {
+			// Port destroyed: fail any waiters.
+			eo.mu.Lock()
+			for off, ws := range eo.waiters {
+				for _, w := range ws {
+					w <- provided{unavailable: true}
+				}
+				delete(eo.waiters, off)
+			}
+			eo.mu.Unlock()
+			close(eo.done)
+			return
+		}
+		eo.kernel.Machine().Charge(eo.kernel.Machine().Cost.MsgOp)
+		switch msg.ID {
+		case ipc.MsgPagerDataProvided:
+			// pager_data_provided(request, offset, data, lock_value).
+			// Record the lock before waking the faulter so the mapping
+			// is entered with the restriction in force.
+			offset := msg.Items[0].Int
+			data := msg.Items[1].Bytes
+			lock := msg.Items[2].Int
+			eo.mu.Lock()
+			eo.locks[offset] = lock
+			eo.mu.Unlock()
+			eo.fulfill(offset, provided{data: data})
+		case ipc.MsgPagerDataUnavailable:
+			// pager_data_unavailable(request, offset, size)
+			offset := msg.Items[0].Int
+			eo.fulfill(offset, provided{unavailable: true})
+		case ipc.MsgPagerDataLock:
+			// pager_data_lock(request, offset, length, lock_value)
+			offset := msg.Items[0].Int
+			lock := msg.Items[2].Int
+			eo.mu.Lock()
+			eo.locks[offset] = lock
+			ws := eo.unlockWaiters[offset]
+			delete(eo.unlockWaiters, offset)
+			eo.mu.Unlock()
+			for _, w := range ws {
+				close(w)
+			}
+		case ipc.MsgPagerCleanRequest:
+			offset, length := msg.Items[0].Int, msg.Items[1].Int
+			eo.kernel.CleanObjectRange(eo.obj, offset, length)
+			if msg.Reply != nil {
+				_ = msg.Reply.Send(&ipc.Message{ID: ipc.MsgPagerCleanRequest})
+			}
+		case ipc.MsgPagerFlushRequest:
+			offset, length := msg.Items[0].Int, msg.Items[1].Int
+			eo.kernel.FlushObjectRange(eo.obj, offset, length)
+			if msg.Reply != nil {
+				_ = msg.Reply.Send(&ipc.Message{ID: ipc.MsgPagerFlushRequest})
+			}
+		case ipc.MsgPagerReadonly:
+			eo.mu.Lock()
+			eo.readonly = true
+			eo.mu.Unlock()
+		case ipc.MsgPagerCache:
+			// pager_cache(request, should_cache_object)
+			eo.obj.SetCanPersist(msg.Items[0].Int != 0)
+		}
+	}
+}
+
+func (eo *ExternalObject) fulfill(offset uint64, p provided) {
+	eo.mu.Lock()
+	ws := eo.waiters[offset]
+	delete(eo.waiters, offset)
+	eo.mu.Unlock()
+	for _, w := range ws {
+		w <- p
+	}
+}
+
+// Name implements core.Pager.
+func (eo *ExternalObject) Name() string { return "external:" + eo.ports.PagerPort.Name() }
+
+// Init implements core.Pager (pager_init was already sent at creation).
+func (eo *ExternalObject) Init(obj *core.Object) {}
+
+// DataRequest implements core.Pager: send pager_data_request to the
+// external pager and block until it answers with pager_data_provided or
+// pager_data_unavailable.
+func (eo *ExternalObject) DataRequest(obj *core.Object, offset uint64, length int) ([]byte, bool) {
+	ch := make(chan provided, 1)
+	eo.mu.Lock()
+	eo.waiters[offset] = append(eo.waiters[offset], ch)
+	eo.mu.Unlock()
+
+	err := eo.ports.PagerPort.Send(&ipc.Message{
+		ID: ipc.MsgPagerDataRequest,
+		Items: []ipc.Item{
+			ipc.Int(offset),
+			ipc.Int(uint64(length)),
+			ipc.PortItem(eo.ports.RequestPort),
+		},
+	})
+	if err != nil {
+		eo.fulfill(offset, provided{unavailable: true})
+		<-ch
+		return nil, true
+	}
+	select {
+	case p := <-ch:
+		return p.data, p.unavailable
+	case <-time.After(eo.timeout):
+		return nil, true
+	}
+}
+
+// DataWrite implements core.Pager: pageout sends pager_data_write.
+func (eo *ExternalObject) DataWrite(obj *core.Object, offset uint64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	_ = eo.ports.PagerPort.Send(&ipc.Message{
+		ID: ipc.MsgPagerDataWrite,
+		Items: []ipc.Item{
+			ipc.Int(offset),
+			ipc.Bytes(cp),
+		},
+	})
+}
+
+// CheckLock implements core.LockingPager: lock values are bitmasks of
+// *prohibited* access kinds, as in pager_data_provided's lock_value.
+func (eo *ExternalObject) CheckLock(obj *core.Object, offset uint64, access vmtypes.Prot) bool {
+	eo.mu.Lock()
+	defer eo.mu.Unlock()
+	return vmtypes.Prot(eo.locks[offset])&access == 0
+}
+
+// RequestUnlock implements core.LockingPager: send pager_data_unlock and
+// block the faulting thread until the pager grants a compatible lock.
+func (eo *ExternalObject) RequestUnlock(obj *core.Object, offset uint64, length int, access vmtypes.Prot) bool {
+	deadline := time.Now().Add(eo.timeout)
+	for {
+		eo.mu.Lock()
+		if vmtypes.Prot(eo.locks[offset])&access == 0 {
+			eo.mu.Unlock()
+			return true
+		}
+		w := make(chan struct{})
+		eo.unlockWaiters[offset] = append(eo.unlockWaiters[offset], w)
+		eo.mu.Unlock()
+
+		err := eo.ports.PagerPort.Send(&ipc.Message{
+			ID: ipc.MsgPagerDataUnlock,
+			Items: []ipc.Item{
+				ipc.Int(offset),
+				ipc.Int(uint64(length)),
+				ipc.Int(uint64(access)),
+				ipc.PortItem(eo.ports.RequestPort),
+			},
+		})
+		if err != nil {
+			return false
+		}
+		select {
+		case <-w:
+			// Re-check the new lock value.
+		case <-time.After(time.Until(deadline)):
+			return false
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+	}
+}
+
+// Terminate implements core.Pager.
+func (eo *ExternalObject) Terminate(obj *core.Object) {
+	eo.ports.RequestPort.Destroy()
+	eo.ports.NamePort.Destroy()
+}
+
+// UserPager is the user-task side of the protocol: a loop that receives
+// kernel → pager messages on a service port and dispatches to handler
+// callbacks ("pager_server: routine called by task to process a message
+// from the kernel", Table 3-1). Simple pagers implement only OnRequest,
+// largely ignoring the more sophisticated calls, exactly as the paper
+// suggests trivial pagers can.
+type UserPager struct {
+	// Port is the pager's service port (give it to NewExternalObject).
+	Port *ipc.Port
+
+	// OnInit is called for pager_init.
+	OnInit func(requestPort, namePort *ipc.Port, name string)
+	// OnRequest must answer a pager_data_request by calling
+	// Provide or Unavailable on the reply.
+	OnRequest func(req DataRequest)
+	// OnWrite handles pager_data_write.
+	OnWrite func(offset uint64, data []byte)
+	// OnUnlock handles pager_data_unlock: the kernel wants the given
+	// access at [offset, offset+length); the pager answers by calling
+	// grant with the new lock value (0 = fully unlocked).
+	OnUnlock func(offset, length uint64, desired uint64, grant func(lockValue uint64))
+
+	stopped chan struct{}
+}
+
+// DataRequest is one kernel fault forwarded to the user pager.
+type DataRequest struct {
+	Offset  uint64
+	Length  int
+	request *ipc.Port
+}
+
+// Provide answers the fault with data (pager_data_provided); lockValue 0
+// imposes no lock.
+func (r DataRequest) Provide(data []byte, lockValue uint64) {
+	_ = r.request.Send(&ipc.Message{
+		ID: ipc.MsgPagerDataProvided,
+		Items: []ipc.Item{
+			ipc.Int(r.Offset),
+			ipc.Bytes(data),
+			ipc.Int(lockValue),
+		},
+	})
+}
+
+// Unavailable reports that no data exists for the region
+// (pager_data_unavailable); the kernel zero-fills.
+func (r DataRequest) Unavailable() {
+	_ = r.request.Send(&ipc.Message{
+		ID: ipc.MsgPagerDataUnavailable,
+		Items: []ipc.Item{
+			ipc.Int(r.Offset),
+			ipc.Int(uint64(r.Length)),
+		},
+	})
+}
+
+// NewUserPager creates a user pager with a fresh service port and starts
+// its server loop.
+func NewUserPager(name string) *UserPager {
+	up := &UserPager{
+		Port:    ipc.NewPort("pager:" + name),
+		stopped: make(chan struct{}),
+	}
+	go up.serve()
+	return up
+}
+
+// serve is pager_server: the dispatch loop of the user pager task.
+func (up *UserPager) serve() {
+	defer close(up.stopped)
+	for {
+		msg, err := up.Port.Receive()
+		if err != nil {
+			return
+		}
+		switch msg.ID {
+		case ipc.MsgPagerInit:
+			if up.OnInit != nil {
+				up.OnInit(msg.Items[0].Port, msg.Items[1].Port, msg.Items[2].Str)
+			}
+		case ipc.MsgPagerDataRequest:
+			req := DataRequest{
+				Offset:  msg.Items[0].Int,
+				Length:  int(msg.Items[1].Int),
+				request: msg.Items[2].Port,
+			}
+			if up.OnRequest != nil {
+				up.OnRequest(req)
+			} else {
+				req.Unavailable()
+			}
+		case ipc.MsgPagerDataWrite:
+			if up.OnWrite != nil {
+				up.OnWrite(msg.Items[0].Int, msg.Items[1].Bytes)
+			}
+		case ipc.MsgPagerDataUnlock:
+			offset := msg.Items[0].Int
+			length := msg.Items[1].Int
+			desired := msg.Items[2].Int
+			request := msg.Items[3].Port
+			grant := func(lockValue uint64) {
+				_ = request.Send(&ipc.Message{
+					ID: ipc.MsgPagerDataLock,
+					Items: []ipc.Item{
+						ipc.Int(offset),
+						ipc.Int(length),
+						ipc.Int(lockValue),
+					},
+				})
+			}
+			if up.OnUnlock != nil {
+				up.OnUnlock(offset, length, desired, grant)
+			} else {
+				// Simple pagers ignore locks: grant everything.
+				grant(0)
+			}
+		}
+	}
+}
+
+// Stop shuts the pager down.
+func (up *UserPager) Stop() {
+	up.Port.Destroy()
+	<-up.stopped
+}
+
+// String renders the pager for diagnostics.
+func (up *UserPager) String() string { return fmt.Sprintf("userpager(%s)", up.Port.Name()) }

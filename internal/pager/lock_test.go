@@ -1,0 +1,112 @@
+package pager_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"machvm/internal/pager"
+	"machvm/internal/vmtypes"
+)
+
+// TestPagerDataLockUnlockConversation exercises the full Tables 3-1/3-2
+// locking flow: the pager provides a page write-locked; the first write
+// fault triggers pager_data_unlock; the pager grants; the write proceeds.
+func TestPagerDataLockUnlockConversation(t *testing.T) {
+	k, machine, _ := newWorld(t)
+	cpu := machine.CPU(0)
+
+	var unlocks atomic.Uint64
+	up := pager.NewUserPager("locking")
+	up.OnRequest = func(req pager.DataRequest) {
+		data := make([]byte, req.Length)
+		for i := range data {
+			data[i] = 0x77
+		}
+		// Provide the data locked against writes.
+		req.Provide(data, uint64(vmtypes.ProtWrite))
+	}
+	up.OnUnlock = func(offset, length uint64, desired uint64, grant func(uint64)) {
+		unlocks.Add(1)
+		grant(0) // fully unlock
+	}
+	defer up.Stop()
+
+	eo, obj := pager.NewExternalObject(k, up.Port, 4*4096, "locked")
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	addr, err := m.AllocateWithObject(0, obj.Size(), true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads are permitted by the lock.
+	b := make([]byte, 1)
+	if err := k.AccessBytes(cpu, m, addr, b, false); err != nil {
+		t.Fatalf("locked read: %v", err)
+	}
+	if b[0] != 0x77 {
+		t.Fatal("pager data missing")
+	}
+	if eo.LockValue(0) != uint64(vmtypes.ProtWrite) {
+		t.Fatal("lock value not recorded")
+	}
+	if unlocks.Load() != 0 {
+		t.Fatal("read should not trigger unlock")
+	}
+
+	// A write must go through the unlock conversation, then succeed.
+	if err := k.AccessBytes(cpu, m, addr, []byte{1}, true); err != nil {
+		t.Fatalf("write after unlock: %v", err)
+	}
+	if unlocks.Load() == 0 {
+		t.Fatal("write never triggered pager_data_unlock")
+	}
+	if eo.LockValue(0) != 0 {
+		t.Fatal("grant did not clear the lock")
+	}
+}
+
+// TestPagerRefusesUnlock: a pager that re-asserts the lock keeps writes
+// failing while reads continue.
+func TestPagerRefusesUnlock(t *testing.T) {
+	k, machine, _ := newWorld(t)
+	cpu := machine.CPU(0)
+
+	up := pager.NewUserPager("strict")
+	up.OnRequest = func(req pager.DataRequest) {
+		req.Provide(make([]byte, req.Length), uint64(vmtypes.ProtWrite))
+	}
+	refused := make(chan struct{}, 8)
+	up.OnUnlock = func(offset, length uint64, desired uint64, grant func(uint64)) {
+		// Refuse: re-grant the same restrictive lock.
+		grant(uint64(vmtypes.ProtWrite))
+		select {
+		case refused <- struct{}{}:
+		default:
+		}
+	}
+	defer up.Stop()
+
+	eo, obj := pager.NewExternalObject(k, up.Port, 4096, "strict")
+	eo.SetTimeout(200 * time.Millisecond)
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	addr, _ := m.AllocateWithObject(0, 4096, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+
+	if err := k.AccessBytes(cpu, m, addr, []byte{1}, false); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := k.AccessBytes(cpu, m, addr, []byte{1}, true); err == nil {
+		t.Fatal("write should fail while the pager holds the lock")
+	}
+	select {
+	case <-refused:
+	default:
+		t.Fatal("pager never saw the unlock request")
+	}
+}

@@ -1,0 +1,243 @@
+package pager_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"machvm/internal/ipc"
+	"machvm/internal/pager"
+	"machvm/internal/vmtypes"
+)
+
+func TestSwapPagerRoundTrip(t *testing.T) {
+	k, _, fs := newWorld(t)
+	sp := pager.NewSwapPager(fs)
+	obj := k.NewObject(16*4096, nil, "swap-client")
+	sp.Init(obj)
+
+	// Nothing stored yet: unavailable.
+	if _, unavailable := sp.DataRequest(obj, 0, 4096); !unavailable {
+		t.Fatal("fresh swap should be unavailable")
+	}
+	data := bytes.Repeat([]byte{0xEE}, 4096)
+	sp.DataWrite(obj, 8192, data)
+	got, unavailable := sp.DataRequest(obj, 8192, 4096)
+	if unavailable || !bytes.Equal(got, data) {
+		t.Fatal("swap round trip failed")
+	}
+	// Other offsets are either unavailable or sparse zeros (the swap
+	// file grew past them); both make the kernel produce a zero page.
+	if d, unavailable := sp.DataRequest(obj, 0, 4096); !unavailable {
+		for _, b := range d {
+			if b != 0 {
+				t.Fatal("unwritten swap offset returned non-zero data")
+			}
+		}
+	}
+	// Terminate releases the swap file.
+	sp.Terminate(obj)
+	if _, unavailable := sp.DataRequest(obj, 8192, 4096); !unavailable {
+		t.Fatal("terminated object should have no swap")
+	}
+	if sp.Name() == "" {
+		t.Fatal("pager needs a name")
+	}
+}
+
+func TestInodePagerEdges(t *testing.T) {
+	k, _, fs := newWorld(t)
+	ip := pager.NewInodePager(fs)
+	if _, err := ip.NewFileObject(k, "missing"); err == nil {
+		t.Fatal("mapping a missing file should fail")
+	}
+	content := bytes.Repeat([]byte{3}, 6000) // not page aligned
+	ino, err := fs.Create("odd", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := ip.NewFileObject(k, "odd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The object rounds up to a page; the tail past EOF is unavailable
+	// at page granularity only beyond the last byte.
+	data, unavailable := ip.DataRequest(obj, 4096, 4096)
+	if unavailable {
+		t.Fatal("page containing EOF must be available")
+	}
+	if len(data) != 4096 || data[6000-4096-1] != 3 {
+		t.Fatal("EOF page content wrong")
+	}
+	if _, unavailable := ip.DataRequest(obj, 8192, 4096); !unavailable {
+		t.Fatal("page past EOF must be unavailable")
+	}
+	// DataWrite past the logical size must not grow the file.
+	grown := bytes.Repeat([]byte{7}, 4096)
+	ip.DataWrite(obj, 4096, grown)
+	if ino.Size() != 6000 {
+		t.Fatalf("pageout grew the file to %d", ino.Size())
+	}
+	// But the in-range part must land.
+	check := make([]byte, 100)
+	if _, err := ino.ReadAt(check, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if check[0] != 7 {
+		t.Fatal("pageout data did not land in the file")
+	}
+	// Writes entirely past EOF are dropped.
+	ip.DataWrite(obj, 16384, grown)
+	if ino.Size() != 6000 {
+		t.Fatal("fully-past-EOF pageout grew the file")
+	}
+	// Bind an unrelated object explicitly.
+	other := k.NewObject(4096, nil, "bound")
+	ip.Bind(other, ino)
+	if d, unavailable := ip.DataRequest(other, 0, 4096); unavailable || d[0] != 3 {
+		t.Fatal("Bind did not attach the inode")
+	}
+	ip.Terminate(obj)
+	if _, unavailable := ip.DataRequest(obj, 0, 4096); !unavailable {
+		t.Fatal("terminated object still served")
+	}
+}
+
+func TestExternalObjectCleanAndFlushMessages(t *testing.T) {
+	k, machine, _ := newWorld(t)
+	cpu := machine.CPU(0)
+	store := map[uint64][]byte{}
+	var storeMu = make(chan struct{}, 1)
+	storeMu <- struct{}{}
+
+	up := pager.NewUserPager("cf")
+	up.OnRequest = func(req pager.DataRequest) {
+		<-storeMu
+		d, ok := store[req.Offset]
+		storeMu <- struct{}{}
+		if !ok {
+			req.Unavailable()
+			return
+		}
+		req.Provide(d, 0)
+	}
+	up.OnWrite = func(offset uint64, data []byte) {
+		<-storeMu
+		store[offset] = data
+		storeMu <- struct{}{}
+	}
+	defer up.Stop()
+
+	eo, obj := pager.NewExternalObject(k, up.Port, 4*4096, "cf")
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	addr, _ := m.AllocateWithObject(0, obj.Size(), true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err := k.AccessBytes(cpu, m, addr, []byte("to be cleaned"), true); err != nil {
+		t.Fatal(err)
+	}
+
+	// pager_clean_request via the message protocol, with a reply.
+	reply := ipc.NewPort("clean-reply")
+	if err := eo.Ports().RequestPort.Send(&ipc.Message{
+		ID:    ipc.MsgPagerCleanRequest,
+		Items: []ipc.Item{ipc.Int(0), ipc.Int(obj.Size())},
+		Reply: reply,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reply.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	// The pager_data_write travels asynchronously to the user pager.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		<-storeMu
+		d := store[0]
+		storeMu <- struct{}{}
+		if bytes.HasPrefix(d, []byte("to be cleaned")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("clean never delivered the dirty page: %q", d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// pager_flush_request destroys the cached copy.
+	reply2 := ipc.NewPort("flush-reply")
+	if err := eo.Ports().RequestPort.Send(&ipc.Message{
+		ID:    ipc.MsgPagerFlushRequest,
+		Items: []ipc.Item{ipc.Int(0), ipc.Int(obj.Size())},
+		Reply: reply2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reply2.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Resident() != 0 {
+		t.Fatal("flush left resident pages")
+	}
+	// The data still round-trips via the pager.
+	b := make([]byte, 5)
+	if err := k.AccessBytes(cpu, m, addr, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "to be" {
+		t.Fatalf("post-flush refault read %q", b)
+	}
+}
+
+func TestPagerReadonlyMessage(t *testing.T) {
+	k, _, _ := newWorld(t)
+	up := pager.NewUserPager("ro")
+	up.OnRequest = func(req pager.DataRequest) { req.Unavailable() }
+	defer up.Stop()
+	eo, _ := pager.NewExternalObject(k, up.Port, 4096, "ro")
+	if eo.Readonly() {
+		t.Fatal("fresh object should not be readonly")
+	}
+	if err := eo.Ports().RequestPort.Send(&ipc.Message{ID: ipc.MsgPagerReadonly}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !eo.Readonly() {
+		if time.Now().After(deadline) {
+			t.Fatal("pager_readonly never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestExternalObjectTimeout(t *testing.T) {
+	k, machine, _ := newWorld(t)
+	cpu := machine.CPU(0)
+	// A pager that never answers: the fault must fall back to zero fill
+	// after the timeout rather than hanging forever.
+	up := pager.NewUserPager("mute")
+	up.OnRequest = func(req pager.DataRequest) { /* silence */ }
+	defer up.Stop()
+	eo, obj := pager.NewExternalObject(k, up.Port, 4096, "mute")
+	eo.SetTimeout(50 * time.Millisecond)
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	addr, _ := m.AllocateWithObject(0, 4096, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	b := []byte{9}
+	done := make(chan error, 1)
+	go func() { done <- k.AccessBytes(cpu, m, addr, b, false) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("timed-out fault should zero-fill: %v", err)
+		}
+		if b[0] != 0 {
+			t.Fatal("timeout fallback should read zero")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fault hung on a mute pager")
+	}
+}

@@ -1,0 +1,477 @@
+package pmap_test
+
+// Conformance tests run every machine-dependent module through the same
+// contract: the machine-independent layer must be able to treat all pmaps
+// identically (the paper's whole point), so any behaviour the MI layer
+// relies on is tested here against all five machines.
+
+import (
+	"fmt"
+	"testing"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/ns32082"
+	"machvm/internal/pmap/rtpc"
+	"machvm/internal/pmap/sun3"
+	"machvm/internal/pmap/tlbonly"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+type testArch struct {
+	name       string
+	hwPageSize int
+	frames     int
+	newModule  func(*hw.Machine, pmap.Strategy) pmap.Module
+	cost       hw.CostModel
+}
+
+func allArchs() []testArch {
+	return []testArch{
+		{"vax", vax.HWPageSize, 4096, func(m *hw.Machine, s pmap.Strategy) pmap.Module { return vax.New(m, s) }, vax.DefaultCost()},
+		{"rtpc", rtpc.HWPageSize, 2048, func(m *hw.Machine, s pmap.Strategy) pmap.Module { return rtpc.New(m, s) }, rtpc.DefaultCost()},
+		{"sun3", sun3.HWPageSize, 1024, func(m *hw.Machine, s pmap.Strategy) pmap.Module { return sun3.New(m, s) }, sun3.DefaultCost()},
+		{"ns32082", ns32082.HWPageSize, 4096, func(m *hw.Machine, s pmap.Strategy) pmap.Module { return ns32082.New(m, s) }, ns32082.DefaultCost()},
+		{"tlbonly", tlbonly.HWPageSize, 2048, func(m *hw.Machine, s pmap.Strategy) pmap.Module { return tlbonly.New(m, s) }, tlbonly.DefaultCost()},
+	}
+}
+
+func newTestMachine(a testArch, cpus int) (*hw.Machine, pmap.Module) {
+	m := hw.NewMachine(hw.Config{
+		Cost:       a.cost,
+		HWPageSize: a.hwPageSize,
+		PhysFrames: a.frames,
+		CPUs:       cpus,
+		TLBSize:    64,
+	})
+	return m, a.newModule(m, pmap.ShootImmediate)
+}
+
+func forEachArch(t *testing.T, fn func(t *testing.T, a testArch)) {
+	for _, a := range allArchs() {
+		t.Run(a.name, func(t *testing.T) { fn(t, a) })
+	}
+}
+
+func TestEnterExtractRemove(t *testing.T) {
+	forEachArch(t, func(t *testing.T, a testArch) {
+		_, mod := newTestMachine(a, 1)
+		pm := mod.Create()
+		defer pm.Destroy()
+		ps := vmtypes.VA(a.hwPageSize)
+
+		pm.Enter(3*ps, 7, vmtypes.ProtDefault, false)
+		if pfn, ok := pm.Extract(3 * ps); !ok || pfn != 7 {
+			t.Fatalf("Extract = %d,%v; want 7,true", pfn, ok)
+		}
+		if !pm.Access(3 * ps) {
+			t.Fatal("Access should see the mapping")
+		}
+		if pm.Access(4 * ps) {
+			t.Fatal("Access should not see an unmapped page")
+		}
+		if got := pm.ResidentCount(); got != 1 {
+			t.Fatalf("ResidentCount = %d; want 1", got)
+		}
+
+		pm.Remove(3*ps, 4*ps)
+		if pm.Access(3 * ps) {
+			t.Fatal("mapping should be gone after Remove")
+		}
+		if got := pm.ResidentCount(); got != 0 {
+			t.Fatalf("ResidentCount after Remove = %d; want 0", got)
+		}
+	})
+}
+
+func TestWalkMatchesExtract(t *testing.T) {
+	forEachArch(t, func(t *testing.T, a testArch) {
+		_, mod := newTestMachine(a, 1)
+		pm := mod.Create()
+		defer pm.Destroy()
+		ps := vmtypes.VA(a.hwPageSize)
+
+		for i := vmtypes.PFN(1); i < 20; i++ {
+			pm.Enter(vmtypes.VA(i)*ps, i, vmtypes.ProtRead, false)
+		}
+		for i := vmtypes.PFN(1); i < 20; i++ {
+			pfn, prot, ok := pm.Walk(vmtypes.VA(i) * ps)
+			if !ok || pfn != i {
+				t.Fatalf("Walk(%d) = %d,%v; want %d,true", i, pfn, ok, i)
+			}
+			if prot != vmtypes.ProtRead {
+				t.Fatalf("Walk prot = %v; want r--", prot)
+			}
+		}
+		if _, _, ok := pm.Walk(100 * ps); ok {
+			t.Fatal("Walk of unmapped page should miss")
+		}
+	})
+}
+
+func TestProtectReduces(t *testing.T) {
+	forEachArch(t, func(t *testing.T, a testArch) {
+		_, mod := newTestMachine(a, 1)
+		pm := mod.Create()
+		defer pm.Destroy()
+		ps := vmtypes.VA(a.hwPageSize)
+
+		pm.Enter(ps, 5, vmtypes.ProtDefault, false)
+		pm.Protect(ps, 2*ps, vmtypes.ProtRead)
+		_, prot, ok := pm.Walk(ps)
+		if !ok {
+			t.Fatal("mapping vanished on Protect")
+		}
+		if prot.Allows(vmtypes.ProtWrite) {
+			t.Fatalf("prot = %v; want write revoked", prot)
+		}
+	})
+}
+
+func TestRemoveAllAndCopyOnWrite(t *testing.T) {
+	forEachArch(t, func(t *testing.T, a testArch) {
+		if a.name == "rtpc" {
+			// The RT allows only one mapping per physical page;
+			// multi-map sharing is exercised by its own alias test.
+			t.Skip("rtpc cannot hold two mappings of one frame")
+		}
+		_, mod := newTestMachine(a, 1)
+		pm1 := mod.Create()
+		pm2 := mod.Create()
+		defer pm1.Destroy()
+		defer pm2.Destroy()
+		ps := vmtypes.VA(a.hwPageSize)
+
+		pm1.Enter(ps, 9, vmtypes.ProtDefault, false)
+		pm2.Enter(5*ps, 9, vmtypes.ProtDefault, false)
+
+		mod.CopyOnWrite(9)
+		for _, pm := range []pmap.Map{pm1, pm2} {
+			va := ps
+			if pm == pm2 {
+				va = 5 * ps
+			}
+			_, prot, ok := pm.Walk(va)
+			if !ok || prot.Allows(vmtypes.ProtWrite) {
+				t.Fatalf("CopyOnWrite left prot=%v ok=%v", prot, ok)
+			}
+		}
+
+		mod.RemoveAll(9)
+		if pm1.Access(ps) || pm2.Access(5*ps) {
+			t.Fatal("RemoveAll left a mapping behind")
+		}
+	})
+}
+
+func TestModRefBits(t *testing.T) {
+	forEachArch(t, func(t *testing.T, a testArch) {
+		_, mod := newTestMachine(a, 1)
+		if mod.IsModified(3) || mod.IsReferenced(3) {
+			t.Fatal("fresh frame should be clean")
+		}
+		mod.MarkAccess(3, false)
+		if !mod.IsReferenced(3) || mod.IsModified(3) {
+			t.Fatal("read access should set only the reference bit")
+		}
+		mod.MarkAccess(3, true)
+		if !mod.IsModified(3) {
+			t.Fatal("write access should set the modify bit")
+		}
+		mod.ClearModify(3)
+		mod.ClearReference(3)
+		if mod.IsModified(3) || mod.IsReferenced(3) {
+			t.Fatal("clear should clear")
+		}
+	})
+}
+
+func TestCollectForgetsButKeepsWired(t *testing.T) {
+	forEachArch(t, func(t *testing.T, a testArch) {
+		_, mod := newTestMachine(a, 1)
+		pm := mod.Create()
+		defer pm.Destroy()
+		ps := vmtypes.VA(a.hwPageSize)
+
+		pm.Enter(ps, 1, vmtypes.ProtDefault, false)
+		pm.Enter(2*ps, 2, vmtypes.ProtDefault, true) // wired
+		pm.Collect()
+		if pm.Access(ps) {
+			t.Fatal("Collect should discard non-wired mappings")
+		}
+		if !pm.Access(2 * ps) {
+			t.Fatal("Collect must keep wired mappings")
+		}
+	})
+}
+
+func TestAccessThroughTLB(t *testing.T) {
+	forEachArch(t, func(t *testing.T, a testArch) {
+		machine, mod := newTestMachine(a, 1)
+		pm := mod.Create()
+		defer pm.Destroy()
+		cpu := machine.CPU(0)
+		pm.Activate(cpu)
+		ps := vmtypes.VA(a.hwPageSize)
+
+		// Unmapped access faults.
+		res := pmap.Access(mod, cpu, pm, ps, vmtypes.ProtRead)
+		if res.Fault != vmtypes.FaultTranslation {
+			t.Fatalf("fault = %v; want translation", res.Fault)
+		}
+
+		pm.Enter(ps, 3, vmtypes.ProtDefault, false)
+		res = pmap.Access(mod, cpu, pm, ps, vmtypes.ProtWrite)
+		if res.Fault != vmtypes.FaultNone || res.PFN != 3 {
+			t.Fatalf("access = %+v; want pfn 3 no fault", res)
+		}
+		if res.TLBHit {
+			t.Fatal("first access should not hit the TLB")
+		}
+		res = pmap.Access(mod, cpu, pm, ps, vmtypes.ProtWrite)
+		if !res.TLBHit {
+			t.Fatal("second access should hit the TLB")
+		}
+		if !mod.IsModified(3) {
+			t.Fatal("write access should mark the frame modified")
+		}
+
+		// Protection fault on read-only mapping.
+		pm.Protect(ps, 2*ps, vmtypes.ProtRead)
+		res = pmap.Access(mod, cpu, pm, ps, vmtypes.ProtWrite)
+		if res.Fault != vmtypes.FaultProtection {
+			t.Fatalf("fault = %v; want protection", res.Fault)
+		}
+	})
+}
+
+func TestShootdownStrategies(t *testing.T) {
+	for _, strategy := range []pmap.Strategy{pmap.ShootImmediate, pmap.ShootDeferred, pmap.ShootLazy} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			a := allArchs()[4] // tlbonly: simplest module
+			machine := hw.NewMachine(hw.Config{
+				Cost:       a.cost,
+				HWPageSize: a.hwPageSize,
+				PhysFrames: a.frames,
+				CPUs:       4,
+				TLBSize:    64,
+			})
+			mod := a.newModule(machine, strategy)
+			pm := mod.Create()
+			defer pm.Destroy()
+			ps := vmtypes.VA(a.hwPageSize)
+			for _, cpu := range machine.CPUs() {
+				pm.Activate(cpu)
+			}
+			pm.Enter(ps, 3, vmtypes.ProtDefault, false)
+			// Warm every CPU's TLB.
+			for _, cpu := range machine.CPUs() {
+				if res := pmap.Access(mod, cpu, pm, ps, vmtypes.ProtRead); res.Fault != vmtypes.FaultNone {
+					t.Fatalf("warmup fault on cpu %d: %v", cpu.ID, res.Fault)
+				}
+			}
+			before := machine.IPIsSent()
+			pm.Remove(ps, 2*ps)
+			switch strategy {
+			case pmap.ShootImmediate:
+				if machine.IPIsSent() == before {
+					t.Fatal("immediate strategy should send IPIs")
+				}
+			case pmap.ShootDeferred, pmap.ShootLazy:
+				if machine.IPIsSent() != before {
+					t.Fatal("deferred/lazy removal must not send IPIs")
+				}
+				// Until the tick, remote TLBs may be stale; after
+				// Update they must not be.
+				mod.Update()
+			}
+			for _, cpu := range machine.CPUs() {
+				if res := pmap.Access(mod, cpu, pm, ps, vmtypes.ProtRead); res.Fault == vmtypes.FaultNone {
+					t.Fatalf("cpu %d still translates a removed page under %v", cpu.ID, strategy)
+				}
+			}
+		})
+	}
+}
+
+func TestRTAliasReplacement(t *testing.T) {
+	machine := hw.NewMachine(hw.Config{
+		Cost:       rtpc.DefaultCost(),
+		HWPageSize: rtpc.HWPageSize,
+		PhysFrames: 1024,
+		CPUs:       1,
+		TLBSize:    64,
+	})
+	mod := rtpc.New(machine, pmap.ShootImmediate)
+	pm1 := mod.Create()
+	pm2 := mod.Create()
+	defer pm1.Destroy()
+	defer pm2.Destroy()
+	ps := vmtypes.VA(rtpc.HWPageSize)
+
+	pm1.Enter(ps, 9, vmtypes.ProtDefault, false)
+	if !pm1.Access(ps) {
+		t.Fatal("pm1 mapping missing")
+	}
+	// A second task mapping the same frame evicts the first mapping:
+	// only one valid mapping per physical page.
+	pm2.Enter(7*ps, 9, vmtypes.ProtDefault, false)
+	if pm1.Access(ps) {
+		t.Fatal("RT must have evicted pm1's mapping of frame 9")
+	}
+	if !pm2.Access(7 * ps) {
+		t.Fatal("pm2 mapping missing")
+	}
+	if got := mod.Stats().AliasReplaces.Load(); got != 1 {
+		t.Fatalf("AliasReplaces = %d; want 1", got)
+	}
+}
+
+func TestSun3ContextStealing(t *testing.T) {
+	machine := hw.NewMachine(hw.Config{
+		Cost:       sun3.DefaultCost(),
+		HWPageSize: sun3.HWPageSize,
+		PhysFrames: 1024,
+		CPUs:       1,
+		TLBSize:    64,
+	})
+	mod := sun3.New(machine, pmap.ShootImmediate)
+	cpu := machine.CPU(0)
+	ps := vmtypes.VA(sun3.HWPageSize)
+
+	maps := make([]pmap.Map, sun3.NumContexts+2)
+	for i := range maps {
+		maps[i] = mod.Create()
+		maps[i].Activate(cpu)
+		maps[i].Enter(ps, vmtypes.PFN(i+1), vmtypes.ProtDefault, false)
+		maps[i].Deactivate(cpu)
+	}
+	if got := mod.ContextSteals(); got != 2 {
+		t.Fatalf("ContextSteals = %d; want 2", got)
+	}
+	// The two earliest maps lost their contexts and with them their
+	// loaded translations.
+	stolen := 0
+	for _, m := range maps {
+		if !m.Access(ps) {
+			stolen++
+		}
+	}
+	if stolen != 2 {
+		t.Fatalf("%d maps lost hardware state; want 2", stolen)
+	}
+	for _, m := range maps {
+		m.Destroy()
+	}
+}
+
+func TestNS32082Limits(t *testing.T) {
+	machine := hw.NewMachine(hw.Config{
+		Cost:       ns32082.DefaultCost(),
+		HWPageSize: ns32082.HWPageSize,
+		PhysFrames: (ns32082.MaxPhysBytes / ns32082.HWPageSize) + 100,
+		CPUs:       1,
+		TLBSize:    64,
+	})
+	mod := ns32082.New(machine, pmap.ShootImmediate)
+	if mod.MaxVA() != ns32082.MaxUserVA {
+		t.Fatalf("MaxVA = %d; want 16MB", mod.MaxVA())
+	}
+	if mod.MaxFrames() != ns32082.MaxPhysBytes/ns32082.HWPageSize {
+		t.Fatalf("MaxFrames = %d; want the 32MB cap", mod.MaxFrames())
+	}
+	pm := mod.Create()
+	defer pm.Destroy()
+	mustPanic(t, "VA beyond 16MB", func() {
+		pm.Enter(ns32082.MaxUserVA, 1, vmtypes.ProtRead, false)
+	})
+	mustPanic(t, "frame beyond 32MB", func() {
+		pm.Enter(0, vmtypes.PFN(mod.MaxFrames()), vmtypes.ProtRead, false)
+	})
+}
+
+func TestNS32082RMWBugAndWorkaround(t *testing.T) {
+	machine := hw.NewMachine(hw.Config{
+		Cost:       ns32082.DefaultCost(),
+		HWPageSize: ns32082.HWPageSize,
+		PhysFrames: 1024,
+		CPUs:       1,
+		TLBSize:    64,
+	})
+	mod := ns32082.New(machine, pmap.ShootImmediate)
+	pm := mod.Create()
+	defer pm.Destroy()
+	cpu := machine.CPU(0)
+	pm.Activate(cpu)
+	ps := vmtypes.VA(ns32082.HWPageSize)
+
+	pm.Enter(ps, 3, vmtypes.ProtRead, false)
+	res := pmap.Access(mod, cpu, pm, ps, vmtypes.ProtWrite)
+	if res.Fault != vmtypes.FaultProtection {
+		t.Fatalf("fault = %v; want protection", res.Fault)
+	}
+	// The chip bug: the write fault is *reported* as a read fault.
+	if res.Reported != vmtypes.ProtRead {
+		t.Fatalf("reported = %v; want read (the chip bug)", res.Reported)
+	}
+	// The workaround: a reported read fault on a readable mapping must
+	// really be a write.
+	if got := mod.CorrectFaultAccess(res.Reported, res.MappingProt); got != vmtypes.ProtWrite {
+		t.Fatalf("CorrectFaultAccess = %v; want write", got)
+	}
+}
+
+func TestTableMemoryAccounting(t *testing.T) {
+	// The VAX constructs page tables on demand and frees them; the RT's
+	// inverted table is fixed-size regardless of address-space use. This
+	// is the §5.1 space comparison.
+	machineV := hw.NewMachine(hw.Config{Cost: vax.DefaultCost(), HWPageSize: vax.HWPageSize, PhysFrames: 4096, CPUs: 1})
+	modV := vax.New(machineV, pmap.ShootImmediate)
+	base := modV.Stats().TableBytes.Load()
+	pmV := modV.Create()
+	ps := vmtypes.VA(vax.HWPageSize)
+	for i := 0; i < 1000; i++ {
+		pmV.Enter(vmtypes.VA(i)*ps, vmtypes.PFN(i%4000), vmtypes.ProtDefault, false)
+	}
+	grown := modV.Stats().TableBytes.Load()
+	if grown <= base {
+		t.Fatal("VAX table memory should grow with mappings")
+	}
+	pmV.Destroy()
+	if got := modV.Stats().TableBytes.Load(); got != base {
+		t.Fatalf("VAX table memory after destroy = %d; want %d", got, base)
+	}
+
+	machineR := hw.NewMachine(hw.Config{Cost: rtpc.DefaultCost(), HWPageSize: rtpc.HWPageSize, PhysFrames: 2048, CPUs: 1})
+	modR := rtpc.New(machineR, pmap.ShootImmediate)
+	fixed := modR.Stats().TableBytes.Load()
+	pmR := modR.Create()
+	for i := 0; i < 1000; i++ {
+		pmR.Enter(vmtypes.VA(i)*vmtypes.VA(rtpc.HWPageSize), vmtypes.PFN(i), vmtypes.ProtDefault, false)
+	}
+	if got := modR.Stats().TableBytes.Load(); got != fixed {
+		t.Fatalf("RT table memory grew to %d; the inverted table is fixed at %d", got, fixed)
+	}
+	pmR.Destroy()
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func ExampleStrategy() {
+	for _, s := range []pmap.Strategy{pmap.ShootImmediate, pmap.ShootDeferred, pmap.ShootLazy} {
+		fmt.Println(s)
+	}
+	// Output:
+	// immediate
+	// deferred
+	// lazy
+}

@@ -1,0 +1,86 @@
+package pmap
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"machvm/internal/hw"
+)
+
+var spaceCounter atomic.Uint32
+
+// AllocSpace returns a fresh address-space identifier for TLB tagging.
+func AllocSpace() uint32 { return spaceCounter.Add(1) }
+
+// MapCore is the state every machine-dependent Map shares: a space
+// identifier, a reference count, and the set of CPUs the map is active on.
+// It is embedded by each machine's map implementation.
+type MapCore struct {
+	space uint32
+	refs  atomic.Int32
+
+	activeMu sync.Mutex
+	active   []*hw.CPU
+}
+
+// InitCore initialises the core with a fresh space and one reference.
+func (mc *MapCore) InitCore() {
+	mc.space = AllocSpace()
+	mc.refs.Store(1)
+}
+
+// Space returns the TLB space identifier.
+func (mc *MapCore) Space() uint32 { return mc.space }
+
+// Reference adds a reference (pmap_reference).
+func (mc *MapCore) Reference() { mc.refs.Add(1) }
+
+// Release drops a reference and reports whether it was the last.
+func (mc *MapCore) Release() bool { return mc.refs.Add(-1) <= 0 }
+
+// Refs returns the current reference count.
+func (mc *MapCore) Refs() int32 { return mc.refs.Load() }
+
+// ActivateOn records that cpu is now running with this map.
+func (mc *MapCore) ActivateOn(cpu *hw.CPU) {
+	mc.activeMu.Lock()
+	defer mc.activeMu.Unlock()
+	for _, c := range mc.active {
+		if c == cpu {
+			return
+		}
+	}
+	mc.active = append(mc.active, cpu)
+	cpu.SetActiveSpace(mc.space)
+}
+
+// DeactivateOn records that cpu no longer runs with this map.
+func (mc *MapCore) DeactivateOn(cpu *hw.CPU) {
+	mc.activeMu.Lock()
+	defer mc.activeMu.Unlock()
+	for i, c := range mc.active {
+		if c == cpu {
+			mc.active[i] = mc.active[len(mc.active)-1]
+			mc.active = mc.active[:len(mc.active)-1]
+			return
+		}
+	}
+}
+
+// ActiveCPUs returns a snapshot of the CPUs this map is active on.
+// Full information as to which processors are currently using which maps
+// is provided to pmap from machine-independent code (§3.6).
+func (mc *MapCore) ActiveCPUs() []*hw.CPU {
+	mc.activeMu.Lock()
+	defer mc.activeMu.Unlock()
+	out := make([]*hw.CPU, len(mc.active))
+	copy(out, mc.active)
+	return out
+}
+
+// IsActive reports whether any CPU currently uses the map.
+func (mc *MapCore) IsActive() bool {
+	mc.activeMu.Lock()
+	defer mc.activeMu.Unlock()
+	return len(mc.active) > 0
+}

@@ -1,0 +1,367 @@
+// Package ns32082 implements the machine-dependent pmap module for the
+// National Semiconductor NS32082 MMU used by both the Encore MultiMax and
+// the Sequent Balance — the multiprocessors Mach ran on.
+//
+// The chip posed several problems unrelated to multiprocessing (§5.1):
+// only 16 megabytes of virtual memory may be addressed per page table,
+// only 32 megabytes of physical memory may be addressed, and a chip bug
+// causes read-modify-write faults to always be reported as read faults,
+// even though Mach depends on detecting write faults for copy-on-write.
+// The workaround reproduced here is the observation that a *reported* read
+// fault against a mapping that already permits reading cannot actually be
+// a read fault, so it must be serviced as a write.
+package ns32082
+
+import (
+	"sync"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/vmtypes"
+)
+
+// Hardware constants.
+const (
+	// HWPageSize is the NS32082 hardware page size.
+	HWPageSize = 512
+	// l2Entries is the number of PTEs per second-level table and
+	// l1Entries the number of second-level tables; together they cover
+	// exactly the 16MB virtual limit (256 * 128 * 512 bytes).
+	l1Entries = 256
+	l2Entries = 128
+	// MaxUserVA is the 16-megabyte per-page-table virtual limit.
+	MaxUserVA = vmtypes.VA(16) << 20
+	// MaxPhysBytes is the 32-megabyte physical addressing limit. (The
+	// MultiMax later added special hardware to address a full 4GB; the
+	// module models the stock chip.)
+	MaxPhysBytes = 32 << 20
+	// l2TableBytes is the memory footprint of one second-level table.
+	l2TableBytes = l2Entries * 4
+)
+
+// DefaultCost approximates one NS32032 processor of an Encore MultiMax or
+// Sequent Balance (~0.75 MIPS per CPU).
+func DefaultCost() hw.CostModel {
+	return hw.CostModel{
+		Name:         "NS32082 (MultiMax/Balance)",
+		TLBMiss:      600,
+		WalkLevel:    1000,
+		MemAccess:    450,
+		FaultTrap:    hw.Microseconds(200),
+		Syscall:      hw.Microseconds(160),
+		ZeroPerKB:    hw.Microseconds(170),
+		CopyPerKB:    hw.Microseconds(340),
+		PTEOp:        hw.Microseconds(3),
+		MapEntryOp:   hw.Microseconds(45),
+		TLBFlushPage: hw.Microseconds(3),
+		TLBFlushAll:  hw.Microseconds(30),
+		IPI:          hw.Microseconds(90), // the buses were built for IPIs
+		ContextLoad:  hw.Microseconds(50),
+		TaskCreate:   hw.Milliseconds(20),
+		MsgOp:        hw.Microseconds(320),
+		DiskLatency:  hw.Milliseconds(28),
+		DiskPerKB:    hw.Microseconds(1500),
+	}
+}
+
+// Module is the NS32082 machine-dependent module.
+type Module struct {
+	pmap.ModuleBase
+}
+
+// New creates an NS32082 pmap module for the machine. Physical frames
+// beyond the 32MB limit exist but are unusable: MaxFrames reports the cap
+// and the machine-independent layer must not hand them out.
+func New(m *hw.Machine, strategy pmap.Strategy) *Module {
+	if m.Mem.PageSize() != HWPageSize {
+		panic("ns32082: machine must use 512-byte hardware pages")
+	}
+	mod := &Module{}
+	mod.InitBase("NS32082", m, strategy, MaxUserVA, MaxPhysBytes/HWPageSize)
+	return mod
+}
+
+// ReportFault models the chip bug: a write (read-modify-write) access that
+// faults is reported as a read fault.
+func (mod *Module) ReportFault(real vmtypes.Prot) vmtypes.Prot {
+	if real.Allows(vmtypes.ProtWrite) {
+		return vmtypes.ProtRead
+	}
+	return real
+}
+
+// CorrectFaultAccess is the machine-dependent workaround: a reported read
+// fault against a mapping that already allows reads must really have been
+// a write, so service it as one. Translation faults (no mapping) cannot be
+// disambiguated; they are serviced as reported, and if the access was
+// actually a write the subsequent protection fault is corrected here.
+func (mod *Module) CorrectFaultAccess(reported, mappingProt vmtypes.Prot) vmtypes.Prot {
+	if reported == vmtypes.ProtRead && mappingProt.Allows(vmtypes.ProtRead) {
+		return vmtypes.ProtWrite
+	}
+	return reported
+}
+
+// Create makes a new two-level page table (pmap_create).
+func (mod *Module) Create() pmap.Map {
+	nm := &nsMap{mod: mod, l1: make(map[uint32]*l2table)}
+	nm.InitCore()
+	return nm
+}
+
+type pte struct {
+	pfn   vmtypes.PFN
+	prot  vmtypes.Prot
+	valid bool
+	wired bool
+}
+
+type l2table struct {
+	ptes [l2Entries]pte
+	used int
+}
+
+type nsMap struct {
+	pmap.MapCore
+	mod *Module
+
+	mu       sync.Mutex
+	l1       map[uint32]*l2table
+	resident int
+}
+
+func (m *nsMap) tableFor(vpn uint64, create bool) *l2table {
+	idx := uint32(vpn / l2Entries)
+	t := m.l1[idx]
+	if t == nil && create {
+		t = &l2table{}
+		m.l1[idx] = t
+		m.mod.Machine().ChargeKB(m.mod.Machine().Cost.ZeroPerKB, l2TableBytes)
+		m.mod.Stats().AddTableBytes(l2TableBytes)
+	}
+	return t
+}
+
+// Enter establishes one hardware mapping (pmap_enter).
+func (m *nsMap) Enter(va vmtypes.VA, pfn vmtypes.PFN, prot vmtypes.Prot, wired bool) {
+	if va >= MaxUserVA {
+		panic("ns32082: virtual address beyond the 16MB page-table limit")
+	}
+	if int(pfn) >= m.mod.MaxFrames() {
+		panic("ns32082: physical frame beyond the 32MB addressing limit")
+	}
+	mod := m.mod
+	vpn := uint64(va) / HWPageSize
+	mod.Stats().Enters.Add(1)
+	mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+
+	m.mu.Lock()
+	t := m.tableFor(vpn, true)
+	e := &t.ptes[vpn%l2Entries]
+	replaced := e.valid
+	oldPFN := e.pfn
+	if !e.valid {
+		t.used++
+		m.resident++
+	}
+	*e = pte{pfn: pfn, prot: prot, valid: true, wired: wired}
+	m.mu.Unlock()
+
+	if replaced {
+		if oldPFN != pfn {
+			mod.DB().RemovePV(oldPFN, m, va&^vmtypes.VA(HWPageSize-1))
+		}
+		mod.Shootdown().InvalidatePage(m.Space(), vpn, m.ActiveCPUs(), true)
+	}
+	mod.DB().AddPV(pfn, m, va&^vmtypes.VA(HWPageSize-1))
+}
+
+// Remove invalidates mappings in [start, end) (pmap_remove).
+func (m *nsMap) Remove(start, end vmtypes.VA) {
+	mod := m.mod
+	mod.Stats().Removes.Add(1)
+	if end > MaxUserVA {
+		end = MaxUserVA
+	}
+	for vpn := uint64(start) / HWPageSize; vpn < (uint64(end)+HWPageSize-1)/HWPageSize; vpn++ {
+		m.mu.Lock()
+		t := m.tableFor(vpn, false)
+		if t == nil {
+			m.mu.Unlock()
+			vpn = (vpn/l2Entries+1)*l2Entries - 1
+			continue
+		}
+		e := &t.ptes[vpn%l2Entries]
+		if !e.valid {
+			m.mu.Unlock()
+			continue
+		}
+		pfn := e.pfn
+		*e = pte{}
+		t.used--
+		m.resident--
+		if t.used == 0 {
+			delete(m.l1, uint32(vpn/l2Entries))
+			mod.Stats().AddTableBytes(-l2TableBytes)
+		}
+		m.mu.Unlock()
+
+		mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+		mod.DB().RemovePV(pfn, m, vmtypes.VA(vpn*HWPageSize))
+		mod.Shootdown().InvalidatePage(m.Space(), vpn, m.ActiveCPUs(), true)
+	}
+}
+
+// Protect reduces protection on [start, end) (pmap_protect).
+func (m *nsMap) Protect(start, end vmtypes.VA, prot vmtypes.Prot) {
+	mod := m.mod
+	mod.Stats().Protects.Add(1)
+	if end > MaxUserVA {
+		end = MaxUserVA
+	}
+	for vpn := uint64(start) / HWPageSize; vpn < (uint64(end)+HWPageSize-1)/HWPageSize; vpn++ {
+		m.mu.Lock()
+		t := m.tableFor(vpn, false)
+		if t == nil {
+			m.mu.Unlock()
+			vpn = (vpn/l2Entries+1)*l2Entries - 1
+			continue
+		}
+		e := &t.ptes[vpn%l2Entries]
+		changed := false
+		if e.valid {
+			np := e.prot.Intersect(prot)
+			changed = np != e.prot
+			e.prot = np
+		}
+		m.mu.Unlock()
+		if changed {
+			mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+			mod.Shootdown().InvalidatePage(m.Space(), vpn, m.ActiveCPUs(), false)
+		}
+	}
+}
+
+// Walk performs the two-level hardware table walk.
+func (m *nsMap) Walk(va vmtypes.VA) (vmtypes.PFN, vmtypes.Prot, bool) {
+	mod := m.mod
+	mod.Stats().Walks.Add(1)
+	mod.Machine().Charge(2 * mod.Machine().Cost.WalkLevel)
+	if va >= MaxUserVA {
+		mod.Stats().WalkMisses.Add(1)
+		return 0, 0, false
+	}
+	vpn := uint64(va) / HWPageSize
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tableFor(vpn, false)
+	if t == nil || !t.ptes[vpn%l2Entries].valid {
+		mod.Stats().WalkMisses.Add(1)
+		return 0, 0, false
+	}
+	e := t.ptes[vpn%l2Entries]
+	return e.pfn, e.prot, true
+}
+
+// Extract returns the frame mapped at va (pmap_extract).
+func (m *nsMap) Extract(va vmtypes.VA) (vmtypes.PFN, bool) {
+	if va >= MaxUserVA {
+		return 0, false
+	}
+	vpn := uint64(va) / HWPageSize
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tableFor(vpn, false)
+	if t == nil || !t.ptes[vpn%l2Entries].valid {
+		return 0, false
+	}
+	return t.ptes[vpn%l2Entries].pfn, true
+}
+
+// Access reports whether va is mapped (pmap_access).
+func (m *nsMap) Access(va vmtypes.VA) bool {
+	_, ok := m.Extract(va)
+	return ok
+}
+
+// Activate loads the map's page-table base on a CPU.
+func (m *nsMap) Activate(cpu *hw.CPU) {
+	m.mod.Machine().Charge(m.mod.Machine().Cost.ContextLoad)
+	m.ActivateOn(cpu)
+}
+
+// Deactivate unloads the map; the MMU's small translation cache does not
+// survive a context switch.
+func (m *nsMap) Deactivate(cpu *hw.CPU) {
+	m.DeactivateOn(cpu)
+	m.mod.Machine().Charge(m.mod.Machine().Cost.TLBFlushAll)
+	cpu.TLB.FlushSpace(m.Space())
+}
+
+// Collect throws away non-wired mappings and empty second-level tables.
+func (m *nsMap) Collect() {
+	mod := m.mod
+	mod.Stats().Collects.Add(1)
+	type victim struct {
+		vpn uint64
+		pfn vmtypes.PFN
+	}
+	var victims []victim
+	m.mu.Lock()
+	for idx, t := range m.l1 {
+		for i := range t.ptes {
+			e := &t.ptes[i]
+			if e.valid && !e.wired {
+				victims = append(victims, victim{vpn: uint64(idx)*l2Entries + uint64(i), pfn: e.pfn})
+				*e = pte{}
+				t.used--
+				m.resident--
+			}
+		}
+		if t.used == 0 {
+			delete(m.l1, idx)
+			mod.Stats().AddTableBytes(-l2TableBytes)
+		}
+	}
+	m.mu.Unlock()
+	for _, v := range victims {
+		mod.DB().RemovePV(v.pfn, m, vmtypes.VA(v.vpn*HWPageSize))
+	}
+	mod.Shootdown().InvalidateSpace(m.Space(), m.ActiveCPUs())
+}
+
+// Destroy drops a reference and frees the tables when none remain.
+func (m *nsMap) Destroy() {
+	if !m.Release() {
+		return
+	}
+	mod := m.mod
+	type victim struct {
+		vpn uint64
+		pfn vmtypes.PFN
+	}
+	var victims []victim
+	m.mu.Lock()
+	for idx, t := range m.l1 {
+		for i := range t.ptes {
+			if e := t.ptes[i]; e.valid {
+				victims = append(victims, victim{vpn: uint64(idx)*l2Entries + uint64(i), pfn: e.pfn})
+			}
+		}
+		delete(m.l1, idx)
+		mod.Stats().AddTableBytes(-l2TableBytes)
+	}
+	m.resident = 0
+	m.mu.Unlock()
+	for _, v := range victims {
+		mod.DB().RemovePV(v.pfn, m, vmtypes.VA(v.vpn*HWPageSize))
+	}
+	mod.Shootdown().InvalidateSpace(m.Space(), m.ActiveCPUs())
+}
+
+// ResidentCount returns the number of hardware mappings held.
+func (m *nsMap) ResidentCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resident
+}

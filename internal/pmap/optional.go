@@ -1,0 +1,26 @@
+package pmap
+
+import "machvm/internal/vmtypes"
+
+// Table 3-4 lists two exported but optional pmap routines: pmap_copy and
+// pmap_pageable. "These routines need not perform any hardware function" —
+// a module implements them only when doing so helps that machine.
+
+// Copier is the optional pmap_copy(dst_pmap, src_pmap, dst_addr, len,
+// src_addr): copy the specified virtual mapping. A machine whose mapping
+// entries are cheap to duplicate can prewarm a child's map at fork so the
+// child does not refault everything; machines where that is a bad trade
+// simply do not implement the interface.
+type Copier interface {
+	// CopyMappings duplicates the mappings of [srcAddr, srcAddr+length)
+	// into dst at dstAddr, write-protected (the caller uses this for
+	// copy-on-write fork, so the copies must fault on first write).
+	CopyMappings(dst Map, dstAddr vmtypes.VA, length uint64, srcAddr vmtypes.VA)
+}
+
+// Pageabler is the optional pmap_pageable(pmap, start, end, pageable):
+// a hint that a range's mappings will (not) be subject to pageout, letting
+// a module keep fragile structures (like VAX page-table pages) resident.
+type Pageabler interface {
+	Pageable(start, end vmtypes.VA, pageable bool)
+}

@@ -1,0 +1,148 @@
+package pmap
+
+import (
+	"sync"
+
+	"machvm/internal/vmtypes"
+)
+
+// PV is one physical-to-virtual entry: a map and the virtual address at
+// which it holds a given physical page. The pv lists let the physical-page
+// operations (RemoveAll, CopyOnWrite) find every mapping of a frame.
+type PV struct {
+	Map Map
+	VA  vmtypes.VA
+}
+
+type frameState struct {
+	pvs        []PV
+	modified   bool
+	referenced bool
+}
+
+// PhysDB is the per-machine physical page database shared by all the pmap
+// modules: reverse (physical-to-virtual) mappings plus the modify and
+// reference bits the paper's Table 3-3 groups under "modify/reference bit
+// maintenance".
+type PhysDB struct {
+	mu     sync.Mutex
+	frames []frameState
+}
+
+// NewPhysDB creates a database covering nframes hardware frames.
+func NewPhysDB(nframes int) *PhysDB {
+	return &PhysDB{frames: make([]frameState, nframes)}
+}
+
+func (db *PhysDB) valid(pfn vmtypes.PFN) bool { return pfn < vmtypes.PFN(len(db.frames)) }
+
+// AddPV records that m maps pfn at va. Duplicate (m, va) pairs are
+// coalesced.
+func (db *PhysDB) AddPV(pfn vmtypes.PFN, m Map, va vmtypes.VA) {
+	if !db.valid(pfn) {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fs := &db.frames[pfn]
+	for _, pv := range fs.pvs {
+		if pv.Map == m && pv.VA == va {
+			return
+		}
+	}
+	fs.pvs = append(fs.pvs, PV{Map: m, VA: va})
+}
+
+// RemovePV forgets the (m, va) mapping of pfn.
+func (db *PhysDB) RemovePV(pfn vmtypes.PFN, m Map, va vmtypes.VA) {
+	if !db.valid(pfn) {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fs := &db.frames[pfn]
+	for i, pv := range fs.pvs {
+		if pv.Map == m && pv.VA == va {
+			fs.pvs[i] = fs.pvs[len(fs.pvs)-1]
+			fs.pvs = fs.pvs[:len(fs.pvs)-1]
+			return
+		}
+	}
+}
+
+// PVs returns a snapshot of the mappings of pfn. The snapshot is safe to
+// iterate while the underlying lists change (RemoveAll mutates them).
+func (db *PhysDB) PVs(pfn vmtypes.PFN) []PV {
+	if !db.valid(pfn) {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]PV, len(db.frames[pfn].pvs))
+	copy(out, db.frames[pfn].pvs)
+	return out
+}
+
+// PVCount returns how many maps currently hold pfn.
+func (db *PhysDB) PVCount(pfn vmtypes.PFN) int {
+	if !db.valid(pfn) {
+		return 0
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.frames[pfn].pvs)
+}
+
+// MarkAccess sets the reference bit, and the modify bit if write is true.
+func (db *PhysDB) MarkAccess(pfn vmtypes.PFN, write bool) {
+	if !db.valid(pfn) {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fs := &db.frames[pfn]
+	fs.referenced = true
+	if write {
+		fs.modified = true
+	}
+}
+
+// IsModified reports the modify bit.
+func (db *PhysDB) IsModified(pfn vmtypes.PFN) bool {
+	if !db.valid(pfn) {
+		return false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.frames[pfn].modified
+}
+
+// ClearModify clears the modify bit.
+func (db *PhysDB) ClearModify(pfn vmtypes.PFN) {
+	if !db.valid(pfn) {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.frames[pfn].modified = false
+}
+
+// IsReferenced reports the reference bit.
+func (db *PhysDB) IsReferenced(pfn vmtypes.PFN) bool {
+	if !db.valid(pfn) {
+		return false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.frames[pfn].referenced
+}
+
+// ClearReference clears the reference bit.
+func (db *PhysDB) ClearReference(pfn vmtypes.PFN) {
+	if !db.valid(pfn) {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.frames[pfn].referenced = false
+}

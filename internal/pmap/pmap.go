@@ -1,0 +1,142 @@
+// Package pmap defines the machine-independent/machine-dependent interface
+// of the paper's §3.6 (Tables 3-3 and 3-4) and the helpers shared by the
+// machine-dependent modules in its subpackages.
+//
+// The contract mirrors the paper's unusual property: a pmap need not keep
+// track of all currently valid mappings. Virtual-to-physical mappings may
+// be thrown away at almost any time (Collect, context stealing on the
+// SUN 3, alias replacement on the IBM RT PC), and new mappings need not be
+// made immediately, because all virtual memory information can be
+// reconstructed at fault time from the machine-independent structures.
+// The only mappings that must stay complete are the kernel's own; this
+// simulation's "kernel" addresses physical frames directly, so that
+// obligation is discharged by construction.
+package pmap
+
+import (
+	"machvm/internal/hw"
+	"machvm/internal/vmtypes"
+)
+
+// Map is one task's physical address map: the per-address-space half of
+// the pmap interface (pmap_create .. pmap_deactivate in Table 3-3).
+//
+// All addresses are in hardware pages; the machine-independent layer is
+// responsible for decomposing Mach pages (a power-of-two multiple of the
+// hardware page size) into hardware-page operations.
+type Map interface {
+	// Enter establishes a mapping from va to pfn with the given
+	// protection (pmap_enter). Entering over an existing mapping
+	// replaces it. Wired mappings survive Collect.
+	Enter(va vmtypes.VA, pfn vmtypes.PFN, prot vmtypes.Prot, wired bool)
+
+	// Remove invalidates all mappings in [start, end) (pmap_remove).
+	Remove(start, end vmtypes.VA)
+
+	// Protect sets the protection on [start, end) to at most prot
+	// (pmap_protect). Protection can only be reduced through this call;
+	// raising protection is done by re-entering the mapping at fault
+	// time.
+	Protect(start, end vmtypes.VA, prot vmtypes.Prot)
+
+	// Extract returns the frame a virtual address maps to, if any
+	// (pmap_extract); Access reports whether the address is mapped
+	// (pmap_access). These are software queries and charge nothing.
+	Extract(va vmtypes.VA) (vmtypes.PFN, bool)
+	Access(va vmtypes.VA) bool
+
+	// Walk performs the hardware translation: the table walk (or hash
+	// probe) the MMU would do on a TLB miss. It charges walk costs and
+	// returns the frame and the protection of the mapping.
+	Walk(va vmtypes.VA) (vmtypes.PFN, vmtypes.Prot, bool)
+
+	// Activate and Deactivate track which CPUs are using this map
+	// (pmap_activate / pmap_deactivate). The machine-independent side
+	// supplies full information about which processors use which maps
+	// (§3.6); the module uses it to target TLB invalidations.
+	Activate(cpu *hw.CPU)
+	Deactivate(cpu *hw.CPU)
+
+	// Collect garbage-collects non-wired mapping state to save space or
+	// time, as the paper permits. Subsequent accesses refault and the
+	// machine-independent layer re-enters the mappings.
+	Collect()
+
+	// Space returns the address-space identifier used to tag TLB
+	// entries belonging to this map.
+	Space() uint32
+
+	// Reference and Destroy manage the map's life
+	// (pmap_reference / pmap_destroy).
+	Reference()
+	Destroy()
+
+	// ResidentCount returns the number of hardware mappings currently
+	// held (an accounting aid, not part of the historical interface).
+	ResidentCount() int
+}
+
+// Module is the per-machine half of the interface: the operations indexed
+// by physical page (pmap_remove_all, pmap_copy_on_write, pmap_zero_page,
+// pmap_copy_page, modify/reference bit maintenance) plus machine limits.
+type Module interface {
+	// Name identifies the architecture, e.g. "VAX".
+	Name() string
+
+	// Machine returns the simulated hardware this module drives.
+	Machine() *hw.Machine
+
+	// Create makes a new, empty physical map (pmap_create).
+	Create() Map
+
+	// RemoveAll removes a physical page from every map that holds it
+	// (pmap_remove_all; used by pageout).
+	RemoveAll(pfn vmtypes.PFN)
+
+	// CopyOnWrite revokes write access to a physical page in every map
+	// (pmap_copy_on_write; used by virtual copy of shared pages).
+	CopyOnWrite(pfn vmtypes.PFN)
+
+	// ZeroPage zero-fills and CopyPage copies physical pages
+	// (pmap_zero_page / pmap_copy_page).
+	ZeroPage(pfn vmtypes.PFN)
+	CopyPage(src, dst vmtypes.PFN)
+
+	// Modify/reference bit maintenance. MarkAccess is the simulation's
+	// stand-in for the MMU setting bits on access.
+	IsModified(pfn vmtypes.PFN) bool
+	ClearModify(pfn vmtypes.PFN)
+	IsReferenced(pfn vmtypes.PFN) bool
+	ClearReference(pfn vmtypes.PFN)
+	MarkAccess(pfn vmtypes.PFN, write bool)
+
+	// Update forces all delayed invalidations to completion
+	// (pmap_update: "one pmap system"). With the deferred shootdown
+	// strategy this delivers the pending timer-tick flushes.
+	Update()
+
+	// ReportFault translates the real access into what this machine's
+	// MMU would report. The NS32082 reports read-modify-write faults as
+	// read faults (§5.1); other machines report faithfully.
+	ReportFault(real vmtypes.Prot) vmtypes.Prot
+
+	// CorrectFaultAccess is the machine-dependent workaround hook: given
+	// the reported access and the protection the faulting mapping
+	// carried, it returns the access the fault handler should service.
+	CorrectFaultAccess(reported, mappingProt vmtypes.Prot) vmtypes.Prot
+
+	// MaxVA returns the highest usable virtual address + 1 for a user
+	// map (the NS32082 can address only 16 megabytes per page table).
+	MaxVA() vmtypes.VA
+
+	// MaxFrames returns the number of physical frames this MMU can
+	// address (the NS32082 caps physical memory at 32 megabytes);
+	// frames at or beyond the limit are unusable.
+	MaxFrames() int
+
+	// Shootdown returns the module's TLB consistency machinery.
+	Shootdown() *Shooter
+
+	// Stats returns the module-wide counters.
+	Stats() *ModuleStats
+}

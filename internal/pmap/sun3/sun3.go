@@ -1,0 +1,438 @@
+// Package sun3 implements the machine-dependent pmap module for the SUN 3.
+//
+// The SUN 3 MMU combines segment maps and page maps held in dedicated MMU
+// RAM, which makes sparse 256-megabyte address maps reasonably cheap — but
+// only 8 contexts exist at any one time. With more than 8 active tasks,
+// tasks compete for contexts, and a task whose context is stolen loses its
+// loaded translations and refaults them on its next run, "introducing
+// additional page faults as on the RT" (§5.1). The machine's other quirk
+// is a physical address space with large holes (display memory addressed
+// as high physical memory); the hole handling lives in hw.PhysMem and this
+// module simply never sees the unpopulated frames, mirroring how the SUN
+// port contained the problem entirely within machine-dependent code.
+package sun3
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/vmtypes"
+)
+
+// Hardware constants.
+const (
+	// HWPageSize is the SUN 3 hardware page size.
+	HWPageSize = 8192
+	// pagesPerPMEG is the number of page entries in one page-map entry
+	// group; a PMEG maps one 128KB segment.
+	pagesPerPMEG = 16
+	// segmentSize is the span of one segment-map entry.
+	segmentSize = HWPageSize * pagesPerPMEG
+	// NumContexts is the number of hardware contexts.
+	NumContexts = 8
+	// MaxUserVA: the SUN 3 manages per-task address maps up to 256
+	// megabytes each (§5.1).
+	MaxUserVA = vmtypes.VA(256) << 20
+	// mmuRAMBytes approximates the fixed MMU RAM: 8 contexts of segment
+	// map plus the PMEG array.
+	mmuRAMBytes = NumContexts*(int(MaxUserVA/segmentSize))*2 + 256*pagesPerPMEG*4
+)
+
+// DefaultCost approximates a SUN 3/160 (16.67 MHz 68020).
+func DefaultCost() hw.CostModel {
+	return hw.CostModel{
+		Name:         "SUN 3/160",
+		TLBMiss:      300,
+		WalkLevel:    500,
+		MemAccess:    250,
+		FaultTrap:    hw.Microseconds(90),
+		Syscall:      hw.Microseconds(70),
+		ZeroPerKB:    hw.Microseconds(55),
+		CopyPerKB:    hw.Microseconds(110),
+		PTEOp:        hw.Microseconds(2),
+		MapEntryOp:   hw.Microseconds(20),
+		TLBFlushPage: hw.Microseconds(2),
+		TLBFlushAll:  hw.Microseconds(20),
+		IPI:          hw.Microseconds(100),
+		ContextLoad:  hw.Microseconds(40),
+		TaskCreate:   hw.Milliseconds(55),
+		MsgOp:        hw.Microseconds(150),
+		DiskLatency:  hw.Milliseconds(4),
+		DiskPerKB:    hw.Microseconds(1100),
+	}
+}
+
+// Module is the SUN 3 machine-dependent module.
+type Module struct {
+	pmap.ModuleBase
+
+	mu       sync.Mutex
+	contexts [NumContexts]*sun3Map
+	lruClock uint64
+}
+
+// New creates a SUN 3 pmap module for the machine. Declare the display-
+// memory hole when building the hw.Machine (see DisplayHole).
+func New(m *hw.Machine, strategy pmap.Strategy) *Module {
+	if m.Mem.PageSize() != HWPageSize {
+		panic("sun3: machine must use 8192-byte hardware pages")
+	}
+	mod := &Module{}
+	mod.InitBase("SUN 3", m, strategy, MaxUserVA, 0)
+	mod.Stats().AddTableBytes(int64(mmuRAMBytes))
+	return mod
+}
+
+// DisplayHole returns a frame range describing display memory mapped as
+// high physical memory, covering holeFrames frames ending at totalFrames.
+func DisplayHole(totalFrames, holeFrames int) hw.FrameRange {
+	if holeFrames >= totalFrames {
+		holeFrames = totalFrames / 2
+	}
+	return hw.FrameRange{
+		Start: vmtypes.PFN(totalFrames - holeFrames),
+		End:   vmtypes.PFN(totalFrames),
+	}
+}
+
+// Create makes a new physical map. It owns no hardware context until it is
+// activated or entered into.
+func (mod *Module) Create() pmap.Map {
+	sm := &sun3Map{mod: mod, segments: make(map[uint64]*pmeg)}
+	sm.InitCore()
+	return sm
+}
+
+type pentry struct {
+	pfn   vmtypes.PFN
+	prot  vmtypes.Prot
+	valid bool
+	wired bool
+}
+
+// pmeg is a page-map entry group: the page table for one 128KB segment.
+type pmeg struct {
+	entries [pagesPerPMEG]pentry
+	used    int
+}
+
+type sun3Map struct {
+	pmap.MapCore
+	mod *Module
+
+	mu       sync.Mutex
+	segments map[uint64]*pmeg
+	resident int
+
+	// context and lastUsed are guarded by mod.mu; haveContext is
+	// atomic because the hot Walk path reads it.
+	context     int
+	lastUsed    uint64
+	haveContext atomic.Bool
+}
+
+// ContextSteals returns the module-wide count of stolen contexts.
+func (mod *Module) ContextSteals() uint64 { return mod.Stats().ContextSteals.Load() }
+
+// acquireContext gives m a hardware context, stealing the least recently
+// used one if all 8 are taken. The victim loses its loaded translations:
+// its MMU-RAM segment and page maps are reused, so the machine-independent
+// layer must rebuild them by refaulting.
+func (mod *Module) acquireContext(m *sun3Map) {
+	mod.mu.Lock()
+	mod.lruClock++
+	m.lastUsed = mod.lruClock
+	if m.haveContext.Load() {
+		mod.mu.Unlock()
+		return
+	}
+	slot := -1
+	var victim *sun3Map
+	for i, owner := range mod.contexts {
+		if owner == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		// Steal the least recently used context.
+		var oldest uint64 = ^uint64(0)
+		for i, owner := range mod.contexts {
+			if owner.lastUsed < oldest && owner != m {
+				oldest = owner.lastUsed
+				slot = i
+			}
+		}
+		victim = mod.contexts[slot]
+		mod.Stats().ContextSteals.Add(1)
+	}
+	mod.contexts[slot] = m
+	m.context = slot
+	m.haveContext.Store(true)
+	if victim != nil {
+		victim.haveContext.Store(false)
+		victim.context = -1
+	}
+	mod.mu.Unlock()
+
+	if victim != nil {
+		victim.dropHardwareState()
+	}
+	mod.Machine().Charge(mod.Machine().Cost.ContextLoad)
+}
+
+// dropHardwareState discards every non-wired translation, as happens when
+// the map's context (and thus its MMU RAM) is given to another task.
+func (m *sun3Map) dropHardwareState() {
+	mod := m.mod
+	type victim struct {
+		vpn uint64
+		pfn vmtypes.PFN
+	}
+	var victims []victim
+	m.mu.Lock()
+	for seg, p := range m.segments {
+		allGone := true
+		for i := range p.entries {
+			e := &p.entries[i]
+			if !e.valid {
+				continue
+			}
+			if e.wired {
+				// Wired entries survive: Mach keeps a shadow of
+				// them and reloads eagerly.
+				allGone = false
+				continue
+			}
+			victims = append(victims, victim{
+				vpn: seg*pagesPerPMEG + uint64(i),
+				pfn: e.pfn,
+			})
+			*e = pentry{}
+			p.used--
+			m.resident--
+		}
+		if allGone && p.used == 0 {
+			delete(m.segments, seg)
+		}
+	}
+	m.mu.Unlock()
+	for _, v := range victims {
+		mod.DB().RemovePV(v.pfn, m, vmtypes.VA(v.vpn*HWPageSize))
+	}
+	mod.Shootdown().InvalidateSpace(m.Space(), m.ActiveCPUs())
+}
+
+func (m *sun3Map) pmegFor(vpn uint64, create bool) *pmeg {
+	seg := vpn / pagesPerPMEG
+	p := m.segments[seg]
+	if p == nil && create {
+		p = &pmeg{}
+		m.segments[seg] = p
+		m.mod.Machine().Charge(m.mod.Machine().Cost.PTEOp * pagesPerPMEG / 4)
+	}
+	return p
+}
+
+// Enter establishes one hardware mapping, acquiring a context first if
+// necessary (hardware state can exist only inside a context's MMU RAM).
+func (m *sun3Map) Enter(va vmtypes.VA, pfn vmtypes.PFN, prot vmtypes.Prot, wired bool) {
+	if va >= MaxUserVA {
+		panic("sun3: virtual address beyond the 256MB map limit")
+	}
+	mod := m.mod
+	mod.acquireContext(m)
+	vpn := uint64(va) / HWPageSize
+	mod.Stats().Enters.Add(1)
+	mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+
+	m.mu.Lock()
+	p := m.pmegFor(vpn, true)
+	e := &p.entries[vpn%pagesPerPMEG]
+	replaced := e.valid
+	oldPFN := e.pfn
+	if !e.valid {
+		p.used++
+		m.resident++
+	}
+	*e = pentry{pfn: pfn, prot: prot, valid: true, wired: wired}
+	m.mu.Unlock()
+
+	if replaced {
+		if oldPFN != pfn {
+			mod.DB().RemovePV(oldPFN, m, va&^vmtypes.VA(HWPageSize-1))
+		}
+		mod.Shootdown().InvalidatePage(m.Space(), vpn, m.ActiveCPUs(), true)
+	}
+	mod.DB().AddPV(pfn, m, va&^vmtypes.VA(HWPageSize-1))
+}
+
+// Remove invalidates mappings in [start, end).
+func (m *sun3Map) Remove(start, end vmtypes.VA) {
+	mod := m.mod
+	mod.Stats().Removes.Add(1)
+	for vpn := uint64(start) / HWPageSize; vpn < (uint64(end)+HWPageSize-1)/HWPageSize; vpn++ {
+		m.mu.Lock()
+		p := m.pmegFor(vpn, false)
+		if p == nil {
+			m.mu.Unlock()
+			vpn = (vpn/pagesPerPMEG+1)*pagesPerPMEG - 1
+			continue
+		}
+		e := &p.entries[vpn%pagesPerPMEG]
+		if !e.valid {
+			m.mu.Unlock()
+			continue
+		}
+		pfn := e.pfn
+		*e = pentry{}
+		p.used--
+		m.resident--
+		if p.used == 0 {
+			delete(m.segments, vpn/pagesPerPMEG)
+		}
+		m.mu.Unlock()
+
+		mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+		mod.DB().RemovePV(pfn, m, vmtypes.VA(vpn*HWPageSize))
+		mod.Shootdown().InvalidatePage(m.Space(), vpn, m.ActiveCPUs(), true)
+	}
+}
+
+// Protect reduces protection on [start, end).
+func (m *sun3Map) Protect(start, end vmtypes.VA, prot vmtypes.Prot) {
+	mod := m.mod
+	mod.Stats().Protects.Add(1)
+	for vpn := uint64(start) / HWPageSize; vpn < (uint64(end)+HWPageSize-1)/HWPageSize; vpn++ {
+		m.mu.Lock()
+		p := m.pmegFor(vpn, false)
+		if p == nil {
+			m.mu.Unlock()
+			vpn = (vpn/pagesPerPMEG+1)*pagesPerPMEG - 1
+			continue
+		}
+		e := &p.entries[vpn%pagesPerPMEG]
+		changed := false
+		if e.valid {
+			np := e.prot.Intersect(prot)
+			changed = np != e.prot
+			e.prot = np
+		}
+		m.mu.Unlock()
+		if changed {
+			mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+			mod.Shootdown().InvalidatePage(m.Space(), vpn, m.ActiveCPUs(), false)
+		}
+	}
+}
+
+// Walk performs the hardware translation (segment map, then page map).
+// A map without a context has no loaded translations: everything faults
+// until the context is re-acquired.
+func (m *sun3Map) Walk(va vmtypes.VA) (vmtypes.PFN, vmtypes.Prot, bool) {
+	mod := m.mod
+	mod.Stats().Walks.Add(1)
+	mod.Machine().Charge(2 * mod.Machine().Cost.WalkLevel)
+	if !m.haveContext.Load() {
+		mod.Stats().WalkMisses.Add(1)
+		return 0, 0, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vpn := uint64(va) / HWPageSize
+	p := m.pmegFor(vpn, false)
+	if p == nil || !p.entries[vpn%pagesPerPMEG].valid {
+		mod.Stats().WalkMisses.Add(1)
+		return 0, 0, false
+	}
+	e := p.entries[vpn%pagesPerPMEG]
+	return e.pfn, e.prot, true
+}
+
+// Extract returns the frame mapped at va (pmap_extract).
+func (m *sun3Map) Extract(va vmtypes.VA) (vmtypes.PFN, bool) {
+	vpn := uint64(va) / HWPageSize
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.pmegFor(vpn, false)
+	if p == nil || !p.entries[vpn%pagesPerPMEG].valid {
+		return 0, false
+	}
+	return p.entries[vpn%pagesPerPMEG].pfn, true
+}
+
+// Access reports whether va is mapped (pmap_access).
+func (m *sun3Map) Access(va vmtypes.VA) bool {
+	_, ok := m.Extract(va)
+	return ok
+}
+
+// Activate makes the map current on a CPU, competing for one of the 8
+// contexts.
+func (m *sun3Map) Activate(cpu *hw.CPU) {
+	m.mod.acquireContext(m)
+	m.ActivateOn(cpu)
+}
+
+// Deactivate unloads the map from a CPU. The context is retained — that is
+// the point of contexts — until another task steals it.
+func (m *sun3Map) Deactivate(cpu *hw.CPU) {
+	m.DeactivateOn(cpu)
+	m.mod.Machine().Charge(m.mod.Machine().Cost.TLBFlushAll)
+	cpu.TLB.FlushSpace(m.Space())
+}
+
+// Collect discards non-wired hardware state (equivalent to losing the
+// context voluntarily).
+func (m *sun3Map) Collect() {
+	m.mod.Stats().Collects.Add(1)
+	m.dropHardwareState()
+}
+
+// Destroy releases the map, freeing its context.
+func (m *sun3Map) Destroy() {
+	if !m.Release() {
+		return
+	}
+	mod := m.mod
+	type victim struct {
+		vpn uint64
+		pfn vmtypes.PFN
+	}
+	var victims []victim
+	m.mu.Lock()
+	for seg, p := range m.segments {
+		for i := range p.entries {
+			if e := p.entries[i]; e.valid {
+				victims = append(victims, victim{vpn: seg*pagesPerPMEG + uint64(i), pfn: e.pfn})
+			}
+		}
+		delete(m.segments, seg)
+	}
+	m.resident = 0
+	m.mu.Unlock()
+	for _, v := range victims {
+		mod.DB().RemovePV(v.pfn, m, vmtypes.VA(v.vpn*HWPageSize))
+	}
+	mod.Shootdown().InvalidateSpace(m.Space(), m.ActiveCPUs())
+
+	mod.mu.Lock()
+	if m.haveContext.Load() {
+		mod.contexts[m.context] = nil
+		m.haveContext.Store(false)
+		m.context = -1
+	}
+	mod.mu.Unlock()
+}
+
+// ResidentCount returns the number of loaded hardware mappings.
+func (m *sun3Map) ResidentCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resident
+}
+
+// HasContext reports whether the map currently holds a hardware context.
+func (m *sun3Map) HasContext() bool { return m.haveContext.Load() }

@@ -1,0 +1,427 @@
+// Package vax implements the machine-dependent pmap module for the VAX
+// family — the architecture Mach was first implemented on.
+//
+// A VAX pmap "corresponds to a VAX page table" (§3.6). The hardware wants
+// linear page tables, and a full two-gigabyte user space would need eight
+// megabytes of them (§5.1); VMS paged the tables, traditional UNIX just
+// limited process addressibility. Mach's solution, reproduced here, is to
+// keep page tables in physical memory but construct only those parts
+// needed to map what is actually in use, creating and destroying page-table
+// pages as necessary to conserve space or improve runtime. That necessity,
+// plus the small 512-byte VAX page, is what made the VAX's machine-
+// dependent module the most complex of the ports.
+package vax
+
+import (
+	"sync"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/vmtypes"
+)
+
+// Hardware constants.
+const (
+	// HWPageSize is the VAX hardware page ("pagelet") size.
+	HWPageSize = 512
+	// pteBytes is the size of one VAX page-table entry.
+	pteBytes = 4
+	// ptesPerChunk is the number of PTEs in one page-table page; Mach
+	// allocates and frees page tables at this granularity.
+	ptesPerChunk = HWPageSize / pteBytes
+	// MaxUserVA is the VAX user address-space limit: the architecture
+	// allows at most 2 gigabytes of user address space (§2.1).
+	MaxUserVA = vmtypes.VA(2) << 30
+)
+
+// DefaultCost is a cost model plausible for a MicroVAX II-class machine
+// (~0.9 VUPS). See DESIGN.md §2 for why only relative shape matters.
+func DefaultCost() hw.CostModel {
+	return hw.CostModel{
+		Name:         "uVAX II",
+		TLBMiss:      400,
+		WalkLevel:    1200,
+		MemAccess:    400,
+		FaultTrap:    hw.Microseconds(180),
+		Syscall:      hw.Microseconds(150),
+		ZeroPerKB:    hw.Microseconds(160),
+		CopyPerKB:    hw.Microseconds(320),
+		PTEOp:        hw.Microseconds(3),
+		MapEntryOp:   hw.Microseconds(40),
+		TLBFlushPage: hw.Microseconds(2),
+		TLBFlushAll:  hw.Microseconds(25),
+		IPI:          hw.Microseconds(120),
+		ContextLoad:  hw.Microseconds(60),
+		TaskCreate:   hw.Milliseconds(55),
+		MsgOp:        hw.Microseconds(300),
+		DiskLatency:  hw.Milliseconds(28),
+		DiskPerKB:    hw.Microseconds(1600),
+	}
+}
+
+// Cost8200 approximates a VAX 8200 (used for the paper's file-read rows).
+func Cost8200() hw.CostModel {
+	c := DefaultCost()
+	c.Name = "VAX 8200"
+	c.FaultTrap = hw.Microseconds(120)
+	c.Syscall = hw.Microseconds(100)
+	c.ZeroPerKB = hw.Microseconds(90)
+	c.CopyPerKB = hw.Microseconds(180)
+	c.TaskCreate = hw.Milliseconds(12)
+	c.DiskLatency = hw.Milliseconds(2)
+	c.DiskPerKB = hw.Microseconds(1200)
+	return c
+}
+
+// Cost8650 approximates a VAX 8650 (~6 VUPS; used for Table 7-2).
+func Cost8650() hw.CostModel {
+	c := DefaultCost()
+	c.Name = "VAX 8650"
+	c.TLBMiss = 100
+	c.WalkLevel = 300
+	c.MemAccess = 100
+	c.FaultTrap = hw.Microseconds(45)
+	c.Syscall = hw.Microseconds(35)
+	c.ZeroPerKB = hw.Microseconds(25)
+	c.CopyPerKB = hw.Microseconds(50)
+	c.PTEOp = hw.Microseconds(1)
+	c.MapEntryOp = hw.Microseconds(10)
+	c.TaskCreate = hw.Milliseconds(4)
+	c.MsgOp = hw.Microseconds(80)
+	c.DiskLatency = hw.Milliseconds(5)
+	c.DiskPerKB = hw.Microseconds(900)
+	return c
+}
+
+// Module is the VAX machine-dependent module.
+type Module struct {
+	pmap.ModuleBase
+}
+
+// New creates a VAX pmap module for the machine.
+func New(m *hw.Machine, strategy pmap.Strategy) *Module {
+	if m.Mem.PageSize() != HWPageSize {
+		panic("vax: machine must use 512-byte hardware pages")
+	}
+	mod := &Module{}
+	mod.InitBase("VAX", m, strategy, MaxUserVA, 0)
+	return mod
+}
+
+// Create makes a new, empty VAX physical map (pmap_create). The page
+// table starts entirely unconstructed.
+func (mod *Module) Create() pmap.Map {
+	vm := &vaxMap{mod: mod, chunks: make(map[uint64]*ptChunk)}
+	vm.InitCore()
+	return vm
+}
+
+type pte struct {
+	pfn   vmtypes.PFN
+	prot  vmtypes.Prot
+	valid bool
+	wired bool
+}
+
+// ptChunk is one page-table page: the granule at which Mach creates and
+// destroys VAX page tables.
+type ptChunk struct {
+	ptes [ptesPerChunk]pte
+	used int
+}
+
+type vaxMap struct {
+	pmap.MapCore
+	mod *Module
+
+	mu       sync.Mutex
+	chunks   map[uint64]*ptChunk
+	resident int
+}
+
+func (m *vaxMap) chunkFor(vpn uint64, create bool) *ptChunk {
+	ci := vpn / ptesPerChunk
+	c := m.chunks[ci]
+	if c == nil && create {
+		c = &ptChunk{}
+		m.chunks[ci] = c
+		// Constructing a page-table page costs a zeroed page of table
+		// memory.
+		m.mod.Machine().ChargeKB(m.mod.Machine().Cost.ZeroPerKB, HWPageSize)
+		m.mod.Stats().AddTableBytes(HWPageSize)
+	}
+	return c
+}
+
+func (m *vaxMap) freeChunkIfEmpty(vpn uint64) {
+	ci := vpn / ptesPerChunk
+	if c := m.chunks[ci]; c != nil && c.used == 0 {
+		delete(m.chunks, ci)
+		m.mod.Stats().AddTableBytes(-HWPageSize)
+	}
+}
+
+// Enter establishes one hardware mapping (pmap_enter).
+func (m *vaxMap) Enter(va vmtypes.VA, pfn vmtypes.PFN, prot vmtypes.Prot, wired bool) {
+	if va >= MaxUserVA {
+		panic("vax: virtual address beyond the 2GB user limit")
+	}
+	mod := m.mod
+	vpn := uint64(va) / HWPageSize
+	mod.Stats().Enters.Add(1)
+	mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+
+	m.mu.Lock()
+	c := m.chunkFor(vpn, true)
+	e := &c.ptes[vpn%ptesPerChunk]
+	replaced := e.valid
+	oldPFN := e.pfn
+	if !e.valid {
+		c.used++
+	}
+	*e = pte{pfn: pfn, prot: prot, valid: true, wired: wired}
+	m.resident++
+	if replaced {
+		m.resident--
+	}
+	m.mu.Unlock()
+
+	if replaced {
+		if oldPFN != pfn {
+			mod.DB().RemovePV(oldPFN, m, va&^vmtypes.VA(HWPageSize-1))
+		}
+		mod.Shootdown().InvalidatePage(m.Space(), vpn, m.ActiveCPUs(), true)
+	}
+	mod.DB().AddPV(pfn, m, va&^vmtypes.VA(HWPageSize-1))
+}
+
+// Remove invalidates mappings in [start, end) (pmap_remove).
+func (m *vaxMap) Remove(start, end vmtypes.VA) {
+	mod := m.mod
+	mod.Stats().Removes.Add(1)
+	for vpn := uint64(start) / HWPageSize; vpn < (uint64(end)+HWPageSize-1)/HWPageSize; vpn++ {
+		m.mu.Lock()
+		c := m.chunkFor(vpn, false)
+		if c == nil {
+			// Skip the rest of an unconstructed page-table page.
+			m.mu.Unlock()
+			vpn = (vpn/ptesPerChunk+1)*ptesPerChunk - 1
+			continue
+		}
+		e := &c.ptes[vpn%ptesPerChunk]
+		if !e.valid {
+			m.mu.Unlock()
+			continue
+		}
+		pfn := e.pfn
+		*e = pte{}
+		c.used--
+		m.resident--
+		m.freeChunkIfEmpty(vpn)
+		m.mu.Unlock()
+
+		mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+		mod.DB().RemovePV(pfn, m, vmtypes.VA(vpn*HWPageSize))
+		mod.Shootdown().InvalidatePage(m.Space(), vpn, m.ActiveCPUs(), true)
+	}
+}
+
+// Protect reduces protection on [start, end) (pmap_protect).
+func (m *vaxMap) Protect(start, end vmtypes.VA, prot vmtypes.Prot) {
+	mod := m.mod
+	mod.Stats().Protects.Add(1)
+	for vpn := uint64(start) / HWPageSize; vpn < (uint64(end)+HWPageSize-1)/HWPageSize; vpn++ {
+		m.mu.Lock()
+		c := m.chunkFor(vpn, false)
+		if c == nil {
+			m.mu.Unlock()
+			vpn = (vpn/ptesPerChunk+1)*ptesPerChunk - 1
+			continue
+		}
+		e := &c.ptes[vpn%ptesPerChunk]
+		if !e.valid {
+			m.mu.Unlock()
+			continue
+		}
+		newProt := e.prot.Intersect(prot)
+		changed := newProt != e.prot
+		e.prot = newProt
+		m.mu.Unlock()
+		if changed {
+			mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+			mod.Shootdown().InvalidatePage(m.Space(), vpn, m.ActiveCPUs(), false)
+		}
+	}
+}
+
+// Walk is the hardware translation: one extra memory reference through the
+// (simulated) linear page table.
+func (m *vaxMap) Walk(va vmtypes.VA) (vmtypes.PFN, vmtypes.Prot, bool) {
+	mod := m.mod
+	mod.Stats().Walks.Add(1)
+	mod.Machine().Charge(mod.Machine().Cost.WalkLevel)
+	vpn := uint64(va) / HWPageSize
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.chunkFor(vpn, false)
+	if c == nil {
+		mod.Stats().WalkMisses.Add(1)
+		return 0, 0, false
+	}
+	e := c.ptes[vpn%ptesPerChunk]
+	if !e.valid {
+		mod.Stats().WalkMisses.Add(1)
+		return 0, 0, false
+	}
+	return e.pfn, e.prot, true
+}
+
+// Extract returns the frame mapped at va (pmap_extract).
+func (m *vaxMap) Extract(va vmtypes.VA) (vmtypes.PFN, bool) {
+	vpn := uint64(va) / HWPageSize
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.chunkFor(vpn, false)
+	if c == nil || !c.ptes[vpn%ptesPerChunk].valid {
+		return 0, false
+	}
+	return c.ptes[vpn%ptesPerChunk].pfn, true
+}
+
+// Access reports whether va is mapped (pmap_access).
+func (m *vaxMap) Access(va vmtypes.VA) bool {
+	_, ok := m.Extract(va)
+	return ok
+}
+
+// Activate loads this map on a CPU (pmap_activate): set P0BR/P0LR.
+func (m *vaxMap) Activate(cpu *hw.CPU) {
+	m.mod.Machine().Charge(m.mod.Machine().Cost.ContextLoad)
+	m.ActivateOn(cpu)
+}
+
+// Deactivate unloads this map (pmap_deactivate). The VAX TLB is untagged,
+// so a context switch flushes the process's translations.
+func (m *vaxMap) Deactivate(cpu *hw.CPU) {
+	m.DeactivateOn(cpu)
+	m.mod.Machine().Charge(m.mod.Machine().Cost.TLBFlushAll)
+	cpu.TLB.FlushSpace(m.Space())
+}
+
+// Collect throws away all non-wired mappings and their page-table pages to
+// reclaim table space — legal because everything can be reconstructed at
+// fault time.
+func (m *vaxMap) Collect() {
+	mod := m.mod
+	mod.Stats().Collects.Add(1)
+	type victim struct {
+		vpn uint64
+		pfn vmtypes.PFN
+	}
+	var victims []victim
+	m.mu.Lock()
+	for ci, c := range m.chunks {
+		for i := range c.ptes {
+			e := &c.ptes[i]
+			if e.valid && !e.wired {
+				victims = append(victims, victim{vpn: ci*ptesPerChunk + uint64(i), pfn: e.pfn})
+				*e = pte{}
+				c.used--
+				m.resident--
+			}
+		}
+		if c.used == 0 {
+			delete(m.chunks, ci)
+			mod.Stats().AddTableBytes(-HWPageSize)
+		}
+	}
+	m.mu.Unlock()
+	for _, v := range victims {
+		mod.DB().RemovePV(v.pfn, m, vmtypes.VA(v.vpn*HWPageSize))
+	}
+	mod.Shootdown().InvalidateSpace(m.Space(), m.ActiveCPUs())
+}
+
+// Destroy drops a reference and frees the map when none remain
+// (pmap_destroy).
+func (m *vaxMap) Destroy() {
+	if !m.Release() {
+		return
+	}
+	mod := m.mod
+	type victim struct {
+		vpn uint64
+		pfn vmtypes.PFN
+	}
+	var victims []victim
+	m.mu.Lock()
+	for ci, c := range m.chunks {
+		for i := range c.ptes {
+			if e := c.ptes[i]; e.valid {
+				victims = append(victims, victim{vpn: ci*ptesPerChunk + uint64(i), pfn: e.pfn})
+			}
+		}
+		delete(m.chunks, ci)
+		mod.Stats().AddTableBytes(-HWPageSize)
+	}
+	m.resident = 0
+	m.mu.Unlock()
+	for _, v := range victims {
+		mod.DB().RemovePV(v.pfn, m, vmtypes.VA(v.vpn*HWPageSize))
+	}
+	mod.Shootdown().InvalidateSpace(m.Space(), m.ActiveCPUs())
+}
+
+// ResidentCount returns the number of hardware mappings held.
+func (m *vaxMap) ResidentCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resident
+}
+
+// TablePages returns the number of constructed page-table pages — the
+// space the on-demand construction strategy is conserving.
+func (m *vaxMap) TablePages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.chunks)
+}
+
+// CopyMappings implements the optional pmap_copy of Table 3-4: duplicate
+// the valid mappings of [srcAddr, srcAddr+length) into dst, write-
+// protected. On the VAX this is a cheap PTE walk, so a fork can prewarm
+// the child's page table and spare it a refault per resident page.
+func (m *vaxMap) CopyMappings(dst pmap.Map, dstAddr vmtypes.VA, length uint64, srcAddr vmtypes.VA) {
+	d, ok := dst.(*vaxMap)
+	if !ok || d.mod != m.mod {
+		return
+	}
+	delta := int64(dstAddr) - int64(srcAddr)
+	endVPN := (uint64(srcAddr) + length + HWPageSize - 1) / HWPageSize
+	for vpn := uint64(srcAddr) / HWPageSize; vpn < endVPN; vpn++ {
+		m.mu.Lock()
+		c := m.chunkFor(vpn, false)
+		if c == nil {
+			m.mu.Unlock()
+			vpn = (vpn/ptesPerChunk+1)*ptesPerChunk - 1
+			continue
+		}
+		e := c.ptes[vpn%ptesPerChunk]
+		m.mu.Unlock()
+		if !e.valid {
+			continue
+		}
+		dva := vmtypes.VA(int64(vpn*HWPageSize) + delta)
+		d.Enter(dva, e.pfn, e.prot.Intersect(vmtypes.ProtRead|vmtypes.ProtExecute), false)
+	}
+}
+
+// Pageable implements the optional pmap_pageable of Table 3-4. The VAX
+// module keeps all page-table pages resident, so it has no work to do —
+// exactly the "need not perform any hardware function" case.
+func (m *vaxMap) Pageable(start, end vmtypes.VA, pageable bool) {}
+
+var (
+	_ pmap.Copier    = (*vaxMap)(nil)
+	_ pmap.Pageabler = (*vaxMap)(nil)
+)

@@ -1,0 +1,193 @@
+// Package task implements the Mach task and thread abstractions (§2):
+// a task is an execution environment and the basic unit of resource
+// allocation — a paged address space plus protected access to system
+// resources; a thread is the basic unit of CPU utilization, roughly an
+// independent program counter operating within a task. The UNIX notion of
+// a process is a task with a single thread.
+package task
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/ipc"
+	"machvm/internal/vmtypes"
+)
+
+// Task is an execution environment and resource container.
+type Task struct {
+	kernel *core.Kernel
+
+	// Map is the task's address map: an ordered collection of mappings
+	// to memory objects.
+	Map *core.Map
+
+	// TaskPort represents the task itself; operations on the task are
+	// performed by sending messages to it (§2: "the act of creating a
+	// task ... returns access rights to a port which represents the new
+	// object").
+	TaskPort *ipc.Port
+
+	name string
+	id   uint64
+
+	mu        sync.Mutex
+	threads   []*Thread
+	suspended int
+	children  []*Task
+	dead      bool
+}
+
+var taskIDs atomic.Uint64
+
+// New creates a task with an empty address space and no threads.
+func New(k *core.Kernel, name string) *Task {
+	k.Machine().Charge(k.Machine().Cost.TaskCreate)
+	t := &Task{
+		kernel: k,
+		Map:    k.NewMap(),
+		name:   name,
+		id:     taskIDs.Add(1),
+	}
+	t.TaskPort = ipc.NewPort(fmt.Sprintf("task:%s", name))
+	return t
+}
+
+// Kernel returns the owning kernel.
+func (t *Task) Kernel() *core.Kernel { return t.kernel }
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.name }
+
+// ID returns the task's unique identifier.
+func (t *Task) ID() uint64 { return t.id }
+
+// Fork creates a child task whose address space is built from this task's
+// inheritance values (§2.1): by default all inheritance is copy, so the
+// child is a copy-on-write copy of the parent and UNIX address-space copy
+// semantics are preserved.
+func (t *Task) Fork(name string) *Task {
+	child := &Task{
+		kernel: t.kernel,
+		Map:    t.Map.Fork(),
+		name:   name,
+		id:     taskIDs.Add(1),
+	}
+	child.TaskPort = ipc.NewPort(fmt.Sprintf("task:%s", name))
+	t.mu.Lock()
+	t.children = append(t.children, child)
+	t.mu.Unlock()
+	return child
+}
+
+// Destroy terminates the task, destroying its address space and ports.
+func (t *Task) Destroy() {
+	t.mu.Lock()
+	if t.dead {
+		t.mu.Unlock()
+		return
+	}
+	t.dead = true
+	threads := t.threads
+	t.threads = nil
+	t.mu.Unlock()
+	for _, th := range threads {
+		th.Detach()
+	}
+	t.TaskPort.Destroy()
+	t.Map.Destroy()
+}
+
+// Suspend increments the task's suspend count (messages to the task port
+// would do this in a full system; tests drive it directly).
+func (t *Task) Suspend() {
+	t.mu.Lock()
+	t.suspended++
+	t.mu.Unlock()
+}
+
+// Resume decrements the suspend count.
+func (t *Task) Resume() {
+	t.mu.Lock()
+	if t.suspended > 0 {
+		t.suspended--
+	}
+	t.mu.Unlock()
+}
+
+// Suspended reports whether the task is suspended.
+func (t *Task) Suspended() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.suspended > 0
+}
+
+// Thread is the basic unit of CPU utilization. In the simulation a thread
+// is bound to a simulated CPU while it runs; its memory accesses go
+// through that CPU's TLB.
+type Thread struct {
+	task *Task
+	cpu  *hw.CPU
+
+	// ThreadPort represents the thread (suspend/resume messages etc.).
+	ThreadPort *ipc.Port
+
+	id uint64
+}
+
+var threadIDs atomic.Uint64
+
+// SpawnThread creates a thread in the task and activates the task's
+// address map on the given CPU (pmap_activate).
+func (t *Task) SpawnThread(cpu *hw.CPU) *Thread {
+	th := &Thread{
+		task: t,
+		cpu:  cpu,
+		id:   threadIDs.Add(1),
+	}
+	th.ThreadPort = ipc.NewPort(fmt.Sprintf("thread:%s.%d", t.name, th.id))
+	t.mu.Lock()
+	t.threads = append(t.threads, th)
+	t.mu.Unlock()
+	t.Map.Pmap().Activate(cpu)
+	return th
+}
+
+// Task returns the thread's task.
+func (th *Thread) Task() *Task { return th.task }
+
+// CPU returns the CPU the thread is bound to.
+func (th *Thread) CPU() *hw.CPU { return th.cpu }
+
+// MigrateTo moves the thread to another CPU (deactivating and activating
+// the pmap, as the machine-independent layer must tell the pmap which
+// processors use which maps).
+func (th *Thread) MigrateTo(cpu *hw.CPU) {
+	th.task.Map.Pmap().Deactivate(th.cpu)
+	th.cpu = cpu
+	th.task.Map.Pmap().Activate(cpu)
+}
+
+// Detach unbinds the thread from its CPU.
+func (th *Thread) Detach() {
+	th.task.Map.Pmap().Deactivate(th.cpu)
+	th.ThreadPort.Destroy()
+}
+
+// Read performs a user-mode read of len(buf) bytes at va.
+func (th *Thread) Read(va vmtypes.VA, buf []byte) error {
+	return th.task.kernel.AccessBytes(th.cpu, th.task.Map, va, buf, false)
+}
+
+// Write performs a user-mode write of buf at va.
+func (th *Thread) Write(va vmtypes.VA, buf []byte) error {
+	return th.task.kernel.AccessBytes(th.cpu, th.task.Map, va, buf, true)
+}
+
+// Touch performs a single-byte access (fault driver).
+func (th *Thread) Touch(va vmtypes.VA, write bool) error {
+	return th.task.kernel.Touch(th.cpu, th.task.Map, va, write)
+}

@@ -1,0 +1,165 @@
+package task_test
+
+import (
+	"testing"
+
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/sun3"
+	"machvm/internal/task"
+	"machvm/internal/vmtypes"
+)
+
+func newSun3Kernel(t testing.TB, cpus int) (*core.Kernel, *hw.Machine) {
+	t.Helper()
+	machine := hw.NewMachine(hw.Config{
+		Cost:       sun3.DefaultCost(),
+		HWPageSize: sun3.HWPageSize,
+		PhysFrames: 1024,
+		Holes:      []hw.FrameRange{sun3.DisplayHole(1024, 64)},
+		CPUs:       cpus,
+		TLBSize:    64,
+	})
+	mod := sun3.New(machine, pmap.ShootImmediate)
+	k := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 8192})
+	return k, machine
+}
+
+func TestTaskLifecycle(t *testing.T) {
+	k, machine := newSun3Kernel(t, 1)
+	tk := task.New(k, "init")
+	th := tk.SpawnThread(machine.CPU(0))
+
+	addr, err := tk.Map.Allocate(0, 64*1024, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Write(addr, []byte("task memory")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if err := th.Read(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "task memory" {
+		t.Fatalf("got %q", buf)
+	}
+	tk.Destroy()
+	// Destroy is idempotent.
+	tk.Destroy()
+}
+
+func TestUNIXForkSemantics(t *testing.T) {
+	// "When a fork operation is invoked, the newly created child task
+	// address map is created based on the parent's inheritance values.
+	// By default, all inheritance values ... are set to copy." (§2.1)
+	k, machine := newSun3Kernel(t, 2)
+	parent := task.New(k, "parent")
+	thP := parent.SpawnThread(machine.CPU(0))
+
+	addr, _ := parent.Map.Allocate(0, 128*1024, true)
+	if err := thP.Write(addr, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+
+	child := parent.Fork("child")
+	thC := child.SpawnThread(machine.CPU(1))
+
+	b := make([]byte, 1)
+	if err := thC.Read(addr, b); err != nil {
+		t.Fatalf("child read: %v", err)
+	}
+	if b[0] != 0xAA {
+		t.Fatal("child must see parent data at fork")
+	}
+	if err := thC.Write(addr, []byte{0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := thP.Read(addr, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xAA {
+		t.Fatal("child write visible in parent: fork is not copy-on-write-correct")
+	}
+	child.Destroy()
+	parent.Destroy()
+}
+
+func TestThreadMigration(t *testing.T) {
+	k, machine := newSun3Kernel(t, 2)
+	tk := task.New(k, "mover")
+	th := tk.SpawnThread(machine.CPU(0))
+	addr, _ := tk.Map.Allocate(0, 8192, true)
+	if err := th.Write(addr, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	th.MigrateTo(machine.CPU(1))
+	b := make([]byte, 1)
+	if err := th.Read(addr, b); err != nil {
+		t.Fatalf("read after migration: %v", err)
+	}
+	if b[0] != 1 {
+		t.Fatal("data lost across CPU migration")
+	}
+	tk.Destroy()
+}
+
+func TestManyTasksCompeteForSun3Contexts(t *testing.T) {
+	// More than 8 active tasks on a SUN 3 must trigger context stealing
+	// (§5.1) — and keep running correctly through the extra faults.
+	k, machine := newSun3Kernel(t, 1)
+	mod := k.Module().(*sun3.Module)
+	cpu := machine.CPU(0)
+
+	const n = sun3.NumContexts + 4
+	tasks := make([]*task.Task, n)
+	threads := make([]*task.Thread, n)
+	addrs := make([]vmtypes.VA, n)
+	for i := range tasks {
+		tasks[i] = task.New(k, "t")
+		threads[i] = tasks[i].SpawnThread(cpu)
+		addrs[i], _ = tasks[i].Map.Allocate(0, 32*1024, true)
+		if err := threads[i].Write(addrs[i], []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round-robin touches: every task keeps its data despite steals.
+	for round := 0; round < 3; round++ {
+		for i := range tasks {
+			tasks[i].Map.Pmap().Activate(cpu)
+			b := make([]byte, 1)
+			if err := threads[i].Read(addrs[i], b); err != nil {
+				t.Fatalf("task %d round %d: %v", i, round, err)
+			}
+			if b[0] != byte(i) {
+				t.Fatalf("task %d data corrupted by context stealing", i)
+			}
+		}
+	}
+	if mod.ContextSteals() == 0 {
+		t.Fatal("12 active tasks on 8 contexts should steal")
+	}
+	for _, tk := range tasks {
+		tk.Destroy()
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	k, _ := newSun3Kernel(t, 1)
+	tk := task.New(k, "s")
+	defer tk.Destroy()
+	if tk.Suspended() {
+		t.Fatal("fresh task must not be suspended")
+	}
+	tk.Suspend()
+	tk.Suspend()
+	tk.Resume()
+	if !tk.Suspended() {
+		t.Fatal("suspend count should still hold")
+	}
+	tk.Resume()
+	if tk.Suspended() {
+		t.Fatal("resume should clear suspension")
+	}
+}

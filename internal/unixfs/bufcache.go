@@ -1,0 +1,198 @@
+package unixfs
+
+import (
+	"sync"
+
+	"machvm/internal/hw"
+)
+
+// BufferCache is a 4.3bsd-style fixed-size block buffer cache: the
+// baseline UNIX file path reads through it. Its capacity is a boot-time
+// configuration ("generic configuration reflects the normal allocation of
+// 4.3bsd buffers; the 400 buffer times reflect specific limits", Table
+// 7-2), and that fixed capacity — rather than all of free memory — is what
+// Mach's object cache beats on large or many files.
+type BufferCache struct {
+	machine *hw.Machine
+	disk    *Disk
+
+	mu      sync.Mutex
+	nbufs   int
+	bufs    map[bufKey]*buffer
+	lru     []*buffer // front = oldest
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+type bufKey struct {
+	ino   *Inode
+	block int
+}
+
+type buffer struct {
+	key   bufKey
+	data  []byte
+	dirty bool
+}
+
+// NewBufferCache creates a cache of nbufs block buffers.
+func NewBufferCache(machine *hw.Machine, disk *Disk, nbufs int) *BufferCache {
+	if nbufs < 1 {
+		nbufs = 1
+	}
+	return &BufferCache{
+		machine: machine,
+		disk:    disk,
+		nbufs:   nbufs,
+		bufs:    make(map[bufKey]*buffer, nbufs),
+	}
+}
+
+// NBufs returns the configured buffer count.
+func (c *BufferCache) NBufs() int { return c.nbufs }
+
+// Stats returns hit/miss/flush counters.
+func (c *BufferCache) Stats() (hits, misses, flushes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.flushes
+}
+
+// getBuffer returns the cached buffer for (ino, block), reading it from
+// disk on a miss and evicting the least recently used buffer if needed.
+func (c *BufferCache) getBuffer(ino *Inode, block int) *buffer {
+	key := bufKey{ino: ino, block: block}
+	c.mu.Lock()
+	if b, ok := c.bufs[key]; ok {
+		c.hits++
+		c.touchLocked(b)
+		c.mu.Unlock()
+		// A cache hit still costs a memory copy through the buffer.
+		c.machine.ChargeKB(c.machine.Cost.CopyPerKB, BlockSize)
+		return b
+	}
+	c.misses++
+	// Evict if full.
+	for len(c.bufs) >= c.nbufs {
+		victim := c.lru[0]
+		c.lru = c.lru[1:]
+		delete(c.bufs, victim.key)
+		if victim.dirty {
+			c.flushes++
+			c.mu.Unlock()
+			c.writeVictim(victim)
+			c.mu.Lock()
+		}
+	}
+	b := &buffer{key: key, data: make([]byte, BlockSize)}
+	c.bufs[key] = b
+	c.lru = append(c.lru, b)
+	c.mu.Unlock()
+
+	// Fill from disk.
+	ino.mu.Lock()
+	var diskBlock = -1
+	if block < len(ino.blocks) {
+		diskBlock = ino.blocks[block]
+	}
+	ino.mu.Unlock()
+	if diskBlock >= 0 {
+		c.disk.ReadBlock(diskBlock, b.data)
+	}
+	return b
+}
+
+func (c *BufferCache) writeVictim(b *buffer) {
+	ino := b.key.ino
+	ino.mu.Lock()
+	var diskBlock = -1
+	if b.key.block < len(ino.blocks) {
+		diskBlock = ino.blocks[b.key.block]
+	}
+	ino.mu.Unlock()
+	if diskBlock >= 0 {
+		c.disk.WriteBlock(diskBlock, b.data)
+	}
+}
+
+func (c *BufferCache) touchLocked(b *buffer) {
+	for i, cand := range c.lru {
+		if cand == b {
+			c.lru = append(c.lru[:i], c.lru[i+1:]...)
+			break
+		}
+	}
+	c.lru = append(c.lru, b)
+}
+
+// ReadAt reads through the buffer cache (the 4.3bsd read(2) path).
+func (c *BufferCache) ReadAt(ino *Inode, buf []byte, offset uint64) (int, error) {
+	size := ino.Size()
+	if offset >= size {
+		return 0, nil
+	}
+	n := len(buf)
+	if uint64(n) > size-offset {
+		n = int(size - offset)
+	}
+	done := 0
+	for done < n {
+		bi := int((offset + uint64(done)) / BlockSize)
+		bo := int((offset + uint64(done)) % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > n-done {
+			chunk = n - done
+		}
+		b := c.getBuffer(ino, bi)
+		copy(buf[done:done+chunk], b.data[bo:bo+chunk])
+		done += chunk
+	}
+	return n, nil
+}
+
+// WriteAt writes through the buffer cache (write-back).
+func (c *BufferCache) WriteAt(ino *Inode, buf []byte, offset uint64) error {
+	ino.mu.Lock()
+	if err := ino.ensureBlocksLocked(offset + uint64(len(buf))); err != nil {
+		ino.mu.Unlock()
+		return err
+	}
+	if offset+uint64(len(buf)) > ino.size {
+		ino.size = offset + uint64(len(buf))
+	}
+	ino.mu.Unlock()
+
+	done := 0
+	for done < len(buf) {
+		bi := int((offset + uint64(done)) / BlockSize)
+		bo := int((offset + uint64(done)) % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > len(buf)-done {
+			chunk = len(buf) - done
+		}
+		b := c.getBuffer(ino, bi)
+		copy(b.data[bo:bo+chunk], buf[done:done+chunk])
+		c.mu.Lock()
+		b.dirty = true
+		c.mu.Unlock()
+		done += chunk
+	}
+	return nil
+}
+
+// Sync writes every dirty buffer back to disk.
+func (c *BufferCache) Sync() {
+	c.mu.Lock()
+	var dirty []*buffer
+	for _, b := range c.bufs {
+		if b.dirty {
+			b.dirty = false
+			dirty = append(dirty, b)
+		}
+	}
+	c.mu.Unlock()
+	for _, b := range dirty {
+		c.writeVictim(b)
+	}
+}

@@ -1,0 +1,277 @@
+// Package unixfs simulates the storage substrate the paper's systems sit
+// on: a disk with seek/transfer costs, a simple inode-based filesystem,
+// and a 4.3bsd-style fixed-size buffer cache.
+//
+// Two consumers use it in opposite ways, which is exactly the contrast
+// Table 7-1's file-reading rows measure: the 4.3bsd baseline reads files
+// through the buffer cache (a fixed number of buffers, so a 2.5MB file
+// never stays cached), while Mach's inode pager moves file blocks straight
+// between disk and the object cache's physical pages, letting all of free
+// memory act as a file cache.
+package unixfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"machvm/internal/hw"
+)
+
+// Filesystem errors.
+var (
+	// ErrNotFound means no file has the given name.
+	ErrNotFound = errors.New("unixfs: file not found")
+	// ErrExists means a file with the name already exists.
+	ErrExists = errors.New("unixfs: file exists")
+	// ErrDiskFull means the disk has no free blocks.
+	ErrDiskFull = errors.New("unixfs: disk full")
+)
+
+// BlockSize is the filesystem block size (4.3bsd commonly used 4KB/8KB).
+const BlockSize = 4096
+
+// Disk is the simulated storage device. All reads and writes charge the
+// machine's disk cost model.
+type Disk struct {
+	machine *hw.Machine
+
+	mu     sync.Mutex
+	blocks [][]byte
+	free   []int
+
+	reads, writes uint64
+}
+
+// NewDisk creates a disk with the given number of blocks.
+func NewDisk(machine *hw.Machine, nblocks int) *Disk {
+	d := &Disk{machine: machine, blocks: make([][]byte, nblocks)}
+	for i := nblocks - 1; i >= 0; i-- {
+		d.free = append(d.free, i)
+	}
+	return d
+}
+
+// alloc grabs a free block.
+func (d *Disk) alloc() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.free) == 0 {
+		return 0, ErrDiskFull
+	}
+	b := d.free[len(d.free)-1]
+	d.free = d.free[:len(d.free)-1]
+	d.blocks[b] = make([]byte, BlockSize)
+	return b, nil
+}
+
+// release returns a block to the free list.
+func (d *Disk) release(b int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.blocks[b] = nil
+	d.free = append(d.free, b)
+}
+
+// ReadBlock reads one block, charging seek + transfer.
+func (d *Disk) ReadBlock(b int, buf []byte) {
+	d.machine.Charge(d.machine.Cost.DiskLatency)
+	d.machine.ChargeKB(d.machine.Cost.DiskPerKB, BlockSize)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reads++
+	if d.blocks[b] == nil {
+		clear(buf[:BlockSize])
+		return
+	}
+	copy(buf, d.blocks[b])
+}
+
+// WriteBlock writes one block, charging seek + transfer.
+func (d *Disk) WriteBlock(b int, data []byte) {
+	d.machine.Charge(d.machine.Cost.DiskLatency)
+	d.machine.ChargeKB(d.machine.Cost.DiskPerKB, BlockSize)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writes++
+	if d.blocks[b] == nil {
+		d.blocks[b] = make([]byte, BlockSize)
+	}
+	copy(d.blocks[b], data)
+}
+
+// Traffic returns the read and write block counts.
+func (d *Disk) Traffic() (reads, writes uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes
+}
+
+// Inode is one file's metadata.
+type Inode struct {
+	fs     *FS
+	name   string
+	mu     sync.Mutex
+	size   uint64
+	blocks []int
+}
+
+// Name returns the file name.
+func (ino *Inode) Name() string { return ino.name }
+
+// Size returns the file size in bytes.
+func (ino *Inode) Size() uint64 {
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	return ino.size
+}
+
+// FS is a flat-namespace inode filesystem.
+type FS struct {
+	Disk *Disk
+
+	mu    sync.Mutex
+	files map[string]*Inode
+}
+
+// NewFS creates a filesystem on the disk.
+func NewFS(d *Disk) *FS {
+	return &FS{Disk: d, files: make(map[string]*Inode)}
+}
+
+// Create makes a file with the given contents.
+func (fs *FS) Create(name string, data []byte) (*Inode, error) {
+	fs.mu.Lock()
+	if _, ok := fs.files[name]; ok {
+		fs.mu.Unlock()
+		return nil, ErrExists
+	}
+	ino := &Inode{fs: fs, name: name}
+	fs.files[name] = ino
+	fs.mu.Unlock()
+	if len(data) > 0 {
+		if err := ino.WriteAt(data, 0); err != nil {
+			return nil, err
+		}
+	}
+	return ino, nil
+}
+
+// Open looks up a file.
+func (fs *FS) Open(name string) (*Inode, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, ok := fs.files[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return ino, nil
+}
+
+// Remove deletes a file, releasing its blocks.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	ino, ok := fs.files[name]
+	if !ok {
+		fs.mu.Unlock()
+		return ErrNotFound
+	}
+	delete(fs.files, name)
+	fs.mu.Unlock()
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	for _, b := range ino.blocks {
+		fs.Disk.release(b)
+	}
+	ino.blocks = nil
+	ino.size = 0
+	return nil
+}
+
+// ensureBlocks grows the file's block list to cover n bytes.
+func (ino *Inode) ensureBlocksLocked(n uint64) error {
+	need := int((n + BlockSize - 1) / BlockSize)
+	for len(ino.blocks) < need {
+		b, err := ino.fs.Disk.alloc()
+		if err != nil {
+			return err
+		}
+		ino.blocks = append(ino.blocks, b)
+	}
+	return nil
+}
+
+// ReadAt reads len(buf) bytes at offset directly from disk (no cache).
+// The Mach inode pager uses this path: the data lands in object-cache
+// pages, not in fixed buffers.
+func (ino *Inode) ReadAt(buf []byte, offset uint64) (int, error) {
+	ino.mu.Lock()
+	size := ino.size
+	blocks := append([]int(nil), ino.blocks...)
+	ino.mu.Unlock()
+	if offset >= size {
+		return 0, nil
+	}
+	n := len(buf)
+	if uint64(n) > size-offset {
+		n = int(size - offset)
+	}
+	var block [BlockSize]byte
+	done := 0
+	for done < n {
+		bi := int((offset + uint64(done)) / BlockSize)
+		bo := int((offset + uint64(done)) % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > n-done {
+			chunk = n - done
+		}
+		if bi < len(blocks) {
+			ino.fs.Disk.ReadBlock(blocks[bi], block[:])
+			copy(buf[done:done+chunk], block[bo:bo+chunk])
+		} else {
+			clear(buf[done : done+chunk])
+		}
+		done += chunk
+	}
+	return n, nil
+}
+
+// WriteAt writes buf at offset directly to disk.
+func (ino *Inode) WriteAt(buf []byte, offset uint64) error {
+	ino.mu.Lock()
+	if err := ino.ensureBlocksLocked(offset + uint64(len(buf))); err != nil {
+		ino.mu.Unlock()
+		return err
+	}
+	if offset+uint64(len(buf)) > ino.size {
+		ino.size = offset + uint64(len(buf))
+	}
+	blocks := append([]int(nil), ino.blocks...)
+	ino.mu.Unlock()
+
+	var block [BlockSize]byte
+	done := 0
+	for done < len(buf) {
+		bi := int((offset + uint64(done)) / BlockSize)
+		bo := int((offset + uint64(done)) % BlockSize)
+		chunk := BlockSize - bo
+		if chunk > len(buf)-done {
+			chunk = len(buf) - done
+		}
+		if bo != 0 || chunk != BlockSize {
+			// Read-modify-write of a partial block.
+			ino.fs.Disk.ReadBlock(blocks[bi], block[:])
+		}
+		copy(block[bo:bo+chunk], buf[done:done+chunk])
+		ino.fs.Disk.WriteBlock(blocks[bi], block[:])
+		done += chunk
+	}
+	return nil
+}
+
+// String renders the filesystem state.
+func (fs *FS) String() string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fmt.Sprintf("fs(%d files)", len(fs.files))
+}

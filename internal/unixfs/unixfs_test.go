@@ -1,0 +1,168 @@
+package unixfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/unixfs"
+)
+
+func newDiskWorld(t testing.TB, blocks int) (*hw.Machine, *unixfs.FS) {
+	t.Helper()
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: 1024,
+		CPUs:       1,
+	})
+	return machine, unixfs.NewFS(unixfs.NewDisk(machine, blocks))
+}
+
+func TestFileCreateReadWrite(t *testing.T) {
+	_, fs := newDiskWorld(t, 1024)
+	data := bytes.Repeat([]byte("0123456789"), 2000) // 20000 bytes, unaligned
+	ino, err := fs.Create("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ino.Size() != uint64(len(data)) {
+		t.Fatalf("size = %d; want %d", ino.Size(), len(data))
+	}
+	buf := make([]byte, len(data))
+	n, err := ino.ReadAt(buf, 0)
+	if err != nil || n != len(data) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("content mismatch")
+	}
+	// Partial overwrite across a block boundary.
+	patch := []byte("PATCHED")
+	if err := ino.WriteAt(patch, unixfs.BlockSize-3); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, len(patch))
+	if _, err := ino.ReadAt(small, unixfs.BlockSize-3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(small, patch) {
+		t.Fatalf("patch readback %q", small)
+	}
+	// Reads past EOF return short.
+	if n, _ := ino.ReadAt(buf, ino.Size()+5); n != 0 {
+		t.Fatalf("read past EOF = %d", n)
+	}
+}
+
+func TestFSNamespace(t *testing.T) {
+	_, fs := newDiskWorld(t, 64)
+	if _, err := fs.Open("missing"); err != unixfs.ErrNotFound {
+		t.Fatalf("Open missing = %v", err)
+	}
+	if _, err := fs.Create("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("a", nil); err != unixfs.ErrExists {
+		t.Fatalf("duplicate create = %v", err)
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("a"); err != unixfs.ErrNotFound {
+		t.Fatal("file survived Remove")
+	}
+	// Blocks are recycled: fill the disk, remove, fill again.
+	big := make([]byte, 32*unixfs.BlockSize)
+	if _, err := fs.Create("big1", big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("big2", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("big1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("big3", big); err != nil {
+		t.Fatalf("blocks not recycled: %v", err)
+	}
+}
+
+func TestDiskChargesTime(t *testing.T) {
+	machine, fs := newDiskWorld(t, 256)
+	before := machine.Clock.Now()
+	ino, _ := fs.Create("f", bytes.Repeat([]byte{1}, 64*1024))
+	mid := machine.Clock.Now()
+	if mid <= before {
+		t.Fatal("writes should charge disk time")
+	}
+	buf := make([]byte, 64*1024)
+	_, _ = ino.ReadAt(buf, 0)
+	if machine.Clock.Now() <= mid {
+		t.Fatal("reads should charge disk time")
+	}
+}
+
+func TestBufferCacheHitsAndEviction(t *testing.T) {
+	machine, fs := newDiskWorld(t, 2048)
+	data := bytes.Repeat([]byte{0xCD}, 40*unixfs.BlockSize)
+	ino, _ := fs.Create("f", data)
+
+	// A cache big enough for the file: second read is all hits and much
+	// cheaper in virtual time.
+	big := unixfs.NewBufferCache(machine, fs.Disk, 64)
+	buf := make([]byte, len(data))
+	t0 := machine.Clock.Now()
+	if _, err := big.ReadAt(ino, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	t1 := machine.Clock.Now()
+	if _, err := big.ReadAt(ino, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	t2 := machine.Clock.Now()
+	firstCost, secondCost := t1-t0, t2-t1
+	if secondCost >= firstCost/2 {
+		t.Fatalf("cached reread cost %d vs first %d; expected much cheaper", secondCost, firstCost)
+	}
+	hits, misses, _ := big.Stats()
+	if misses != 40 || hits != 40 {
+		t.Fatalf("hits=%d misses=%d; want 40/40", hits, misses)
+	}
+
+	// A cache smaller than the file: the second read misses again —
+	// the fixed-buffer behaviour Table 7-1's 2.5M row shows for UNIX.
+	small := unixfs.NewBufferCache(machine, fs.Disk, 8)
+	if _, err := small.ReadAt(ino, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, misses1, _ := small.Stats()
+	if _, err := small.ReadAt(ino, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, misses2, _ := small.Stats()
+	if misses2 != 2*misses1 {
+		t.Fatalf("small cache second read: misses %d -> %d; want full re-miss", misses1, misses2)
+	}
+}
+
+func TestBufferCacheWriteBack(t *testing.T) {
+	machine, fs := newDiskWorld(t, 256)
+	ino, _ := fs.Create("f", make([]byte, 4*unixfs.BlockSize))
+	c := unixfs.NewBufferCache(machine, fs.Disk, 16)
+	payload := []byte("buffered write")
+	if err := c.WriteAt(ino, payload, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Before sync, the direct path may see stale data; after sync it
+	// must see the write.
+	c.Sync()
+	got := make([]byte, len(payload))
+	if _, err := ino.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("after sync got %q", got)
+	}
+}

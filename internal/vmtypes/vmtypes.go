@@ -1,0 +1,127 @@
+// Package vmtypes defines the primitive types shared by every layer of the
+// Mach VM reproduction: virtual and physical addresses, page frame numbers,
+// protection codes, inheritance attributes and fault kinds.
+//
+// These correspond to the vocabulary of the paper's §2 and §3: protections
+// are combinations of read, write and execute permission; inheritance is
+// specified per page range as shared, copy or none; and a Mach page size is
+// a boot-time parameter that must be a power-of-two multiple of the
+// hardware page size.
+package vmtypes
+
+import "fmt"
+
+// VA is a virtual address within a task address space.
+type VA uint64
+
+// PA is a physical address within simulated physical memory.
+type PA uint64
+
+// PFN is a hardware page frame number: PA / hardware page size.
+type PFN uint64
+
+// Prot is a protection code: a combination of read, write and execute
+// permissions. The paper keeps two protections per address range — the
+// current protection (controlling actual hardware permissions) and the
+// maximum protection (a ceiling the current protection may never exceed).
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtNone    Prot = 0
+	ProtRead    Prot = 1 << 0
+	ProtWrite   Prot = 1 << 1
+	ProtExecute Prot = 1 << 2
+
+	// ProtDefault is the default protection for freshly allocated memory.
+	ProtDefault = ProtRead | ProtWrite
+	// ProtAll is the most permissive protection.
+	ProtAll = ProtRead | ProtWrite | ProtExecute
+)
+
+// Allows reports whether p grants every permission in access.
+func (p Prot) Allows(access Prot) bool { return p&access == access }
+
+// Union returns the union of the two protections.
+func (p Prot) Union(q Prot) Prot { return p | q }
+
+// Intersect returns the intersection of the two protections.
+func (p Prot) Intersect(q Prot) Prot { return p & q }
+
+func (p Prot) String() string {
+	if p == ProtNone {
+		return "---"
+	}
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExecute != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Inherit is the inheritance attribute of an address range, consulted at
+// fork time: shared ranges are shared read/write with the child, copy
+// ranges are logically copied by value (implemented copy-on-write), and
+// none ranges are left unallocated in the child.
+type Inherit uint8
+
+// Inheritance values.
+const (
+	InheritShared Inherit = iota
+	InheritCopy
+	InheritNone
+)
+
+func (i Inherit) String() string {
+	switch i {
+	case InheritShared:
+		return "shared"
+	case InheritCopy:
+		return "copy"
+	case InheritNone:
+		return "none"
+	default:
+		return fmt.Sprintf("inherit(%d)", uint8(i))
+	}
+}
+
+// FaultKind classifies the reason a memory access trapped.
+type FaultKind uint8
+
+// Fault kinds, as the simulated MMUs report them.
+const (
+	// FaultNone means the access completed without trapping.
+	FaultNone FaultKind = iota
+	// FaultTranslation means no valid mapping exists for the page.
+	FaultTranslation
+	// FaultProtection means a mapping exists but forbids the access.
+	FaultProtection
+)
+
+func (f FaultKind) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultTranslation:
+		return "translation"
+	case FaultProtection:
+		return "protection"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(f))
+	}
+}
+
+// IsPowerOfTwo reports whether v is a nonzero power of two.
+func IsPowerOfTwo(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// RoundDown rounds a down to a multiple of size (a power of two).
+func RoundDown(a, size uint64) uint64 { return a &^ (size - 1) }
+
+// RoundUp rounds a up to a multiple of size (a power of two).
+func RoundUp(a, size uint64) uint64 { return (a + size - 1) &^ (size - 1) }

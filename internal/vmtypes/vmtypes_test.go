@@ -1,0 +1,101 @@
+package vmtypes_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"machvm/internal/vmtypes"
+)
+
+func TestProtAllows(t *testing.T) {
+	cases := []struct {
+		p, access vmtypes.Prot
+		want      bool
+	}{
+		{vmtypes.ProtAll, vmtypes.ProtWrite, true},
+		{vmtypes.ProtRead, vmtypes.ProtWrite, false},
+		{vmtypes.ProtRead | vmtypes.ProtWrite, vmtypes.ProtRead | vmtypes.ProtWrite, true},
+		{vmtypes.ProtNone, vmtypes.ProtNone, true},
+		{vmtypes.ProtNone, vmtypes.ProtRead, false},
+		{vmtypes.ProtExecute, vmtypes.ProtExecute, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Allows(c.access); got != c.want {
+			t.Errorf("%v.Allows(%v) = %v", c.p, c.access, got)
+		}
+	}
+}
+
+func TestProtSetOps(t *testing.T) {
+	if vmtypes.ProtRead.Union(vmtypes.ProtWrite) != vmtypes.ProtDefault {
+		t.Fatal("union wrong")
+	}
+	if vmtypes.ProtAll.Intersect(vmtypes.ProtRead) != vmtypes.ProtRead {
+		t.Fatal("intersect wrong")
+	}
+}
+
+func TestProtString(t *testing.T) {
+	cases := map[vmtypes.Prot]string{
+		vmtypes.ProtNone:    "---",
+		vmtypes.ProtRead:    "r--",
+		vmtypes.ProtWrite:   "-w-",
+		vmtypes.ProtExecute: "--x",
+		vmtypes.ProtAll:     "rwx",
+		vmtypes.ProtDefault: "rw-",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q; want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestInheritString(t *testing.T) {
+	if vmtypes.InheritShared.String() != "shared" ||
+		vmtypes.InheritCopy.String() != "copy" ||
+		vmtypes.InheritNone.String() != "none" {
+		t.Fatal("inherit strings wrong")
+	}
+	if vmtypes.Inherit(9).String() == "" {
+		t.Fatal("unknown inherit should still render")
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	for _, f := range []vmtypes.FaultKind{vmtypes.FaultNone, vmtypes.FaultTranslation, vmtypes.FaultProtection, vmtypes.FaultKind(7)} {
+		if f.String() == "" {
+			t.Fatal("empty fault kind string")
+		}
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 1024, 1 << 40} {
+		if !vmtypes.IsPowerOfTwo(v) {
+			t.Errorf("%d should be a power of two", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 6, 1023, (1 << 40) + 1} {
+		if vmtypes.IsPowerOfTwo(v) {
+			t.Errorf("%d should not be a power of two", v)
+		}
+	}
+}
+
+func TestRoundingProperties(t *testing.T) {
+	sizes := []uint64{512, 1024, 4096, 8192}
+	err := quick.Check(func(a uint32, sizeIdx uint8) bool {
+		size := sizes[int(sizeIdx)%len(sizes)]
+		v := uint64(a)
+		down := vmtypes.RoundDown(v, size)
+		up := vmtypes.RoundUp(v, size)
+		return down <= v && v <= up &&
+			down%size == 0 && up%size == 0 &&
+			up-down < 2*size &&
+			(v%size != 0 || (down == v && up == v))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

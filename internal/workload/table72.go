@@ -1,0 +1,323 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+
+	"machvm/internal/baseline"
+	"machvm/internal/hw"
+	"machvm/internal/task"
+	"machvm/internal/unixfs"
+	"machvm/internal/vmtypes"
+)
+
+// This file drives the compile workloads of Table 7-2. A compile job is
+// modelled as the VM-visible footprint of running a compiler: fork a
+// process, "exec" the compiler image (map its text), read the source and
+// its headers, allocate compiler working memory and touch it, write the
+// object file, exit. Shared headers and the compiler image itself are
+// where the systems diverge: Mach's object cache keeps them resident as
+// mapped objects, while the baseline repeatedly pulls them through a
+// fixed-size buffer cache.
+
+// CompileJob describes one translation unit.
+type CompileJob struct {
+	// Source is the job's own source file.
+	Source string
+	// Headers are files included by this job (usually shared).
+	Headers []string
+	// WorkKB is compiler working memory touched during the job.
+	WorkKB int
+	// OutputKB is the object file written.
+	OutputKB int
+	// CPUNs is the pure computation charge.
+	CPUNs int64
+}
+
+// CompileConfig is a full build.
+type CompileConfig struct {
+	Name string
+	Jobs []CompileJob
+	// CompilerKB sizes the compiler image ("/bin/cc" text).
+	CompilerKB int
+}
+
+// ThirteenPrograms models the paper's "13 programs" row: small, separate
+// C programs sharing the standard headers.
+func ThirteenPrograms() CompileConfig {
+	headers := []string{"h/stdio.h", "h/sys.h", "h/types.h"}
+	var jobs []CompileJob
+	for i := 0; i < 13; i++ {
+		jobs = append(jobs, CompileJob{
+			Source:   fmt.Sprintf("src/prog%d.c", i),
+			Headers:  headers,
+			WorkKB:   192,
+			OutputKB: 24,
+			CPUNs:    1100 * 1000 * 1000, // 1.1s of pure compilation
+		})
+	}
+	return CompileConfig{Name: "13 programs", Jobs: jobs, CompilerKB: 640}
+}
+
+// KernelBuild models the paper's "Mach kernel" row: many translation
+// units sharing a large header set.
+func KernelBuild() CompileConfig {
+	var headers []string
+	for i := 0; i < 24; i++ {
+		headers = append(headers, fmt.Sprintf("h/kern%d.h", i))
+	}
+	var jobs []CompileJob
+	for i := 0; i < 160; i++ {
+		jobs = append(jobs, CompileJob{
+			Source:   fmt.Sprintf("kern/file%d.c", i),
+			Headers:  headers,
+			WorkKB:   384,
+			OutputKB: 48,
+			CPUNs:    6 * 1000 * 1000 * 1000, // 6s per unit
+		})
+	}
+	return CompileConfig{Name: "Mach kernel", Jobs: jobs, CompilerKB: 768}
+}
+
+// ForkTestProgram models the SUN 3 row: compiling one small program.
+func ForkTestProgram() CompileConfig {
+	return CompileConfig{
+		Name: "fork test program",
+		Jobs: []CompileJob{{
+			Source:   "src/forktest.c",
+			Headers:  []string{"h/stdio.h"},
+			WorkKB:   128,
+			OutputKB: 16,
+			CPUNs:    900 * 1000 * 1000,
+		}},
+		CompilerKB: 512,
+	}
+}
+
+// fileKB returns the synthetic size of a workload file.
+func fileKB(name string) int {
+	switch {
+	case name == "":
+		return 0
+	case name[0] == 'h': // headers
+		return 24
+	default: // sources
+		return 28
+	}
+}
+
+// prepareFiles creates the build's input files in a filesystem.
+func prepareFiles(create func(name string, data []byte) error, cfg CompileConfig) error {
+	made := map[string]bool{}
+	mk := func(name string, kb int) error {
+		if made[name] {
+			return nil
+		}
+		made[name] = true
+		return create(name, bytes.Repeat([]byte{0xCC}, kb*1024))
+	}
+	if err := mk("bin/cc", cfg.CompilerKB); err != nil {
+		return err
+	}
+	for _, j := range cfg.Jobs {
+		if err := mk(j.Source, fileKB(j.Source)); err != nil {
+			return err
+		}
+		for _, h := range j.Headers {
+			if err := mk(h, fileKB(h)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MachCompile runs the build on the Mach world and returns virtual ns.
+func MachCompile(w *MachWorld, cfg CompileConfig) (int64, error) {
+	err := prepareFiles(func(name string, data []byte) error {
+		_, e := w.FS.Create(name, data)
+		return e
+	}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	k := w.Kernel
+	cpu := w.Machine.CPU(0)
+	shell := task.New(k, "sh")
+	defer shell.Destroy()
+	shellth := shell.SpawnThread(cpu)
+	// The shell has a modest dirty image that every fork must handle.
+	shellImg, err := shell.Map.Allocate(0, 192*1024, true)
+	if err != nil {
+		return 0, err
+	}
+	if err := shellth.Write(shellImg, bytes.Repeat([]byte{1}, 192*1024)); err != nil {
+		return 0, err
+	}
+
+	start := w.Machine.Clock.Now()
+	for i, job := range cfg.Jobs {
+		// fork(2): copy-on-write child.
+		cc := shell.Fork(fmt.Sprintf("cc%d", i))
+		th := cc.SpawnThread(cpu)
+
+		// exec(2): map the compiler text — a cached file object.
+		ccObj, err := w.FileObject("bin/cc")
+		if err != nil {
+			return 0, err
+		}
+		textVA, err := cc.Map.AllocateWithObject(0, ccObj.Size(), true, ccObj, 0,
+			vmtypes.ProtRead|vmtypes.ProtExecute, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+		if err != nil {
+			return 0, err
+		}
+		// Touch the text the compiler actually executes. Mapped text is
+		// demand paged straight from the file object: only the pages the
+		// compiler runs through are faulted in, and no copyout to a user
+		// buffer happens (the mapping IS the text). The baseline's exec
+		// must read the whole image through the buffer cache instead.
+		pageSz := int(k.PageSize())
+		var chunk = make([]byte, 256)
+		for off := 0; off < int(ccObj.Size()); off += 2 * pageSz {
+			if err := k.AccessBytes(cpu, cc.Map, textVA+vmtypes.VA(off), chunk, false); err != nil {
+				return 0, err
+			}
+		}
+
+		// Read the source and headers.
+		buf := make([]byte, 64*1024)
+		if _, err := w.ReadFileMach(cpu, cc.Map, job.Source, buf); err != nil {
+			return 0, err
+		}
+		for _, h := range job.Headers {
+			if _, err := w.ReadFileMach(cpu, cc.Map, h, buf); err != nil {
+				return 0, err
+			}
+		}
+
+		// Compiler working memory.
+		work := uint64(job.WorkKB) * 1024
+		workVA, err := cc.Map.Allocate(0, work, true)
+		if err != nil {
+			return 0, err
+		}
+		if err := th.Write(workVA, bytes.Repeat([]byte{2}, int(work))); err != nil {
+			return 0, err
+		}
+
+		// Pure computation.
+		w.Machine.Charge(job.CPUNs)
+
+		// Write the object file.
+		out := bytes.Repeat([]byte{3}, job.OutputKB*1024)
+		outName := fmt.Sprintf("obj/%s-%d.o", cfg.Name, i)
+		if _, err := w.FS.Create(outName, out); err != nil {
+			return 0, err
+		}
+
+		th.Detach()
+		cc.Destroy()
+	}
+	return w.Machine.Clock.Now() - start, nil
+}
+
+// UnixCompile runs the build on the baseline and returns virtual ns.
+func UnixCompile(u *UnixWorld, cfg CompileConfig) (int64, error) {
+	err := prepareFiles(func(name string, data []byte) error {
+		_, e := u.FS.Create(name, data)
+		return e
+	}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	cpu := u.Machine.CPU(0)
+	shell := u.Sys.NewProc()
+	defer shell.Exit()
+	shell.Pmap().Activate(cpu)
+	shellImg := shell.AllocZeroFill(192 * 1024)
+	if err := shell.AccessBytes(cpu, shellImg, bytes.Repeat([]byte{1}, 192*1024), true); err != nil {
+		return 0, err
+	}
+
+	start := u.Machine.Clock.Now()
+	for i, job := range cfg.Jobs {
+		cc, err := shell.Fork()
+		if err != nil {
+			return 0, err
+		}
+		cc.Pmap().Activate(cpu)
+
+		// exec(2): read the compiler image through the buffer cache
+		// into fresh text pages (no shared text object here — that is
+		// the point).
+		ccIno, err := u.FS.Open("bin/cc")
+		if err != nil {
+			return 0, err
+		}
+		textVA := cc.AllocZeroFill(ccIno.Size())
+		if err := readAllUnix(u, cc, cpu, ccIno, textVA); err != nil {
+			return 0, err
+		}
+
+		// Read the source and headers.
+		for _, name := range append([]string{job.Source}, job.Headers...) {
+			ino, err := u.FS.Open(name)
+			if err != nil {
+				return 0, err
+			}
+			bufVA := cc.AllocZeroFill(ino.Size())
+			if err := readAllUnix(u, cc, cpu, ino, bufVA); err != nil {
+				return 0, err
+			}
+		}
+
+		// Compiler working memory.
+		work := uint64(job.WorkKB) * 1024
+		workVA := cc.AllocZeroFill(work)
+		if err := cc.AccessBytes(cpu, workVA, bytes.Repeat([]byte{2}, int(work)), true); err != nil {
+			return 0, err
+		}
+
+		u.Machine.Charge(job.CPUNs)
+
+		// Write the object file through the buffer cache.
+		outName := fmt.Sprintf("obj/%s-%d.o", cfg.Name, i)
+		outIno, err := u.FS.Create(outName, nil)
+		if err != nil {
+			return 0, err
+		}
+		outVA := cc.AllocZeroFill(uint64(job.OutputKB) * 1024)
+		if err := cc.AccessBytes(cpu, outVA, bytes.Repeat([]byte{3}, job.OutputKB*1024), true); err != nil {
+			return 0, err
+		}
+		for off := 0; off < job.OutputKB*1024; off += 8192 {
+			n := 8192
+			if n > job.OutputKB*1024-off {
+				n = job.OutputKB*1024 - off
+			}
+			if err := cc.WriteFile(cpu, outIno, uint64(off), outVA+vmtypes.VA(off), n); err != nil {
+				return 0, err
+			}
+		}
+
+		cc.Exit()
+	}
+	return u.Machine.Clock.Now() - start, nil
+}
+
+// readAllUnix reads an entire file through the buffer cache into process
+// memory at va, in read(2)-sized chunks.
+func readAllUnix(u *UnixWorld, p *baseline.Proc, cpu *hw.CPU, ino *unixfs.Inode, va vmtypes.VA) error {
+	size := int(ino.Size())
+	const chunk = 8192
+	for off := 0; off < size; off += chunk {
+		n := chunk
+		if n > size-off {
+			n = size - off
+		}
+		if _, err := p.ReadFile(cpu, ino, uint64(off), va+vmtypes.VA(off), n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

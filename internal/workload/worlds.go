@@ -1,0 +1,318 @@
+// Package workload builds matched pairs of experimental worlds — a Mach
+// stack and a 4.3bsd-style baseline on identical simulated hardware — and
+// drives the workloads behind the paper's Tables 7-1 and 7-2.
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"machvm/internal/baseline"
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/pager"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/ns32082"
+	"machvm/internal/pmap/rtpc"
+	"machvm/internal/pmap/sun3"
+	"machvm/internal/pmap/tlbonly"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/unixfs"
+	"machvm/internal/vmtypes"
+)
+
+// Arch selects one of the paper's machines.
+type Arch int
+
+// The machines of §1/§7.
+const (
+	ArchUVAX2 Arch = iota // MicroVAX II
+	ArchVAX8200
+	ArchVAX8650
+	ArchRTPC
+	ArchSun3
+	ArchNS32082 // Encore MultiMax / Sequent Balance (per CPU)
+	ArchTLBOnly // IBM RP3-style
+)
+
+// String names the architecture as the paper does.
+func (a Arch) String() string {
+	switch a {
+	case ArchUVAX2:
+		return "uVAX II"
+	case ArchVAX8200:
+		return "VAX 8200"
+	case ArchVAX8650:
+		return "VAX 8650"
+	case ArchRTPC:
+		return "RT PC"
+	case ArchSun3:
+		return "SUN 3/160"
+	case ArchNS32082:
+		return "MultiMax/Balance"
+	case ArchTLBOnly:
+		return "RP3 (TLB-only)"
+	default:
+		return fmt.Sprintf("arch(%d)", int(a))
+	}
+}
+
+// Spec describes how to boot an architecture.
+type Spec struct {
+	Arch       Arch
+	Cost       hw.CostModel
+	HWPageSize int
+	// MachPageSize is the boot-time Mach page size used for the paper
+	// benchmarks on this machine.
+	MachPageSize int
+	// BaselineCosts select which traditional system is compared.
+	BaselineCosts baseline.Costs
+	// NewModule boots the machine-dependent module.
+	NewModule func(*hw.Machine, pmap.Strategy) pmap.Module
+	// Holes in physical memory (SUN 3 display memory).
+	Holes func(totalFrames int) []hw.FrameRange
+}
+
+// SpecFor returns the boot spec of an architecture.
+func SpecFor(a Arch) Spec {
+	switch a {
+	case ArchUVAX2:
+		return Spec{
+			Arch: a, Cost: vax.DefaultCost(),
+			HWPageSize: vax.HWPageSize, MachPageSize: 1024,
+			BaselineCosts: baseline.BSD43(),
+			NewModule:     func(m *hw.Machine, s pmap.Strategy) pmap.Module { return vax.New(m, s) },
+		}
+	case ArchVAX8200:
+		return Spec{
+			Arch: a, Cost: vax.Cost8200(),
+			HWPageSize: vax.HWPageSize, MachPageSize: 4096,
+			BaselineCosts: baseline.BSD43(),
+			NewModule:     func(m *hw.Machine, s pmap.Strategy) pmap.Module { return vax.New(m, s) },
+		}
+	case ArchVAX8650:
+		return Spec{
+			Arch: a, Cost: vax.Cost8650(),
+			HWPageSize: vax.HWPageSize, MachPageSize: 4096,
+			BaselineCosts: baseline.BSD43(),
+			NewModule:     func(m *hw.Machine, s pmap.Strategy) pmap.Module { return vax.New(m, s) },
+		}
+	case ArchRTPC:
+		return Spec{
+			Arch: a, Cost: rtpc.DefaultCost(),
+			HWPageSize: rtpc.HWPageSize, MachPageSize: 2048,
+			BaselineCosts: baseline.ACIS42(),
+			NewModule:     func(m *hw.Machine, s pmap.Strategy) pmap.Module { return rtpc.New(m, s) },
+		}
+	case ArchSun3:
+		return Spec{
+			Arch: a, Cost: sun3.DefaultCost(),
+			HWPageSize: sun3.HWPageSize, MachPageSize: 8192,
+			BaselineCosts: baseline.SunOS32(),
+			NewModule:     func(m *hw.Machine, s pmap.Strategy) pmap.Module { return sun3.New(m, s) },
+			Holes: func(total int) []hw.FrameRange {
+				return []hw.FrameRange{sun3.DisplayHole(total, total/16)}
+			},
+		}
+	case ArchNS32082:
+		return Spec{
+			Arch: a, Cost: ns32082.DefaultCost(),
+			HWPageSize: ns32082.HWPageSize, MachPageSize: 4096,
+			BaselineCosts: baseline.BSD43(),
+			NewModule:     func(m *hw.Machine, s pmap.Strategy) pmap.Module { return ns32082.New(m, s) },
+		}
+	case ArchTLBOnly:
+		return Spec{
+			Arch: a, Cost: tlbonly.DefaultCost(),
+			HWPageSize: tlbonly.HWPageSize, MachPageSize: 4096,
+			BaselineCosts: baseline.BSD43(),
+			NewModule:     func(m *hw.Machine, s pmap.Strategy) pmap.Module { return tlbonly.New(m, s) },
+		}
+	default:
+		panic("workload: unknown architecture")
+	}
+}
+
+// Options tune a world.
+type Options struct {
+	// MemoryMB is physical memory size (default 8; the NS32082 caps at
+	// its 32MB hardware limit regardless).
+	MemoryMB int
+	// CPUs is the processor count (default 1).
+	CPUs int
+	// DiskMB sizes the simulated disk (default 64).
+	DiskMB int
+	// NBufs is the baseline buffer-cache size (default 400, the paper's
+	// explicitly limited configuration).
+	NBufs int
+	// Strategy selects TLB consistency (default immediate).
+	Strategy pmap.Strategy
+	// ObjectCacheSize bounds Mach's object cache (default: generous).
+	ObjectCacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemoryMB == 0 {
+		o.MemoryMB = 8
+	}
+	if o.CPUs == 0 {
+		o.CPUs = 1
+	}
+	if o.DiskMB == 0 {
+		o.DiskMB = 64
+	}
+	if o.NBufs == 0 {
+		o.NBufs = 400
+	}
+	if o.ObjectCacheSize == 0 {
+		o.ObjectCacheSize = 4096
+	}
+	return o
+}
+
+// MachWorld is a booted Mach stack.
+type MachWorld struct {
+	Spec    Spec
+	Machine *hw.Machine
+	Mod     pmap.Module
+	Kernel  *core.Kernel
+	FS      *unixfs.FS
+	Inode   *pager.InodePager
+
+	mu      sync.Mutex
+	objects map[string]*core.Object
+}
+
+// NewMachWorld boots Mach on the architecture.
+func NewMachWorld(a Arch, opts Options) *MachWorld {
+	opts = opts.withDefaults()
+	spec := SpecFor(a)
+	frames := opts.MemoryMB << 20 / spec.HWPageSize
+	var holes []hw.FrameRange
+	if spec.Holes != nil {
+		holes = spec.Holes(frames)
+	}
+	machine := hw.NewMachine(hw.Config{
+		Cost:       spec.Cost,
+		HWPageSize: spec.HWPageSize,
+		PhysFrames: frames,
+		Holes:      holes,
+		CPUs:       opts.CPUs,
+		TLBSize:    64,
+	})
+	mod := spec.NewModule(machine, opts.Strategy)
+	k := core.NewKernel(core.Config{
+		Machine:         machine,
+		Module:          mod,
+		PageSize:        spec.MachPageSize,
+		ObjectCacheSize: opts.ObjectCacheSize,
+	})
+	fs := unixfs.NewFS(unixfs.NewDisk(machine, opts.DiskMB<<20/unixfs.BlockSize))
+	ip := pager.NewInodePager(fs)
+	k.SetSwapPager(pager.NewSwapPager(fs))
+	return &MachWorld{
+		Spec:    spec,
+		Machine: machine,
+		Mod:     mod,
+		Kernel:  k,
+		FS:      fs,
+		Inode:   ip,
+		objects: make(map[string]*core.Object),
+	}
+}
+
+// FileObject returns the (cached) memory object for a file, reviving it
+// from the object cache when possible — the Mach read path.
+func (w *MachWorld) FileObject(name string) (*core.Object, error) {
+	w.mu.Lock()
+	obj := w.objects[name]
+	w.mu.Unlock()
+	if obj != nil && w.Kernel.LookupCached(obj) {
+		return obj, nil
+	}
+	if obj != nil && obj.Refs() > 0 {
+		obj.Reference()
+		return obj, nil
+	}
+	obj, err := w.Inode.NewFileObject(w.Kernel, name)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.objects[name] = obj
+	w.mu.Unlock()
+	return obj, nil
+}
+
+// ReadFileMach performs the Mach read path: map the file's memory object,
+// fault the data through the object cache, copy it out to the caller's
+// buffer, unmap. The object (and its pages) stays cached afterwards.
+func (w *MachWorld) ReadFileMach(cpu *hw.CPU, m *core.Map, name string, buf []byte) (int, error) {
+	k := w.Kernel
+	k.Machine().Charge(k.Machine().Cost.Syscall)
+	obj, err := w.FileObject(name)
+	if err != nil {
+		return 0, err
+	}
+	size := obj.Size()
+	addr, err := m.AllocateWithObject(0, size, true, obj, 0,
+		vmtypes.ProtRead, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		k.ReleaseObjectRef(obj)
+		return 0, err
+	}
+	n := len(buf)
+	if uint64(n) > size {
+		n = int(size)
+	}
+	if err := k.AccessBytes(cpu, m, addr, buf[:n], false); err != nil {
+		_ = m.Deallocate(addr, size)
+		return 0, err
+	}
+	// copyout to the user buffer.
+	k.Machine().ChargeKB(k.Machine().Cost.CopyPerKB, n)
+	if err := m.Deallocate(addr, size); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// UnixWorld is a booted baseline system.
+type UnixWorld struct {
+	Spec    Spec
+	Machine *hw.Machine
+	Mod     pmap.Module
+	Sys     *baseline.System
+	FS      *unixfs.FS
+}
+
+// NewUnixWorld boots the traditional comparison system on identical
+// hardware.
+func NewUnixWorld(a Arch, opts Options) *UnixWorld {
+	opts = opts.withDefaults()
+	spec := SpecFor(a)
+	frames := opts.MemoryMB << 20 / spec.HWPageSize
+	var holes []hw.FrameRange
+	if spec.Holes != nil {
+		holes = spec.Holes(frames)
+	}
+	machine := hw.NewMachine(hw.Config{
+		Cost:       spec.Cost,
+		HWPageSize: spec.HWPageSize,
+		PhysFrames: frames,
+		Holes:      holes,
+		CPUs:       opts.CPUs,
+		TLBSize:    64,
+	})
+	mod := spec.NewModule(machine, opts.Strategy)
+	fs := unixfs.NewFS(unixfs.NewDisk(machine, opts.DiskMB<<20/unixfs.BlockSize))
+	sys := baseline.New(baseline.Config{
+		Machine:  machine,
+		Module:   mod,
+		Costs:    spec.BaselineCosts,
+		FS:       fs,
+		NBufs:    opts.NBufs,
+		PageSize: spec.MachPageSize,
+	})
+	return &UnixWorld{Spec: spec, Machine: machine, Mod: mod, Sys: sys, FS: fs}
+}

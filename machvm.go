@@ -1,0 +1,284 @@
+// Package machvm is a working reproduction of the Mach virtual memory
+// system from Rashid et al., "Machine-Independent Virtual Memory
+// Management for Paged Uniprocessor and Multiprocessor Architectures"
+// (ASPLOS 1987), built as a Go library over a simulated hardware
+// substrate.
+//
+// It provides the paper's five abstractions — tasks, threads, ports,
+// messages and memory objects — on top of the four machine-independent VM
+// structures (resident page table, address maps, memory objects with
+// shadow chains, and the pmap interface) with five machine-dependent pmap
+// modules: VAX, IBM RT PC (inverted page table), SUN 3 (segments and 8
+// contexts), NS32082 (Encore MultiMax / Sequent Balance) and an RP3-style
+// TLB-only machine.
+//
+// Quick start:
+//
+//	sys := machvm.New(machvm.VAX, machvm.Options{MemoryMB: 8})
+//	tk := sys.NewTask("init")
+//	th := tk.SpawnThread(sys.CPU(0))
+//	addr, _ := tk.Map.Allocate(0, 64<<10, true)
+//	_ = th.Write(addr, []byte("hello, mach"))
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package machvm
+
+import (
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/ipc"
+	"machvm/internal/pager"
+	"machvm/internal/pmap"
+	"machvm/internal/task"
+	"machvm/internal/unixfs"
+	"machvm/internal/vmtypes"
+	"machvm/internal/workload"
+)
+
+// Re-exported primitive types: addresses, protections, inheritance.
+type (
+	// VA is a virtual address.
+	VA = vmtypes.VA
+	// PA is a physical address.
+	PA = vmtypes.PA
+	// PFN is a hardware page frame number.
+	PFN = vmtypes.PFN
+	// Prot is a protection code (read/write/execute).
+	Prot = vmtypes.Prot
+	// Inherit is a fork-inheritance attribute.
+	Inherit = vmtypes.Inherit
+)
+
+// Protection and inheritance values.
+const (
+	ProtNone    = vmtypes.ProtNone
+	ProtRead    = vmtypes.ProtRead
+	ProtWrite   = vmtypes.ProtWrite
+	ProtExecute = vmtypes.ProtExecute
+	ProtDefault = vmtypes.ProtDefault
+	ProtAll     = vmtypes.ProtAll
+
+	InheritShared = vmtypes.InheritShared
+	InheritCopy   = vmtypes.InheritCopy
+	InheritNone   = vmtypes.InheritNone
+)
+
+// Re-exported system objects. Their methods are documented in the
+// underlying packages; the facade exists so a user of the library needs
+// only this import.
+type (
+	// Kernel is the machine-independent VM layer.
+	Kernel = core.Kernel
+	// Map is an address map (or sharing map).
+	Map = core.Map
+	// MapEntry is one address map entry.
+	MapEntry = core.MapEntry
+	// Object is a memory object.
+	Object = core.Object
+	// Pager is the kernel-side memory manager interface.
+	Pager = core.Pager
+	// Statistics is the vm_statistics snapshot.
+	Statistics = core.Statistics
+	// RegionInfo describes one region (vm_regions).
+	RegionInfo = core.RegionInfo
+
+	// Task is an execution environment; Thread a unit of CPU use.
+	Task = task.Task
+	// Thread is the basic unit of CPU utilization.
+	Thread = task.Thread
+
+	// Port is a protected message queue; Message a typed message.
+	Port = ipc.Port
+	// Message is a typed collection of data items.
+	Message = ipc.Message
+	// Item is one typed message datum.
+	Item = ipc.Item
+	// OOLRegion is out-of-line message memory.
+	OOLRegion = ipc.OOLRegion
+
+	// UserPager is a user-state memory manager (external pager).
+	UserPager = pager.UserPager
+	// DataRequest is one fault forwarded to a user pager.
+	DataRequest = pager.DataRequest
+	// InodePager backs memory objects with files.
+	InodePager = pager.InodePager
+
+	// Machine is the simulated hardware.
+	Machine = hw.Machine
+	// CPU is one simulated processor.
+	CPU = hw.CPU
+	// CostModel is a per-architecture virtual-time cost model.
+	CostModel = hw.CostModel
+
+	// FS is the simulated filesystem; Inode one file.
+	FS = unixfs.FS
+	// Inode is one simulated file.
+	Inode = unixfs.Inode
+
+	// PmapModule is the machine-dependent module interface (Table 3-3).
+	PmapModule = pmap.Module
+	// Pmap is one task's physical map.
+	Pmap = pmap.Map
+)
+
+// Arch selects a machine architecture.
+type Arch int
+
+// The architectures of the paper.
+const (
+	// VAX boots a MicroVAX II-class machine (512-byte hardware pages,
+	// on-demand linear page tables).
+	VAX Arch = iota
+	// VAX8200 and VAX8650 are faster VAXes (the paper's file-read and
+	// compilation machines).
+	VAX8200
+	VAX8650
+	// RTPC boots an IBM RT PC (inverted page table).
+	RTPC
+	// Sun3 boots a SUN 3/160 (segment maps, 8 contexts, display-memory
+	// hole in physical memory).
+	Sun3
+	// NS32082 boots an Encore MultiMax / Sequent Balance class machine
+	// (16MB VA limit, 32MB PA limit, the read-modify-write fault bug).
+	NS32082
+	// TLBOnly boots an IBM RP3-style machine with no hardware-defined
+	// in-memory mapping structure.
+	TLBOnly
+)
+
+// ShootdownStrategy selects the multiprocessor TLB consistency strategy
+// (§5.2).
+type ShootdownStrategy = pmap.Strategy
+
+// The three strategies of §5.2.
+const (
+	ShootImmediate = pmap.ShootImmediate
+	ShootDeferred  = pmap.ShootDeferred
+	ShootLazy      = pmap.ShootLazy
+)
+
+// Options configure a System.
+type Options struct {
+	// MemoryMB is physical memory in megabytes (default 8).
+	MemoryMB int
+	// CPUs is the processor count (default 1).
+	CPUs int
+	// DiskMB sizes the simulated disk (default 64).
+	DiskMB int
+	// Strategy selects TLB consistency (default immediate).
+	Strategy ShootdownStrategy
+	// ObjectCacheSize bounds the cache of unreferenced persistent
+	// objects.
+	ObjectCacheSize int
+}
+
+// System is a booted machine running the Mach VM stack.
+type System struct {
+	arch  Arch
+	world *workload.MachWorld
+}
+
+// New boots a system of the given architecture.
+func New(arch Arch, opts Options) *System {
+	var wa workload.Arch
+	switch arch {
+	case VAX:
+		wa = workload.ArchUVAX2
+	case VAX8200:
+		wa = workload.ArchVAX8200
+	case VAX8650:
+		wa = workload.ArchVAX8650
+	case RTPC:
+		wa = workload.ArchRTPC
+	case Sun3:
+		wa = workload.ArchSun3
+	case NS32082:
+		wa = workload.ArchNS32082
+	case TLBOnly:
+		wa = workload.ArchTLBOnly
+	default:
+		panic("machvm: unknown architecture")
+	}
+	w := workload.NewMachWorld(wa, workload.Options{
+		MemoryMB:        opts.MemoryMB,
+		CPUs:            opts.CPUs,
+		DiskMB:          opts.DiskMB,
+		Strategy:        opts.Strategy,
+		ObjectCacheSize: opts.ObjectCacheSize,
+	})
+	return &System{arch: arch, world: w}
+}
+
+// Arch returns the system's architecture.
+func (s *System) Arch() Arch { return s.arch }
+
+// Kernel returns the machine-independent VM layer.
+func (s *System) Kernel() *Kernel { return s.world.Kernel }
+
+// Machine returns the simulated hardware.
+func (s *System) Machine() *Machine { return s.world.Machine }
+
+// CPU returns simulated processor i.
+func (s *System) CPU(i int) *CPU { return s.world.Machine.CPU(i) }
+
+// FS returns the simulated filesystem.
+func (s *System) FS() *FS { return s.world.FS }
+
+// PmapModule returns the machine-dependent module.
+func (s *System) PmapModule() PmapModule { return s.world.Mod }
+
+// NewTask creates a task with an empty address space.
+func (s *System) NewTask(name string) *Task { return task.New(s.world.Kernel, name) }
+
+// MapFile maps the named file into the task's address space and returns
+// the address (a memory-mapped file through the inode pager).
+func (s *System) MapFile(t *Task, name string, prot Prot) (VA, uint64, error) {
+	obj, err := s.world.FileObject(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	size := obj.Size()
+	addr, err := t.Map.AllocateWithObject(0, size, true, obj, 0, prot, ProtAll, InheritCopy, false)
+	if err != nil {
+		s.world.Kernel.ReleaseObjectRef(obj)
+		return 0, 0, err
+	}
+	return addr, size, nil
+}
+
+// ReadFile performs the Mach read path (map, fault through the object
+// cache, copy out) into buf, returning the byte count.
+func (s *System) ReadFile(cpu *CPU, t *Task, name string, buf []byte) (int, error) {
+	return s.world.ReadFileMach(cpu, t.Map, name, buf)
+}
+
+// NewUserPagerObject creates a memory object of the given size managed by
+// the user pager, ready to be mapped with Task.Map.AllocateWithObject.
+func (s *System) NewUserPagerObject(up *UserPager, size uint64, name string) *Object {
+	_, obj := pager.NewExternalObject(s.world.Kernel, up.Port, size, name)
+	return obj
+}
+
+// NewUserPager creates a user-state memory manager with a fresh service
+// port and a running server loop.
+func NewUserPager(name string) *UserPager { return pager.NewUserPager(name) }
+
+// Statistics returns the vm_statistics snapshot.
+func (s *System) Statistics() Statistics { return s.world.Kernel.VMStatistics() }
+
+// VirtualTime returns the machine's virtual clock in nanoseconds.
+func (s *System) VirtualTime() int64 { return s.world.Machine.Clock.Now() }
+
+// NewPort allocates a message port.
+func NewPort(name string) *Port { return ipc.NewPort(name) }
+
+// MoveOut detaches memory into an out-of-line region for a message.
+func (s *System) MoveOut(t *Task, addr VA, size uint64, dealloc bool) (*OOLRegion, error) {
+	return ipc.MoveOut(s.world.Kernel, t.Map, addr, size, dealloc)
+}
+
+// MoveIn maps an out-of-line region into a task.
+func (s *System) MoveIn(region *OOLRegion, t *Task) (VA, error) {
+	return region.MoveIn(s.world.Kernel, t.Map)
+}
