@@ -44,11 +44,13 @@ func (k *Kernel) AccessBytes(cpu *hw.CPU, m *Map, va vmtypes.VA, buf []byte, wri
 		}
 		fb := k.machine.Mem.Frame(frame)
 		off := int(cur % hwPage)
+		k.machine.Mem.LockFrame(frame)
 		if write {
 			copy(fb[off:off+n], buf[done:done+n])
 		} else {
 			copy(buf[done:done+n], fb[off:off+n])
 		}
+		k.machine.Mem.UnlockFrame(frame)
 		done += n
 	}
 	return nil
@@ -132,13 +134,14 @@ func (k *Kernel) kernelCopy(m *Map, va vmtypes.VA, buf []byte, write bool) error
 		fb := k.machine.Mem.Frame(frame)
 		off := int(cur % hwPage)
 		k.machine.ChargeKB(k.machine.Cost.CopyPerKB, n)
+		k.machine.Mem.LockFrame(frame)
 		if write {
 			copy(fb[off:off+n], buf[done:done+n])
-			k.mod.MarkAccess(frame, true)
 		} else {
 			copy(buf[done:done+n], fb[off:off+n])
-			k.mod.MarkAccess(frame, false)
 		}
+		k.machine.Mem.UnlockFrame(frame)
+		k.mod.MarkAccess(frame, write)
 		done += n
 	}
 	return nil

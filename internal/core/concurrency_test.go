@@ -1,0 +1,203 @@
+package core
+
+// Concurrent-fault stress test for the sharded resident-page layer: many
+// goroutines fault, copy and deallocate over shared and COW objects while
+// the paging daemon scans, then the quiesced page table must still satisfy
+// every structural invariant of invariant_test.go. Run with -race.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+func TestConcurrentFaultStress(t *testing.T) {
+	const (
+		workers    = 8
+		iters      = 60
+		churnPages = 24
+		cowPages   = 16
+	)
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: 8192,
+		CPUs:       workers,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	// A high free target keeps the daemon actually reclaiming pages
+	// underneath the faulting workers instead of idling.
+	k := NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096, FreeTarget: 384, FreeMin: 256})
+	pageSize := k.PageSize()
+
+	// Parent address space: one shared region every child inherits
+	// read/write (each worker writes only its own page of it, plus reads
+	// a common page initialized here), and one COW region every child
+	// snapshots at fork and then overwrites privately.
+	parent := k.NewMap()
+	cpu0 := machine.CPU(0)
+	parent.Pmap().Activate(cpu0)
+
+	sharedAddr, err := parent.Allocate(0, uint64(workers+1)*pageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.SetInherit(sharedAddr, uint64(workers+1)*pageSize, vmtypes.InheritShared); err != nil {
+		t.Fatal(err)
+	}
+	commonVA := sharedAddr + vmtypes.VA(uint64(workers)*pageSize)
+	if err := k.AccessBytes(cpu0, parent, commonVA, []byte{0xA5}, true); err != nil {
+		t.Fatal(err)
+	}
+
+	cowAddr, err := parent.Allocate(0, cowPages*pageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cowPages; i++ {
+		va := cowAddr + vmtypes.VA(uint64(i)*pageSize)
+		if err := k.AccessBytes(cpu0, parent, va, []byte{byte(0x10 + i)}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	children := make([]*Map, workers)
+	for w := range children {
+		children[w] = parent.Fork()
+	}
+	parent.Pmap().Deactivate(cpu0)
+
+	// The paging daemon races the workers for the whole run.
+	daemonStop := make(chan struct{})
+	var daemon sync.WaitGroup
+	daemon.Add(1)
+	go func() {
+		defer daemon.Done()
+		for {
+			select {
+			case <-daemonStop:
+				return
+			default:
+				k.PageoutScan()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cpu := machine.CPU(w)
+			m := children[w]
+			m.Pmap().Activate(cpu)
+			defer m.Destroy()
+
+			ownVA := sharedAddr + vmtypes.VA(uint64(w)*pageSize)
+			b := make([]byte, 1)
+			for it := 0; it < iters; it++ {
+				// Shared object: write our own page, read the common one.
+				if err := k.AccessBytes(cpu, m, ownVA, []byte{byte(it)}, true); err != nil {
+					errs <- fmt.Errorf("worker %d shared write: %w", w, err)
+					return
+				}
+				if err := k.AccessBytes(cpu, m, commonVA, b, false); err != nil {
+					errs <- fmt.Errorf("worker %d shared read: %w", w, err)
+					return
+				}
+				if b[0] != 0xA5 {
+					errs <- fmt.Errorf("worker %d: shared page corrupted: %#x", w, b[0])
+					return
+				}
+
+				// COW object: overwrite a page of our private snapshot,
+				// then verify our writes stick and untouched pages still
+				// show the parent's data.
+				i := it % cowPages
+				va := cowAddr + vmtypes.VA(uint64(i)*pageSize)
+				if err := k.AccessBytes(cpu, m, va, []byte{byte(0x80 + w)}, true); err != nil {
+					errs <- fmt.Errorf("worker %d cow write: %w", w, err)
+					return
+				}
+				if err := k.AccessBytes(cpu, m, va, b, false); err != nil {
+					errs <- fmt.Errorf("worker %d cow readback: %w", w, err)
+					return
+				}
+				if b[0] != byte(0x80+w) {
+					errs <- fmt.Errorf("worker %d: cow page lost the private write: %#x", w, b[0])
+					return
+				}
+				j := (it + 1) % cowPages
+				if j > it { // not yet written by us this pass
+					va := cowAddr + vmtypes.VA(uint64(j)*pageSize)
+					if err := k.AccessBytes(cpu, m, va, b, false); err != nil {
+						errs <- fmt.Errorf("worker %d cow read: %w", w, err)
+						return
+					}
+					if b[0] != byte(0x10+j) {
+						errs <- fmt.Errorf("worker %d: cow page %d lost parent data: %#x", w, j, b[0])
+						return
+					}
+				}
+
+				// Churn: allocate, fault over, snapshot with vm_copy,
+				// then deallocate both — keeps the allocator, the COW
+				// machinery and the daemon all racing.
+				addr, err := m.Allocate(0, churnPages*pageSize, true)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d alloc: %w", w, err)
+					return
+				}
+				for p := 0; p < churnPages; p += 3 {
+					if err := k.Touch(cpu, m, addr+vmtypes.VA(uint64(p)*pageSize), true); err != nil {
+						errs <- fmt.Errorf("worker %d churn touch: %w", w, err)
+						return
+					}
+				}
+				cp, err := m.CopyTo(m, addr, 6*pageSize, 0, true)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d vm_copy: %w", w, err)
+					return
+				}
+				if err := k.Touch(cpu, m, cp, true); err != nil {
+					errs <- fmt.Errorf("worker %d copy touch: %w", w, err)
+					return
+				}
+				if err := m.Deallocate(cp, 6*pageSize); err != nil {
+					errs <- fmt.Errorf("worker %d dealloc copy: %w", w, err)
+					return
+				}
+				if err := m.Deallocate(addr, churnPages*pageSize); err != nil {
+					errs <- fmt.Errorf("worker %d dealloc: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(daemonStop)
+	daemon.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The system is quiesced: every structural invariant must hold.
+	checkPageAccounting(t, k)
+	checkMapInvariants(t, parent)
+	parent.Destroy()
+	checkPageAccounting(t, k)
+	if k.FreeCount() != k.TotalPages() {
+		t.Fatalf("leak: %d of %d pages free after destroying all maps", k.FreeCount(), k.TotalPages())
+	}
+}

@@ -101,17 +101,7 @@ func (m *Map) copyShareEntryCOWLocked(src *MapEntry) []*MapEntry {
 // writeProtectObjectRange revokes write access to every resident page of
 // obj within [offset, offset+size) in every pmap (pmap_copy_on_write).
 func (k *Kernel) writeProtectObjectRange(obj *Object, offset, size uint64) {
-	obj.mu.Lock()
-	var pages []*Page
-	k.pageMu.Lock()
-	for p := obj.pageList; p != nil; p = p.objNext {
-		if p.offset >= offset && p.offset < offset+size {
-			pages = append(pages, p)
-		}
-	}
-	k.pageMu.Unlock()
-	obj.mu.Unlock()
-	for _, p := range pages {
+	for _, p := range k.collectObjectRange(obj, offset, size) {
 		k.writeProtectAll(p)
 	}
 }

@@ -105,6 +105,11 @@ func (k *Kernel) faultResolveLocked(topMap, entryMap *Map, entry *MapEntry, page
 	if err != nil {
 		return err
 	}
+	// The page comes back busy-claimed by this fault (fresh or resident)
+	// and stays claimed until the hardware mapping is entered: otherwise
+	// the pageout daemon could free it in between and leave a brand-new
+	// mapping pointing at a reused frame.
+	defer k.pageWakeup(page)
 
 	// pager_data_lock enforcement: the pager may have delivered the data
 	// locked (pager_data_provided's lock_value). If the lock forbids this
@@ -136,9 +141,8 @@ func (k *Kernel) faultResolveLocked(topMap, entryMap *Map, entry *MapEntry, page
 		}
 	}
 	if wantWrite {
-		k.pageMu.Lock()
+		// Safe without the shard lock: this fault owns the page's busy bit.
 		page.dirty = true
-		k.pageMu.Unlock()
 	}
 	k.activatePage(page)
 	return nil
@@ -172,133 +176,168 @@ func (k *Kernel) shadowEntryLocked(m *Map, entry *MapEntry) {
 // the backing page's existing hardware mappings are stale for the sharers
 // and must be removed (they refault and find the shadow's page; snapshot
 // holders refault and still reach the original).
+//
+// Every page this function returns is busy-claimed by the caller (claimed
+// by lookupPage on a resident hit, freshly allocated otherwise); the
+// caller releases the claim with pageWakeup once the mapping is entered.
+//
+// The walk needs no guard against a concurrent collapseShadow transiting
+// pages between chain levels: a fault runs entirely under its map's lock
+// (faults through a shared entry serialize on the sharing map's lock), so
+// a concurrent collapse belongs to a different map, and collapseShadow
+// only drains a backing object whose sole reference is the collapsing
+// front. Every object this walk visits is referenced from this chain —
+// entry.object by the map entry, each deeper level by its front's shadow
+// pointer — so any object we can reach has refs >= 2 from the collapser's
+// point of view and the collapse aborts before touching it.
 func (k *Kernel) faultPageLookup(obj *Object, offset uint64, wantWrite, sharedFront bool) (*Page, bool, error) {
 	first := obj
-	curOffset := offset
-	cur := first
-	depth := 0
-	for {
-		depth++
-		if depth > 1000 {
-			panic(fmt.Sprintf("vm_fault: runaway shadow chain at depth %d", depth))
-		}
-		if page := k.lookupPage(cur, curOffset, true); page != nil {
-			if cur == first {
-				k.stats.ReactivateHits.Add(1)
-				return page, true, nil
-			}
-			// Found in a backing object.
-			if !wantWrite {
-				return page, false, nil
-			}
-			// Copy the page up into the first object (§3.4).
-			newPage := k.allocPage(first, offset)
-			k.copyPage(page, newPage)
-			k.stats.CowFaults.Add(1)
-			k.pageMu.Lock()
-			newPage.dirty = true
-			k.pageMu.Unlock()
-			k.pageWakeup(newPage)
-			if sharedFront {
-				// Sharers must not keep reading the superseded page.
-				k.removeAllMappings(page)
-			}
-			// The new page hides the backing page for this object
-			// chain; other chains may still share the old page, so it
-			// simply stays where it is.
-			return newPage, true, nil
-		}
 
-		cur.mu.Lock()
-		pager := cur.pager
-		shadow := cur.shadow
-		shadowOffset := cur.shadowOffset
-		if pager != nil {
-			cur.pagingInProgress++
-			cur.mu.Unlock()
-			page, err := k.pageIn(cur, curOffset, pager)
-			cur.mu.Lock()
-			cur.pagingInProgress--
-			cur.mu.Unlock()
-			if err != nil {
-				return nil, false, err
+	// copyUp copies a page found in a backing object into the first
+	// object (§3.4). fresh=false means a concurrent faulter installed the
+	// first object's page before us; rewalk and use theirs. Either way the
+	// claim on the backing page is released here.
+	copyUp := func(page *Page) (*Page, bool) {
+		newPage, fresh := k.allocPage(first, offset)
+		if !fresh {
+			k.pageWakeup(page)
+			return nil, false
+		}
+		k.copyPage(page, newPage)
+		k.stats.CowFaults.Add(1)
+		newPage.dirty = true
+		if sharedFront {
+			// Sharers must not keep reading the superseded page.
+			k.removeAllMappings(page)
+		}
+		k.pageWakeup(page)
+		// The new page hides the backing page for this object chain;
+		// other chains may still share the old page, so it simply stays
+		// where it is.
+		return newPage, true
+	}
+
+restart:
+	for {
+		cur := first
+		curOffset := offset
+		depth := 0
+		for {
+			depth++
+			if depth > 1000 {
+				panic(fmt.Sprintf("vm_fault: runaway shadow chain at depth %d", depth))
 			}
-			if page != nil {
+			if page := k.lookupPage(cur, curOffset, true); page != nil {
 				if cur == first {
+					k.stats.ReactivateHits.Add(1)
 					return page, true, nil
 				}
+				// Found in a backing object.
 				if !wantWrite {
 					return page, false, nil
 				}
-				newPage := k.allocPage(first, offset)
-				k.copyPage(page, newPage)
-				k.stats.CowFaults.Add(1)
-				k.pageMu.Lock()
-				newPage.dirty = true
-				k.pageMu.Unlock()
-				k.pageWakeup(newPage)
-				if sharedFront {
-					k.removeAllMappings(page)
+				newPage, ok := copyUp(page)
+				if !ok {
+					continue restart
 				}
 				return newPage, true, nil
 			}
-			// Pager has no data: fall through to the shadow, or
-			// zero-fill at the end of the chain.
-		} else {
-			cur.mu.Unlock()
-		}
 
-		if shadow == nil {
-			// End of the chain: zero fill in the first object
-			// ("memory with no pager is automatically zero filled").
-			page := k.allocPage(first, offset)
-			k.zeroPage(page)
-			k.stats.ZeroFillFaults.Add(1)
-			if wantWrite {
-				k.pageMu.Lock()
-				page.dirty = true
-				k.pageMu.Unlock()
+			cur.mu.Lock()
+			pager := cur.pager
+			shadow := cur.shadow
+			shadowOffset := cur.shadowOffset
+			cur.mu.Unlock()
+			if pager != nil {
+				page, retry, err := k.pageIn(cur, curOffset, pager)
+				if err != nil {
+					return nil, false, err
+				}
+				if retry {
+					continue restart
+				}
+				if page != nil {
+					if cur == first {
+						return page, true, nil
+					}
+					if !wantWrite {
+						return page, false, nil
+					}
+					newPage, ok := copyUp(page)
+					if !ok {
+						continue restart
+					}
+					return newPage, true, nil
+				}
+				// Pager has no data: fall through to the shadow, or
+				// zero-fill at the end of the chain.
 			}
-			k.pageWakeup(page)
-			return page, true, nil
+
+			if shadow == nil {
+				// End of the chain: zero fill in the first object
+				// ("memory with no pager is automatically zero filled").
+				page, fresh := k.allocPage(first, offset)
+				if !fresh {
+					continue restart
+				}
+				k.zeroPage(page)
+				k.stats.ZeroFillFaults.Add(1)
+				if wantWrite {
+					page.dirty = true
+				}
+				return page, true, nil
+			}
+			curOffset += shadowOffset
+			cur = shadow
 		}
-		curOffset += shadowOffset
-		cur = shadow
 	}
 }
 
-// pageIn asks the object's pager for the page at offset. It returns nil
-// (no error) if the pager reports the data unavailable, in which case the
-// caller continues down the chain or zero-fills.
-func (k *Kernel) pageIn(obj *Object, offset uint64, pager Pager) (*Page, error) {
+// pageIn asks the object's pager for the page at offset. page is nil with
+// no error if the pager reports the data unavailable, in which case the
+// caller continues down the chain or zero-fills. retry means a concurrent
+// faulter beat us to the offset and the caller should rewalk the chain.
+// A returned page is still busy-claimed by the caller.
+func (k *Kernel) pageIn(obj *Object, offset uint64, pager Pager) (page *Page, retry bool, err error) {
 	// Insert a busy page first so concurrent faulters wait instead of
 	// issuing duplicate requests.
-	page := k.allocPage(obj, offset)
+	page, fresh := k.allocPage(obj, offset)
+	if !fresh {
+		return nil, true, nil
+	}
 	page.absent = true
 
+	// The pager conversation happens with no locks held; raising
+	// pagingInProgress keeps the object from being collapsed or torn down
+	// while the request is in flight.
+	obj.mu.Lock()
+	obj.pagingInProgress++
+	obj.mu.Unlock()
 	data, unavailable := pager.DataRequest(obj, offset, int(k.pageSize))
+	obj.mu.Lock()
+	obj.pagingInProgress--
+	obj.mu.Unlock()
 	if unavailable {
 		k.freePage(page)
-		k.pageCond.Broadcast()
-		return nil, nil
+		return nil, false, nil
 	}
 	// Copy the pager's data into physical memory, charging the copy.
 	k.machine.ChargeKB(k.machine.Cost.CopyPerKB, len(data))
 	hwPage := k.machine.Mem.PageSize()
 	for i := 0; i < k.hwRatio; i++ {
-		frame := k.frameBytes(page, i)
+		pfn := page.pfn + vmtypes.PFN(i)
+		k.machine.Mem.LockFrame(pfn)
+		frame := k.machine.Mem.Frame(pfn)
 		lo := i * hwPage
 		if lo >= len(data) {
 			clear(frame)
-			continue
+		} else {
+			n := copy(frame, data[lo:])
+			clear(frame[n:])
 		}
-		n := copy(frame, data[lo:])
-		clear(frame[n:])
+		k.machine.Mem.UnlockFrame(pfn)
 	}
-	k.pageMu.Lock()
 	page.absent = false
-	k.pageMu.Unlock()
-	k.pageWakeup(page)
 	k.stats.Pageins.Add(1)
-	return page, nil
+	return page, false, nil
 }

@@ -87,45 +87,78 @@ func checkMapInvariants(t *testing.T, m *Map) {
 }
 
 // checkPageAccounting verifies the resident page table's three-way
-// linkage: hash, object lists, queues.
+// linkage: sharded hash, object lists, queues. The caller must have
+// quiesced the kernel (no concurrent faulters or daemon); the locks are
+// still taken shard by shard so the helper is usable right after a
+// concurrent phase ends.
 func checkPageAccounting(t *testing.T, k *Kernel) {
 	t.Helper()
-	k.pageMu.Lock()
-	defer k.pageMu.Unlock()
-	// Every hashed page is on its object's list at the right offset.
-	for key, p := range k.hash {
-		if p.object != key.obj || p.offset != key.offset {
-			t.Fatal("hash entry disagrees with page identity")
+	// Every hashed page's identity agrees with its key, shard by shard.
+	seen := map[*Object]int{}
+	hashed := 0
+	for i := range k.shards {
+		s := &k.shards[i]
+		s.mu.Lock()
+		for key, p := range s.pages {
+			id := p.ident.Load()
+			if id == nil || id.obj != key.obj || id.offset != key.offset {
+				s.mu.Unlock()
+				t.Fatal("hash entry disagrees with page identity")
+			}
+			if k.shardFor(key.obj, key.offset) != s {
+				s.mu.Unlock()
+				t.Fatal("page hashed into the wrong shard")
+			}
+			seen[id.obj]++
+			hashed++
 		}
+		s.mu.Unlock()
 	}
 	// Queue counts are consistent and partition the pages.
 	counts := map[int]int{}
 	for _, p := range k.pages {
 		counts[p.queue]++
-		if p.queue == queueFree && p.object != nil {
+		if p.queue == queueFree && p.ident.Load() != nil {
 			t.Fatal("free page still belongs to an object")
 		}
-		if p.wireCount > 0 && p.queue != queueNone {
+		if p.wireCount.Load() > 0 && p.queue != queueNone {
 			t.Fatal("wired page on a pageable queue")
 		}
 	}
-	if counts[queueFree] != k.free.count {
-		t.Fatalf("free count %d vs %d", counts[queueFree], k.free.count)
+	if counts[queueFree] != k.FreeCount() {
+		t.Fatalf("free count %d vs %d", counts[queueFree], k.FreeCount())
 	}
-	if counts[queueActive] != k.active.count {
-		t.Fatalf("active count %d vs %d", counts[queueActive], k.active.count)
+	if counts[queueActive] != k.ActiveCount() {
+		t.Fatalf("active count %d vs %d", counts[queueActive], k.ActiveCount())
 	}
-	if counts[queueInactive] != k.inactive.count {
-		t.Fatalf("inactive count %d vs %d", counts[queueInactive], k.inactive.count)
+	if counts[queueInactive] != k.InactiveCount() {
+		t.Fatalf("inactive count %d vs %d", counts[queueInactive], k.InactiveCount())
 	}
-	// Object resident counts match their lists.
-	seen := map[*Object]int{}
-	for _, p := range k.hash {
-		seen[p.object]++
+	// Every non-free page with an identity is hashed exactly once.
+	withIdent := 0
+	for _, p := range k.pages {
+		if p.ident.Load() != nil {
+			withIdent++
+		}
 	}
+	if withIdent != hashed {
+		t.Fatalf("%d pages hold an identity but %d are hashed", withIdent, hashed)
+	}
+	// Object resident counts match the hash, and the object lists agree.
 	for obj, n := range seen {
-		if obj.resident != n {
-			t.Fatalf("object %q resident=%d, hash says %d", obj.name, obj.resident, n)
+		obj.mu.Lock()
+		resident := obj.resident
+		listed := 0
+		for p := obj.pageList; p != nil; p = p.objNext {
+			listed++
+		}
+		name := obj.name
+		obj.mu.Unlock()
+		if resident != n {
+			t.Fatalf("object %q resident=%d, hash says %d", name, resident, n)
+		}
+		if listed != n {
+			t.Fatalf("object %q lists %d pages, hash says %d", name, listed, n)
 		}
 	}
 }

@@ -13,7 +13,7 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"machvm/internal/hw"
 	"machvm/internal/pmap"
@@ -30,15 +30,17 @@ type Kernel struct {
 	pageSize uint64
 	hwRatio  int // hardware pages per Mach page
 
-	// pageMu guards the resident page table, its queues and the
-	// object/offset hash. pageCond signals busy-page completion.
-	pageMu   sync.Mutex
-	pageCond *sync.Cond
-	pages    []*Page
-	free     pageQueue
-	active   pageQueue
-	inactive pageQueue
-	hash     map[pageKey]*Page
+	// The resident page table is lock-striped (DESIGN.md §7): the
+	// object/offset hash and busy-page wait channels are split across
+	// numPageShards shards, each allocation queue carries its own lock,
+	// and the free count is an atomic so pageout-trigger checks never
+	// lock. Lock order: object → shard → queue; never two shards.
+	shards    [numPageShards]pageShard
+	pages     []*Page
+	free      lockedQueue
+	active    lockedQueue
+	inactive  lockedQueue
+	freeCount atomic.Int64
 
 	// Pageout tuning: the daemon runs when free pages drop below
 	// freeMin and aims for freeTarget.
@@ -106,9 +108,11 @@ func NewKernel(cfg Config) *Kernel {
 		mod:      cfg.Module,
 		pageSize: uint64(pageSize),
 		hwRatio:  pageSize / hwPage,
-		hash:     make(map[pageKey]*Page),
 	}
-	k.pageCond = sync.NewCond(&k.pageMu)
+	for i := range k.shards {
+		k.shards[i].pages = make(map[pageKey]*Page)
+		k.shards[i].waiters = make(map[pageKey]chan struct{})
+	}
 	k.initResidentPages()
 	if cfg.FreeTarget > 0 {
 		k.freeTarget = cfg.FreeTarget
@@ -160,9 +164,10 @@ func (k *Kernel) initResidentPages() {
 		}
 		p := &Page{pfn: first}
 		k.pages = append(k.pages, p)
-		k.free.pushBack(p)
+		k.free.q.pushBack(p)
 		p.queue = queueFree
 	}
+	k.freeCount.Store(int64(k.free.q.count))
 }
 
 // Machine returns the simulated hardware.

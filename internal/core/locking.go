@@ -44,11 +44,19 @@ func (k *Kernel) checkPagerLock(obj *Object, offset uint64, access vmtypes.Prot)
 			return 0, ErrFaultProtection
 		}
 	}
+	// Compute the residual prohibitions. The requested access was just
+	// granted (or was never locked) and must not be re-checked: a pager
+	// re-asserting its lock concurrently could make CheckLock report the
+	// access prohibited again, and the faulter would enter a mapping
+	// without the access it negotiated and refault forever.
 	var prohibited vmtypes.Prot
 	for _, bit := range []vmtypes.Prot{vmtypes.ProtRead, vmtypes.ProtWrite, vmtypes.ProtExecute} {
+		if access.Allows(bit) {
+			continue
+		}
 		if !lp.CheckLock(obj, offset, bit) {
 			prohibited |= bit
 		}
 	}
-	return prohibited, nil
+	return prohibited &^ access, nil
 }

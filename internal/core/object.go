@@ -181,31 +181,33 @@ func (k *Kernel) terminateObject(o *Object) {
 	// page reaches the free list so it can never be reallocated while a
 	// stale translation survives.
 	for {
-		k.pageMu.Lock()
+		o.mu.Lock()
 		p := o.pageList
 		if p == nil {
-			k.pageMu.Unlock()
+			o.mu.Unlock()
 			break
 		}
+		// List membership implies identity, so the ident is stable while
+		// o's lock is held.
+		id := p.ident.Load()
+		s := k.shardFor(o, id.offset)
+		s.mu.Lock()
 		if p.busy {
-			// Wait for I/O to settle before freeing.
+			// Wait for the page's I/O to settle before freeing.
 			k.stats.BusyWaits.Add(1)
-			k.pageCond.Wait()
-			k.pageMu.Unlock()
+			ch := s.waitChan(pageKey{obj: o, offset: id.offset})
+			s.mu.Unlock()
+			o.mu.Unlock()
+			<-ch
 			continue
 		}
-		k.removePageLocked(p)
-		k.removeFromQueueLocked(p)
-		p.busy = true // keep it unreachable while we unmap
-		k.pageMu.Unlock()
+		k.removePageLocked(s, p)
+		s.mu.Unlock()
+		o.mu.Unlock()
+		// The page is unreachable now (no identity); unmap it before it
+		// becomes allocatable again.
 		k.removeAllMappings(p)
-		k.pageMu.Lock()
-		p.busy = false
-		p.wireCount = 0
-		k.setQueueLocked(p, queueFree)
-		k.pageMu.Unlock()
-		k.pageCond.Broadcast()
-		k.stats.PagesFreed.Add(1)
+		k.detachAndFree(p)
 	}
 	if o.pager != nil {
 		o.pager.Terminate(o)
@@ -254,45 +256,55 @@ func (k *Kernel) collapseShadow(front *Object) {
 		}
 		shadowOffset := front.shadowOffset
 		// Move every page of backing that front lacks (and that falls
-		// inside front's window) into front; free the rest.
-		k.pageMu.Lock()
-		var moves, frees []*Page
-		for p := backing.pageList; p != nil; p = p.objNext {
+		// inside front's window) into front; free the rest. Pages are
+		// handled one at a time: the lock discipline allows at most one
+		// shard lock, so a move is remove-under-old-shard followed by
+		// insert-under-new-shard. In between the page has no identity
+		// and is unreachable, which is safe because both objects' locks
+		// are held and concurrent faulters pin the chain (raising
+		// pagingInProgress) before walking past front — pinned chains
+		// make this collapse abort above.
+		var frees []*Page
+		aborted := false
+		for p := backing.pageList; p != nil; {
+			next := p.objNext
+			id := p.ident.Load()
+			s := k.shardFor(backing, id.offset)
+			s.mu.Lock()
 			if p.busy {
 				// Give up; try again another time.
-				k.pageMu.Unlock()
-				backing.mu.Unlock()
-				front.mu.Unlock()
-				return
+				s.mu.Unlock()
+				aborted = true
+				break
 			}
-			newOffset := int64(p.offset) - int64(shadowOffset)
-			inWindow := newOffset >= 0 && uint64(newOffset) < front.size
-			if inWindow && k.hash[pageKey{obj: front, offset: uint64(newOffset)}] == nil {
-				moves = append(moves, p)
-			} else {
+			k.removePageLocked(s, p)
+			s.mu.Unlock()
+			newOffset := int64(id.offset) - int64(shadowOffset)
+			moved := false
+			if newOffset >= 0 && uint64(newOffset) < front.size {
+				d := k.shardFor(front, uint64(newOffset))
+				d.mu.Lock()
+				if d.pages[pageKey{obj: front, offset: uint64(newOffset)}] == nil {
+					k.insertPageLocked(d, p, front, uint64(newOffset))
+					moved = true
+				}
+				d.mu.Unlock()
+			}
+			if !moved {
 				frees = append(frees, p)
 			}
+			p = next
 		}
-		for _, p := range moves {
-			newOffset := uint64(int64(p.offset) - int64(shadowOffset))
-			k.removePageLocked(p)
-			k.insertPageLocked(p, front, newOffset)
-		}
-		for _, p := range frees {
-			k.removePageLocked(p)
-			k.removeFromQueueLocked(p)
-		}
-		k.pageMu.Unlock()
 		for _, p := range frees {
 			// Unmap before the page becomes allocatable again.
 			k.removeAllMappings(p)
+			k.detachAndFree(p)
 		}
-		k.pageMu.Lock()
-		for _, p := range frees {
-			k.setQueueLocked(p, queueFree)
-			k.stats.PagesFreed.Add(1)
+		if aborted {
+			backing.mu.Unlock()
+			front.mu.Unlock()
+			return
 		}
-		k.pageMu.Unlock()
 		// Bypass: front now shadows what backing shadowed.
 		front.shadow = backing.shadow
 		front.shadowOffset = shadowOffset + backing.shadowOffset

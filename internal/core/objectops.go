@@ -5,16 +5,19 @@ package core
 // the cached copies destroyed outright (pager_flush_request), Table 3-2.
 
 // collectObjectRange snapshots the object's resident pages overlapping
-// [offset, offset+length).
+// [offset, offset+length). The object's lock guards its page list, and
+// list membership implies identity, so the offsets read here are stable
+// while the lock is held; the snapshot itself is advisory and callers
+// revalidate per page.
 func (k *Kernel) collectObjectRange(obj *Object, offset, length uint64) []*Page {
 	var pages []*Page
-	k.pageMu.Lock()
+	obj.mu.Lock()
 	for p := obj.pageList; p != nil; p = p.objNext {
-		if p.offset >= offset && p.offset < offset+length {
+		if o := p.ident.Load().offset; o >= offset && o < offset+length {
 			pages = append(pages, p)
 		}
 	}
-	k.pageMu.Unlock()
+	obj.mu.Unlock()
 	return pages
 }
 
@@ -28,30 +31,28 @@ func (k *Kernel) CleanObjectRange(obj *Object, offset, length uint64) {
 		return
 	}
 	for _, p := range k.collectObjectRange(obj, offset, length) {
-		k.pageMu.Lock()
-		if p.object != obj || p.busy {
-			k.pageMu.Unlock()
+		s, id := k.lockPage(p)
+		if s == nil {
+			continue
+		}
+		if id.obj != obj || p.busy {
+			s.mu.Unlock()
 			continue
 		}
 		dirty := p.dirty
-		pOff := p.offset
+		pOff := id.offset
 		p.busy = true
-		k.pageMu.Unlock()
+		s.mu.Unlock()
 
 		if dirty || k.isModified(p) {
 			// Write-protect so post-clean writes dirty it again.
 			k.writeProtectAll(p)
 			k.mod.Update()
 			data := make([]byte, k.pageSize)
-			hwPage := k.machine.Mem.PageSize()
-			for i := 0; i < k.hwRatio; i++ {
-				copy(data[i*hwPage:], k.frameBytes(p, i))
-			}
+			k.snapshotPage(p, data)
 			pager.DataWrite(obj, pOff, data)
 			k.clearModify(p)
-			k.pageMu.Lock()
 			p.dirty = false
-			k.pageMu.Unlock()
 			k.stats.Pageouts.Add(1)
 		}
 		k.pageWakeup(p)
@@ -63,16 +64,18 @@ func (k *Kernel) CleanObjectRange(obj *Object, offset, length uint64) {
 // touch refaults and asks the pager again.
 func (k *Kernel) FlushObjectRange(obj *Object, offset, length uint64) {
 	for _, p := range k.collectObjectRange(obj, offset, length) {
-		k.pageMu.Lock()
-		if p.object != obj || p.busy || p.wireCount > 0 {
-			k.pageMu.Unlock()
+		s, id := k.lockPage(p)
+		if s == nil {
+			continue
+		}
+		if id.obj != obj || p.busy || p.wireCount.Load() > 0 {
+			s.mu.Unlock()
 			continue
 		}
 		p.busy = true
-		k.pageMu.Unlock()
+		s.mu.Unlock()
 		k.removeAllMappings(p)
 		k.mod.Update()
 		k.freePage(p)
-		k.pageCond.Broadcast()
 	}
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"machvm/internal/vmtypes"
 )
@@ -10,28 +12,48 @@ import (
 // treated primarily as a cache for the contents of virtual memory objects;
 // each page entry may simultaneously be linked into a memory-object list,
 // a memory-allocation queue, and an object/offset hash bucket.
+//
+// Locking (DESIGN.md §7): the resident page table is lock-striped. A
+// page's state fields (busy, dirty, precious, wireCount, queue id) are
+// guarded by the shard lock of its current identity; the object list links
+// by the owning object's lock; the queue links by the owning queue's lock.
+// A free page has no identity and belongs exclusively to the thread that
+// popped it from the free list.
 type Page struct {
 	// pfn is the first hardware frame of this Mach page.
 	pfn vmtypes.PFN
 
-	// Object membership (nil object when free). offset is the byte
-	// offset within the object — byte offsets are used throughout to
-	// avoid linking the implementation to a notion of page size.
-	object *Object
-	offset uint64
+	// ident is the page's (object, offset) identity — byte offsets are
+	// used throughout to avoid linking the implementation to a notion of
+	// page size. It is nil while the page is free or in transit between
+	// objects. The pointer is published atomically so that lock-free
+	// holders of a *Page (the pageout daemon's queue snapshots) can
+	// locate the owning shard, lock it, and revalidate: identity changes
+	// happen only under the owning shard's lock, so a thread that holds
+	// that lock and re-reads the same pointer knows the identity is
+	// stable until it unlocks.
+	ident atomic.Pointer[pageIdent]
 
-	// Memory-object list links.
+	// Memory-object list links, guarded by the owning object's mutex.
 	objPrev, objNext *Page
 
-	// Allocation-queue links and membership.
-	queue int
-	qPrev *Page
-	qNext *Page
+	// queue names the allocation queue holding the page. Transitions are
+	// serialized by the shard lock of the page's identity (free-list
+	// transitions instead rely on the exclusive ownership of the thread
+	// that popped or unlinked the page); the intrusive links are guarded
+	// by the owning queue's own lock.
+	queue        int
+	qPrev, qNext *Page
 
-	// wireCount pins the page in memory while > 0.
-	wireCount int
+	// wireCount pins the page in memory while > 0. Mutated under the
+	// shard lock; atomic so statistics can sample it without locking.
+	wireCount atomic.Int32
 
-	// busy marks a page with I/O or fill in progress; faulters wait.
+	// busy marks a page with I/O or fill in progress; faulters wait on a
+	// per-key wait channel in the shard. Guarded by the shard lock. The
+	// thread that set busy (the owner) may write absent/dirty directly:
+	// everyone else reads them only after taking the shard lock and
+	// seeing busy clear, which the owner also does under the lock.
 	busy bool
 	// absent marks a busy page whose data has not yet arrived from the
 	// pager.
@@ -42,11 +64,23 @@ type Page struct {
 	precious bool
 }
 
+// pageIdent is an immutable (object, offset) pair. Every identity change
+// allocates a fresh pageIdent, so pointer equality means "unchanged".
+type pageIdent struct {
+	obj    *Object
+	offset uint64
+}
+
 // PFN returns the page's first hardware frame number.
 func (p *Page) PFN() vmtypes.PFN { return p.pfn }
 
-// Offset returns the page's byte offset within its object.
-func (p *Page) Offset() uint64 { return p.offset }
+// Offset returns the page's byte offset within its object (0 when free).
+func (p *Page) Offset() uint64 {
+	if id := p.ident.Load(); id != nil {
+		return id.offset
+	}
+	return 0
+}
 
 // Queue identifiers.
 const (
@@ -59,6 +93,70 @@ const (
 type pageKey struct {
 	obj    *Object
 	offset uint64
+}
+
+// numPageShards stripes the object/offset hash and the page-state locks so
+// faults on unrelated objects never contend. Power of two.
+const numPageShards = 64
+
+// pageShard is one stripe of the resident page table: a slice of the
+// object/offset hash (§3.1: "fast lookup of a physical page associated
+// with an object/offset at the time of a page fault") plus per-key wait
+// channels for busy pages, so a fault blocked on one busy page never wakes
+// faulters waiting on an unrelated one.
+type pageShard struct {
+	mu      sync.Mutex
+	pages   map[pageKey]*Page
+	waiters map[pageKey]chan struct{}
+}
+
+// waitChan returns the channel that will be closed when the page at key is
+// woken (busy cleared or page removed). The shard lock must be held.
+func (s *pageShard) waitChan(key pageKey) chan struct{} {
+	ch := s.waiters[key]
+	if ch == nil {
+		ch = make(chan struct{})
+		s.waiters[key] = ch
+	}
+	return ch
+}
+
+// wake closes and forgets the wait channel for key, releasing every waiter
+// on that page only. The shard lock must be held.
+func (s *pageShard) wake(key pageKey) {
+	if ch := s.waiters[key]; ch != nil {
+		delete(s.waiters, key)
+		close(ch)
+	}
+}
+
+// shardFor returns the shard owning (obj, offset).
+func (k *Kernel) shardFor(obj *Object, offset uint64) *pageShard {
+	h := obj.generation * 0x9e3779b97f4a7c15
+	h ^= (offset >> 12) * 0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return &k.shards[h&(numPageShards-1)]
+}
+
+// lockPage locks the shard guarding p's current identity and returns it
+// with the identity, or (nil, nil) for a page with no identity (free or in
+// transit). While the returned lock is held the identity cannot change,
+// because identity changes require the same lock.
+func (k *Kernel) lockPage(p *Page) (*pageShard, *pageIdent) {
+	for {
+		id := p.ident.Load()
+		if id == nil {
+			return nil, nil
+		}
+		s := k.shardFor(id.obj, id.offset)
+		s.mu.Lock()
+		if p.ident.Load() == id {
+			return s, id
+		}
+		// The page changed identity while we chased its shard.
+		s.mu.Unlock()
+		k.stats.ShardRetries.Add(1)
+	}
 }
 
 // pageQueue is an intrusive FIFO of pages.
@@ -102,11 +200,19 @@ func (q *pageQueue) popFront() *Page {
 	return p
 }
 
-// queueFor returns the kernel queue with the given id.
-func (k *Kernel) queueFor(id int) *pageQueue {
+// lockedQueue is an allocation queue with its own lock — free, active and
+// inactive no longer share one mutex.
+type lockedQueue struct {
+	mu sync.Mutex
+	q  pageQueue
+}
+
+// queueFor returns the pageable queue with the given id. The free queue is
+// deliberately excluded: free-list membership is managed only by
+// grabFreePage, releaseFreePage and detachAndFree, which also maintain the
+// atomic free count.
+func (k *Kernel) queueFor(id int) *lockedQueue {
 	switch id {
-	case queueFree:
-		return &k.free
 	case queueActive:
 		return &k.active
 	case queueInactive:
@@ -116,63 +222,126 @@ func (k *Kernel) queueFor(id int) *pageQueue {
 	}
 }
 
-// removeFromQueueLocked detaches p from whatever queue holds it.
-func (k *Kernel) removeFromQueueLocked(p *Page) {
+// setQueue moves p between the pageable queues (never to or from the free
+// list). The caller must hold p's shard lock, or own the page exclusively,
+// so that transitions for one page never race; only the queue's own lock
+// guards the intrusive list.
+func (k *Kernel) setQueue(p *Page, id int) {
 	if q := k.queueFor(p.queue); q != nil {
-		q.remove(p)
-	}
-	p.queue = queueNone
-}
-
-// setQueueLocked moves p to the queue with the given id.
-func (k *Kernel) setQueueLocked(p *Page, id int) {
-	k.removeFromQueueLocked(p)
-	if q := k.queueFor(id); q != nil {
-		q.pushBack(p)
+		q.mu.Lock()
+		q.q.remove(p)
+		q.mu.Unlock()
 	}
 	p.queue = id
+	if q := k.queueFor(id); q != nil {
+		q.mu.Lock()
+		q.q.pushBack(p)
+		q.mu.Unlock()
+	}
 }
 
-// allocPage grabs a free page and inserts it, busy, into obj at offset.
-// It blocks (running pageout synchronously) if memory is exhausted.
-// The object lock must be held; the page is returned busy so the caller
-// can fill it without the kernel lock.
-func (k *Kernel) allocPage(obj *Object, offset uint64) *Page {
-	k.pageMu.Lock()
-	for k.free.count == 0 {
-		k.pageMu.Unlock()
-		freed := k.PageoutScan()
-		k.pageMu.Lock()
-		if freed == 0 && k.free.count == 0 {
-			k.pageMu.Unlock()
-			panic("core: out of physical memory and nothing is reclaimable")
+// grabFreePage removes one page from the free list, running pageout
+// synchronously when memory is exhausted, and returns it exclusively owned
+// and marked busy. It panics only after repeated scans reclaim nothing.
+func (k *Kernel) grabFreePage() *Page {
+	futile := 0
+	for {
+		k.free.mu.Lock()
+		p := k.free.q.popFront()
+		if p != nil {
+			p.queue = queueNone
+		}
+		k.free.mu.Unlock()
+		if p != nil {
+			k.freeCount.Add(-1)
+			p.busy = true
+			p.absent = false
+			p.dirty = false
+			p.precious = false
+			p.wireCount.Store(0)
+			return p
+		}
+		if k.PageoutScan() == 0 && k.FreeCount() == 0 {
+			// Another allocator may have consumed what a concurrent
+			// scan freed; only repeated futile passes mean memory is
+			// truly exhausted.
+			if futile++; futile >= 8 {
+				panic("core: out of physical memory and nothing is reclaimable")
+			}
+		} else {
+			futile = 0
 		}
 	}
-	p := k.free.popFront()
-	p.queue = queueNone
-	p.busy = true
+}
+
+// releaseFreePage returns a grabbed-but-never-installed page to the free
+// list (the caller lost an installation race).
+func (k *Kernel) releaseFreePage(p *Page) {
+	p.busy = false
 	p.absent = false
 	p.dirty = false
 	p.precious = false
-	p.wireCount = 0
-	k.insertPageLocked(p, obj, offset)
-	if k.free.count < k.freeMin {
-		k.stats.PageoutsWanted.Add(1)
-	}
-	k.pageMu.Unlock()
-	k.stats.PagesAllocated.Add(1)
-	return p
+	k.free.mu.Lock()
+	k.free.q.pushBack(p)
+	p.queue = queueFree
+	k.free.mu.Unlock()
+	k.freeCount.Add(1)
 }
 
-// insertPageLocked links p into obj's resident list and the hash.
-func (k *Kernel) insertPageLocked(p *Page, obj *Object, offset uint64) {
-	p.object = obj
-	p.offset = offset
+// detachAndFree takes a page whose identity has been removed — so no other
+// thread can reach it through the page table — detaches it from its
+// allocation queue and returns it to the free list.
+func (k *Kernel) detachAndFree(p *Page) {
+	k.setQueue(p, queueNone)
+	p.busy = false
+	p.absent = false
+	p.dirty = false
+	p.precious = false
+	p.wireCount.Store(0)
+	k.free.mu.Lock()
+	k.free.q.pushBack(p)
+	p.queue = queueFree
+	k.free.mu.Unlock()
+	k.freeCount.Add(1)
+	k.stats.PagesFreed.Add(1)
+}
+
+// allocPage grabs a free page and inserts it, busy, into obj at offset so
+// the caller can fill it without any page-table lock. It blocks (running
+// pageout synchronously) if memory is exhausted. fresh=false means a
+// concurrent faulter installed a page at (obj, offset) first; the returned
+// page is that one, and the caller should rewalk rather than fill it.
+func (k *Kernel) allocPage(obj *Object, offset uint64) (*Page, bool) {
+	p := k.grabFreePage()
+	obj.mu.Lock()
+	s := k.shardFor(obj, offset)
+	s.mu.Lock()
+	if existing := s.pages[pageKey{obj: obj, offset: offset}]; existing != nil {
+		s.mu.Unlock()
+		obj.mu.Unlock()
+		k.releaseFreePage(p)
+		k.stats.AllocRaces.Add(1)
+		return existing, false
+	}
+	k.insertPageLocked(s, p, obj, offset)
+	s.mu.Unlock()
+	obj.mu.Unlock()
+	if k.FreeCount() < k.freeMin {
+		k.stats.PageoutsWanted.Add(1)
+	}
+	k.stats.PagesAllocated.Add(1)
+	return p, true
+}
+
+// insertPageLocked links p into obj's resident list and the hash. The
+// caller holds obj's lock and the shard lock for (obj, offset).
+func (k *Kernel) insertPageLocked(s *pageShard, p *Page, obj *Object, offset uint64) {
 	key := pageKey{obj: obj, offset: offset}
-	if k.hash[key] != nil {
+	if s.pages[key] != nil {
 		panic(fmt.Sprintf("core: duplicate resident page for object %p offset %d", obj, offset))
 	}
-	k.hash[key] = p
+	p.ident.Store(&pageIdent{obj: obj, offset: offset})
+	s.pages[key] = p
 	// Object list: push front (cheap; order is not semantic).
 	p.objNext = obj.pageList
 	p.objPrev = nil
@@ -183,13 +352,20 @@ func (k *Kernel) insertPageLocked(p *Page, obj *Object, offset uint64) {
 	obj.resident++
 }
 
-// removePageLocked unlinks p from its object and the hash.
-func (k *Kernel) removePageLocked(p *Page) {
-	obj := p.object
-	if obj == nil {
+// removePageLocked unlinks p from its object and the hash, waking any
+// faulters parked on its key (they re-look-up and find the page gone). The
+// caller holds the owning object's lock and the shard lock of p's
+// identity.
+func (k *Kernel) removePageLocked(s *pageShard, p *Page) {
+	id := p.ident.Load()
+	if id == nil {
 		return
 	}
-	delete(k.hash, pageKey{obj: obj, offset: p.offset})
+	obj := id.obj
+	key := pageKey{obj: obj, offset: id.offset}
+	delete(s.pages, key)
+	s.wake(key)
+	p.ident.Store(nil)
 	if p.objPrev != nil {
 		p.objPrev.objNext = p.objNext
 	} else {
@@ -200,113 +376,155 @@ func (k *Kernel) removePageLocked(p *Page) {
 	}
 	p.objPrev, p.objNext = nil, nil
 	obj.resident--
-	p.object = nil
 }
 
-// freePage returns p to the free list, severing object links.
+// freePage returns p to the free list, severing object links. The caller
+// must have made the page unreclaimable by others (typically by owning its
+// busy bit).
 func (k *Kernel) freePage(p *Page) {
-	k.pageMu.Lock()
-	k.removePageLocked(p)
-	k.removeFromQueueLocked(p)
-	p.busy = false
-	p.absent = false
-	p.dirty = false
-	p.wireCount = 0
-	k.setQueueLocked(p, queueFree)
-	k.pageMu.Unlock()
-	k.stats.PagesFreed.Add(1)
+	for {
+		id := p.ident.Load()
+		if id == nil {
+			break
+		}
+		obj := id.obj
+		obj.mu.Lock()
+		s := k.shardFor(obj, id.offset)
+		s.mu.Lock()
+		if p.ident.Load() != id {
+			s.mu.Unlock()
+			obj.mu.Unlock()
+			continue
+		}
+		k.removePageLocked(s, p)
+		s.mu.Unlock()
+		obj.mu.Unlock()
+		break
+	}
+	k.detachAndFree(p)
 }
 
-// lookupPage finds the resident page for (obj, offset) via the bucket hash
-// (§3.1: "fast lookup of a physical page associated with an object/offset
-// at the time of a page fault"). If the page is busy, lookupPage waits for
-// it unless wait is false.
+// freePageObjLocked is freePage for callers already holding the owning
+// object's lock (the pageout daemon).
+func (k *Kernel) freePageObjLocked(p *Page) {
+	if id := p.ident.Load(); id != nil {
+		s := k.shardFor(id.obj, id.offset)
+		s.mu.Lock()
+		k.removePageLocked(s, p)
+		s.mu.Unlock()
+	}
+	k.detachAndFree(p)
+}
+
+// lookupPage finds the resident page for (obj, offset) via the sharded
+// hash. With wait=true it waits for a busy page (on a per-key channel, so
+// completion of an unrelated page never wakes this faulter) and returns
+// the page busy-claimed: the caller owns it until pageWakeup, which is
+// what keeps the pageout daemon from freeing a page between fault lookup
+// and hardware-mapping entry. With wait=false the page is returned as-is,
+// unclaimed, possibly busy.
 func (k *Kernel) lookupPage(obj *Object, offset uint64, wait bool) *Page {
-	k.pageMu.Lock()
-	defer k.pageMu.Unlock()
+	s := k.shardFor(obj, offset)
+	key := pageKey{obj: obj, offset: offset}
+	s.mu.Lock()
 	for {
-		p := k.hash[pageKey{obj: obj, offset: offset}]
-		if p == nil {
-			return nil
+		p := s.pages[key]
+		if p == nil || !wait {
+			s.mu.Unlock()
+			return p
 		}
-		if !p.busy || !wait {
+		if !p.busy {
+			p.busy = true
+			s.mu.Unlock()
 			return p
 		}
 		k.stats.BusyWaits.Add(1)
-		k.pageCond.Wait()
+		ch := s.waitChan(key)
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
 	}
 }
 
-// pageWakeup clears busy and wakes waiters.
+// pageWakeup clears busy and wakes the waiters parked on this page.
 func (k *Kernel) pageWakeup(p *Page) {
-	k.pageMu.Lock()
+	s, id := k.lockPage(p)
+	if s == nil {
+		p.busy = false
+		return
+	}
 	p.busy = false
-	k.pageMu.Unlock()
-	k.pageCond.Broadcast()
+	s.wake(pageKey{obj: id.obj, offset: id.offset})
+	s.mu.Unlock()
 }
 
 // activatePage puts p on the active queue (it is in use).
 func (k *Kernel) activatePage(p *Page) {
-	k.pageMu.Lock()
-	if p.queue != queueFree && p.wireCount == 0 {
-		k.setQueueLocked(p, queueActive)
+	s, _ := k.lockPage(p)
+	if s == nil {
+		return
 	}
-	k.pageMu.Unlock()
+	if p.wireCount.Load() == 0 {
+		k.setQueue(p, queueActive)
+	}
+	s.mu.Unlock()
 }
 
 // deactivatePage moves p to the inactive queue (pageout candidate).
 func (k *Kernel) deactivatePage(p *Page) {
-	k.pageMu.Lock()
+	s, _ := k.lockPage(p)
+	if s == nil {
+		return
+	}
 	if p.queue == queueActive {
-		k.setQueueLocked(p, queueInactive)
+		k.setQueue(p, queueInactive)
 		for i := 0; i < k.hwRatio; i++ {
 			k.mod.ClearReference(p.pfn + vmtypes.PFN(i))
 		}
 	}
-	k.pageMu.Unlock()
+	s.mu.Unlock()
 }
 
 // wirePage pins p in memory (removing it from pageout's reach).
 func (k *Kernel) wirePage(p *Page) {
-	k.pageMu.Lock()
-	p.wireCount++
-	if p.wireCount == 1 {
-		k.removeFromQueueLocked(p)
+	s, _ := k.lockPage(p)
+	if s == nil {
+		return
 	}
-	k.pageMu.Unlock()
+	if p.wireCount.Add(1) == 1 {
+		k.setQueue(p, queueNone)
+	}
+	s.mu.Unlock()
 }
 
 // unwirePage releases a pin.
 func (k *Kernel) unwirePage(p *Page) {
-	k.pageMu.Lock()
-	if p.wireCount > 0 {
-		p.wireCount--
-		if p.wireCount == 0 {
-			k.setQueueLocked(p, queueActive)
-		}
+	s, _ := k.lockPage(p)
+	if s == nil {
+		return
 	}
-	k.pageMu.Unlock()
+	if p.wireCount.Load() > 0 && p.wireCount.Add(-1) == 0 {
+		k.setQueue(p, queueActive)
+	}
+	s.mu.Unlock()
 }
 
-// FreeCount returns the number of free Mach pages.
-func (k *Kernel) FreeCount() int {
-	k.pageMu.Lock()
-	defer k.pageMu.Unlock()
-	return k.free.count
-}
+// FreeCount returns the number of free Mach pages. It reads an atomic
+// counter, so pageout-trigger checks never take a lock.
+func (k *Kernel) FreeCount() int { return int(k.freeCount.Load()) }
 
 // ActiveCount returns the number of active Mach pages.
 func (k *Kernel) ActiveCount() int {
-	k.pageMu.Lock()
-	defer k.pageMu.Unlock()
-	return k.active.count
+	k.active.mu.Lock()
+	defer k.active.mu.Unlock()
+	return k.active.q.count
 }
 
 // InactiveCount returns the number of inactive Mach pages.
 func (k *Kernel) InactiveCount() int {
-	k.pageMu.Lock()
-	defer k.pageMu.Unlock()
-	return k.inactive.count
+	k.inactive.mu.Lock()
+	defer k.inactive.mu.Unlock()
+	return k.inactive.q.count
 }
 
 // zeroPage zero-fills every hardware frame of the Mach page.
@@ -323,11 +541,23 @@ func (k *Kernel) copyPage(src, dst *Page) {
 	}
 }
 
-// pageBytes returns the raw bytes of the Mach page as a contiguous slice
-// view (copying across hardware frames is handled by the callers, who work
-// frame by frame).
+// frameBytes returns the raw bytes of one hardware frame of the Mach page.
+// Callers that may run concurrently with user accesses must bracket their
+// use with Mem.LockFrame/UnlockFrame.
 func (k *Kernel) frameBytes(p *Page, hwIndex int) []byte {
 	return k.machine.Mem.Frame(p.pfn + vmtypes.PFN(hwIndex))
+}
+
+// snapshotPage copies the Mach page's bytes into data under the per-frame
+// locks (used before handing the data to a pager).
+func (k *Kernel) snapshotPage(p *Page, data []byte) {
+	hwPage := k.machine.Mem.PageSize()
+	for i := 0; i < k.hwRatio; i++ {
+		pfn := p.pfn + vmtypes.PFN(i)
+		k.machine.Mem.LockFrame(pfn)
+		copy(data[i*hwPage:], k.machine.Mem.Frame(pfn))
+		k.machine.Mem.UnlockFrame(pfn)
+	}
 }
 
 // removeAllMappings removes every hardware mapping of the Mach page

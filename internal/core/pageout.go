@@ -23,29 +23,28 @@ func (k *Kernel) PageoutScan() int {
 
 	// Rebalance: keep roughly a third of non-free pages inactive so the
 	// daemon has candidates.
-	k.pageMu.Lock()
-	wantInactive := (k.active.count + k.inactive.count) / 3
+	inactiveCount := k.InactiveCount()
+	k.active.mu.Lock()
+	wantInactive := (k.active.q.count + inactiveCount) / 3
 	var toDeactivate []*Page
-	for p := k.active.head; p != nil && k.inactive.count+len(toDeactivate) < wantInactive; p = p.qNext {
+	for p := k.active.q.head; p != nil && inactiveCount+len(toDeactivate) < wantInactive; p = p.qNext {
 		toDeactivate = append(toDeactivate, p)
 	}
-	k.pageMu.Unlock()
+	k.active.mu.Unlock()
 	for _, p := range toDeactivate {
 		k.deactivatePage(p)
 	}
 
-	// Scan the inactive queue.
-	k.pageMu.Lock()
-	var candidates []*Page
-	budget := k.inactive.count
-	for p := k.inactive.head; p != nil && budget > 0; budget-- {
-		next := p.qNext
-		if !p.busy && p.wireCount == 0 && p.object != nil {
-			candidates = append(candidates, p)
-		}
-		p = next
+	// Snapshot the inactive queue. The snapshot is advisory: pages can be
+	// freed, reallocated to other objects, rewired or marked busy while
+	// the daemon works through it, so reclaimPage revalidates every
+	// candidate under its shard lock before committing to pageout.
+	k.inactive.mu.Lock()
+	candidates := make([]*Page, 0, k.inactive.q.count)
+	for p := k.inactive.q.head; p != nil; p = p.qNext {
+		candidates = append(candidates, p)
 	}
-	k.pageMu.Unlock()
+	k.inactive.mu.Unlock()
 
 	var flushed bool
 	for _, p := range candidates {
@@ -67,32 +66,40 @@ func (k *Kernel) PageoutScan() int {
 
 // reclaimPage tries to free one inactive page, writing it to its pager
 // first if dirty. flushed tracks whether a pmap_update has been issued for
-// this batch of removals.
+// this batch of removals. Candidates arrive from a lock-free queue
+// snapshot: identity, busy, wiring and queue membership may all have
+// changed since the snapshot, so everything is revalidated under the shard
+// lock before the page is committed to pageout.
 func (k *Kernel) reclaimPage(p *Page, flushed *bool) bool {
-	// Lock the object without violating the object→page lock order:
-	// try-lock, and skip the page on contention (as Mach's daemon does).
-	k.pageMu.Lock()
-	obj := p.object
-	if obj == nil || p.busy || p.wireCount > 0 || p.queue != queueInactive {
-		k.pageMu.Unlock()
+	id := p.ident.Load()
+	if id == nil {
+		k.stats.PageoutSkips.Add(1)
 		return false
 	}
-	k.pageMu.Unlock()
+	obj := id.obj
+	// Lock the object without violating the object→shard lock order:
+	// try-lock, and skip the page on contention (as Mach's daemon does).
 	if !obj.mu.TryLock() {
+		k.stats.PageoutSkips.Add(1)
 		return false
 	}
 	defer obj.mu.Unlock()
 
-	k.pageMu.Lock()
+	s, cur := k.lockPage(p)
+	if s == nil {
+		k.stats.PageoutSkips.Add(1)
+		return false
+	}
 	// Revalidate after the race window.
-	if p.object != obj || p.busy || p.wireCount > 0 || p.queue != queueInactive {
-		k.pageMu.Unlock()
+	if cur.obj != obj || p.busy || p.wireCount.Load() > 0 || p.queue != queueInactive {
+		s.mu.Unlock()
+		k.stats.PageoutSkips.Add(1)
 		return false
 	}
 	p.busy = true
 	dirty := p.dirty
-	offset := p.offset
-	k.pageMu.Unlock()
+	offset := cur.offset
+	s.mu.Unlock()
 
 	// Remove all mappings; with the deferred strategy the invalidations
 	// sit in per-CPU queues until pmap_update forces them — which must
@@ -116,10 +123,7 @@ func (k *Kernel) reclaimPage(p *Page, flushed *bool) bool {
 			obj.mu.Lock()
 		}
 		data := make([]byte, k.pageSize)
-		hwPage := k.machine.Mem.PageSize()
-		for i := 0; i < k.hwRatio; i++ {
-			copy(data[i*hwPage:], k.frameBytes(p, i))
-		}
+		k.snapshotPage(p, data)
 		obj.pagingInProgress++
 		obj.mu.Unlock()
 		pager.DataWrite(obj, offset, data)
@@ -129,8 +133,7 @@ func (k *Kernel) reclaimPage(p *Page, flushed *bool) bool {
 		k.stats.Pageouts.Add(1)
 	}
 
-	k.freePage(p)
-	k.pageCond.Broadcast()
+	k.freePageObjLocked(p)
 	return true
 }
 

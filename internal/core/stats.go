@@ -14,7 +14,10 @@ type Stats struct {
 	PageoutsWanted    atomic.Uint64 // times free memory dipped below min
 	PagesAllocated    atomic.Uint64
 	PagesFreed        atomic.Uint64
-	BusyWaits         atomic.Uint64
+	BusyWaits         atomic.Uint64 // faults that blocked on a busy page
+	AllocRaces        atomic.Uint64 // allocations that lost an install race
+	ShardRetries      atomic.Uint64 // shard locks retried after identity change
+	PageoutSkips      atomic.Uint64 // stale pageout candidates skipped on revalidation
 	ObjectsCreated    atomic.Uint64
 	ObjectsTerminated atomic.Uint64
 	ShadowsCreated    atomic.Uint64
@@ -44,26 +47,28 @@ type Statistics struct {
 	ObjectCacheLen   int
 	ShadowsCreated   uint64
 	ShadowsCollapsed uint64
+	BusyWaits        uint64
+	AllocRaces       uint64
+	ShardRetries     uint64
+	PageoutSkips     uint64
 }
 
 // VMStatistics implements vm_statistics: statistics about the use of
 // memory by the system.
 func (k *Kernel) VMStatistics() Statistics {
-	k.pageMu.Lock()
 	wired := 0
 	for _, p := range k.pages {
-		if p.wireCount > 0 {
+		if p.wireCount.Load() > 0 {
 			wired++
 		}
 	}
 	s := Statistics{
 		PageSize:      k.pageSize,
-		FreeCount:     k.free.count,
-		ActiveCount:   k.active.count,
-		InactiveCount: k.inactive.count,
+		FreeCount:     k.FreeCount(),
+		ActiveCount:   k.ActiveCount(),
+		InactiveCount: k.InactiveCount(),
 		WireCount:     wired,
 	}
-	k.pageMu.Unlock()
 	s.Faults = k.stats.Faults.Load()
 	s.ZeroFillFaults = k.stats.ZeroFillFaults.Load()
 	s.CowFaults = k.stats.CowFaults.Load()
@@ -73,5 +78,9 @@ func (k *Kernel) VMStatistics() Statistics {
 	s.ObjectCacheLen = k.CachedObjects()
 	s.ShadowsCreated = k.stats.ShadowsCreated.Load()
 	s.ShadowsCollapsed = k.stats.ShadowsCollapsed.Load()
+	s.BusyWaits = k.stats.BusyWaits.Load()
+	s.AllocRaces = k.stats.AllocRaces.Load()
+	s.ShardRetries = k.stats.ShardRetries.Load()
+	s.PageoutSkips = k.stats.PageoutSkips.Load()
 	return s
 }

@@ -2,6 +2,7 @@ package hw
 
 import (
 	"fmt"
+	"sync"
 
 	"machvm/internal/vmtypes"
 )
@@ -27,6 +28,13 @@ type PhysMem struct {
 	frames    [][]byte
 	holes     []FrameRange
 	populated int
+
+	// locks serialize byte-level access to each frame, one lock per
+	// frame: the VM system moves frame contents concurrently with user
+	// accesses (pageout write-back, page-in fill, COW copies), and the
+	// simulated "hardware" needs the same per-cell atomicity real DMA
+	// engines get for free.
+	locks []sync.Mutex
 }
 
 // NewPhysMem creates physical memory of nframes hardware pages of
@@ -43,6 +51,7 @@ func NewPhysMem(pageSize int, nframes int, holes ...FrameRange) *PhysMem {
 		pageSize: pageSize,
 		frames:   make([][]byte, nframes),
 		holes:    holes,
+		locks:    make([]sync.Mutex, nframes),
 	}
 	for i := range m.frames {
 		if m.inHole(vmtypes.PFN(i)) {
@@ -90,15 +99,40 @@ func (m *PhysMem) Frame(pfn vmtypes.PFN) []byte {
 	return m.frames[pfn]
 }
 
+// LockFrame acquires the byte lock of a frame. Callers copying bytes in
+// or out of a frame that other threads may touch concurrently must hold
+// it. Frame locks are leaves: no other lock is acquired under one.
+func (m *PhysMem) LockFrame(pfn vmtypes.PFN) { m.locks[pfn].Lock() }
+
+// UnlockFrame releases the byte lock of a frame.
+func (m *PhysMem) UnlockFrame(pfn vmtypes.PFN) { m.locks[pfn].Unlock() }
+
 // Zero clears a frame (pmap_zero_page's data movement).
 func (m *PhysMem) Zero(pfn vmtypes.PFN) {
 	f := m.Frame(pfn)
+	m.LockFrame(pfn)
 	clear(f)
+	m.UnlockFrame(pfn)
 }
 
-// Copy copies a whole frame (pmap_copy_page's data movement).
+// Copy copies a whole frame (pmap_copy_page's data movement). The two
+// frame locks are taken in address order so concurrent copies never
+// deadlock.
 func (m *PhysMem) Copy(src, dst vmtypes.PFN) {
-	copy(m.Frame(dst), m.Frame(src))
+	s, d := m.Frame(src), m.Frame(dst)
+	lo, hi := src, dst
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	m.LockFrame(lo)
+	if hi != lo {
+		m.LockFrame(hi)
+	}
+	copy(d, s)
+	if hi != lo {
+		m.UnlockFrame(hi)
+	}
+	m.UnlockFrame(lo)
 }
 
 // Addr converts a frame number to the physical address of its first byte.

@@ -15,6 +15,10 @@ type PV struct {
 }
 
 type frameState struct {
+	// mu guards this frame's entry only: the database is striped
+	// per-frame so that faults entering mappings for unrelated frames
+	// never contend (every fault crosses AddPV hwRatio times).
+	mu         sync.Mutex
 	pvs        []PV
 	modified   bool
 	referenced bool
@@ -23,9 +27,8 @@ type frameState struct {
 // PhysDB is the per-machine physical page database shared by all the pmap
 // modules: reverse (physical-to-virtual) mappings plus the modify and
 // reference bits the paper's Table 3-3 groups under "modify/reference bit
-// maintenance".
+// maintenance". Locking is per frame.
 type PhysDB struct {
-	mu     sync.Mutex
 	frames []frameState
 }
 
@@ -42,9 +45,9 @@ func (db *PhysDB) AddPV(pfn vmtypes.PFN, m Map, va vmtypes.VA) {
 	if !db.valid(pfn) {
 		return
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	fs := &db.frames[pfn]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	for _, pv := range fs.pvs {
 		if pv.Map == m && pv.VA == va {
 			return
@@ -58,9 +61,9 @@ func (db *PhysDB) RemovePV(pfn vmtypes.PFN, m Map, va vmtypes.VA) {
 	if !db.valid(pfn) {
 		return
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	fs := &db.frames[pfn]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	for i, pv := range fs.pvs {
 		if pv.Map == m && pv.VA == va {
 			fs.pvs[i] = fs.pvs[len(fs.pvs)-1]
@@ -76,10 +79,11 @@ func (db *PhysDB) PVs(pfn vmtypes.PFN) []PV {
 	if !db.valid(pfn) {
 		return nil
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	out := make([]PV, len(db.frames[pfn].pvs))
-	copy(out, db.frames[pfn].pvs)
+	fs := &db.frames[pfn]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]PV, len(fs.pvs))
+	copy(out, fs.pvs)
 	return out
 }
 
@@ -88,9 +92,10 @@ func (db *PhysDB) PVCount(pfn vmtypes.PFN) int {
 	if !db.valid(pfn) {
 		return 0
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return len(db.frames[pfn].pvs)
+	fs := &db.frames[pfn]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.pvs)
 }
 
 // MarkAccess sets the reference bit, and the modify bit if write is true.
@@ -98,9 +103,9 @@ func (db *PhysDB) MarkAccess(pfn vmtypes.PFN, write bool) {
 	if !db.valid(pfn) {
 		return
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	fs := &db.frames[pfn]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	fs.referenced = true
 	if write {
 		fs.modified = true
@@ -112,9 +117,10 @@ func (db *PhysDB) IsModified(pfn vmtypes.PFN) bool {
 	if !db.valid(pfn) {
 		return false
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.frames[pfn].modified
+	fs := &db.frames[pfn]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.modified
 }
 
 // ClearModify clears the modify bit.
@@ -122,9 +128,10 @@ func (db *PhysDB) ClearModify(pfn vmtypes.PFN) {
 	if !db.valid(pfn) {
 		return
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.frames[pfn].modified = false
+	fs := &db.frames[pfn]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.modified = false
 }
 
 // IsReferenced reports the reference bit.
@@ -132,9 +139,10 @@ func (db *PhysDB) IsReferenced(pfn vmtypes.PFN) bool {
 	if !db.valid(pfn) {
 		return false
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.frames[pfn].referenced
+	fs := &db.frames[pfn]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.referenced
 }
 
 // ClearReference clears the reference bit.
@@ -142,7 +150,8 @@ func (db *PhysDB) ClearReference(pfn vmtypes.PFN) {
 	if !db.valid(pfn) {
 		return
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.frames[pfn].referenced = false
+	fs := &db.frames[pfn]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.referenced = false
 }
