@@ -1,0 +1,197 @@
+package main
+
+// The -faultjson mode: rerun the fault-path microbenchmarks with
+// testing.Benchmark and emit a machine-readable baseline, so future
+// changes have a perf trajectory to compare against instead of prose
+// numbers buried in CHANGES.md. The benchmark bodies mirror the ones in
+// internal/core's *_bench_test.go files, expressed through the public API.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+// faultBenchResult is one benchmark row of BENCH_faults.json.
+type faultBenchResult struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type faultBenchFile struct {
+	GeneratedBy string             `json:"generated_by"`
+	GoVersion   string             `json:"go_version"`
+	Benchmarks  []faultBenchResult `json:"benchmarks"`
+}
+
+func newBenchKernel(cpus int) (*hw.Machine, *core.Kernel) {
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: 65536,
+		CPUs:       cpus,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	return machine, core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
+}
+
+// benchFaultResidentHit re-faults one resident page: the zero-allocation
+// fast path (hint lookup, version revalidate, identical pmap re-enter).
+func benchFaultResidentHit(b *testing.B) {
+	machine, k := newBenchKernel(1)
+	cpu := machine.CPU(0)
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	defer m.Pmap().Deactivate(cpu)
+	addr, err := m.Allocate(0, k.PageSize(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.Fault(m, addr, vmtypes.ProtWrite); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.Fault(m, addr, vmtypes.ProtWrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchParallelResidentFaults has every goroutine re-fault its own
+// resident page of one shared map — the map-lock concurrency measure.
+func benchParallelResidentFaults(b *testing.B) {
+	nproc := runtime.GOMAXPROCS(0)
+	_, k := newBenchKernel(nproc)
+	pageSize := k.PageSize()
+	m := k.NewMap()
+	defer m.Destroy()
+	const slots = 64
+	addr, err := m.Allocate(0, slots*pageSize, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < slots; i++ {
+		if err := k.Fault(m, addr+vmtypes.VA(uint64(i)*pageSize), vmtypes.ProtWrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var slot atomic.Int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		va := addr + vmtypes.VA(uint64(slot.Add(1)-1)%slots*pageSize)
+		for pb.Next() {
+			if err := k.Fault(m, va, vmtypes.ProtWrite); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// benchParallelZeroFill drives fresh zero-fill faults from every
+// goroutine, each over its own region of one shared map.
+func benchParallelZeroFill(b *testing.B) {
+	nproc := runtime.GOMAXPROCS(0)
+	machine, k := newBenchKernel(nproc)
+	pageSize := k.PageSize()
+	const regionPages = 64
+	m := k.NewMap()
+	defer m.Destroy()
+	var cpuIdx atomic.Int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cpu := machine.CPU(int(cpuIdx.Add(1)-1) % nproc)
+		m.Pmap().Activate(cpu)
+		defer m.Pmap().Deactivate(cpu)
+		size := regionPages * pageSize
+		addr, err := m.Allocate(0, size, true)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		i := 0
+		for pb.Next() {
+			va := addr + vmtypes.VA(uint64(i%regionPages)*pageSize)
+			if err := k.Touch(cpu, m, va, true); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+			if i%regionPages == 0 {
+				if err := m.Deallocate(addr, size); err != nil {
+					b.Error(err)
+					return
+				}
+				if addr, err = m.Allocate(0, size, true); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+}
+
+// writeFaultJSON runs the fault benchmarks at 1 and GOMAXPROCS workers and
+// writes the results to path.
+func writeFaultJSON(path string) error {
+	type bench struct {
+		name     string
+		fn       func(*testing.B)
+		parallel bool
+	}
+	benches := []bench{
+		{"FaultResidentHit", benchFaultResidentHit, false},
+		{"ParallelResidentFaults", benchParallelResidentFaults, true},
+		{"ParallelZeroFill", benchParallelZeroFill, true},
+	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	out := faultBenchFile{
+		GeneratedBy: "cmd/benchtables -faultjson",
+		GoVersion:   runtime.Version(),
+	}
+	for _, bn := range benches {
+		procsList := []int{1}
+		if bn.parallel && maxProcs > 1 {
+			procsList = append(procsList, maxProcs)
+		}
+		for _, procs := range procsList {
+			prev := runtime.GOMAXPROCS(procs)
+			r := testing.Benchmark(bn.fn)
+			runtime.GOMAXPROCS(prev)
+			out.Benchmarks = append(out.Benchmarks, faultBenchResult{
+				Name:        bn.name,
+				Procs:       procs,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			})
+			fmt.Fprintf(os.Stderr, "%s/procs=%d: %.1f ns/op, %d allocs/op\n",
+				bn.name, procs, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

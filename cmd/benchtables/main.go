@@ -8,6 +8,7 @@
 //	benchtables -table 7-2 # overall compilation performance
 //	benchtables -table mp  # §5 architecture experiments (not a paper table)
 //	benchtables -kernel    # include the (slow) full kernel-build rows
+//	benchtables -faultjson BENCH_faults.json  # fault-path perf baseline
 package main
 
 import (
@@ -29,10 +30,17 @@ var (
 	tableFlag  = flag.String("table", "all", "which table to regenerate: 7-1, 7-2, mp, all")
 	kernelFlag = flag.Bool("kernel", false, "include the full kernel-build rows in table 7-2")
 	repsFlag   = flag.Int("reps", 20, "repetitions for micro-operations")
+	faultFlag  = flag.String("faultjson", "", "write the fault-path benchmark baseline to this file and exit")
 )
 
 func main() {
 	flag.Parse()
+	if *faultFlag != "" {
+		if err := writeFaultJSON(*faultFlag); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	switch *tableFlag {
 	case "7-1":
 		table71()

@@ -57,6 +57,10 @@ func (k *Kernel) AccessBytes(cpu *hw.CPU, m *Map, va vmtypes.VA, buf []byte, wri
 }
 
 // resolveAccess translates one access, servicing faults until it succeeds.
+// Fault absorbs concurrent-map-mutation restarts internally (the version
+// revalidation of DESIGN.md §7), so every iteration of this loop that
+// returns nil made real progress: the bound only has to cover legitimate
+// refault sequences, not mutator interference.
 func (k *Kernel) resolveAccess(cpu *hw.CPU, m *Map, va vmtypes.VA, access vmtypes.Prot) (vmtypes.PFN, error) {
 	for try := 0; try < maxFaultRetries; try++ {
 		res := pmap.Access(k.mod, cpu, m.pm, va, access)

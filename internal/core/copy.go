@@ -41,6 +41,7 @@ func (m *Map) copyEntryCOWLocked(src *MapEntry) []*MapEntry {
 	clone.needsCopy = true
 	if !src.needsCopy {
 		src.needsCopy = true
+		m.bumpVersion() // in-flight faults must re-check needs-copy
 		if m.pm != nil && src.prot.Allows(vmtypes.ProtWrite) {
 			// Revoke write access so the source faults on its next
 			// write too (pmap_protect on the source range).
@@ -80,6 +81,7 @@ func (m *Map) copyShareEntryCOWLocked(src *MapEntry) []*MapEntry {
 			e.object.Reference()
 			if !e.needsCopy {
 				e.needsCopy = true
+				sm.bumpVersion() // sharers' in-flight faults must re-check
 				m.k.writeProtectObjectRange(e.object, e.offset, e.Span())
 			}
 		}
@@ -290,4 +292,5 @@ func (m *Map) shareEntryLocked(e *MapEntry) {
 	e.submap = sm
 	e.offset = 0
 	e.needsCopy = false
+	m.bumpVersion() // the entry now resolves through the sharing map
 }

@@ -19,137 +19,351 @@ var (
 	ErrFaultUnavailable = errors.New("vm_fault: data unavailable from pager")
 )
 
+// faultState is the per-fault scratch: the entry snapshot taken under the
+// map read lock, carried across the unlocked resolution phase (shadow
+// walk, pager I/O, zero-fill) and checked again before the hardware
+// mapping is entered. It lives on the Fault frame — never heap-allocated —
+// which is what keeps the resident-hit fast path at zero allocations.
+type faultState struct {
+	topMap    *Map
+	pageAddr  vmtypes.VA
+	access    vmtypes.Prot
+	wantWrite bool
+
+	// Snapshot of the resolved entry (possibly one level down a sharing
+	// map). obj carries a reference taken under the lock; holding it
+	// keeps the whole shadow chain collapse-safe while the map lock is
+	// dropped (see faultPageLookup).
+	obj       *Object
+	offset    uint64 // page-aligned offset of the fault within obj
+	prot      vmtypes.Prot
+	wired     bool
+	needsCopy bool
+	share     bool // obj was reached through a sharing map
+
+	// sm is the sharing map the entry resolved through (referenced;
+	// released with Destroy), nil for direct entries. smOff is the fault
+	// address in sm's coordinates.
+	sm    *Map
+	smOff vmtypes.VA
+
+	version   uint64 // topMap.version at snapshot time
+	smVersion uint64 // sm.version at snapshot time
+}
+
 // Fault resolves one page fault at va in map m for the given access
 // (§3 and DESIGN.md §5: the fault path). All virtual memory information
 // can be reconstructed here from the machine-independent structures, which
 // is what lets the pmap layer forget mappings at will.
+//
+// The fault is read-mostly (DESIGN.md §7): the map lock is held shared for
+// the entry lookup and again for revalidate + pmap enter, and not at all
+// across page resolution. When a concurrent mutator changes the map in
+// between, the fault restarts from scratch — the same discipline Mach uses
+// when it restarts the faulting instruction.
 func (k *Kernel) Fault(m *Map, va vmtypes.VA, access vmtypes.Prot) error {
 	k.stats.Faults.Add(1)
 	k.machine.Charge(k.machine.Cost.FaultTrap)
 
 	pageAddr := vmtypes.VA(k.truncPage(uint64(va)))
+	for {
+		done, err := k.faultOnce(m, pageAddr, access)
+		if done {
+			return err
+		}
+		k.stats.FaultRetries.Add(1)
+	}
+}
 
-	m.mu.Lock()
-	entry, hit := m.lookupEntryLocked(pageAddr)
+// faultOnce runs one attempt: snapshot, resolve, revalidate. done=false
+// means the map mutated underneath the attempt and the caller must retry.
+func (k *Kernel) faultOnce(m *Map, pageAddr vmtypes.VA, access vmtypes.Prot) (done bool, err error) {
+	var fs faultState
+	fs.topMap = m
+	fs.pageAddr = pageAddr
+	fs.access = access
+	fs.wantWrite = access.Allows(vmtypes.ProtWrite)
+
+	retry, err := k.faultSnapshot(&fs)
+	if err != nil {
+		return true, err
+	}
+	if retry {
+		return false, nil
+	}
+	done, err = k.faultFinish(&fs)
+	k.releaseObject(fs.obj)
+	if fs.sm != nil {
+		fs.sm.Destroy() // drops the reference taken in faultSnapshot
+	}
+	return done, err
+}
+
+// faultSnapshot looks up the faulting entry and captures everything the
+// unlocked resolution phase needs. On success fs.obj holds a reference
+// (and fs.sm one on the sharing map, if any); on error or retry nothing
+// is held. Entry mutations the fault itself requires — the COW shadow of
+// §3.4 and the lazy zero-fill object — upgrade to the write lock.
+func (k *Kernel) faultSnapshot(fs *faultState) (retry bool, err error) {
+	m := fs.topMap
+	m.mu.RLock()
+	entry, hit := m.lookupEntryLocked(fs.pageAddr)
 	if !hit {
-		m.mu.Unlock()
-		return ErrFaultNoEntry
+		m.mu.RUnlock()
+		return false, ErrFaultNoEntry
 	}
 
 	// Resolve a sharing map: the target entry lives one level down.
-	if entry.submap != nil {
-		sm := entry.submap
-		smOff := vmtypes.VA(entry.offset) + (pageAddr - entry.start)
-		outerProt := entry.prot
-		sm.mu.Lock()
-		inner, ok := sm.lookupEntryLocked(smOff)
-		if !ok {
-			sm.mu.Unlock()
-			m.mu.Unlock()
-			return ErrFaultNoEntry
-		}
-		if !outerProt.Allows(access) {
-			sm.mu.Unlock()
-			m.mu.Unlock()
-			return ErrFaultProtection
-		}
-		err := k.faultResolveLocked(m, sm, inner, pageAddr, smOff, outerProt, access)
-		sm.mu.Unlock()
-		m.mu.Unlock()
-		return err
+	if sm := entry.submap; sm != nil {
+		fs.sm = sm
+		fs.smOff = vmtypes.VA(entry.offset) + (fs.pageAddr - entry.start)
+		fs.prot = entry.prot
+		fs.share = true
+		fs.version = m.version.Load()
+		sm.Reference()
+		m.mu.RUnlock()
+		return k.faultSnapshotInner(fs)
 	}
 
-	if !entry.prot.Allows(access) {
-		m.mu.Unlock()
-		return ErrFaultProtection
+	if !entry.prot.Allows(fs.access) {
+		m.mu.RUnlock()
+		return false, ErrFaultProtection
 	}
-	err := k.faultResolveLocked(m, m, entry, pageAddr, pageAddr, entry.prot, access)
-	m.mu.Unlock()
-	return err
+	if (fs.wantWrite && entry.needsCopy) || entry.object == nil {
+		// The entry itself must mutate: redo the lookup under the write
+		// lock (the entry may have changed while no lock was held).
+		m.mu.RUnlock()
+		m.mu.Lock()
+		entry, hit = m.lookupEntryLocked(fs.pageAddr)
+		if !hit {
+			m.mu.Unlock()
+			return false, ErrFaultNoEntry
+		}
+		if entry.submap != nil {
+			// Raced with a share conversion; restart the fault.
+			m.mu.Unlock()
+			return true, nil
+		}
+		if !entry.prot.Allows(fs.access) {
+			m.mu.Unlock()
+			return false, ErrFaultProtection
+		}
+		if fs.wantWrite && entry.needsCopy {
+			// Copy-on-write: a write through a needs-copy entry pushes
+			// data into a fresh shadow object first (§3.4).
+			k.shadowEntryLocked(m, entry)
+			m.bumpVersion()
+		}
+		if entry.object == nil {
+			// Lazy allocation: zero-fill memory gets its internal
+			// object on first touch.
+			entry.object = k.NewObject(entry.Span(), nil, "anonymous")
+			entry.offset = 0
+			m.bumpVersion()
+		}
+		fs.snapEntry(k, entry, fs.pageAddr)
+		fs.version = m.version.Load()
+		m.mu.Unlock()
+		return false, nil
+	}
+	fs.snapEntry(k, entry, fs.pageAddr)
+	fs.version = m.version.Load()
+	m.mu.RUnlock()
+	return false, nil
 }
 
-// faultResolveLocked finishes a fault against entry, which lives in
-// entryMap (either topMap itself or a sharing map reached from it); both
-// maps' locks are held. pageAddr is the faulting page address in topMap;
-// entryAddr the corresponding address in entryMap's coordinates.
-func (k *Kernel) faultResolveLocked(topMap, entryMap *Map, entry *MapEntry, pageAddr, entryAddr vmtypes.VA, prot vmtypes.Prot, access vmtypes.Prot) error {
-	wantWrite := access.Allows(vmtypes.ProtWrite)
-
-	// Remember the pager-backed object the data will come from; the
-	// pager_data_lock negotiation below applies to it (a private shadow
-	// copy created for COW is never pager-locked).
-	lockObj := entry.object
-	lockOffset := uint64(0)
-	if lockObj != nil {
-		lockOffset = k.truncPage(entry.offset + uint64(entryAddr-entry.start))
+// faultSnapshotInner snapshots the entry one level down the sharing map.
+// fs.sm is referenced by the caller; error paths release it.
+func (k *Kernel) faultSnapshotInner(fs *faultState) (retry bool, err error) {
+	sm := fs.sm
+	dropSM := func() {
+		sm.Destroy()
+		fs.sm = nil
 	}
-
-	// Copy-on-write: a write through a needs-copy entry pushes data into
-	// a fresh shadow object first (§3.4).
-	if wantWrite && entry.needsCopy {
-		k.shadowEntryLocked(entryMap, entry)
-		lockObj = nil
+	sm.mu.RLock()
+	inner, ok := sm.lookupEntryLocked(fs.smOff)
+	if !ok {
+		sm.mu.RUnlock()
+		dropSM()
+		return false, ErrFaultNoEntry
 	}
-
-	// Lazy allocation: zero-fill memory gets its internal object on
-	// first touch.
-	if entry.object == nil {
-		entry.object = k.NewObject(entry.Span(), nil, "anonymous")
-		entry.offset = 0
+	// The outer entry's protection governs the access (the inner entries
+	// of a sharing map are kept fully permissive).
+	if !fs.prot.Allows(fs.access) {
+		sm.mu.RUnlock()
+		dropSM()
+		return false, ErrFaultProtection
 	}
+	if (fs.wantWrite && inner.needsCopy) || inner.object == nil {
+		sm.mu.RUnlock()
+		sm.mu.Lock()
+		inner, ok = sm.lookupEntryLocked(fs.smOff)
+		if !ok {
+			sm.mu.Unlock()
+			dropSM()
+			return false, ErrFaultNoEntry
+		}
+		if fs.wantWrite && inner.needsCopy {
+			// Shadowing the sharing map's entry is the §3.4 "applies to
+			// all sharers" action, so doing it here is correct even if
+			// our own top-level entry is concurrently deallocated.
+			k.shadowEntryLocked(sm, inner)
+			sm.bumpVersion()
+		}
+		if inner.object == nil {
+			inner.object = k.NewObject(inner.Span(), nil, "anonymous")
+			inner.offset = 0
+			sm.bumpVersion()
+		}
+		fs.snapInner(k, inner)
+		fs.smVersion = sm.version.Load()
+		sm.mu.Unlock()
+		return false, nil
+	}
+	fs.snapInner(k, inner)
+	fs.smVersion = sm.version.Load()
+	sm.mu.RUnlock()
+	return false, nil
+}
 
-	offset := entry.offset + uint64(entryAddr-entry.start)
-	offset = k.truncPage(offset)
+// snapEntry records a direct entry's coordinates and references its
+// object. The map lock (read or write) is held.
+func (fs *faultState) snapEntry(k *Kernel, entry *MapEntry, entryAddr vmtypes.VA) {
+	fs.obj = entry.object
+	fs.obj.Reference()
+	fs.offset = k.truncPage(entry.offset + uint64(entryAddr-entry.start))
+	fs.prot = entry.prot
+	fs.wired = entry.wired
+	fs.needsCopy = entry.needsCopy
+}
 
-	page, firstObj, err := k.faultPageLookup(entry.object, offset, wantWrite, entryMap.isShare)
+// snapInner records a sharing-map entry's coordinates; the outer prot
+// recorded by faultSnapshot stays authoritative.
+func (fs *faultState) snapInner(k *Kernel, inner *MapEntry) {
+	fs.obj = inner.object
+	fs.obj.Reference()
+	fs.offset = k.truncPage(inner.offset + uint64(fs.smOff-inner.start))
+	fs.wired = inner.wired
+	fs.needsCopy = inner.needsCopy
+}
+
+// faultFinish resolves the page with no map lock held, then revalidates
+// the snapshot under the read lock and enters the hardware mapping.
+func (k *Kernel) faultFinish(fs *faultState) (done bool, err error) {
+	page, firstObj, err := k.faultPageLookup(fs.obj, fs.offset, fs.wantWrite, fs.share)
 	if err != nil {
-		return err
+		return true, err
 	}
 	// The page comes back busy-claimed by this fault (fresh or resident)
 	// and stays claimed until the hardware mapping is entered: otherwise
 	// the pageout daemon could free it in between and leave a brand-new
 	// mapping pointing at a reused frame.
-	defer k.pageWakeup(page)
 
 	// pager_data_lock enforcement: the pager may have delivered the data
 	// locked (pager_data_provided's lock_value). If the lock forbids this
 	// access, send pager_data_unlock and block until the pager grants it;
 	// whatever the pager still prohibits is withheld from the hardware
-	// mapping so those accesses refault and renegotiate.
-	var pagerProhibits vmtypes.Prot
-	if lockObj != nil {
-		pagerProhibits, err = k.checkPagerLock(lockObj, lockOffset, access)
-		if err != nil {
-			return err
-		}
+	// mapping so those accesses refault and renegotiate. A COW shadow
+	// created above is internal (no pager), so the check no-ops for it —
+	// a private copy is never pager-locked.
+	pagerProhibits, err := k.checkPagerLock(fs.obj, fs.offset, fs.access)
+	if err != nil {
+		k.pageWakeup(page)
+		return true, err
+	}
+
+	// Revalidate the snapshot and enter the mapping under the read lock:
+	// mutators are excluded, so a concurrent Deallocate/Protect cannot
+	// interleave its pmap_remove with this pmap_enter.
+	m := fs.topMap
+	m.mu.RLock()
+	prot, wired, needsCopy, ok := fs.revalidate(k)
+	if !ok {
+		m.mu.RUnlock()
+		k.pageWakeup(page)
+		return false, nil // the map changed underneath us: retry
 	}
 
 	// Decide the hardware protection: reads through needs-copy entries
 	// or of pages still owned by a backing object must not be writable,
 	// so the eventual write faults and copies.
 	enterProt := prot &^ pagerProhibits
-	if !wantWrite && (entry.needsCopy || !firstObj) {
+	if !fs.wantWrite && (needsCopy || !firstObj) {
 		enterProt = enterProt.Intersect(vmtypes.ProtRead | vmtypes.ProtExecute)
 	}
 
 	// Enter the mapping in the top map's pmap, one hardware page at a
 	// time (a Mach page is a power-of-two multiple of hardware pages).
-	if topMap.pm != nil {
+	if m.pm != nil {
 		hwSize := vmtypes.VA(k.machine.Mem.PageSize())
 		for i := 0; i < k.hwRatio; i++ {
-			topMap.pm.Enter(pageAddr+vmtypes.VA(i)*hwSize, page.pfn+vmtypes.PFN(i), enterProt, entry.wired)
+			m.pm.Enter(fs.pageAddr+vmtypes.VA(i)*hwSize, page.pfn+vmtypes.PFN(i), enterProt, wired)
 		}
 	}
-	if wantWrite {
+	if fs.sm != nil {
+		fs.sm.mu.RUnlock() // acquired by revalidate
+	}
+	m.mu.RUnlock()
+
+	if fs.wantWrite {
 		// Safe without the shard lock: this fault owns the page's busy bit.
 		page.dirty = true
 	}
 	k.activatePage(page)
-	return nil
+	k.pageWakeup(page)
+	return true, nil
+}
+
+// revalidate checks that the snapshot still describes the map, under the
+// top map's read lock. For sharing-map entries it also takes the sharing
+// map's read lock and — on success — leaves it held, so the caller's pmap
+// enter is still ordered against sharers' copy-on-write marking
+// (copyShareEntryCOWLocked write-protects under the sharing map's write
+// lock). Fast path: version counters unchanged, snapshot values stand.
+// Slow path: re-look-up and verify the entry still resolves to the same
+// (object, offset) with compatible attributes; current protection, wiring
+// and needs-copy state are returned so the mapping is entered with
+// up-to-date values.
+func (fs *faultState) revalidate(k *Kernel) (prot vmtypes.Prot, wired bool, needsCopy bool, ok bool) {
+	m := fs.topMap
+	if fs.sm == nil {
+		if m.version.Load() == fs.version {
+			return fs.prot, fs.wired, fs.needsCopy, true
+		}
+		entry, hit := m.lookupEntryLocked(fs.pageAddr)
+		if !hit || entry.submap != nil || entry.object != fs.obj ||
+			k.truncPage(entry.offset+uint64(fs.pageAddr-entry.start)) != fs.offset ||
+			!entry.prot.Allows(fs.access) ||
+			(fs.wantWrite && entry.needsCopy) {
+			return 0, false, false, false
+		}
+		return entry.prot, entry.wired, entry.needsCopy, true
+	}
+
+	sm := fs.sm
+	sm.mu.RLock()
+	if m.version.Load() == fs.version && sm.version.Load() == fs.smVersion {
+		return fs.prot, fs.wired, fs.needsCopy, true
+	}
+	entry, hit := m.lookupEntryLocked(fs.pageAddr)
+	if !hit || entry.submap != sm ||
+		vmtypes.VA(entry.offset)+(fs.pageAddr-entry.start) != fs.smOff ||
+		!entry.prot.Allows(fs.access) {
+		sm.mu.RUnlock()
+		return 0, false, false, false
+	}
+	inner, iok := sm.lookupEntryLocked(fs.smOff)
+	if !iok || inner.object != fs.obj ||
+		k.truncPage(inner.offset+uint64(fs.smOff-inner.start)) != fs.offset ||
+		(fs.wantWrite && inner.needsCopy) {
+		sm.mu.RUnlock()
+		return 0, false, false, false
+	}
+	return entry.prot, inner.wired, inner.needsCopy, true
 }
 
 // shadowEntryLocked replaces entry's object with a new shadow (§3.4).
-// The entry map's lock is held.
+// The entry map's write lock is held.
 func (k *Kernel) shadowEntryLocked(m *Map, entry *MapEntry) {
 	if entry.object == nil {
 		// Nothing to copy from: plain zero-fill memory needs no shadow.
@@ -162,6 +376,30 @@ func (k *Kernel) shadowEntryLocked(m *Map, entry *MapEntry) {
 	entry.needsCopy = false
 	// The shadow chain behind the new shadow may now be collapsible.
 	k.collapseShadow(shadow)
+}
+
+// copyUpPage copies a page found in a backing object into the first
+// object (§3.4). fresh=false means a concurrent faulter installed the
+// first object's page before us; rewalk and use theirs. Either way the
+// claim on the backing page is released here.
+func (k *Kernel) copyUpPage(first *Object, offset uint64, sharedFront bool, page *Page) (*Page, bool) {
+	newPage, fresh := k.allocPage(first, offset)
+	if !fresh {
+		k.pageWakeup(page)
+		return nil, false
+	}
+	k.copyPage(page, newPage)
+	k.stats.CowFaults.Add(1)
+	newPage.dirty = true
+	if sharedFront {
+		// Sharers must not keep reading the superseded page.
+		k.removeAllMappings(page)
+	}
+	k.pageWakeup(page)
+	// The new page hides the backing page for this object chain; other
+	// chains may still share the old page, so it simply stays where it
+	// is.
+	return newPage, true
 }
 
 // faultPageLookup walks the shadow chain from obj looking for the page at
@@ -181,41 +419,16 @@ func (k *Kernel) shadowEntryLocked(m *Map, entry *MapEntry) {
 // by lookupPage on a resident hit, freshly allocated otherwise); the
 // caller releases the claim with pageWakeup once the mapping is entered.
 //
-// The walk needs no guard against a concurrent collapseShadow transiting
-// pages between chain levels: a fault runs entirely under its map's lock
-// (faults through a shared entry serialize on the sharing map's lock), so
-// a concurrent collapse belongs to a different map, and collapseShadow
-// only drains a backing object whose sole reference is the collapsing
-// front. Every object this walk visits is referenced from this chain —
-// entry.object by the map entry, each deeper level by its front's shadow
-// pointer — so any object we can reach has refs >= 2 from the collapser's
-// point of view and the collapse aborts before touching it.
+// The walk runs with no map lock held and needs no guard against a
+// concurrent collapseShadow transiting pages between chain levels: the
+// caller holds its own reference on obj (taken under the map lock when the
+// entry was snapshotted), and each deeper level is referenced by its
+// front's shadow pointer. collapseShadow only drains a backing object
+// whose sole reference is the collapsing front, so every object this walk
+// can reach has refs >= 2 from any collapser's point of view and the
+// collapse aborts before touching it.
 func (k *Kernel) faultPageLookup(obj *Object, offset uint64, wantWrite, sharedFront bool) (*Page, bool, error) {
 	first := obj
-
-	// copyUp copies a page found in a backing object into the first
-	// object (§3.4). fresh=false means a concurrent faulter installed the
-	// first object's page before us; rewalk and use theirs. Either way the
-	// claim on the backing page is released here.
-	copyUp := func(page *Page) (*Page, bool) {
-		newPage, fresh := k.allocPage(first, offset)
-		if !fresh {
-			k.pageWakeup(page)
-			return nil, false
-		}
-		k.copyPage(page, newPage)
-		k.stats.CowFaults.Add(1)
-		newPage.dirty = true
-		if sharedFront {
-			// Sharers must not keep reading the superseded page.
-			k.removeAllMappings(page)
-		}
-		k.pageWakeup(page)
-		// The new page hides the backing page for this object chain;
-		// other chains may still share the old page, so it simply stays
-		// where it is.
-		return newPage, true
-	}
 
 restart:
 	for {
@@ -236,7 +449,7 @@ restart:
 				if !wantWrite {
 					return page, false, nil
 				}
-				newPage, ok := copyUp(page)
+				newPage, ok := k.copyUpPage(first, offset, sharedFront, page)
 				if !ok {
 					continue restart
 				}
@@ -263,7 +476,7 @@ restart:
 					if !wantWrite {
 						return page, false, nil
 					}
-					newPage, ok := copyUp(page)
+					newPage, ok := k.copyUpPage(first, offset, sharedFront, page)
 					if !ok {
 						continue restart
 					}

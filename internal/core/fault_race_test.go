@@ -1,0 +1,138 @@
+package core
+
+// TestFaultVsMutatorRace hammers the versioned-revalidation retry path:
+// faulting goroutines run against a map whose entries are concurrently
+// re-protected, clipped (via sub-range Protect and SetInherit) and
+// deallocated/reallocated. A fault may legitimately observe a hole or a
+// protection it no longer satisfies — those errors are expected — but it
+// must never deadlock, corrupt the map, or map a page the current entries
+// do not describe. Run with -race.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+func TestFaultVsMutatorRace(t *testing.T) {
+	const (
+		faulters = 6
+		iters    = 400
+		pages    = 32
+	)
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: 8192,
+		CPUs:       1,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	k := NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
+	pageSize := k.PageSize()
+
+	m := k.NewMap()
+	defer m.Destroy()
+	base, err := m.Allocate(0, pages*pageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg, faultersWG sync.WaitGroup
+	var faults, denied, holes atomic.Int64
+	var stop atomic.Bool
+
+	// Faulting goroutines: reads and writes across the whole range.
+	for g := 0; g < faulters; g++ {
+		wg.Add(1)
+		faultersWG.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			defer faultersWG.Done()
+			for it := 0; it < iters; it++ {
+				va := base + vmtypes.VA(uint64((it*7+g*13)%pages)*pageSize)
+				access := vmtypes.ProtRead
+				if (it+g)%2 == 0 {
+					access = vmtypes.ProtWrite
+				}
+				switch err := k.Fault(m, va, access); err {
+				case nil:
+					faults.Add(1)
+				case ErrFaultProtection:
+					denied.Add(1) // raced with Protect: legitimate
+				case ErrFaultNoEntry:
+					holes.Add(1) // raced with Deallocate: legitimate
+				default:
+					t.Errorf("fault at %#x: %v", va, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Mutator 1: flip protections on clipping sub-ranges for as long as
+	// the faulters run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prots := []vmtypes.Prot{vmtypes.ProtRead, vmtypes.ProtDefault, vmtypes.ProtRead | vmtypes.ProtExecute, vmtypes.ProtDefault}
+		for it := 0; !stop.Load(); it++ {
+			off := uint64(it%(pages-4)+1) * pageSize
+			_ = m.Protect(base+vmtypes.VA(off), 3*pageSize, false, prots[it%len(prots)])
+		}
+	}()
+
+	// Mutator 2: clip entries apart and back together via SetInherit and
+	// Simplify.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for it := 0; !stop.Load(); it++ {
+			off := uint64(it%(pages-2)) * pageSize
+			inh := vmtypes.InheritCopy
+			if it%2 == 0 {
+				inh = vmtypes.InheritShared
+			}
+			_ = m.SetInherit(base+vmtypes.VA(off), 2*pageSize, inh)
+			if it%16 == 0 {
+				m.SimplifyAll()
+			}
+		}
+	}()
+
+	// Mutator 3: punch a hole in the middle and refill it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		holeVA := base + vmtypes.VA(uint64(pages/2)*pageSize)
+		for !stop.Load() {
+			_ = m.Deallocate(holeVA, 2*pageSize)
+			if _, err := m.Allocate(holeVA, 2*pageSize, false); err != nil {
+				t.Errorf("refill: %v", err)
+				return
+			}
+		}
+	}()
+
+	faultersWG.Wait()
+	stop.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if faults.Load() == 0 {
+		t.Fatal("no fault ever succeeded")
+	}
+	t.Logf("faults=%d denied=%d holes=%d retries=%d hintmiss=%d",
+		faults.Load(), denied.Load(), holes.Load(),
+		k.Stats().FaultRetries.Load(), k.Stats().MapHintMisses.Load())
+
+	// The map survived: full structural check.
+	checkMapInvariants(t, m)
+	checkPageAccounting(t, k)
+}

@@ -72,10 +72,10 @@ func checkMapInvariants(t *testing.T, m *Map) {
 	if size != m.sizeBytes {
 		t.Fatalf("sizeBytes = %d, counted %d", m.sizeBytes, size)
 	}
-	if m.hint != nil {
+	if h := m.hint.Load(); h != nil {
 		found := false
 		for e := m.head; e != nil; e = e.next {
-			if e == m.hint {
+			if e == h {
 				found = true
 				break
 			}
@@ -84,6 +84,34 @@ func checkMapInvariants(t *testing.T, m *Map) {
 			t.Fatal("hint points at an unlinked entry")
 		}
 	}
+	// The treap index must agree with the list: same membership, sorted
+	// keys, heap-ordered priorities, and exact lookups for every entry.
+	if got := countTreap(t, m.root, nil, nil); got != n {
+		t.Fatalf("treap holds %d entries, list holds %d", got, n)
+	}
+	for e := m.head; e != nil; e = e.next {
+		found, _ := m.indexLookupLE(e.start)
+		if found != e {
+			t.Fatalf("index lookup for [%x,%x) found %p, want %p", e.start, e.end, found, e)
+		}
+	}
+}
+
+// countTreap walks the index checking BST key order and the max-heap
+// priority invariant, returning the node count.
+func countTreap(t *testing.T, e *MapEntry, lo, hi *vmtypes.VA) int {
+	t.Helper()
+	if e == nil {
+		return 0
+	}
+	if lo != nil && e.start < *lo || hi != nil && e.start >= *hi {
+		t.Fatalf("treap key %x violates BST order", e.start)
+	}
+	if e.treeLeft != nil && e.treeLeft.treePrio > e.treePrio ||
+		e.treeRight != nil && e.treeRight.treePrio > e.treePrio {
+		t.Fatalf("treap priority heap violated at %x", e.start)
+	}
+	return 1 + countTreap(t, e.treeLeft, lo, &e.start) + countTreap(t, e.treeRight, &e.start, hi)
 }
 
 // checkPageAccounting verifies the resident page table's three-way

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"machvm/internal/hw"
@@ -57,7 +58,25 @@ type Kernel struct {
 	// paged out (the paper's default pager).
 	swap Pager
 
+	// pageBufs recycles page-sized staging buffers for pageout and
+	// clean requests. Safe because no Pager retains the DataWrite slice
+	// beyond the call (see the Pager interface contract).
+	pageBufs sync.Pool
+
 	stats Stats
+}
+
+// getPageBuf returns a zero-capable page-sized scratch buffer; return it
+// with putPageBuf once the pager call it fed has returned.
+func (k *Kernel) getPageBuf() []byte {
+	if b, ok := k.pageBufs.Get().(*[]byte); ok {
+		return *b
+	}
+	return make([]byte, k.pageSize)
+}
+
+func (k *Kernel) putPageBuf(b []byte) {
+	k.pageBufs.Put(&b)
 }
 
 // Config configures a kernel.

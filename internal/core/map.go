@@ -33,6 +33,10 @@ var (
 type MapEntry struct {
 	prev, next *MapEntry
 
+	// Treap index links (mapindex.go), guarded by the map's write lock.
+	treeLeft, treeRight *MapEntry
+	treePrio            uint64
+
 	start, end vmtypes.VA
 
 	// Exactly one of object/submap is non-nil, or both are nil for
@@ -78,25 +82,45 @@ func (e *MapEntry) NeedsCopy() bool { return e.needsCopy }
 func (e *MapEntry) IsSubmap() bool { return e.submap != nil }
 
 // Map is an address map (§3.2): a doubly-linked list of entries sorted by
-// ascending virtual address, chosen because it was the simplest structure
-// that efficiently supports the frequent operations — fault lookups,
-// copy/protection on ranges, and allocation/deallocation — without
-// penalising large, sparse address spaces. A sharing map is identical to
-// an address map but is referenced by other maps' entries and has no pmap.
+// ascending virtual address (range operations iterate it), doubled by a
+// treap index keyed by start address for O(log n) fault lookups
+// (mapindex.go). A sharing map is identical to an address map but is
+// referenced by other maps' entries and has no pmap.
+//
+// Concurrency: the map lock is a read-write lock. Mutators (Allocate,
+// Deallocate, Protect, SetInherit, CopyTo, Fork, Wire, Simplify, and the
+// fault paths that clip or re-point entries) hold it exclusively and bump
+// the version counter; Fault holds it shared, only long enough to look up
+// and snapshot an entry and later to revalidate and enter the hardware
+// mapping, so concurrent faults on one map no longer serialize across
+// pager I/O or zero-fill (DESIGN.md §7).
 type Map struct {
 	k *Kernel
 
-	mu sync.Mutex
+	mu sync.RWMutex
+
+	// version counts entry mutations (structure or attributes). Bumped
+	// under the write lock; Fault snapshots it under the read lock and
+	// revalidates before pmap enter (fault.go).
+	version atomic.Uint64
 
 	head, tail *MapEntry
 	nentries   int
 	sizeBytes  uint64
 
+	// root is the treap index over the entries; prioState feeds treap
+	// priorities. Both are guarded by the write lock.
+	root      *MapEntry
+	prioState uint64
+
 	min, max vmtypes.VA
 
-	// hint remembers the last entry found, so the list can be searched
-	// from the last fault's position (§3.2 "last fault hints").
-	hint *MapEntry
+	// hint remembers the last entry found, so lookups start from the
+	// last fault's position (§3.2 "last fault hints"). Atomic because
+	// concurrent read-locked faulters update it; a stale hint is only a
+	// wasted probe, never a correctness problem (writers holding the
+	// write lock fix it whenever an entry is unlinked).
+	hint atomic.Pointer[MapEntry]
 
 	// pm is the task's physical map; nil for sharing maps.
 	pm pmap.Map
@@ -105,14 +129,18 @@ type Map struct {
 	refs    atomic.Int32
 }
 
+// bumpVersion records an entry mutation. Caller holds the write lock.
+func (m *Map) bumpVersion() { m.version.Add(1) }
+
 // NewMap creates a task address map covering [0, limit) where limit is the
 // machine's user address-space bound.
 func (k *Kernel) NewMap() *Map {
 	m := &Map{
-		k:   k,
-		min: 0,
-		max: k.mod.MaxVA(),
-		pm:  k.mod.Create(),
+		k:         k,
+		min:       0,
+		max:       k.mod.MaxVA(),
+		pm:        k.mod.Create(),
+		prioState: seedPrioState(),
 	}
 	m.refs.Store(1)
 	return m
@@ -124,10 +152,11 @@ func (k *Kernel) NewMap() *Map {
 // time, so no physical copy happens end to end.
 func (k *Kernel) NewTransitMap(size uint64) *Map {
 	m := &Map{
-		k:       k,
-		min:     0,
-		max:     vmtypes.VA(k.roundPage(size)*2 + k.pageSize*2),
-		isShare: true,
+		k:         k,
+		min:       0,
+		max:       vmtypes.VA(k.roundPage(size)*2 + k.pageSize*2),
+		isShare:   true,
+		prioState: seedPrioState(),
 	}
 	m.refs.Store(1)
 	return m
@@ -136,10 +165,11 @@ func (k *Kernel) NewTransitMap(size uint64) *Map {
 // newShareMap creates a sharing map spanning [0, size).
 func (k *Kernel) newShareMap(size uint64) *Map {
 	m := &Map{
-		k:       k,
-		min:     0,
-		max:     vmtypes.VA(size),
-		isShare: true,
+		k:         k,
+		min:       0,
+		max:       vmtypes.VA(size),
+		isShare:   true,
+		prioState: seedPrioState(),
 	}
 	m.refs.Store(1)
 	k.stats.ShareMapsMade.Add(1)
@@ -157,16 +187,16 @@ func (m *Map) Kernel() *Kernel { return m.k }
 
 // Size returns the total bytes of allocated virtual memory.
 func (m *Map) Size() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.sizeBytes
 }
 
 // EntryCount returns the number of map entries (a typical VAX UNIX
 // process has five upon creation, §3.2).
 func (m *Map) EntryCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.nentries
 }
 
@@ -190,9 +220,11 @@ func (m *Map) Destroy() {
 			subs = append(subs, e.submap)
 		}
 	}
-	m.head, m.tail, m.hint = nil, nil, nil
+	m.head, m.tail, m.root = nil, nil, nil
+	m.hint.Store(nil)
 	m.nentries = 0
 	m.sizeBytes = 0
+	m.bumpVersion()
 	m.mu.Unlock()
 	if m.pm != nil {
 		m.pm.Destroy()
@@ -208,41 +240,41 @@ func (m *Map) Destroy() {
 // charge accounts one address-map entry operation.
 func (m *Map) charge() { m.k.machine.Charge(m.k.machine.Cost.MapEntryOp) }
 
-// lookupEntryLocked finds the entry containing va, using the hint first.
+// lookupEntryLocked finds the entry containing va, probing the hint before
+// descending the treap index. Safe under the read lock: the only writes
+// are atomic hint updates and atomic statistics.
 func (m *Map) lookupEntryLocked(va vmtypes.VA) (*MapEntry, bool) {
-	m.k.stats.MapLookups.Add(1)
-	if h := m.hint; h != nil && !m.k.disableHints {
-		if h.start <= va && va < h.end {
-			m.k.stats.MapHintHits.Add(1)
-			m.k.machine.Charge(m.k.machine.Cost.MemAccess)
-			return h, true
-		}
-		// Faults walk forward: try the next entry before scanning.
-		if h.next != nil && h.next.start <= va && va < h.next.end {
-			m.k.stats.MapHintHits.Add(1)
-			m.k.machine.Charge(2 * m.k.machine.Cost.MemAccess)
-			m.hint = h.next
-			return h.next, true
-		}
-	}
-	steps := 0
-	for e := m.head; e != nil; e = e.next {
-		steps++
-		if va < e.start {
-			m.k.machine.Charge(int64(steps) * m.k.machine.Cost.MemAccess)
-			return e.prev, false
-		}
-		if va < e.end {
-			m.k.machine.Charge(int64(steps) * m.k.machine.Cost.MemAccess)
-			m.hint = e
-			return e, true
+	k := m.k
+	k.stats.MapLookups.Add(1)
+	if !k.disableHints {
+		if h := m.hint.Load(); h != nil {
+			if h.start <= va && va < h.end {
+				k.stats.MapHintHits.Add(1)
+				k.machine.Charge(k.machine.Cost.MemAccess)
+				return h, true
+			}
+			// Faults walk forward: try the next entry before searching.
+			if n := h.next; n != nil && n.start <= va && va < n.end {
+				k.stats.MapHintHits.Add(1)
+				k.machine.Charge(2 * k.machine.Cost.MemAccess)
+				m.hint.Store(n)
+				return n, true
+			}
+			k.stats.MapHintMisses.Add(1)
 		}
 	}
-	m.k.machine.Charge(int64(steps) * m.k.machine.Cost.MemAccess)
-	return m.tail, false
+	e, steps := m.indexLookupLE(va)
+	k.machine.Charge(int64(steps+1) * k.machine.Cost.MemAccess)
+	if e != nil && va < e.end {
+		m.hint.Store(e)
+		return e, true
+	}
+	// Miss: e is the predecessor entry (nil means insert at head).
+	return e, false
 }
 
-// insertAfterLocked links e after prev (nil prev = head).
+// insertAfterLocked links e after prev (nil prev = head) in both the list
+// and the index. Caller holds the write lock.
 func (m *Map) insertAfterLocked(prev, e *MapEntry) {
 	e.prev = prev
 	if prev != nil {
@@ -257,12 +289,14 @@ func (m *Map) insertAfterLocked(prev, e *MapEntry) {
 	} else {
 		m.tail = e
 	}
+	m.indexInsert(e)
 	m.nentries++
 	m.sizeBytes += e.Span()
+	m.bumpVersion()
 	m.charge()
 }
 
-// removeEntryLocked unlinks e.
+// removeEntryLocked unlinks e from the list and the index.
 func (m *Map) removeEntryLocked(e *MapEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
@@ -274,12 +308,14 @@ func (m *Map) removeEntryLocked(e *MapEntry) {
 	} else {
 		m.tail = e.prev
 	}
-	if m.hint == e {
-		m.hint = e.prev
+	if m.hint.Load() == e {
+		m.hint.Store(e.prev)
 	}
+	m.indexRemove(e)
 	m.nentries--
 	m.sizeBytes -= e.Span()
 	e.prev, e.next = nil, nil
+	m.bumpVersion()
 	m.charge()
 }
 
@@ -306,9 +342,13 @@ func (m *Map) clipStartLocked(e *MapEntry, va vmtypes.VA) {
 	if left.submap != nil {
 		left.submap.Reference()
 	}
+	// e's index key is its start address: take it out of the treap
+	// around the mutation.
+	m.indexRemove(e)
 	e.offset += uint64(va - e.start)
 	m.sizeBytes -= uint64(va - e.start) // the insert adds it back
 	e.start = va
+	m.indexInsert(e)
 	m.insertAfterLocked(e.prev, left)
 }
 
@@ -495,6 +535,7 @@ func (m *Map) Protect(addr vmtypes.VA, size uint64, setMax bool, prot vmtypes.Pr
 	if !hit {
 		return ErrInvalidAddress
 	}
+	m.bumpVersion()
 	m.clipStartLocked(e, addr)
 	for e != nil && e.start < end {
 		m.clipEndLocked(e, end)
@@ -550,6 +591,7 @@ func (m *Map) SetInherit(addr vmtypes.VA, size uint64, inherit vmtypes.Inherit) 
 	if !hit {
 		return ErrInvalidAddress
 	}
+	m.bumpVersion()
 	m.clipStartLocked(e, addr)
 	for e != nil && e.start < end {
 		m.clipEndLocked(e, end)
@@ -574,8 +616,8 @@ type RegionInfo struct {
 // the address space (Table 2-1).
 func (m *Map) Regions() []RegionInfo {
 	m.k.machine.Charge(m.k.machine.Cost.Syscall)
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var out []RegionInfo
 	for e := m.head; e != nil; e = e.next {
 		ri := RegionInfo{

@@ -1,0 +1,122 @@
+package core
+
+// The O(log n) map-entry index. The paper's §3.2 address map is a plain
+// sorted doubly-linked list with a last-fault hint, which degrades to a
+// linear walk whenever the hint misses; production descendants of this
+// code replaced the walk with a balanced search structure. This file keeps
+// the list (range operations still iterate it) but adds a treap keyed by
+// entry start address alongside it, with the tree links embedded directly
+// in MapEntry so index maintenance never allocates. See DESIGN.md §6 for
+// the deviation note.
+//
+// All index operations run under the map's write lock except
+// indexLookupLE, which is read-only and safe under the read lock.
+
+import (
+	"sync/atomic"
+
+	"machvm/internal/vmtypes"
+)
+
+// mapSeed distinguishes the treap priority streams of different maps.
+var mapSeed atomic.Uint64
+
+// seedPrioState returns a non-zero xorshift state for a new map.
+func seedPrioState() uint64 {
+	s := mapSeed.Add(1) * 0x9e3779b97f4a7c15
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return s
+}
+
+// nextPrio draws the next treap priority (xorshift64*). Caller holds the
+// write lock; the state needs no further synchronization.
+func (m *Map) nextPrio() uint64 {
+	x := m.prioState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.prioState = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// indexInsert adds e (not currently in the tree) to the index.
+func (m *Map) indexInsert(e *MapEntry) {
+	e.treeLeft, e.treeRight = nil, nil
+	e.treePrio = m.nextPrio()
+	lt, ge := treapSplitLT(m.root, e.start)
+	m.root = treapMerge(treapMerge(lt, e), ge)
+}
+
+// indexRemove takes e out of the index.
+func (m *Map) indexRemove(e *MapEntry) {
+	m.root = treapRemove(m.root, e)
+	e.treeLeft, e.treeRight = nil, nil
+}
+
+// indexLookupLE returns the entry with the greatest start <= va, or nil,
+// plus the number of tree nodes visited (for the machine cost model).
+func (m *Map) indexLookupLE(va vmtypes.VA) (*MapEntry, int) {
+	var best *MapEntry
+	steps := 0
+	for t := m.root; t != nil; {
+		steps++
+		if va < t.start {
+			t = t.treeLeft
+		} else {
+			best = t
+			t = t.treeRight
+		}
+	}
+	return best, steps
+}
+
+// treapSplitLT splits t into entries with start < key and start >= key.
+// Entry starts are unique (entries are disjoint), so no equal-key case.
+func treapSplitLT(t *MapEntry, key vmtypes.VA) (lt, ge *MapEntry) {
+	if t == nil {
+		return nil, nil
+	}
+	if t.start < key {
+		l, g := treapSplitLT(t.treeRight, key)
+		t.treeRight = l
+		return t, g
+	}
+	l, g := treapSplitLT(t.treeLeft, key)
+	t.treeLeft = g
+	return l, t
+}
+
+// treapMerge joins a and b, where every key in a precedes every key in b.
+func treapMerge(a, b *MapEntry) *MapEntry {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.treePrio >= b.treePrio {
+		a.treeRight = treapMerge(a.treeRight, b)
+		return a
+	}
+	b.treeLeft = treapMerge(a, b.treeLeft)
+	return b
+}
+
+// treapRemove deletes e from the subtree rooted at t and returns the new
+// root. e must be present; a miss means the list and index diverged.
+func treapRemove(t, e *MapEntry) *MapEntry {
+	if t == nil {
+		panic("core: map index lost an entry")
+	}
+	if t == e {
+		return treapMerge(t.treeLeft, t.treeRight)
+	}
+	if e.start < t.start {
+		t.treeLeft = treapRemove(t.treeLeft, e)
+	} else {
+		t.treeRight = treapRemove(t.treeRight, e)
+	}
+	return t
+}

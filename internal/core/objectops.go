@@ -48,9 +48,10 @@ func (k *Kernel) CleanObjectRange(obj *Object, offset, length uint64) {
 			// Write-protect so post-clean writes dirty it again.
 			k.writeProtectAll(p)
 			k.mod.Update()
-			data := make([]byte, k.pageSize)
+			data := k.getPageBuf()
 			k.snapshotPage(p, data)
 			pager.DataWrite(obj, pOff, data)
+			k.putPageBuf(data)
 			k.clearModify(p)
 			p.dirty = false
 			k.stats.Pageouts.Add(1)

@@ -122,13 +122,14 @@ func (k *Kernel) reclaimPage(p *Page, flushed *bool) bool {
 			pager.Init(obj)
 			obj.mu.Lock()
 		}
-		data := make([]byte, k.pageSize)
+		data := k.getPageBuf()
 		k.snapshotPage(p, data)
 		obj.pagingInProgress++
 		obj.mu.Unlock()
 		pager.DataWrite(obj, offset, data)
 		obj.mu.Lock()
 		obj.pagingInProgress--
+		k.putPageBuf(data)
 		k.clearModify(p)
 		k.stats.Pageouts.Add(1)
 	}
@@ -182,6 +183,7 @@ func (m *Map) Wire(addr vmtypes.VA, size uint64) error {
 		e.wired = true
 		e = e.next
 	}
+	m.bumpVersion() // faults must pick up the wired attribute
 	m.mu.Unlock()
 
 	// Touch every page so it is resident and mapped wired.
@@ -218,6 +220,7 @@ func (m *Map) Unwire(addr vmtypes.VA, size uint64) error {
 			e.wired = false
 			e = e.next
 		}
+		m.bumpVersion()
 	}
 	m.mu.Unlock()
 	return nil
@@ -227,8 +230,8 @@ func (m *Map) Unwire(addr vmtypes.VA, size uint64) error {
 func (m *Map) residentPageAt(va vmtypes.VA) *Page {
 	k := m.k
 	pageAddr := vmtypes.VA(k.truncPage(uint64(va)))
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	entry, hit := m.lookupEntryLocked(pageAddr)
 	if !hit {
 		return nil
@@ -238,15 +241,15 @@ func (m *Map) residentPageAt(va vmtypes.VA) *Page {
 	if entry.submap != nil {
 		sm := entry.submap
 		smOff := vmtypes.VA(entry.offset) + (pageAddr - entry.start)
-		sm.mu.Lock()
+		sm.mu.RLock()
 		inner, ok := sm.lookupEntryLocked(smOff)
 		if !ok || inner.object == nil {
-			sm.mu.Unlock()
+			sm.mu.RUnlock()
 			return nil
 		}
 		obj = inner.object
 		offset = inner.offset + uint64(smOff-inner.start)
-		sm.mu.Unlock()
+		sm.mu.RUnlock()
 	}
 	if obj == nil {
 		return nil

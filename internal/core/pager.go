@@ -27,7 +27,9 @@ type Pager interface {
 	DataRequest(obj *Object, offset uint64, length int) (data []byte, unavailable bool)
 
 	// DataWrite returns modified data to the pager (pager_data_write,
-	// issued by the pageout daemon).
+	// issued by the pageout daemon). data is only valid for the duration
+	// of the call — the kernel recycles the buffer — so an implementation
+	// that keeps the bytes must copy them.
 	DataWrite(obj *Object, offset uint64, data []byte)
 
 	// Terminate tells the pager the kernel is done with the object.

@@ -24,7 +24,9 @@ type Stats struct {
 	ShadowsCollapsed  atomic.Uint64
 	CacheRevives      atomic.Uint64
 	MapHintHits       atomic.Uint64
+	MapHintMisses     atomic.Uint64 // lookups that fell through to the index
 	MapLookups        atomic.Uint64
+	FaultRetries      atomic.Uint64 // faults restarted after a map version change
 	ShareMapsMade     atomic.Uint64
 }
 
@@ -51,6 +53,9 @@ type Statistics struct {
 	AllocRaces       uint64
 	ShardRetries     uint64
 	PageoutSkips     uint64
+	MapHintHits      uint64
+	MapHintMisses    uint64
+	FaultRetries     uint64
 }
 
 // VMStatistics implements vm_statistics: statistics about the use of
@@ -82,5 +87,8 @@ func (k *Kernel) VMStatistics() Statistics {
 	s.AllocRaces = k.stats.AllocRaces.Load()
 	s.ShardRetries = k.stats.ShardRetries.Load()
 	s.PageoutSkips = k.stats.PageoutSkips.Load()
+	s.MapHintHits = k.stats.MapHintHits.Load()
+	s.MapHintMisses = k.stats.MapHintMisses.Load()
+	s.FaultRetries = k.stats.FaultRetries.Load()
 	return s
 }

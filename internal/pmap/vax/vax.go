@@ -171,15 +171,23 @@ func (m *vaxMap) Enter(va vmtypes.VA, pfn vmtypes.PFN, prot vmtypes.Prot, wired 
 	mod.Stats().Enters.Add(1)
 	mod.Machine().Charge(mod.Machine().Cost.PTEOp)
 
+	want := pte{pfn: pfn, prot: prot, valid: true, wired: wired}
 	m.mu.Lock()
 	c := m.chunkFor(vpn, true)
 	e := &c.ptes[vpn%ptesPerChunk]
+	if *e == want {
+		// Re-entering an identical mapping (a refault on a resident
+		// page): the PTE and every TLB copy of it are already correct,
+		// so no shootdown — and no PV update — is needed.
+		m.mu.Unlock()
+		return
+	}
 	replaced := e.valid
 	oldPFN := e.pfn
 	if !e.valid {
 		c.used++
 	}
-	*e = pte{pfn: pfn, prot: prot, valid: true, wired: wired}
+	*e = want
 	m.resident++
 	if replaced {
 		m.resident--
