@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+func newSmallKernel(t testing.TB, frames int) (*Kernel, *hw.Machine) {
+	t.Helper()
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: frames,
+		CPUs:       2,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	return NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096}), machine
+}
+
+// TestOOMReturnsError pins every physical page and checks that the next
+// fault comes back with ErrNoMemory instead of spinning or panicking, and
+// that the system recovers once memory is unwired.
+func TestOOMReturnsError(t *testing.T) {
+	k, machine := newSmallKernel(t, 512) // 64 Mach pages
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(machine.CPU(0))
+
+	total := uint64(k.TotalPages()) * k.pageSize
+	addr, err := m.Allocate(0, total, true)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := m.Wire(addr, total); err != nil {
+		t.Fatalf("wiring all of memory should just fit: %v", err)
+	}
+	if free := k.FreeCount(); free != 0 {
+		t.Fatalf("free count %d after wiring everything", free)
+	}
+
+	extra, err := m.Allocate(0, k.pageSize, true)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	// Nothing is reclaimable: every page is wired, so repeated pageout
+	// scans free nothing and the fault must fail cleanly.
+	err = k.Fault(m, extra, vmtypes.ProtWrite)
+	if !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("fault with all memory wired: got %v, want ErrNoMemory", err)
+	}
+
+	if err := m.Unwire(addr, total); err != nil {
+		t.Fatalf("Unwire: %v", err)
+	}
+	if err := k.Fault(m, extra, vmtypes.ProtWrite); err != nil {
+		t.Fatalf("fault after unwiring must recover: %v", err)
+	}
+}
+
+// TestExhaustionStress runs allocators, the pageout daemon and object
+// teardown against each other with the working set roughly 1.5x physical
+// memory, so the free count rides the watermarks the whole time. Run under
+// -race this exercises the magazine/depot layer, the single-flight scan
+// and the demand wakeup path; afterwards the free-layer invariants must
+// hold and every page must come home.
+func TestExhaustionStress(t *testing.T) {
+	k, machine := newSmallKernel(t, 512) // 64 Mach pages
+	stop := make(chan struct{})
+	k.StartPageoutDaemon(stop, time.Millisecond)
+
+	const (
+		workers     = 4
+		regionPages = 24 // 4*24 = 96 pages of demand vs 64 physical
+		iters       = 300
+	)
+	var wg sync.WaitGroup
+	maps := make([]*Map, workers)
+	for w := 0; w < workers; w++ {
+		maps[w] = k.NewMap()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := maps[w]
+			cpu := machine.CPU(w % machine.NumCPUs())
+			m.Pmap().Activate(cpu)
+			rng := rand.New(rand.NewSource(int64(w)))
+			size := uint64(regionPages) * k.pageSize
+			addr, err := m.Allocate(0, size, true)
+			if err != nil {
+				t.Errorf("worker %d: Allocate: %v", w, err)
+				return
+			}
+			for i := 0; i < iters; i++ {
+				va := addr + vmtypes.VA(uint64(rng.Intn(regionPages))*k.pageSize)
+				buf := []byte{byte(i)}
+				if err := k.AccessBytes(cpu, m, va, buf, i%2 == 0); err != nil {
+					t.Errorf("worker %d: access: %v", w, err)
+					return
+				}
+				// Teardown under pressure: periodically throw the whole
+				// region away (terminating its object while the daemon
+				// may hold candidates from it) and start over.
+				if i%100 == 99 {
+					if err := m.Deallocate(addr, size); err != nil {
+						t.Errorf("worker %d: Deallocate: %v", w, err)
+						return
+					}
+					addr, err = m.Allocate(0, size, true)
+					if err != nil {
+						t.Errorf("worker %d: Allocate: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	for _, m := range maps {
+		m.Destroy()
+	}
+	// Let any scan that was in flight during teardown finish.
+	k.PageoutScan()
+	checkPageAccounting(t, k)
+	if free := k.FreeCount(); free != k.TotalPages() {
+		t.Fatalf("free count %d after teardown, want %d", free, k.TotalPages())
+	}
+}

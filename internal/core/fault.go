@@ -17,6 +17,8 @@ var (
 	// ErrFaultUnavailable means the object's pager reported the data
 	// does not exist.
 	ErrFaultUnavailable = errors.New("vm_fault: data unavailable from pager")
+	// ErrNoMemory (page.go) is also returned here: physical memory is
+	// exhausted and repeated pageout scans reclaimed nothing.
 )
 
 // faultState is the per-fault scratch: the entry snapshot taken under the
@@ -381,12 +383,17 @@ func (k *Kernel) shadowEntryLocked(m *Map, entry *MapEntry) {
 // copyUpPage copies a page found in a backing object into the first
 // object (§3.4). fresh=false means a concurrent faulter installed the
 // first object's page before us; rewalk and use theirs. Either way the
-// claim on the backing page is released here.
-func (k *Kernel) copyUpPage(first *Object, offset uint64, sharedFront bool, page *Page) (*Page, bool) {
-	newPage, fresh := k.allocPage(first, offset)
+// claim on the backing page is released here, including on an allocation
+// error (out of memory), which propagates to the faulter.
+func (k *Kernel) copyUpPage(first *Object, offset uint64, sharedFront bool, page *Page) (*Page, bool, error) {
+	newPage, fresh, err := k.allocPage(first, offset)
+	if err != nil {
+		k.pageWakeup(page)
+		return nil, false, err
+	}
 	if !fresh {
 		k.pageWakeup(page)
-		return nil, false
+		return nil, false, nil
 	}
 	k.copyPage(page, newPage)
 	k.stats.CowFaults.Add(1)
@@ -399,7 +406,7 @@ func (k *Kernel) copyUpPage(first *Object, offset uint64, sharedFront bool, page
 	// The new page hides the backing page for this object chain; other
 	// chains may still share the old page, so it simply stays where it
 	// is.
-	return newPage, true
+	return newPage, true, nil
 }
 
 // faultPageLookup walks the shadow chain from obj looking for the page at
@@ -449,7 +456,10 @@ restart:
 				if !wantWrite {
 					return page, false, nil
 				}
-				newPage, ok := k.copyUpPage(first, offset, sharedFront, page)
+				newPage, ok, err := k.copyUpPage(first, offset, sharedFront, page)
+				if err != nil {
+					return nil, false, err
+				}
 				if !ok {
 					continue restart
 				}
@@ -476,7 +486,10 @@ restart:
 					if !wantWrite {
 						return page, false, nil
 					}
-					newPage, ok := k.copyUpPage(first, offset, sharedFront, page)
+					newPage, ok, err := k.copyUpPage(first, offset, sharedFront, page)
+					if err != nil {
+						return nil, false, err
+					}
 					if !ok {
 						continue restart
 					}
@@ -489,7 +502,10 @@ restart:
 			if shadow == nil {
 				// End of the chain: zero fill in the first object
 				// ("memory with no pager is automatically zero filled").
-				page, fresh := k.allocPage(first, offset)
+				page, fresh, err := k.allocPage(first, offset)
+				if err != nil {
+					return nil, false, err
+				}
 				if !fresh {
 					continue restart
 				}
@@ -514,7 +530,10 @@ restart:
 func (k *Kernel) pageIn(obj *Object, offset uint64, pager Pager) (page *Page, retry bool, err error) {
 	// Insert a busy page first so concurrent faulters wait instead of
 	// issuing duplicate requests.
-	page, fresh := k.allocPage(obj, offset)
+	page, fresh, err := k.allocPage(obj, offset)
+	if err != nil {
+		return nil, false, err
+	}
 	if !fresh {
 		return nil, true, nil
 	}

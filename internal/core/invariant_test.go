@@ -146,21 +146,75 @@ func checkPageAccounting(t *testing.T, k *Kernel) {
 	counts := map[int]int{}
 	for _, p := range k.pages {
 		counts[p.queue]++
-		if p.queue == queueFree && p.ident.Load() != nil {
+		if (p.queue == queueFree || p.queue == queueMagazine) && p.ident.Load() != nil {
 			t.Fatal("free page still belongs to an object")
 		}
 		if p.wireCount.Load() > 0 && p.queue != queueNone {
 			t.Fatal("wired page on a pageable queue")
 		}
 	}
-	if counts[queueFree] != k.FreeCount() {
-		t.Fatalf("free count %d vs %d", counts[queueFree], k.FreeCount())
-	}
 	if counts[queueActive] != k.ActiveCount() {
 		t.Fatalf("active count %d vs %d", counts[queueActive], k.ActiveCount())
 	}
 	if counts[queueInactive] != k.InactiveCount() {
 		t.Fatalf("inactive count %d vs %d", counts[queueInactive], k.InactiveCount())
+	}
+	// Free-layer invariant: every free page is on exactly one of depot or
+	// magazine (list membership walked and checked against the queue ids),
+	// and FreeCount() equals magazines + depot.
+	freeListed := map[*Page]int{}
+	k.depot.mu.Lock()
+	depotWalk := 0
+	for p := k.depot.q.head; p != nil; p = p.qNext {
+		freeListed[p]++
+		depotWalk++
+		if p.queue != queueFree {
+			k.depot.mu.Unlock()
+			t.Fatalf("page on the depot has queue id %d", p.queue)
+		}
+	}
+	if depotWalk != k.depot.q.count {
+		k.depot.mu.Unlock()
+		t.Fatalf("depot count %d, walked %d", k.depot.q.count, depotWalk)
+	}
+	k.depot.mu.Unlock()
+	magWalk := 0
+	for i := range k.magazines {
+		m := &k.magazines[i]
+		m.mu.Lock()
+		walked := 0
+		for p := m.q.head; p != nil; p = p.qNext {
+			freeListed[p]++
+			walked++
+			if p.queue != queueMagazine {
+				m.mu.Unlock()
+				t.Fatalf("page in magazine %d has queue id %d", i, p.queue)
+			}
+			if int(p.mag) != i {
+				m.mu.Unlock()
+				t.Fatalf("page in magazine %d is tagged for magazine %d", i, p.mag)
+			}
+		}
+		if walked != m.q.count {
+			m.mu.Unlock()
+			t.Fatalf("magazine %d count %d, walked %d", i, m.q.count, walked)
+		}
+		magWalk += walked
+		m.mu.Unlock()
+	}
+	for p, n := range freeListed {
+		if n != 1 {
+			t.Fatalf("page %p appears %d times across the free layer", p, n)
+		}
+	}
+	if depotWalk != counts[queueFree] {
+		t.Fatalf("depot holds %d pages, queue ids say %d", depotWalk, counts[queueFree])
+	}
+	if magWalk != counts[queueMagazine] {
+		t.Fatalf("magazines hold %d pages, queue ids say %d", magWalk, counts[queueMagazine])
+	}
+	if depotWalk+magWalk != k.FreeCount() {
+		t.Fatalf("free count %d vs depot %d + magazines %d", k.FreeCount(), depotWalk, magWalk)
 	}
 	// Every non-free page with an identity is hashed exactly once.
 	withIdent := 0

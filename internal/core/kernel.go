@@ -33,12 +33,16 @@ type Kernel struct {
 
 	// The resident page table is lock-striped (DESIGN.md §7): the
 	// object/offset hash and busy-page wait channels are split across
-	// numPageShards shards, each allocation queue carries its own lock,
+	// numPageShards shards, each pageable queue carries its own lock,
 	// and the free count is an atomic so pageout-trigger checks never
-	// lock. Lock order: object → shard → queue; never two shards.
+	// lock. Free pages live in per-shard magazines over a global depot;
+	// the depot lock is touched only for batched exchanges. Lock order:
+	// object → shard → queue/magazine → depot; never two shards, never
+	// two magazines.
 	shards    [numPageShards]pageShard
 	pages     []*Page
-	free      lockedQueue
+	magazines [numPageShards]pageMagazine
+	depot     lockedQueue
 	active    lockedQueue
 	inactive  lockedQueue
 	freeCount atomic.Int64
@@ -47,6 +51,15 @@ type Kernel struct {
 	// freeMin and aims for freeTarget.
 	freeMin    int
 	freeTarget int
+
+	// pageoutWake carries demand wakeups from allocPage to the pageout
+	// daemon (capacity 1; a full buffer means one is already pending).
+	// Scans are single-flight: scanFlight, guarded by scanMu, is the
+	// in-progress scan that late requesters wait on instead of running
+	// a redundant scan of their own.
+	pageoutWake chan struct{}
+	scanMu      sync.Mutex
+	scanFlight  *scanFlight
 
 	cache objectCache
 
@@ -123,10 +136,11 @@ func NewKernel(cfg Config) *Kernel {
 		panic(fmt.Sprintf("core: Mach page size %d must be a power-of-two multiple of the hardware page size %d", pageSize, hwPage))
 	}
 	k := &Kernel{
-		machine:  cfg.Machine,
-		mod:      cfg.Module,
-		pageSize: uint64(pageSize),
-		hwRatio:  pageSize / hwPage,
+		machine:     cfg.Machine,
+		mod:         cfg.Module,
+		pageSize:    uint64(pageSize),
+		hwRatio:     pageSize / hwPage,
+		pageoutWake: make(chan struct{}, 1),
 	}
 	for i := range k.shards {
 		k.shards[i].pages = make(map[pageKey]*Page)
@@ -183,10 +197,10 @@ func (k *Kernel) initResidentPages() {
 		}
 		p := &Page{pfn: first}
 		k.pages = append(k.pages, p)
-		k.free.q.pushBack(p)
+		k.depot.q.pushBack(p)
 		p.queue = queueFree
 	}
-	k.freeCount.Store(int64(k.free.q.count))
+	k.freeCount.Store(int64(k.depot.q.count))
 }
 
 // Machine returns the simulated hardware.

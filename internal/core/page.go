@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"machvm/internal/vmtypes"
 )
+
+// ErrNoMemory is returned when physical memory is exhausted and repeated
+// pageout scans reclaim nothing (every page wired or busy). It surfaces
+// through Fault to the faulting caller instead of panicking the kernel.
+var ErrNoMemory = errors.New("vm: out of physical memory and nothing is reclaimable")
 
 // Page is one entry of the resident page table (§3.1). Physical memory is
 // treated primarily as a cache for the contents of virtual memory objects;
@@ -49,6 +55,12 @@ type Page struct {
 	// shard lock; atomic so statistics can sample it without locking.
 	wireCount atomic.Int32
 
+	// mag is the index of the free-page magazine this page drains to: the
+	// shard index of its current (or, once freed, most recent) identity.
+	// Written only by the page's exclusive owner (insertPageLocked under
+	// the shard lock, grabFreePage on a just-popped page).
+	mag uint8
+
 	// busy marks a page with I/O or fill in progress; faulters wait on a
 	// per-key wait channel in the shard. Guarded by the shard lock. The
 	// thread that set busy (the owner) may write absent/dirty directly:
@@ -82,10 +94,12 @@ func (p *Page) Offset() uint64 {
 	return 0
 }
 
-// Queue identifiers.
+// Queue identifiers. queueFree is the global depot; queueMagazine marks a
+// free page cached in one of the per-shard magazines.
 const (
 	queueNone = iota
 	queueFree
+	queueMagazine
 	queueActive
 	queueInactive
 )
@@ -130,12 +144,18 @@ func (s *pageShard) wake(key pageKey) {
 	}
 }
 
-// shardFor returns the shard owning (obj, offset).
-func (k *Kernel) shardFor(obj *Object, offset uint64) *pageShard {
+// shardIndexFor returns the index of the shard owning (obj, offset); the
+// free-page magazine with the same index serves allocations for it.
+func (k *Kernel) shardIndexFor(obj *Object, offset uint64) int {
 	h := obj.generation * 0x9e3779b97f4a7c15
 	h ^= (offset >> 12) * 0xbf58476d1ce4e5b9
 	h ^= h >> 29
-	return &k.shards[h&(numPageShards-1)]
+	return int(h & (numPageShards - 1))
+}
+
+// shardFor returns the shard owning (obj, offset).
+func (k *Kernel) shardFor(obj *Object, offset uint64) *pageShard {
+	return &k.shards[k.shardIndexFor(obj, offset)]
 }
 
 // lockPage locks the shard guarding p's current identity and returns it
@@ -207,10 +227,112 @@ type lockedQueue struct {
 	q  pageQueue
 }
 
-// queueFor returns the pageable queue with the given id. The free queue is
-// deliberately excluded: free-list membership is managed only by
-// grabFreePage, releaseFreePage and detachAndFree, which also maintain the
-// atomic free count.
+// The free list is a magazine layer (DESIGN.md §7): one free-page cache
+// per page shard over a global depot. An allocation for (obj, offset)
+// draws from the magazine with the object's shard index and a freed page
+// returns to the magazine of its last identity, so faults on unrelated
+// objects never meet on a free-list lock; the depot is touched only for
+// batched magazineExchange-page refills and drains, which keeps its lock
+// off the fault path entirely. The atomic freeCount spans magazines +
+// depot, so the freeMin/freeTarget watermarks see every free page no
+// matter where it is cached.
+const (
+	// magazineExchange is the number of pages moved per magazine↔depot
+	// exchange.
+	magazineExchange = 32
+	// magazineCap bounds a magazine so free memory cannot silt up in one
+	// shard's cache; beyond it a batch drains back to the depot.
+	magazineCap = 2 * magazineExchange
+)
+
+// pageMagazine is one per-shard free-page cache. The pad keeps
+// neighbouring magazines off one cache line.
+type pageMagazine struct {
+	mu sync.Mutex
+	q  pageQueue
+	_  [64]byte
+}
+
+// magazinePop takes one free page out of magazine mag, refilling from the
+// depot in a batch when the magazine is dry and stealing from sibling
+// magazines when the depot is dry too. It returns nil only when no free
+// page exists anywhere. The page comes back exclusively owned, with
+// queue already set to queueNone.
+func (k *Kernel) magazinePop(mag int) *Page {
+	m := &k.magazines[mag]
+	m.mu.Lock()
+	if p := m.q.popFront(); p != nil {
+		p.queue = queueNone
+		m.mu.Unlock()
+		k.stats.MagazineHits.Add(1)
+		return p
+	}
+	// Refill: move a batch from the depot, keeping the first page for the
+	// caller. Lock order: magazine → depot.
+	k.depot.mu.Lock()
+	p := k.depot.q.popFront()
+	if p != nil {
+		p.queue = queueNone
+		for i := 1; i < magazineExchange; i++ {
+			r := k.depot.q.popFront()
+			if r == nil {
+				break
+			}
+			r.queue = queueMagazine
+			r.mag = uint8(mag)
+			m.q.pushBack(r)
+		}
+	}
+	k.depot.mu.Unlock()
+	m.mu.Unlock()
+	if p != nil {
+		k.stats.DepotRefills.Add(1)
+		return p
+	}
+	// Memory pressure: free pages may still sit in other shards'
+	// magazines (freeCount counts them). Never hold two magazine locks.
+	for i := 1; i < numPageShards; i++ {
+		s := &k.magazines[(mag+i)&(numPageShards-1)]
+		s.mu.Lock()
+		p := s.q.popFront()
+		if p != nil {
+			p.queue = queueNone
+		}
+		s.mu.Unlock()
+		if p != nil {
+			k.stats.MagazineSteals.Add(1)
+			return p
+		}
+	}
+	return nil
+}
+
+// magazinePush returns an exclusively-owned free page to its magazine,
+// draining a batch to the depot when the cache overfills. The caller
+// maintains the free count.
+func (k *Kernel) magazinePush(p *Page) {
+	m := &k.magazines[p.mag]
+	m.mu.Lock()
+	p.queue = queueMagazine
+	m.q.pushBack(p)
+	if m.q.count > magazineCap {
+		// Lock order: magazine → depot.
+		k.depot.mu.Lock()
+		for i := 0; i < magazineExchange; i++ {
+			d := m.q.popFront()
+			d.queue = queueFree
+			k.depot.q.pushBack(d)
+		}
+		k.depot.mu.Unlock()
+		k.stats.DepotDrains.Add(1)
+	}
+	m.mu.Unlock()
+}
+
+// queueFor returns the pageable queue with the given id. The free layer
+// (magazines + depot) is deliberately excluded: free-list membership is
+// managed only by grabFreePage, releaseFreePage and detachAndFree, which
+// also maintain the atomic free count.
 func (k *Kernel) queueFor(id int) *lockedQueue {
 	switch id {
 	case queueActive:
@@ -240,33 +362,31 @@ func (k *Kernel) setQueue(p *Page, id int) {
 	}
 }
 
-// grabFreePage removes one page from the free list, running pageout
-// synchronously when memory is exhausted, and returns it exclusively owned
-// and marked busy. It panics only after repeated scans reclaim nothing.
-func (k *Kernel) grabFreePage() *Page {
+// grabFreePage removes one page from the free layer, drawing from
+// magazine mag, and returns it exclusively owned and marked busy. When
+// memory is exhausted it runs pageout synchronously — single-flight, so
+// concurrent losers wait for the in-flight scan instead of piling
+// redundant scans on top of it — and returns ErrNoMemory only after
+// repeated scans reclaim nothing.
+func (k *Kernel) grabFreePage(mag int) (*Page, error) {
 	futile := 0
 	for {
-		k.free.mu.Lock()
-		p := k.free.q.popFront()
-		if p != nil {
-			p.queue = queueNone
-		}
-		k.free.mu.Unlock()
-		if p != nil {
+		if p := k.magazinePop(mag); p != nil {
 			k.freeCount.Add(-1)
+			p.mag = uint8(mag)
 			p.busy = true
 			p.absent = false
 			p.dirty = false
 			p.precious = false
 			p.wireCount.Store(0)
-			return p
+			return p, nil
 		}
 		if k.PageoutScan() == 0 && k.FreeCount() == 0 {
-			// Another allocator may have consumed what a concurrent
-			// scan freed; only repeated futile passes mean memory is
-			// truly exhausted.
+			// The scan we ran (or waited on) freed nothing and nothing
+			// is free anywhere; only repeated futile passes mean memory
+			// is truly exhausted rather than transiently contended.
 			if futile++; futile >= 8 {
-				panic("core: out of physical memory and nothing is reclaimable")
+				return nil, ErrNoMemory
 			}
 		} else {
 			futile = 0
@@ -275,22 +395,19 @@ func (k *Kernel) grabFreePage() *Page {
 }
 
 // releaseFreePage returns a grabbed-but-never-installed page to the free
-// list (the caller lost an installation race).
+// layer (the caller lost an installation race).
 func (k *Kernel) releaseFreePage(p *Page) {
 	p.busy = false
 	p.absent = false
 	p.dirty = false
 	p.precious = false
-	k.free.mu.Lock()
-	k.free.q.pushBack(p)
-	p.queue = queueFree
-	k.free.mu.Unlock()
+	k.magazinePush(p)
 	k.freeCount.Add(1)
 }
 
 // detachAndFree takes a page whose identity has been removed — so no other
 // thread can reach it through the page table — detaches it from its
-// allocation queue and returns it to the free list.
+// allocation queue and returns it to the free layer.
 func (k *Kernel) detachAndFree(p *Page) {
 	k.setQueue(p, queueNone)
 	p.busy = false
@@ -298,39 +415,42 @@ func (k *Kernel) detachAndFree(p *Page) {
 	p.dirty = false
 	p.precious = false
 	p.wireCount.Store(0)
-	k.free.mu.Lock()
-	k.free.q.pushBack(p)
-	p.queue = queueFree
-	k.free.mu.Unlock()
+	k.magazinePush(p)
 	k.freeCount.Add(1)
 	k.stats.PagesFreed.Add(1)
 }
 
 // allocPage grabs a free page and inserts it, busy, into obj at offset so
 // the caller can fill it without any page-table lock. It blocks (running
-// pageout synchronously) if memory is exhausted. fresh=false means a
-// concurrent faulter installed a page at (obj, offset) first; the returned
-// page is that one, and the caller should rewalk rather than fill it.
-func (k *Kernel) allocPage(obj *Object, offset uint64) (*Page, bool) {
-	p := k.grabFreePage()
+// pageout synchronously) if memory is exhausted, returning ErrNoMemory
+// when repeated scans reclaim nothing. fresh=false means a concurrent
+// faulter installed a page at (obj, offset) first; the returned page is
+// that one, and the caller should rewalk rather than fill it.
+func (k *Kernel) allocPage(obj *Object, offset uint64) (*Page, bool, error) {
+	mag := k.shardIndexFor(obj, offset)
+	p, err := k.grabFreePage(mag)
+	if err != nil {
+		return nil, false, err
+	}
 	obj.mu.Lock()
-	s := k.shardFor(obj, offset)
+	s := &k.shards[mag]
 	s.mu.Lock()
 	if existing := s.pages[pageKey{obj: obj, offset: offset}]; existing != nil {
 		s.mu.Unlock()
 		obj.mu.Unlock()
 		k.releaseFreePage(p)
 		k.stats.AllocRaces.Add(1)
-		return existing, false
+		return existing, false, nil
 	}
 	k.insertPageLocked(s, p, obj, offset)
 	s.mu.Unlock()
 	obj.mu.Unlock()
 	if k.FreeCount() < k.freeMin {
 		k.stats.PageoutsWanted.Add(1)
+		k.wakePageoutDaemon()
 	}
 	k.stats.PagesAllocated.Add(1)
-	return p, true
+	return p, true, nil
 }
 
 // insertPageLocked links p into obj's resident list and the hash. The
@@ -341,6 +461,7 @@ func (k *Kernel) insertPageLocked(s *pageShard, p *Page, obj *Object, offset uin
 		panic(fmt.Sprintf("core: duplicate resident page for object %p offset %d", obj, offset))
 	}
 	p.ident.Store(&pageIdent{obj: obj, offset: offset})
+	p.mag = uint8(k.shardIndexFor(obj, offset))
 	s.pages[key] = p
 	// Object list: push front (cheap; order is not semantic).
 	p.objNext = obj.pageList
@@ -509,8 +630,9 @@ func (k *Kernel) unwirePage(p *Page) {
 	s.mu.Unlock()
 }
 
-// FreeCount returns the number of free Mach pages. It reads an atomic
-// counter, so pageout-trigger checks never take a lock.
+// FreeCount returns the number of free Mach pages across the magazines
+// and the depot. It reads an atomic counter, so pageout-trigger checks
+// never take a lock.
 func (k *Kernel) FreeCount() int { return int(k.freeCount.Load()) }
 
 // ActiveCount returns the number of active Mach pages.

@@ -15,12 +15,53 @@ import (
 // then initiates pageout only after all referencing TLBs have been
 // flushed."
 
+// pageoutBatch is the number of claimed victims whose pmap removals are
+// amortized over one pmap_update before their I/O and frees proceed.
+const pageoutBatch = 32
+
+// scanFlight is one in-flight pageout scan. Scans are single-flight: a
+// requester that finds one already running waits on done and shares its
+// result instead of scanning concurrently (redundant scans over the same
+// inactive queue reclaim nothing extra and can starve each other into
+// spurious memory-exhaustion verdicts).
+type scanFlight struct {
+	done  chan struct{}
+	freed int
+}
+
 // PageoutScan runs one pass of the paging daemon synchronously and returns
 // the number of pages freed. It is also invoked from the allocator when
-// free memory is exhausted.
+// free memory is exhausted. Concurrent calls coalesce into the scan
+// already in flight and return its result.
 func (k *Kernel) PageoutScan() int {
-	freed := 0
+	k.scanMu.Lock()
+	if f := k.scanFlight; f != nil {
+		k.scanMu.Unlock()
+		k.stats.PageoutScanJoins.Add(1)
+		<-f.done
+		return f.freed
+	}
+	f := &scanFlight{done: make(chan struct{})}
+	k.scanFlight = f
+	k.scanMu.Unlock()
 
+	f.freed = k.pageoutScan()
+
+	k.scanMu.Lock()
+	k.scanFlight = nil
+	k.scanMu.Unlock()
+	close(f.done)
+	return f.freed
+}
+
+// pageoutScan is the scan body (the single-flight leader runs it). Reclaim
+// is two-phase per batch: claim up to pageoutBatch victims (revalidate,
+// set busy, remove every hardware mapping), force ONE pmap_update for the
+// whole batch, and only then start writing data out and freeing frames.
+// The §5.2 invariant — pageout I/O begins only after every referencing TLB
+// has been flushed — therefore holds for every page of the batch, while
+// the flush cost stays amortized.
+func (k *Kernel) pageoutScan() int {
 	// Rebalance: keep roughly a third of non-free pages inactive so the
 	// daemon has candidates.
 	inactiveCount := k.InactiveCount()
@@ -37,7 +78,7 @@ func (k *Kernel) PageoutScan() int {
 
 	// Snapshot the inactive queue. The snapshot is advisory: pages can be
 	// freed, reallocated to other objects, rewired or marked busy while
-	// the daemon works through it, so reclaimPage revalidates every
+	// the daemon works through it, so claimPageout revalidates every
 	// candidate under its shard lock before committing to pageout.
 	k.inactive.mu.Lock()
 	candidates := make([]*Page, 0, k.inactive.q.count)
@@ -46,9 +87,26 @@ func (k *Kernel) PageoutScan() int {
 	}
 	k.inactive.mu.Unlock()
 
-	var flushed bool
+	freed := 0
+	batch := make([]pageoutVictim, 0, pageoutBatch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		// Strategy (2) of §5.2: every victim's mappings are gone from
+		// the pmaps; force the deferred per-CPU invalidations to
+		// completion before any victim's frame is written out or reused.
+		k.mod.Update()
+		for _, v := range batch {
+			k.finishPageout(v)
+		}
+		freed += len(batch)
+		batch = batch[:0]
+	}
 	for _, p := range candidates {
-		if k.FreeCount() >= k.freeTarget {
+		// Claimed-but-unflushed victims are as good as freed for the
+		// watermark.
+		if k.FreeCount()+len(batch) >= k.freeTarget {
 			break
 		}
 		if k.isReferenced(p) {
@@ -57,60 +115,78 @@ func (k *Kernel) PageoutScan() int {
 			k.stats.ReactivateHits.Add(1)
 			continue
 		}
-		if k.reclaimPage(p, &flushed) {
-			freed++
+		if v, ok := k.claimPageout(p); ok {
+			batch = append(batch, v)
+			if len(batch) >= pageoutBatch {
+				flush()
+			}
 		}
 	}
+	flush()
 	return freed
 }
 
-// reclaimPage tries to free one inactive page, writing it to its pager
-// first if dirty. flushed tracks whether a pmap_update has been issued for
-// this batch of removals. Candidates arrive from a lock-free queue
-// snapshot: identity, busy, wiring and queue membership may all have
-// changed since the snapshot, so everything is revalidated under the shard
-// lock before the page is committed to pageout.
-func (k *Kernel) reclaimPage(p *Page, flushed *bool) bool {
+// pageoutVictim is one claimed page between its unmapping and its I/O or
+// free: busy (so faulters wait, terminators block and collapses abort) but
+// not yet flushed from every TLB.
+type pageoutVictim struct {
+	p      *Page
+	obj    *Object
+	offset uint64
+	dirty  bool
+}
+
+// claimPageout revalidates one advisory candidate and commits it to
+// pageout: busy is set and every hardware mapping removed. With the
+// deferred shootdown strategy the invalidations still sit in per-CPU
+// queues afterwards — the caller batches claims and issues one pmap_update
+// before any victim's data is written out or its frame freed (§5.2).
+// Candidates arrive from a lock-free queue snapshot: identity, busy,
+// wiring and queue membership may all have changed since the snapshot, so
+// everything is revalidated under the shard lock first.
+func (k *Kernel) claimPageout(p *Page) (pageoutVictim, bool) {
 	id := p.ident.Load()
 	if id == nil {
 		k.stats.PageoutSkips.Add(1)
-		return false
+		return pageoutVictim{}, false
 	}
 	obj := id.obj
 	// Lock the object without violating the object→shard lock order:
 	// try-lock, and skip the page on contention (as Mach's daemon does).
 	if !obj.mu.TryLock() {
 		k.stats.PageoutSkips.Add(1)
-		return false
+		return pageoutVictim{}, false
 	}
 	defer obj.mu.Unlock()
 
 	s, cur := k.lockPage(p)
 	if s == nil {
 		k.stats.PageoutSkips.Add(1)
-		return false
+		return pageoutVictim{}, false
 	}
 	// Revalidate after the race window.
 	if cur.obj != obj || p.busy || p.wireCount.Load() > 0 || p.queue != queueInactive {
 		s.mu.Unlock()
 		k.stats.PageoutSkips.Add(1)
-		return false
+		return pageoutVictim{}, false
 	}
 	p.busy = true
-	dirty := p.dirty
-	offset := cur.offset
+	v := pageoutVictim{p: p, obj: obj, offset: cur.offset, dirty: p.dirty}
 	s.mu.Unlock()
 
-	// Remove all mappings; with the deferred strategy the invalidations
-	// sit in per-CPU queues until pmap_update forces them — which must
-	// happen before the page's frame is reused or written out.
 	k.removeAllMappings(p)
-	if !*flushed {
-		k.mod.Update()
-		*flushed = true
-	}
+	return v, true
+}
 
-	dirty = dirty || k.isModified(p)
+// finishPageout writes one claimed victim to its pager if dirty and frees
+// the frame. The batch flush (pmap_update) has already run, so no CPU can
+// still hold a stale translation to this frame. Taking the object lock
+// blocking is safe here: nothing is held, and every holder of obj.mu that
+// waits on a busy page releases the lock first.
+func (k *Kernel) finishPageout(v pageoutVictim) {
+	p, obj := v.p, v.obj
+	dirty := v.dirty || k.isModified(p)
+	obj.mu.Lock()
 	if dirty {
 		pager := obj.pager
 		if pager == nil {
@@ -126,21 +202,33 @@ func (k *Kernel) reclaimPage(p *Page, flushed *bool) bool {
 		k.snapshotPage(p, data)
 		obj.pagingInProgress++
 		obj.mu.Unlock()
-		pager.DataWrite(obj, offset, data)
+		pager.DataWrite(obj, v.offset, data)
 		obj.mu.Lock()
 		obj.pagingInProgress--
 		k.putPageBuf(data)
 		k.clearModify(p)
 		k.stats.Pageouts.Add(1)
 	}
-
 	k.freePageObjLocked(p)
-	return true
+	obj.mu.Unlock()
+}
+
+// wakePageoutDaemon pokes the daemon without blocking; a full buffer means
+// a wakeup is already pending.
+func (k *Kernel) wakePageoutDaemon() {
+	select {
+	case k.pageoutWake <- struct{}{}:
+		k.stats.PageoutWakes.Add(1)
+	default:
+	}
 }
 
 // StartPageoutDaemon runs the paging daemon in the background until stop
-// is closed. Tests and benchmarks usually call PageoutScan directly for
-// determinism; long-running examples use the daemon.
+// is closed. The daemon wakes on demand — allocPage pokes it whenever free
+// memory dips below freeMin — with the ticker as a fallback for rebalance
+// and for wakeups that raced a full buffer. Tests and benchmarks usually
+// call PageoutScan directly for determinism; long-running examples use the
+// daemon.
 func (k *Kernel) StartPageoutDaemon(stop <-chan struct{}, interval time.Duration) {
 	if interval <= 0 {
 		interval = 10 * time.Millisecond
@@ -152,6 +240,8 @@ func (k *Kernel) StartPageoutDaemon(stop <-chan struct{}, interval time.Duration
 			select {
 			case <-stop:
 				return
+			case <-k.pageoutWake:
+				k.PageoutScan()
 			case <-ticker.C:
 				if k.FreeCount() < k.freeMin {
 					k.PageoutScan()

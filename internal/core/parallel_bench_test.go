@@ -77,6 +77,19 @@ func BenchmarkParallelFaults(b *testing.B) {
 // entire duration, pager I/O included; now only the occasional region
 // recycle (a mutator) takes the lock exclusively.
 func BenchmarkParallelFaultsSharedMap(b *testing.B) {
+	runSharedMapZeroFill(b)
+}
+
+// BenchmarkParallelZeroFill is the allocator-path benchmark tracked in
+// BENCH_faults.json (same workload as the shared-map fault benchmark, under
+// the name the baseline uses): every fault takes a page from the free
+// layer, so this is the benchmark that shows whether page allocation hits
+// the per-shard magazines or serializes on the depot lock.
+func BenchmarkParallelZeroFill(b *testing.B) {
+	runSharedMapZeroFill(b)
+}
+
+func runSharedMapZeroFill(b *testing.B) {
 	nproc := runtime.GOMAXPROCS(0)
 	machine := hw.NewMachine(hw.Config{
 		Cost:       vax.DefaultCost(),
@@ -94,6 +107,7 @@ func BenchmarkParallelFaultsSharedMap(b *testing.B) {
 	defer m.Destroy()
 
 	var cpuIdx atomic.Int32
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		cpu := machine.CPU(int(cpuIdx.Add(1)-1) % nproc)

@@ -12,8 +12,14 @@ type Stats struct {
 	Pageins           atomic.Uint64 // pages filled from a pager
 	Pageouts          atomic.Uint64 // pages written to a pager
 	PageoutsWanted    atomic.Uint64 // times free memory dipped below min
+	PageoutWakes      atomic.Uint64 // demand wakeups delivered to the daemon
+	PageoutScanJoins  atomic.Uint64 // scan requests that waited on an in-flight scan
 	PagesAllocated    atomic.Uint64
 	PagesFreed        atomic.Uint64
+	MagazineHits      atomic.Uint64 // page grabs satisfied by the shard's own magazine
+	DepotRefills      atomic.Uint64 // batched magazine refills from the depot
+	DepotDrains       atomic.Uint64 // batched magazine drains back to the depot
+	MagazineSteals    atomic.Uint64 // exhaustion-path grabs from a sibling magazine
 	BusyWaits         atomic.Uint64 // faults that blocked on a busy page
 	AllocRaces        atomic.Uint64 // allocations that lost an install race
 	ShardRetries      atomic.Uint64 // shard locks retried after identity change
@@ -53,6 +59,12 @@ type Statistics struct {
 	AllocRaces       uint64
 	ShardRetries     uint64
 	PageoutSkips     uint64
+	PageoutWakes     uint64
+	PageoutScanJoins uint64
+	MagazineHits     uint64
+	DepotRefills     uint64
+	DepotDrains      uint64
+	MagazineSteals   uint64
 	MapHintHits      uint64
 	MapHintMisses    uint64
 	FaultRetries     uint64
@@ -87,6 +99,12 @@ func (k *Kernel) VMStatistics() Statistics {
 	s.AllocRaces = k.stats.AllocRaces.Load()
 	s.ShardRetries = k.stats.ShardRetries.Load()
 	s.PageoutSkips = k.stats.PageoutSkips.Load()
+	s.PageoutWakes = k.stats.PageoutWakes.Load()
+	s.PageoutScanJoins = k.stats.PageoutScanJoins.Load()
+	s.MagazineHits = k.stats.MagazineHits.Load()
+	s.DepotRefills = k.stats.DepotRefills.Load()
+	s.DepotDrains = k.stats.DepotDrains.Load()
+	s.MagazineSteals = k.stats.MagazineSteals.Load()
 	s.MapHintHits = k.stats.MapHintHits.Load()
 	s.MapHintMisses = k.stats.MapHintMisses.Load()
 	s.FaultRetries = k.stats.FaultRetries.Load()
