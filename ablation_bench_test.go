@@ -32,7 +32,7 @@ func newAblationKernel(b *testing.B, cfg core.Config) (*core.Kernel, *hw.Machine
 	if cfg.PageSize == 0 {
 		cfg.PageSize = 4096
 	}
-	return core.NewKernel(cfg), machine
+	return core.MustNewKernel(cfg), machine
 }
 
 // BenchmarkAblationMapHints: a sequential fault scan over many entries,
@@ -129,7 +129,7 @@ func BenchmarkAblationForkPrewarm(b *testing.B) {
 func BenchmarkAblationObjectCache(b *testing.B) {
 	for _, cacheSize := range []int{1, 256} {
 		b.Run(fmt.Sprintf("cache=%d", cacheSize), func(b *testing.B) {
-			w := workload.NewMachWorld(workload.ArchVAX8650, workload.Options{
+			w := workload.MustNewMachWorld(workload.ArchVAX8650, workload.Options{
 				MemoryMB:        16,
 				ObjectCacheSize: cacheSize,
 			})
@@ -210,7 +210,7 @@ func BenchmarkAblationTLBSize(b *testing.B) {
 				TLBSize:    tlbSize,
 			})
 			mod := vax.New(machine, pmap.ShootImmediate)
-			k := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
+			k := core.MustNewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
 			cpu := machine.CPU(0)
 			m := k.NewMap()
 			defer m.Destroy()

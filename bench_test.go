@@ -39,7 +39,7 @@ func reportVirtual(b *testing.B, totalVirtualNS int64, ops int) {
 func BenchmarkTable71ZeroFill(b *testing.B) {
 	for _, arch := range table71Archs {
 		b.Run("Mach/"+arch.String(), func(b *testing.B) {
-			w := workload.NewMachWorld(arch, workload.Options{MemoryMB: 8})
+			w := workload.MustNewMachWorld(arch, workload.Options{MemoryMB: 8})
 			b.ResetTimer()
 			var virt int64
 			for i := 0; i < b.N; i++ {
@@ -70,7 +70,7 @@ func BenchmarkTable71ZeroFill(b *testing.B) {
 func BenchmarkTable71Fork(b *testing.B) {
 	for _, arch := range table71Archs {
 		b.Run("Mach/"+arch.String(), func(b *testing.B) {
-			w := workload.NewMachWorld(arch, workload.Options{MemoryMB: 8})
+			w := workload.MustNewMachWorld(arch, workload.Options{MemoryMB: 8})
 			b.ResetTimer()
 			var virt int64
 			for i := 0; i < b.N; i++ {
@@ -102,7 +102,7 @@ func benchFileRead(b *testing.B, size int) {
 	b.Run("Mach/VAX 8200", func(b *testing.B) {
 		var first, second int64
 		for i := 0; i < b.N; i++ {
-			w := workload.NewMachWorld(workload.ArchVAX8200, workload.Options{MemoryMB: 16, DiskMB: 128})
+			w := workload.MustNewMachWorld(workload.ArchVAX8200, workload.Options{MemoryMB: 16, DiskMB: 128})
 			r, err := workload.MachFileRead(w, size)
 			if err != nil {
 				b.Fatal(err)
@@ -136,7 +136,7 @@ func benchCompile(b *testing.B, arch workload.Arch, cfg workload.CompileConfig, 
 	b.Run(fmt.Sprintf("Mach/%s/%dbufs", arch, nbufs), func(b *testing.B) {
 		var virt int64
 		for i := 0; i < b.N; i++ {
-			w := workload.NewMachWorld(arch, workload.Options{MemoryMB: 16, DiskMB: 256})
+			w := workload.MustNewMachWorld(arch, workload.Options{MemoryMB: 16, DiskMB: 256})
 			v, err := workload.MachCompile(w, cfg)
 			if err != nil {
 				b.Fatal(err)
@@ -182,7 +182,7 @@ func BenchmarkTable72SunCompile(b *testing.B) {
 // sharing a page read/write alternate accesses; every access by the other
 // task evicts the single inverted-table mapping and refaults.
 func BenchmarkRTAliasFaults(b *testing.B) {
-	w := workload.NewMachWorld(workload.ArchRTPC, workload.Options{MemoryMB: 8, CPUs: 2})
+	w := workload.MustNewMachWorld(workload.ArchRTPC, workload.Options{MemoryMB: 8, CPUs: 2})
 	k := w.Kernel
 	parent := task.New(k, "a")
 	defer parent.Destroy()
@@ -225,7 +225,7 @@ func BenchmarkRTAliasFaults(b *testing.B) {
 func BenchmarkSun3ContextSteal(b *testing.B) {
 	for _, n := range []int{4, 8, 12, 16} {
 		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
-			w := workload.NewMachWorld(workload.ArchSun3, workload.Options{MemoryMB: 16})
+			w := workload.MustNewMachWorld(workload.ArchSun3, workload.Options{MemoryMB: 16})
 			k := w.Kernel
 			cpu := w.Machine.CPU(0)
 			mod := w.Mod.(*sun3.Module)
@@ -272,7 +272,7 @@ func BenchmarkSun3ContextSteal(b *testing.B) {
 func BenchmarkTLBShootdown(b *testing.B) {
 	for _, strat := range []pmap.Strategy{pmap.ShootImmediate, pmap.ShootDeferred, pmap.ShootLazy} {
 		b.Run(strat.String(), func(b *testing.B) {
-			w := workload.NewMachWorld(workload.ArchNS32082, workload.Options{MemoryMB: 16, CPUs: 4, Strategy: strat})
+			w := workload.MustNewMachWorld(workload.ArchNS32082, workload.Options{MemoryMB: 16, CPUs: 4, Strategy: strat})
 			k := w.Kernel
 			tk := task.New(k, "shared")
 			defer tk.Destroy()
@@ -329,7 +329,7 @@ func BenchmarkHW(b *testing.B) {
 		}
 	})
 	b.Run("Fault", func(b *testing.B) {
-		w := workload.NewMachWorld(workload.ArchVAX8650, workload.Options{MemoryMB: 32})
+		w := workload.MustNewMachWorld(workload.ArchVAX8650, workload.Options{MemoryMB: 32})
 		k := w.Kernel
 		cpu := w.Machine.CPU(0)
 		m := k.NewMap()

@@ -46,7 +46,7 @@ func newBenchKernel(cpus int) (*hw.Machine, *core.Kernel) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	return machine, core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
+	return machine, core.MustNewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
 }
 
 // benchFaultResidentHit re-faults one resident page: the zero-allocation

@@ -80,7 +80,7 @@ func table71() {
 		{workload.ArchUVAX2, ".58ms / 1.2ms"},
 		{workload.ArchSun3, ".23ms / .27ms"},
 	} {
-		mw := workload.NewMachWorld(r.arch, workload.Options{MemoryMB: 8})
+		mw := workload.MustNewMachWorld(r.arch, workload.Options{MemoryMB: 8})
 		uw := workload.NewUnixWorld(r.arch, workload.Options{MemoryMB: 8})
 		m, err := workload.MachZeroFill(mw, 1024, *repsFlag)
 		check(err)
@@ -96,7 +96,7 @@ func table71() {
 		{workload.ArchUVAX2, "59ms / 220ms"},
 		{workload.ArchSun3, "68ms / 89ms"},
 	} {
-		mw := workload.NewMachWorld(r.arch, workload.Options{MemoryMB: 8})
+		mw := workload.MustNewMachWorld(r.arch, workload.Options{MemoryMB: 8})
 		uw := workload.NewUnixWorld(r.arch, workload.Options{MemoryMB: 8})
 		m, err := workload.MachFork(mw, 256<<10, 8)
 		check(err)
@@ -114,7 +114,7 @@ func table71() {
 		Title: "Table 7-1 (cont.): file reads on VAX 8200 (elapsed, virtual time)",
 		Unit:  measure.Seconds,
 	}
-	mw := workload.NewMachWorld(workload.ArchVAX8200, workload.Options{MemoryMB: 16, DiskMB: 128})
+	mw := workload.MustNewMachWorld(workload.ArchVAX8200, workload.Options{MemoryMB: 16, DiskMB: 128})
 	uw := workload.NewUnixWorld(workload.ArchVAX8200, workload.Options{MemoryMB: 16, DiskMB: 128, NBufs: 400})
 	mBig, err := workload.MachFileRead(mw, 2500<<10)
 	check(err)
@@ -142,7 +142,7 @@ func table72() {
 		Unit:  measure.Seconds,
 	}
 	run := func(label string, arch workload.Arch, cfg workload.CompileConfig, nbufs int, paper string) {
-		mw := workload.NewMachWorld(arch, workload.Options{MemoryMB: 16, DiskMB: 256})
+		mw := workload.MustNewMachWorld(arch, workload.Options{MemoryMB: 16, DiskMB: 256})
 		uw := workload.NewUnixWorld(arch, workload.Options{MemoryMB: 16, DiskMB: 256, NBufs: nbufs})
 		m, err := workload.MachCompile(mw, cfg)
 		check(err)
@@ -168,7 +168,7 @@ func tableMP() {
 
 	// RT PC aliasing.
 	{
-		w := workload.NewMachWorld(workload.ArchRTPC, workload.Options{MemoryMB: 8, CPUs: 2})
+		w := workload.MustNewMachWorld(workload.ArchRTPC, workload.Options{MemoryMB: 8, CPUs: 2})
 		k := w.Kernel
 		parent := task.New(k, "a")
 		thA := parent.SpawnThread(w.Machine.CPU(0))
@@ -195,7 +195,7 @@ func tableMP() {
 	{
 		fmt.Printf("SUN 3 context competition (8 hardware contexts):\n")
 		for _, n := range []int{4, 8, 12, 16} {
-			w := workload.NewMachWorld(workload.ArchSun3, workload.Options{MemoryMB: 16})
+			w := workload.MustNewMachWorld(workload.ArchSun3, workload.Options{MemoryMB: 16})
 			k := w.Kernel
 			cpu := w.Machine.CPU(0)
 			mod := w.Mod.(*sun3.Module)
@@ -229,7 +229,7 @@ func tableMP() {
 	{
 		fmt.Printf("TLB consistency strategies (4-CPU NS32082, protection-change storm):\n")
 		for _, strat := range []pmap.Strategy{pmap.ShootImmediate, pmap.ShootDeferred, pmap.ShootLazy} {
-			w := workload.NewMachWorld(workload.ArchNS32082, workload.Options{MemoryMB: 16, CPUs: 4, Strategy: strat})
+			w := workload.MustNewMachWorld(workload.ArchNS32082, workload.Options{MemoryMB: 16, CPUs: 4, Strategy: strat})
 			k := w.Kernel
 			tk := task.New(k, "shared")
 			threads := make([]*task.Thread, 4)

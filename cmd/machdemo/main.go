@@ -67,7 +67,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scenario %q (try -list)\n", *scenarioFlag)
 		os.Exit(2)
 	}
-	sys := machvm.New(arch, machvm.Options{MemoryMB: *memFlag, CPUs: 2})
+	sys := machvm.MustNew(arch, machvm.Options{MemoryMB: *memFlag, CPUs: 2})
 	fmt.Printf("=== %s on %s ===\n", *scenarioFlag, sys.Machine().Cost.Name)
 	fn(sys)
 	st := sys.Statistics()

@@ -61,7 +61,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *archFlag)
 		os.Exit(2)
 	}
-	sys := machvm.New(arch, machvm.Options{MemoryMB: 8})
+	sys := machvm.MustNew(arch, machvm.Options{MemoryMB: 8})
 	cpu := sys.CPU(0)
 	tk := sys.NewTask("trace")
 	th := tk.SpawnThread(cpu)

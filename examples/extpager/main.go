@@ -24,7 +24,7 @@ type recordStore struct {
 func main() {
 	// A deliberately small machine so pageout happens: 2MB of memory,
 	// a 4MB object.
-	sys := machvm.New(machvm.VAX8200, machvm.Options{MemoryMB: 2})
+	sys := machvm.MustNew(machvm.VAX8200, machvm.Options{MemoryMB: 2})
 	cpu := sys.CPU(0)
 	pageSize := sys.Kernel().PageSize()
 

@@ -28,7 +28,7 @@ func main() {
 	fmt.Println("repeated fork+write, 16 generations, per architecture:")
 	fmt.Printf("%-34s %10s %10s %10s %12s\n", "architecture", "shadows", "collapsed", "faults", "virt time")
 	for _, a := range archs {
-		sys := machvm.New(a.arch, machvm.Options{MemoryMB: 8})
+		sys := machvm.MustNew(a.arch, machvm.Options{MemoryMB: 8})
 		cpu := sys.CPU(0)
 
 		tk := sys.NewTask("gen0")

@@ -24,7 +24,7 @@ const (
 
 func main() {
 	// Node A: a VAX holding the master copy of the data.
-	nodeA := machvm.New(machvm.VAX, machvm.Options{MemoryMB: 8})
+	nodeA := machvm.MustNew(machvm.VAX, machvm.Options{MemoryMB: 8})
 	server := nodeA.NewTask("memserver")
 	defer server.Destroy()
 	thA := server.SpawnThread(nodeA.CPU(0))
@@ -77,7 +77,7 @@ func main() {
 
 	// Node B: an RT PC — a different MMU entirely — mapping node A's
 	// memory through a proxy pager.
-	nodeB := machvm.New(machvm.RTPC, machvm.Options{MemoryMB: 4})
+	nodeB := machvm.MustNew(machvm.RTPC, machvm.Options{MemoryMB: 4})
 	proxy := machvm.NewUserPager("netmem-proxy")
 	defer proxy.Stop()
 	fetches := 0

@@ -11,7 +11,10 @@ import (
 )
 
 func main() {
-	sys := machvm.New(machvm.VAX, machvm.Options{MemoryMB: 8})
+	sys, err := machvm.New(machvm.VAX, machvm.Options{MemoryMB: 8})
+	if err != nil {
+		log.Fatalf("boot: %v", err)
+	}
 	cpu := sys.CPU(0)
 
 	tk := sys.NewTask("quickstart")

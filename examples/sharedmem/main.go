@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	sys := machvm.New(machvm.Sun3, machvm.Options{MemoryMB: 16, CPUs: 2})
+	sys := machvm.MustNew(machvm.Sun3, machvm.Options{MemoryMB: 16, CPUs: 2})
 	cpuA, cpuB := sys.CPU(0), sys.CPU(1)
 
 	parent := sys.NewTask("producer")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -25,6 +26,12 @@ const maxFaultRetries = 8
 // load or store. It is the simulation's equivalent of user instructions
 // touching memory.
 func (k *Kernel) AccessBytes(cpu *hw.CPU, m *Map, va vmtypes.VA, buf []byte, write bool) error {
+	return k.AccessBytesContext(context.Background(), cpu, m, va, buf, write)
+}
+
+// AccessBytesContext is AccessBytes with caller-controlled cancellation:
+// an access stuck faulting against a slow pager returns when ctx fires.
+func (k *Kernel) AccessBytesContext(ctx context.Context, cpu *hw.CPU, m *Map, va vmtypes.VA, buf []byte, write bool) error {
 	access := vmtypes.ProtRead
 	if write {
 		access = vmtypes.ProtWrite
@@ -38,9 +45,9 @@ func (k *Kernel) AccessBytes(cpu *hw.CPU, m *Map, va vmtypes.VA, buf []byte, wri
 		if n > inPage {
 			n = inPage
 		}
-		frame, err := k.resolveAccess(cpu, m, vmtypes.VA(cur), access)
+		frame, err := k.resolveAccess(ctx, cpu, m, vmtypes.VA(cur), access)
 		if err != nil {
-			return fmt.Errorf("%w at %#x: %v", ErrAccessFault, cur, err)
+			return fmt.Errorf("%w at %#x: %w", ErrAccessFault, cur, err)
 		}
 		fb := k.machine.Mem.Frame(frame)
 		off := int(cur % hwPage)
@@ -61,7 +68,7 @@ func (k *Kernel) AccessBytes(cpu *hw.CPU, m *Map, va vmtypes.VA, buf []byte, wri
 // revalidation of DESIGN.md §7), so every iteration of this loop that
 // returns nil made real progress: the bound only has to cover legitimate
 // refault sequences, not mutator interference.
-func (k *Kernel) resolveAccess(cpu *hw.CPU, m *Map, va vmtypes.VA, access vmtypes.Prot) (vmtypes.PFN, error) {
+func (k *Kernel) resolveAccess(ctx context.Context, cpu *hw.CPU, m *Map, va vmtypes.VA, access vmtypes.Prot) (vmtypes.PFN, error) {
 	for try := 0; try < maxFaultRetries; try++ {
 		res := pmap.Access(k.mod, cpu, m.pm, va, access)
 		if res.Fault == vmtypes.FaultNone {
@@ -74,7 +81,7 @@ func (k *Kernel) resolveAccess(cpu *hw.CPU, m *Map, va vmtypes.VA, access vmtype
 		if res.Fault == vmtypes.FaultProtection {
 			serviced = k.mod.CorrectFaultAccess(res.Reported, res.MappingProt)
 		}
-		if err := k.Fault(m, va, serviced); err != nil {
+		if err := k.FaultContext(ctx, m, va, serviced); err != nil {
 			return 0, err
 		}
 	}
@@ -86,6 +93,12 @@ func (k *Kernel) resolveAccess(cpu *hw.CPU, m *Map, va vmtypes.VA, access vmtype
 func (k *Kernel) Touch(cpu *hw.CPU, m *Map, va vmtypes.VA, write bool) error {
 	var b [1]byte
 	return k.AccessBytes(cpu, m, va, b[:], write)
+}
+
+// TouchContext is Touch with caller-controlled cancellation.
+func (k *Kernel) TouchContext(ctx context.Context, cpu *hw.CPU, m *Map, va vmtypes.VA, write bool) error {
+	var b [1]byte
+	return k.AccessBytesContext(ctx, cpu, m, va, b[:], write)
 }
 
 // CopyOut implements the data movement of vm_write: copy the contents of

@@ -33,7 +33,7 @@ func TestConcurrentFaultStress(t *testing.T) {
 	mod := vax.New(machine, pmap.ShootImmediate)
 	// A high free target keeps the daemon actually reclaiming pages
 	// underneath the faulting workers instead of idling.
-	k := NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096, FreeTarget: 384, FreeMin: 256})
+	k := MustNewKernel(Config{Machine: machine, Module: mod, PageSize: 4096, FreeTarget: 384, FreeMin: 256})
 	pageSize := k.PageSize()
 
 	// Parent address space: one shared region every child inherits

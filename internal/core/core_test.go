@@ -23,7 +23,7 @@ func newVAXKernel(t testing.TB, cpus int) (*core.Kernel, *hw.Machine) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	k := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
+	k := core.MustNewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
 	return k, machine
 }
 
@@ -365,7 +365,7 @@ func TestPageoutReclaimsAndPagesBackIn(t *testing.T) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootDeferred)
-	k := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
+	k := core.MustNewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
 	cpu := machine.CPU(0)
 
 	m := k.NewMap()
@@ -410,7 +410,7 @@ func TestWirePreventsPageout(t *testing.T) {
 		CPUs:       1,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	k := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
+	k := core.MustNewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
 	cpu := machine.CPU(0)
 	m := k.NewMap()
 	defer m.Destroy()

@@ -23,7 +23,7 @@ func newSmallKernel(t testing.TB, frames int) (*Kernel, *hw.Machine) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	return NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096}), machine
+	return MustNewKernel(Config{Machine: machine, Module: mod, PageSize: 4096}), machine
 }
 
 // TestOOMReturnsError pins every physical page and checks that the next

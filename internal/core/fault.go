@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -64,12 +65,23 @@ type faultState struct {
 // between, the fault restarts from scratch — the same discipline Mach uses
 // when it restarts the faulting instruction.
 func (k *Kernel) Fault(m *Map, va vmtypes.VA, access vmtypes.Prot) error {
+	return k.FaultContext(context.Background(), m, va, access)
+}
+
+// FaultContext is Fault with caller-controlled cancellation: a fault stuck
+// behind a slow pager returns when ctx fires instead of blocking for the
+// kernel's full pager deadline. The underlying pager conversation keeps
+// running to its own deadline and resolves the busy page either way.
+func (k *Kernel) FaultContext(ctx context.Context, m *Map, va vmtypes.VA, access vmtypes.Prot) error {
 	k.stats.Faults.Add(1)
 	k.machine.Charge(k.machine.Cost.FaultTrap)
 
 	pageAddr := vmtypes.VA(k.truncPage(uint64(va)))
 	for {
-		done, err := k.faultOnce(m, pageAddr, access)
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("vm_fault: %w", err)
+		}
+		done, err := k.faultOnce(ctx, m, pageAddr, access)
 		if done {
 			return err
 		}
@@ -79,7 +91,7 @@ func (k *Kernel) Fault(m *Map, va vmtypes.VA, access vmtypes.Prot) error {
 
 // faultOnce runs one attempt: snapshot, resolve, revalidate. done=false
 // means the map mutated underneath the attempt and the caller must retry.
-func (k *Kernel) faultOnce(m *Map, pageAddr vmtypes.VA, access vmtypes.Prot) (done bool, err error) {
+func (k *Kernel) faultOnce(ctx context.Context, m *Map, pageAddr vmtypes.VA, access vmtypes.Prot) (done bool, err error) {
 	var fs faultState
 	fs.topMap = m
 	fs.pageAddr = pageAddr
@@ -93,7 +105,7 @@ func (k *Kernel) faultOnce(m *Map, pageAddr vmtypes.VA, access vmtypes.Prot) (do
 	if retry {
 		return false, nil
 	}
-	done, err = k.faultFinish(&fs)
+	done, err = k.faultFinish(ctx, &fs)
 	k.releaseObject(fs.obj)
 	if fs.sm != nil {
 		fs.sm.Destroy() // drops the reference taken in faultSnapshot
@@ -251,8 +263,8 @@ func (fs *faultState) snapInner(k *Kernel, inner *MapEntry) {
 
 // faultFinish resolves the page with no map lock held, then revalidates
 // the snapshot under the read lock and enters the hardware mapping.
-func (k *Kernel) faultFinish(fs *faultState) (done bool, err error) {
-	page, firstObj, err := k.faultPageLookup(fs.obj, fs.offset, fs.wantWrite, fs.share)
+func (k *Kernel) faultFinish(ctx context.Context, fs *faultState) (done bool, err error) {
+	page, firstObj, err := k.faultPageLookup(ctx, fs.obj, fs.offset, fs.wantWrite, fs.share)
 	if err != nil {
 		return true, err
 	}
@@ -268,7 +280,7 @@ func (k *Kernel) faultFinish(fs *faultState) (done bool, err error) {
 	// mapping so those accesses refault and renegotiate. A COW shadow
 	// created above is internal (no pager), so the check no-ops for it —
 	// a private copy is never pager-locked.
-	pagerProhibits, err := k.checkPagerLock(fs.obj, fs.offset, fs.access)
+	pagerProhibits, err := k.checkPagerLock(ctx, fs.obj, fs.offset, fs.access)
 	if err != nil {
 		k.pageWakeup(page)
 		return true, err
@@ -434,7 +446,7 @@ func (k *Kernel) copyUpPage(first *Object, offset uint64, sharedFront bool, page
 // whose sole reference is the collapsing front, so every object this walk
 // can reach has refs >= 2 from any collapser's point of view and the
 // collapse aborts before touching it.
-func (k *Kernel) faultPageLookup(obj *Object, offset uint64, wantWrite, sharedFront bool) (*Page, bool, error) {
+func (k *Kernel) faultPageLookup(ctx context.Context, obj *Object, offset uint64, wantWrite, sharedFront bool) (*Page, bool, error) {
 	first := obj
 
 restart:
@@ -447,7 +459,8 @@ restart:
 			if depth > 1000 {
 				panic(fmt.Sprintf("vm_fault: runaway shadow chain at depth %d", depth))
 			}
-			if page := k.lookupPage(cur, curOffset, true); page != nil {
+			page, flight := k.claimPageOrFlight(cur, curOffset)
+			if page != nil {
 				if cur == first {
 					k.stats.ReactivateHits.Add(1)
 					return page, true, nil
@@ -466,34 +479,35 @@ restart:
 				return newPage, true, nil
 			}
 
-			cur.mu.Lock()
-			pager := cur.pager
-			shadow := cur.shadow
-			shadowOffset := cur.shadowOffset
-			cur.mu.Unlock()
-			if pager != nil {
-				page, retry, err := k.pageIn(cur, curOffset, pager)
+			// A busy absent page is owned by another faulter's pager
+			// conversation: join its flight and share the outcome instead
+			// of issuing a duplicate request. After a definitive "no data"
+			// (or a zero-fill degradation) this level's pager must not be
+			// re-asked.
+			skipPager := false
+			if flight != nil {
+				retry, err := k.resolveFlight(ctx, cur, curOffset, flight)
 				if err != nil {
 					return nil, false, err
 				}
 				if retry {
 					continue restart
 				}
-				if page != nil {
-					if cur == first {
-						return page, true, nil
-					}
-					if !wantWrite {
-						return page, false, nil
-					}
-					newPage, ok, err := k.copyUpPage(first, offset, sharedFront, page)
-					if err != nil {
-						return nil, false, err
-					}
-					if !ok {
-						continue restart
-					}
-					return newPage, true, nil
+				skipPager = true
+			}
+
+			cur.mu.Lock()
+			pager := cur.pager
+			shadow := cur.shadow
+			shadowOffset := cur.shadowOffset
+			cur.mu.Unlock()
+			if pager != nil && !skipPager {
+				retry, err := k.pageIn(ctx, cur, curOffset, pager)
+				if err != nil {
+					return nil, false, err
+				}
+				if retry {
+					continue restart
 				}
 				// Pager has no data: fall through to the shadow, or
 				// zero-fill at the end of the chain.
@@ -520,56 +534,4 @@ restart:
 			cur = shadow
 		}
 	}
-}
-
-// pageIn asks the object's pager for the page at offset. page is nil with
-// no error if the pager reports the data unavailable, in which case the
-// caller continues down the chain or zero-fills. retry means a concurrent
-// faulter beat us to the offset and the caller should rewalk the chain.
-// A returned page is still busy-claimed by the caller.
-func (k *Kernel) pageIn(obj *Object, offset uint64, pager Pager) (page *Page, retry bool, err error) {
-	// Insert a busy page first so concurrent faulters wait instead of
-	// issuing duplicate requests.
-	page, fresh, err := k.allocPage(obj, offset)
-	if err != nil {
-		return nil, false, err
-	}
-	if !fresh {
-		return nil, true, nil
-	}
-	page.absent = true
-
-	// The pager conversation happens with no locks held; raising
-	// pagingInProgress keeps the object from being collapsed or torn down
-	// while the request is in flight.
-	obj.mu.Lock()
-	obj.pagingInProgress++
-	obj.mu.Unlock()
-	data, unavailable := pager.DataRequest(obj, offset, int(k.pageSize))
-	obj.mu.Lock()
-	obj.pagingInProgress--
-	obj.mu.Unlock()
-	if unavailable {
-		k.freePage(page)
-		return nil, false, nil
-	}
-	// Copy the pager's data into physical memory, charging the copy.
-	k.machine.ChargeKB(k.machine.Cost.CopyPerKB, len(data))
-	hwPage := k.machine.Mem.PageSize()
-	for i := 0; i < k.hwRatio; i++ {
-		pfn := page.pfn + vmtypes.PFN(i)
-		k.machine.Mem.LockFrame(pfn)
-		frame := k.machine.Mem.Frame(pfn)
-		lo := i * hwPage
-		if lo >= len(data) {
-			clear(frame)
-		} else {
-			n := copy(frame, data[lo:])
-			clear(frame[n:])
-		}
-		k.machine.Mem.UnlockFrame(pfn)
-	}
-	page.absent = false
-	k.stats.Pageins.Add(1)
-	return page, false, nil
 }

@@ -33,7 +33,7 @@ func TestFaultVsMutatorRace(t *testing.T) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	k := NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
+	k := MustNewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
 	pageSize := k.PageSize()
 
 	m := k.NewMap()

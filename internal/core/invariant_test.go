@@ -25,7 +25,7 @@ func newTestKernel(t testing.TB) *Kernel {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	return NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
+	return MustNewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
 }
 
 // checkMapInvariants verifies the §3.2 structure.

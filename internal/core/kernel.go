@@ -71,6 +71,16 @@ type Kernel struct {
 	// paged out (the paper's default pager).
 	swap Pager
 
+	// pagerPolicy bounds every kernel→pager conversation (deadline,
+	// retries, backoff). flights is the single-flight table of in-progress
+	// DataRequest conversations, keyed like the resident page table;
+	// flightMu is a leaf lock (never held while taking a shard or object
+	// lock).
+	pagerPolicyMu sync.Mutex
+	pagerPolicy   PagerPolicy
+	flightMu      sync.Mutex
+	flights       map[pageKey]*pagerFlight
+
 	// pageBufs recycles page-sized staging buffers for pageout and
 	// clean requests. Safe because no Pager retains the DataWrite slice
 	// beyond the call (see the Pager interface contract).
@@ -117,12 +127,19 @@ type Config struct {
 	// mappings into the child at fork: the child avoids refaults at the
 	// price of a longer fork.
 	PrewarmFork bool
+	// Pager bounds every kernel→pager conversation; the zero value
+	// selects DefaultPagerPolicy.
+	Pager PagerPolicy
 }
 
-// NewKernel boots the machine-independent VM layer.
-func NewKernel(cfg Config) *Kernel {
+// ErrConfig wraps every configuration error returned by NewKernel.
+var ErrConfig = fmt.Errorf("core: invalid config")
+
+// NewKernel boots the machine-independent VM layer. It returns an error
+// (wrapping ErrConfig) when the configuration is unusable.
+func NewKernel(cfg Config) (*Kernel, error) {
 	if cfg.Machine == nil || cfg.Module == nil {
-		panic("core: Config needs Machine and Module")
+		return nil, fmt.Errorf("%w: Config needs Machine and Module", ErrConfig)
 	}
 	hwPage := cfg.Machine.Mem.PageSize()
 	pageSize := cfg.PageSize
@@ -133,7 +150,7 @@ func NewKernel(cfg Config) *Kernel {
 		}
 	}
 	if pageSize < hwPage || !vmtypes.IsPowerOfTwo(uint64(pageSize)) || pageSize%hwPage != 0 {
-		panic(fmt.Sprintf("core: Mach page size %d must be a power-of-two multiple of the hardware page size %d", pageSize, hwPage))
+		return nil, fmt.Errorf("%w: Mach page size %d must be a power-of-two multiple of the hardware page size %d", ErrConfig, pageSize, hwPage)
 	}
 	k := &Kernel{
 		machine:     cfg.Machine,
@@ -141,6 +158,8 @@ func NewKernel(cfg Config) *Kernel {
 		pageSize:    uint64(pageSize),
 		hwRatio:     pageSize / hwPage,
 		pageoutWake: make(chan struct{}, 1),
+		pagerPolicy: cfg.Pager.normalize(),
+		flights:     make(map[pageKey]*pagerFlight),
 	}
 	for i := range k.shards {
 		k.shards[i].pages = make(map[pageKey]*Page)
@@ -171,6 +190,16 @@ func NewKernel(cfg Config) *Kernel {
 	k.disableHints = cfg.DisableMapHints
 	k.prewarmFork = cfg.PrewarmFork
 	k.swap = newMemorySwapPager(k.machine)
+	return k, nil
+}
+
+// MustNewKernel is NewKernel, panicking on configuration errors — the
+// pre-error-API behaviour, convenient in tests and examples.
+func MustNewKernel(cfg Config) *Kernel {
+	k, err := NewKernel(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return k
 }
 

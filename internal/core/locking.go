@@ -1,6 +1,12 @@
 package core
 
-import "machvm/internal/vmtypes"
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"machvm/internal/vmtypes"
+)
 
 // LockingPager is the optional interface behind pager_data_lock /
 // pager_data_unlock (Tables 3-1/3-2): a pager may deliver data with a lock
@@ -20,17 +26,18 @@ type LockingPager interface {
 	// offset.
 	CheckLock(obj *Object, offset uint64, access vmtypes.Prot) bool
 
-	// RequestUnlock asks the pager to permit the access, blocking until
-	// it answers. It returns false if the pager refuses.
-	RequestUnlock(obj *Object, offset uint64, length int, access vmtypes.Prot) bool
+	// RequestUnlock asks the pager to permit the access, blocking until it
+	// answers or ctx fires. A nil return means the access was granted; any
+	// error (a refusal, or ctx expiring) blocks the fault.
+	RequestUnlock(ctx context.Context, obj *Object, offset uint64, length int, access vmtypes.Prot) error
 }
 
 // checkPagerLock enforces a locking pager's lock values on the fault
 // path. It returns the access kinds that remain prohibited (so the
-// mapping is entered without them and later faults renegotiate), and
-// ErrFaultProtection when the pager refuses to unlock the requested
-// access itself.
-func (k *Kernel) checkPagerLock(obj *Object, offset uint64, access vmtypes.Prot) (vmtypes.Prot, error) {
+// mapping is entered without them and later faults renegotiate). The
+// unlock wait is bounded by both the caller's context and the kernel's
+// pager deadline; exhausting the deadline surfaces ErrPagerTimeout.
+func (k *Kernel) checkPagerLock(ctx context.Context, obj *Object, offset uint64, access vmtypes.Prot) (vmtypes.Prot, error) {
 	obj.mu.Lock()
 	pager := obj.pager
 	obj.mu.Unlock()
@@ -40,8 +47,20 @@ func (k *Kernel) checkPagerLock(obj *Object, offset uint64, access vmtypes.Prot)
 	}
 	if !lp.CheckLock(obj, offset, access) {
 		// pager_data_unlock: the faulting thread blocks on the pager.
-		if !lp.RequestUnlock(obj, offset, int(k.pageSize), access) {
-			return 0, ErrFaultProtection
+		pol := k.PagerPolicy()
+		uctx := ctx
+		if pol.Deadline > 0 {
+			var cancel context.CancelFunc
+			uctx, cancel = context.WithTimeout(ctx, pol.Deadline)
+			defer cancel()
+		}
+		if err := lp.RequestUnlock(uctx, obj, offset, int(k.pageSize), access); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				k.stats.PagerTimeouts.Add(1)
+				return 0, fmt.Errorf("%w: %s data_unlock: %v", ErrPagerTimeout, pager.Name(), err)
+			}
+			k.stats.PagerErrors.Add(1)
+			return 0, fmt.Errorf("vm_fault: pager %s refused unlock: %w", pager.Name(), err)
 		}
 	}
 	// Compute the residual prohibitions. The requested access was just

@@ -74,7 +74,7 @@ func runModelEquivalence(t *testing.T, a modelArch, strategy pmap.Strategy) {
 		TLBSize:    32,
 	})
 	mod := a.build(machine, strategy)
-	k := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: a.machPage})
+	k := core.MustNewKernel(core.Config{Machine: machine, Module: mod, PageSize: a.machPage})
 	cpu := machine.CPU(0)
 	pageSize := k.PageSize()
 

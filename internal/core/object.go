@@ -54,7 +54,30 @@ type Object struct {
 
 	// generation distinguishes cache reuse from a fresh object.
 	generation uint64
+
+	// fallback is the object's PagerFallback degradation policy, applied
+	// when its pager fails (atomic: read on the fault path without the
+	// object lock).
+	fallback atomic.Int32
 }
+
+// PagerFallback selects how a fault degrades when the object's pager
+// ultimately fails (deadline exhausted or a non-ErrDataUnavailable error
+// after retries).
+type PagerFallback int32
+
+const (
+	// FallbackError surfaces the pager error (wrapping ErrPagerTimeout on
+	// deadline exhaustion) through Fault. The default.
+	FallbackError PagerFallback = iota
+	// FallbackZeroFill treats the failure as pager_data_unavailable: the
+	// fault continues down the shadow chain and zero-fills at the end.
+	FallbackZeroFill
+	// FallbackSwap re-asks the kernel's default pager for the data; on
+	// pageout it retargets the object to the default pager so dirty pages
+	// are never stranded behind a dead manager.
+	FallbackSwap
+)
 
 var objectGen atomic.Uint64
 

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -30,23 +31,24 @@ func (p *countingPager) Init(obj *core.Object) {
 	p.inits++
 	p.mu.Unlock()
 }
-func (p *countingPager) DataRequest(obj *core.Object, offset uint64, length int) ([]byte, bool) {
+func (p *countingPager) DataRequest(ctx context.Context, obj *core.Object, offset uint64, length int) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.requests++
 	d, ok := p.data[offset]
 	if !ok {
-		return nil, true
+		return nil, core.ErrDataUnavailable
 	}
-	return d, false
+	return d, nil
 }
-func (p *countingPager) DataWrite(obj *core.Object, offset uint64, data []byte) {
+func (p *countingPager) DataWrite(ctx context.Context, obj *core.Object, offset uint64, data []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.writes++
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	p.data[offset] = cp
+	return nil
 }
 func (p *countingPager) Terminate(obj *core.Object) {
 	p.mu.Lock()
@@ -289,12 +291,14 @@ func (a *atomicInt64) Load() int64 {
 	return a.v
 }
 
-func (p *slowPager) Name() string                                   { return "slow" }
-func (p *slowPager) Init(obj *core.Object)                          {}
-func (p *slowPager) Terminate(o *core.Object)                       {}
-func (p *slowPager) DataWrite(o *core.Object, off uint64, d []byte) {}
-func (p *slowPager) DataRequest(o *core.Object, off uint64, n int) ([]byte, bool) {
+func (p *slowPager) Name() string             { return "slow" }
+func (p *slowPager) Init(obj *core.Object)    {}
+func (p *slowPager) Terminate(o *core.Object) {}
+func (p *slowPager) DataWrite(ctx context.Context, o *core.Object, off uint64, d []byte) error {
+	return nil
+}
+func (p *slowPager) DataRequest(ctx context.Context, o *core.Object, off uint64, n int) ([]byte, error) {
 	p.requests.Add(1)
 	<-p.release
-	return p.data, false
+	return p.data, nil
 }

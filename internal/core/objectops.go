@@ -22,14 +22,17 @@ func (k *Kernel) collectObjectRange(obj *Object, offset, length uint64) []*Page 
 }
 
 // CleanObjectRange forces modified physically cached data in the range
-// back to the object's pager (pager_clean_request).
-func (k *Kernel) CleanObjectRange(obj *Object, offset, length uint64) {
+// back to the object's pager (pager_clean_request). A page whose
+// DataWrite fails stays dirty and resident; the first such error is
+// returned after the whole range has been attempted.
+func (k *Kernel) CleanObjectRange(obj *Object, offset, length uint64) error {
 	obj.mu.Lock()
 	pager := obj.pager
 	obj.mu.Unlock()
 	if pager == nil {
-		return
+		return nil
 	}
+	var firstErr error
 	for _, p := range k.collectObjectRange(obj, offset, length) {
 		s, id := k.lockPage(p)
 		if s == nil {
@@ -50,14 +53,25 @@ func (k *Kernel) CleanObjectRange(obj *Object, offset, length uint64) {
 			k.mod.Update()
 			data := k.getPageBuf()
 			k.snapshotPage(p, data)
-			pager.DataWrite(obj, pOff, data)
+			err := k.pagerWriteData(pager, obj, pOff, data)
 			k.putPageBuf(data)
+			if err != nil {
+				// Keep the page dirty for a later clean or pageout.
+				k.stats.PageoutWriteFails.Add(1)
+				p.dirty = true
+				if firstErr == nil {
+					firstErr = err
+				}
+				k.pageWakeup(p)
+				continue
+			}
 			k.clearModify(p)
 			p.dirty = false
 			k.stats.Pageouts.Add(1)
 		}
 		k.pageWakeup(p)
 	}
+	return firstErr
 }
 
 // FlushObjectRange forces physically cached data in the range to be

@@ -98,9 +98,10 @@ func (k *Kernel) pageoutScan() int {
 		// completion before any victim's frame is written out or reused.
 		k.mod.Update()
 		for _, v := range batch {
-			k.finishPageout(v)
+			if k.finishPageout(v) {
+				freed++
+			}
 		}
-		freed += len(batch)
 		batch = batch[:0]
 	}
 	for _, p := range candidates {
@@ -179,11 +180,17 @@ func (k *Kernel) claimPageout(p *Page) (pageoutVictim, bool) {
 }
 
 // finishPageout writes one claimed victim to its pager if dirty and frees
-// the frame. The batch flush (pmap_update) has already run, so no CPU can
-// still hold a stale translation to this frame. Taking the object lock
-// blocking is safe here: nothing is held, and every holder of obj.mu that
-// waits on a busy page releases the lock first.
-func (k *Kernel) finishPageout(v pageoutVictim) {
+// the frame, reporting whether the frame was actually freed. The batch
+// flush (pmap_update) has already run, so no CPU can still hold a stale
+// translation to this frame. Taking the object lock blocking is safe here:
+// nothing is held, and every holder of obj.mu that waits on a busy page
+// releases the lock first.
+//
+// A DataWrite failure never loses data: the page stays dirty and resident
+// and is reactivated for a later pass. With FallbackSwap the object is
+// permanently retargeted to the default pager and the write retried there,
+// so dirty pages are not stranded behind a dead manager.
+func (k *Kernel) finishPageout(v pageoutVictim) bool {
 	p, obj := v.p, v.obj
 	dirty := v.dirty || k.isModified(p)
 	obj.mu.Lock()
@@ -202,15 +209,38 @@ func (k *Kernel) finishPageout(v pageoutVictim) {
 		k.snapshotPage(p, data)
 		obj.pagingInProgress++
 		obj.mu.Unlock()
-		pager.DataWrite(obj, v.offset, data)
+		err := k.pagerWriteData(pager, obj, v.offset, data)
+		if err != nil && obj.PagerFallback() == FallbackSwap && pager != k.swap {
+			// Degrade: hand the object to the default pager for good and
+			// land the data there.
+			k.stats.PagerFallbacks.Add(1)
+			obj.mu.Lock()
+			obj.pager = k.swap
+			obj.mu.Unlock()
+			k.swap.Init(obj)
+			err = k.pagerWriteData(k.swap, obj, v.offset, data)
+		}
 		obj.mu.Lock()
 		obj.pagingInProgress--
 		k.putPageBuf(data)
+		if err != nil {
+			// Keep the page and give it another chance on a later scan;
+			// the pager may recover. The hardware modify bit was consumed
+			// when the mappings were removed, so pin dirtiness in the
+			// machine-independent structure (we still own the busy bit).
+			k.stats.PageoutWriteFails.Add(1)
+			p.dirty = true
+			obj.mu.Unlock()
+			k.activatePage(p)
+			k.pageWakeup(p)
+			return false
+		}
 		k.clearModify(p)
 		k.stats.Pageouts.Add(1)
 	}
 	k.freePageObjLocked(p)
 	obj.mu.Unlock()
+	return true
 }
 
 // wakePageoutDaemon pokes the daemon without blocking; a full buffer means

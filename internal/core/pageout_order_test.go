@@ -12,6 +12,7 @@ package core
 // two-phase scan (one Update per batch, before any victim's I/O).
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -69,7 +70,7 @@ type orderCheckPager struct {
 	writes     int
 }
 
-func (p *orderCheckPager) DataWrite(obj *Object, offset uint64, data []byte) {
+func (p *orderCheckPager) DataWrite(ctx context.Context, obj *Object, offset uint64, data []byte) error {
 	if pg := p.k.lookupPage(obj, offset, false); pg != nil {
 		if p.mod.pending(pg.pfn, p.k.hwRatio) {
 			p.mu.Lock()
@@ -81,7 +82,7 @@ func (p *orderCheckPager) DataWrite(obj *Object, offset uint64, data []byte) {
 	p.mu.Lock()
 	p.writes++
 	p.mu.Unlock()
-	p.Pager.DataWrite(obj, offset, data)
+	return p.Pager.DataWrite(ctx, obj, offset, data)
 }
 
 func TestPageoutFlushBeforeWrite(t *testing.T) {
@@ -98,7 +99,7 @@ func TestPageoutFlushBeforeWrite(t *testing.T) {
 		Module:    vax.New(machine, pmap.ShootDeferred),
 		unflushed: make(map[vmtypes.PFN]bool),
 	}
-	k := NewKernel(Config{
+	k := MustNewKernel(Config{
 		Machine:    machine,
 		Module:     mod,
 		PageSize:   4096,

@@ -1,9 +1,30 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync"
+	"time"
 
 	"machvm/internal/hw"
+)
+
+// Pager errors. The kernel↔pager boundary is error-returning and
+// context-aware: a pager that is slow, hung or crashed surfaces a bounded
+// error instead of wedging the faulting thread or the pageout daemon.
+var (
+	// ErrDataUnavailable is the error a Pager returns from DataRequest
+	// when it holds no data for the range (pager_data_unavailable); the
+	// kernel continues down the shadow chain or zero-fills. It is a
+	// definitive answer, never retried.
+	ErrDataUnavailable = errors.New("pager: data unavailable")
+
+	// ErrPagerTimeout is wrapped into the error returned when a pager
+	// conversation exceeded the kernel's configured deadline (including
+	// retries). How it surfaces to the faulter is governed by the
+	// object's fallback policy (see PagerFallback).
+	ErrPagerTimeout = errors.New("pager: request timed out")
 )
 
 // Pager is the kernel-side view of a memory manager. An important feature
@@ -13,6 +34,12 @@ import (
 // protocol of Tables 3-1/3-2 lives in internal/pager; at this layer the
 // conversation appears as synchronous calls, because the faulting thread
 // blocks until pager_data_provided arrives anyway.
+//
+// Because the task servicing the object may be untrusted, slow or dead,
+// every data call takes a context carrying the kernel's deadline and
+// returns an error. The kernel wraps each call with its PagerPolicy
+// (deadline, bounded retries with exponential backoff) and applies the
+// object's fallback policy when the pager ultimately fails.
 type Pager interface {
 	// Name identifies the pager for diagnostics.
 	Name() string
@@ -21,72 +48,220 @@ type Pager interface {
 	Init(obj *Object)
 
 	// DataRequest asks for [offset, offset+length) of the object
-	// (pager_data_request). It returns the data, or unavailable=true if
+	// (pager_data_request). It returns the data, or ErrDataUnavailable if
 	// the pager has none (pager_data_unavailable), in which case the
-	// kernel zero-fills.
-	DataRequest(obj *Object, offset uint64, length int) (data []byte, unavailable bool)
+	// kernel zero-fills. A short read is legal: the kernel zero-fills the
+	// tail. Implementations should honor ctx cancellation promptly; the
+	// kernel abandons callers at the deadline either way.
+	DataRequest(ctx context.Context, obj *Object, offset uint64, length int) ([]byte, error)
 
 	// DataWrite returns modified data to the pager (pager_data_write,
 	// issued by the pageout daemon). data is only valid for the duration
 	// of the call — the kernel recycles the buffer — so an implementation
-	// that keeps the bytes must copy them.
-	DataWrite(obj *Object, offset uint64, data []byte)
+	// that keeps the bytes must copy them. On error the kernel keeps the
+	// page dirty and resident (or degrades per the object's fallback
+	// policy), so returning an error never loses data silently.
+	DataWrite(ctx context.Context, obj *Object, offset uint64, data []byte) error
 
 	// Terminate tells the pager the kernel is done with the object.
 	Terminate(obj *Object)
 }
 
+// PagerPolicy bounds every kernel→pager conversation (per kernel,
+// Config.Pager). The zero value selects defaults; negative values disable
+// the corresponding bound explicitly.
+type PagerPolicy struct {
+	// Deadline is the overall wall-clock budget for one logical request,
+	// including every retry and backoff sleep. 0 selects the default
+	// (2s); negative means no deadline (a hung pager then relies solely
+	// on caller-context cancellation — the pre-redesign behaviour).
+	Deadline time.Duration
+	// Retries is the number of additional attempts after a failed one
+	// (errors other than ErrDataUnavailable). 0 selects the default (2);
+	// negative means no retries.
+	Retries int
+	// BackoffBase is the sleep before the first retry; it doubles per
+	// retry up to BackoffMax. 0 selects defaults (2ms base, 250ms max).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// DefaultPagerPolicy returns the policy used when Config.Pager is zero.
+func DefaultPagerPolicy() PagerPolicy {
+	return PagerPolicy{
+		Deadline:    2 * time.Second,
+		Retries:     2,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  250 * time.Millisecond,
+	}
+}
+
+// normalize resolves the zero-value defaults and negative sentinels.
+func (p PagerPolicy) normalize() PagerPolicy {
+	def := DefaultPagerPolicy()
+	if p.Deadline == 0 {
+		p.Deadline = def.Deadline
+	} else if p.Deadline < 0 {
+		p.Deadline = 0 // no deadline
+	}
+	if p.Retries == 0 {
+		p.Retries = def.Retries
+	} else if p.Retries < 0 {
+		p.Retries = 0
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = def.BackoffBase
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = def.BackoffMax
+	}
+	return p
+}
+
+// SetPagerPolicy replaces the kernel's pager deadline/retry policy (it
+// normalizes defaults exactly as Config.Pager does). Calls already in
+// flight keep the policy they started with.
+func (k *Kernel) SetPagerPolicy(p PagerPolicy) {
+	k.pagerPolicyMu.Lock()
+	k.pagerPolicy = p.normalize()
+	k.pagerPolicyMu.Unlock()
+}
+
+// PagerPolicy returns the kernel's current pager policy.
+func (k *Kernel) PagerPolicy() PagerPolicy {
+	k.pagerPolicyMu.Lock()
+	defer k.pagerPolicyMu.Unlock()
+	return k.pagerPolicy
+}
+
+// pagerCall runs one logical pager conversation under the kernel's policy:
+// an overall deadline spanning bounded retries with exponential backoff.
+// ErrDataUnavailable is definitive and returned as-is; exhaustion of the
+// deadline is classified as ErrPagerTimeout. The op string labels errors.
+func (k *Kernel) pagerCall(pager Pager, op string, call func(context.Context) ([]byte, error)) ([]byte, error) {
+	pol := k.PagerPolicy()
+	ctx := context.Background()
+	if pol.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pol.Deadline)
+		defer cancel()
+	}
+	backoff := pol.BackoffBase
+	for attempt := 0; ; attempt++ {
+		data, err := call(ctx)
+		if err == nil {
+			return data, nil
+		}
+		if errors.Is(err, ErrDataUnavailable) {
+			return nil, err
+		}
+		k.stats.PagerErrors.Add(1)
+		timedOut := ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded)
+		if timedOut {
+			k.stats.PagerTimeouts.Add(1)
+			return nil, fmt.Errorf("%w: %s %s after %d attempt(s): %v",
+				ErrPagerTimeout, pager.Name(), op, attempt+1, err)
+		}
+		if attempt >= pol.Retries {
+			return nil, fmt.Errorf("pager %s: %s failed after %d attempt(s): %w",
+				pager.Name(), op, attempt+1, err)
+		}
+		// Back off before the retry, still bounded by the deadline.
+		k.stats.PagerRetries.Add(1)
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			k.stats.PagerTimeouts.Add(1)
+			return nil, fmt.Errorf("%w: %s %s deadline during retry backoff: %v",
+				ErrPagerTimeout, pager.Name(), op, err)
+		}
+		backoff *= 2
+		if backoff > pol.BackoffMax {
+			backoff = pol.BackoffMax
+		}
+	}
+}
+
+// pagerRequestData is DataRequest under the kernel policy.
+func (k *Kernel) pagerRequestData(pager Pager, obj *Object, offset uint64, length int) ([]byte, error) {
+	return k.pagerCall(pager, "data_request", func(ctx context.Context) ([]byte, error) {
+		return pager.DataRequest(ctx, obj, offset, length)
+	})
+}
+
+// pagerWriteData is DataWrite under the kernel policy.
+func (k *Kernel) pagerWriteData(pager Pager, obj *Object, offset uint64, data []byte) error {
+	_, err := k.pagerCall(pager, "data_write", func(ctx context.Context) ([]byte, error) {
+		return nil, pager.DataWrite(ctx, obj, offset, data)
+	})
+	return err
+}
+
 // memorySwapPager is the built-in default pager used when no filesystem-
-// backed inode pager has been configured. It stores paged-out data in a
-// map, charging disk costs so that paging is not free.
+// backed inode pager has been configured. It stores paged-out data per
+// object, charging disk costs so that paging is not free. The per-object
+// index makes Terminate an O(object) purge — a terminated object's
+// entries (and the dead *Object key) can never linger in the store.
 type memorySwapPager struct {
 	machine *hw.Machine
 
 	mu    sync.Mutex
-	store map[swapKey][]byte
-}
-
-type swapKey struct {
-	obj    *Object
-	offset uint64
+	store map[*Object]map[uint64][]byte
 }
 
 func newMemorySwapPager(m *hw.Machine) *memorySwapPager {
-	return &memorySwapPager{machine: m, store: make(map[swapKey][]byte)}
+	return &memorySwapPager{machine: m, store: make(map[*Object]map[uint64][]byte)}
 }
 
 func (s *memorySwapPager) Name() string { return "default-swap" }
 
 func (s *memorySwapPager) Init(obj *Object) {}
 
-func (s *memorySwapPager) DataRequest(obj *Object, offset uint64, length int) ([]byte, bool) {
+func (s *memorySwapPager) DataRequest(ctx context.Context, obj *Object, offset uint64, length int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
-	data, ok := s.store[swapKey{obj: obj, offset: offset}]
+	data, ok := s.store[obj][offset]
 	s.mu.Unlock()
 	if !ok {
-		return nil, true
+		return nil, ErrDataUnavailable
 	}
 	s.machine.Charge(s.machine.Cost.DiskLatency)
 	s.machine.ChargeKB(s.machine.Cost.DiskPerKB, length)
-	return data, false
+	return data, nil
 }
 
-func (s *memorySwapPager) DataWrite(obj *Object, offset uint64, data []byte) {
+func (s *memorySwapPager) DataWrite(ctx context.Context, obj *Object, offset uint64, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	s.machine.Charge(s.machine.Cost.DiskLatency)
 	s.machine.ChargeKB(s.machine.Cost.DiskPerKB, len(data))
 	s.mu.Lock()
-	s.store[swapKey{obj: obj, offset: offset}] = cp
+	m := s.store[obj]
+	if m == nil {
+		m = make(map[uint64][]byte)
+		s.store[obj] = m
+	}
+	m[offset] = cp
 	s.mu.Unlock()
+	return nil
 }
 
 func (s *memorySwapPager) Terminate(obj *Object) {
 	s.mu.Lock()
-	for k := range s.store {
-		if k.obj == obj {
-			delete(s.store, k)
-		}
-	}
+	delete(s.store, obj)
 	s.mu.Unlock()
+}
+
+// storedObjects reports how many objects hold swap entries (leak tests).
+func (s *memorySwapPager) storedObjects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.store)
 }

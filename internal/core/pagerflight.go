@@ -1,0 +1,266 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"machvm/internal/vmtypes"
+)
+
+// A pagerFlight is one in-flight DataRequest conversation for a single
+// (object, offset). Flights are single-flight: the first faulter (the
+// leader) allocates the busy page, registers the flight and runs the pager
+// conversation; every concurrent faulter for the same page joins the
+// flight and shares its outcome — including its error — instead of
+// issuing a duplicate request or paying a fresh deadline of its own.
+//
+// The busy-page claim protocol survives abandonment: the flight, not any
+// particular faulter, owns the page's busy bit. A faulter whose context is
+// cancelled walks away immediately while the flight keeps running to its
+// own deadline, after which it either fills the page (clearing busy) or
+// frees it (waking every waiter) — a page can never stay busy forever
+// because the thread that wanted it gave up.
+type pagerFlight struct {
+	// done is closed once the flight resolved the page: filled and
+	// resident (err == nil), or removed (err != nil).
+	done chan struct{}
+	// err is valid only after done is closed.
+	err error
+	// isFallback marks a flight already running against the default swap
+	// pager as a degradation, so a failure never re-applies FallbackSwap.
+	isFallback bool
+}
+
+// Flight outcomes as seen by a waiter.
+const (
+	flightResident    = iota + 1 // page filled and resident: rewalk and claim it
+	flightUnavailable            // definitive no-data: continue down the chain
+	flightFailed                 // pager failure: apply the object's fallback
+	flightAbandoned              // the caller's context fired first
+)
+
+// registerFlight publishes f as the in-flight request for key. Lock order:
+// flightMu is a leaf (never held while taking a shard or object lock).
+func (k *Kernel) registerFlight(key pageKey, f *pagerFlight) {
+	k.flightMu.Lock()
+	k.flights[key] = f
+	k.flightMu.Unlock()
+}
+
+// flightFor returns the in-flight request for key, if any.
+func (k *Kernel) flightFor(key pageKey) *pagerFlight {
+	k.flightMu.Lock()
+	f := k.flights[key]
+	k.flightMu.Unlock()
+	return f
+}
+
+// runPageInFlight runs the pager conversation for the flight's busy page
+// and resolves it. On success the page is filled and woken; on failure
+// (including ErrDataUnavailable) it is freed, so waiters parked on the
+// busy channel re-look-up and find it gone. The flight is unregistered
+// before the page is released either way, so a faulter can never join a
+// flight whose page has already moved on.
+func (k *Kernel) runPageInFlight(f *pagerFlight, key pageKey, p *Page, pager Pager) {
+	obj, offset := key.obj, key.offset
+	data, err := k.pagerRequestData(pager, obj, offset, int(k.pageSize))
+	if err == nil {
+		// Copy the pager's data into physical memory, charging the copy.
+		// A short read zero-fills the tail.
+		k.machine.ChargeKB(k.machine.Cost.CopyPerKB, len(data))
+		hwPage := k.machine.Mem.PageSize()
+		for i := 0; i < k.hwRatio; i++ {
+			pfn := p.pfn + vmtypes.PFN(i)
+			k.machine.Mem.LockFrame(pfn)
+			frame := k.machine.Mem.Frame(pfn)
+			lo := i * hwPage
+			if lo >= len(data) {
+				clear(frame)
+			} else {
+				n := copy(frame, data[lo:])
+				clear(frame[n:])
+			}
+			k.machine.Mem.UnlockFrame(pfn)
+		}
+		p.absent = false
+		k.stats.Pageins.Add(1)
+
+		k.flightMu.Lock()
+		delete(k.flights, key)
+		k.flightMu.Unlock()
+		obj.mu.Lock()
+		obj.pagingInProgress--
+		obj.mu.Unlock()
+		f.err = nil
+		k.pageWakeup(p)
+		close(f.done)
+		return
+	}
+
+	// Failure or no data: the busy page must not linger. Remove it and
+	// wake anyone parked on it before publishing the outcome.
+	k.flightMu.Lock()
+	delete(k.flights, key)
+	k.flightMu.Unlock()
+	obj.mu.Lock()
+	obj.pagingInProgress--
+	obj.mu.Unlock()
+	f.err = err
+	k.freePage(p)
+	close(f.done)
+}
+
+// awaitPageFlight waits for the flight's outcome, or for the caller's
+// context — whichever comes first. An abandoning caller returns an error
+// immediately; the flight continues in the background and resolves the
+// busy page on its own deadline.
+func (k *Kernel) awaitPageFlight(ctx context.Context, f *pagerFlight) (int, error) {
+	if ctx.Done() != nil {
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			k.stats.PagerAbandons.Add(1)
+			return flightAbandoned, fmt.Errorf("vm_fault: pager wait abandoned: %w", ctx.Err())
+		}
+	} else {
+		<-f.done
+	}
+	if f.err == nil {
+		return flightResident, nil
+	}
+	if errors.Is(f.err, ErrDataUnavailable) {
+		return flightUnavailable, nil
+	}
+	return flightFailed, f.err
+}
+
+// resolveFlight waits for f and applies obj's degradation policy to a
+// failure. It returns pageIn's pair: retry=true means the page is
+// resident (rewalk the chain and claim it); retry=false with no error
+// means "no data here" (continue down the shadow chain without re-asking
+// this level's pager); an error aborts the fault.
+func (k *Kernel) resolveFlight(ctx context.Context, obj *Object, offset uint64, f *pagerFlight) (retry bool, err error) {
+	st, ferr := k.awaitPageFlight(ctx, f)
+	switch st {
+	case flightResident:
+		return true, nil
+	case flightUnavailable:
+		return false, nil
+	case flightAbandoned:
+		// Caller context fired first: the fault is abandoned outright, no
+		// fallback applies (the flight may yet succeed for others).
+		return false, ferr
+	}
+	// flightFailed: degrade per the object's policy.
+	switch fb := obj.PagerFallback(); {
+	case fb == FallbackZeroFill:
+		k.stats.PagerFallbacks.Add(1)
+		return false, nil
+	case fb == FallbackSwap && !f.isFallback:
+		k.stats.PagerFallbacks.Add(1)
+		return k.pageInFallback(ctx, obj, offset)
+	default:
+		return false, ferr
+	}
+}
+
+// claimPageOrFlight looks up the resident page for (obj, offset) and
+// busy-claims it. When the page is busy it first consults the flight
+// table: a page owned by an in-flight pager request is joined (the flight
+// is returned) rather than waited on, so a failure is delivered to every
+// waiter at once. Other busy pages (pageout, clean, copy) are waited for
+// on the per-key channel as before. Returns (nil, nil) when no page is
+// resident.
+func (k *Kernel) claimPageOrFlight(obj *Object, offset uint64) (*Page, *pagerFlight) {
+	s := k.shardFor(obj, offset)
+	key := pageKey{obj: obj, offset: offset}
+	s.mu.Lock()
+	for {
+		p := s.pages[key]
+		if p == nil {
+			s.mu.Unlock()
+			return nil, nil
+		}
+		if !p.busy {
+			p.busy = true
+			s.mu.Unlock()
+			return p, nil
+		}
+		s.mu.Unlock()
+		if f := k.flightFor(key); f != nil {
+			k.stats.PagerFlightJoins.Add(1)
+			return nil, f
+		}
+		s.mu.Lock()
+		if p2 := s.pages[key]; p2 != p || !p.busy {
+			continue // the page moved on while we checked the flights
+		}
+		k.stats.BusyWaits.Add(1)
+		ch := s.waitChan(key)
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+}
+
+// pageIn asks the object's pager for the page at offset, through a
+// registered single-flight conversation bounded by the kernel's
+// PagerPolicy. Returns as resolveFlight does: retry=true means rewalk the
+// chain (the page is resident, or a concurrent faulter owns the offset);
+// retry=false with no error means the pager has no data (or degradation
+// chose zero-fill) and the caller continues down the chain.
+func (k *Kernel) pageIn(ctx context.Context, obj *Object, offset uint64, pager Pager) (retry bool, err error) {
+	return k.pageInWith(ctx, obj, offset, pager, pager == k.swap)
+}
+
+// pageInFallback is the FallbackSwap degradation read: ask the default
+// pager for the data instead. Marked as a fallback so a swap failure
+// surfaces instead of recursing.
+func (k *Kernel) pageInFallback(ctx context.Context, obj *Object, offset uint64) (retry bool, err error) {
+	return k.pageInWith(ctx, obj, offset, k.swap, true)
+}
+
+func (k *Kernel) pageInWith(ctx context.Context, obj *Object, offset uint64, pager Pager, isFallback bool) (retry bool, err error) {
+	// Insert a busy page first so concurrent faulters wait instead of
+	// issuing duplicate requests.
+	p, fresh, err := k.allocPage(obj, offset)
+	if err != nil {
+		return false, err
+	}
+	if !fresh {
+		return true, nil
+	}
+	p.absent = true
+
+	// The pager conversation happens with no locks held; raising
+	// pagingInProgress keeps the object from being collapsed or torn down
+	// while the request is in flight.
+	obj.mu.Lock()
+	obj.pagingInProgress++
+	obj.mu.Unlock()
+
+	f := &pagerFlight{done: make(chan struct{}), isFallback: isFallback}
+	key := pageKey{obj: obj, offset: offset}
+	k.registerFlight(key, f)
+	if ctx.Done() == nil {
+		// The caller cannot be cancelled, so waiting for the flight is
+		// the same as running it: skip the goroutine handoff. The
+		// conversation is still bounded by the kernel's deadline.
+		k.runPageInFlight(f, key, p, pager)
+	} else {
+		go k.runPageInFlight(f, key, p, pager)
+	}
+	return k.resolveFlight(ctx, obj, offset, f)
+}
+
+// SetPagerFallback selects the object's degradation policy for pager
+// failures (timeouts and errors other than ErrDataUnavailable).
+func (o *Object) SetPagerFallback(fb PagerFallback) {
+	o.fallback.Store(int32(fb))
+}
+
+// PagerFallback returns the object's degradation policy.
+func (o *Object) PagerFallback() PagerFallback {
+	return PagerFallback(o.fallback.Load())
+}

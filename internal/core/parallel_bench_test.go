@@ -27,7 +27,7 @@ func BenchmarkParallelFaults(b *testing.B) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	k := NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
+	k := MustNewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
 	pageSize := k.PageSize()
 	const regionPages = 64
 
@@ -99,7 +99,7 @@ func runSharedMapZeroFill(b *testing.B) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	k := NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
+	k := MustNewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
 	pageSize := k.PageSize()
 	const regionPages = 64
 
@@ -157,7 +157,7 @@ func BenchmarkParallelResidentFaults(b *testing.B) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	k := NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
+	k := MustNewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
 	pageSize := k.PageSize()
 
 	m := k.NewMap()
@@ -201,7 +201,7 @@ func BenchmarkFaultResidentHit(b *testing.B) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	k := NewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
+	k := MustNewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
 	cpu := machine.CPU(0)
 
 	m := k.NewMap()

@@ -24,7 +24,7 @@ func TestForkPrewarmUsesOptionalPmapCopy(t *testing.T) {
 			TLBSize:    64,
 		})
 		mod := vax.New(machine, pmap.ShootImmediate)
-		k := core.NewKernel(core.Config{
+		k := core.MustNewKernel(core.Config{
 			Machine: machine, Module: mod, PageSize: 4096, PrewarmFork: prewarm,
 		})
 		cpu := machine.CPU(0)
@@ -87,7 +87,7 @@ func TestMapHintsSaveLookups(t *testing.T) {
 			CPUs:       1,
 		})
 		mod := vax.New(machine, pmap.ShootImmediate)
-		k := core.NewKernel(core.Config{
+		k := core.MustNewKernel(core.Config{
 			Machine: machine, Module: mod, PageSize: 4096, DisableMapHints: disable,
 		})
 		cpu := machine.CPU(0)

@@ -34,6 +34,13 @@ type Stats struct {
 	MapLookups        atomic.Uint64
 	FaultRetries      atomic.Uint64 // faults restarted after a map version change
 	ShareMapsMade     atomic.Uint64
+	PagerTimeouts     atomic.Uint64 // pager conversations that exhausted the deadline
+	PagerRetries      atomic.Uint64 // pager calls reissued after a retryable error
+	PagerErrors       atomic.Uint64 // pager calls that returned an error (excl. unavailable)
+	PagerFallbacks    atomic.Uint64 // failures degraded per the object's fallback policy
+	PagerFlightJoins  atomic.Uint64 // faulters that joined an in-flight pager request
+	PagerAbandons     atomic.Uint64 // faulters whose context fired while a request was in flight
+	PageoutWriteFails atomic.Uint64 // DataWrite failures that kept the page dirty and resident
 }
 
 // Stats returns the kernel's counters.
@@ -68,6 +75,12 @@ type Statistics struct {
 	MapHintHits      uint64
 	MapHintMisses    uint64
 	FaultRetries     uint64
+	PagerTimeouts    uint64
+	PagerRetries     uint64
+	PagerErrors      uint64
+	PagerFallbacks   uint64
+	PagerFlightJoins uint64
+	PagerAbandons    uint64
 }
 
 // VMStatistics implements vm_statistics: statistics about the use of
@@ -108,5 +121,11 @@ func (k *Kernel) VMStatistics() Statistics {
 	s.MapHintHits = k.stats.MapHintHits.Load()
 	s.MapHintMisses = k.stats.MapHintMisses.Load()
 	s.FaultRetries = k.stats.FaultRetries.Load()
+	s.PagerTimeouts = k.stats.PagerTimeouts.Load()
+	s.PagerRetries = k.stats.PagerRetries.Load()
+	s.PagerErrors = k.stats.PagerErrors.Load()
+	s.PagerFallbacks = k.stats.PagerFallbacks.Load()
+	s.PagerFlightJoins = k.stats.PagerFlightJoins.Load()
+	s.PagerAbandons = k.stats.PagerAbandons.Load()
 	return s
 }

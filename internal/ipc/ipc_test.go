@@ -22,7 +22,7 @@ func newKernel(t testing.TB) (*core.Kernel, *hw.Machine) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	return core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096}), machine
+	return core.MustNewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096}), machine
 }
 
 func TestPortSendReceive(t *testing.T) {

@@ -1,6 +1,7 @@
 package pager
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,8 +15,14 @@ import (
 // ExternalObject implements the optional locking interface.
 var _ core.LockingPager = (*ExternalObject)(nil)
 
-// ErrPagerTimeout means an external pager failed to answer a data request.
-var ErrPagerTimeout = errors.New("pager: external pager did not respond")
+// ErrPagerTimeout is core.ErrPagerTimeout: an external pager failed to
+// answer within the time allowed (the kernel's PagerPolicy deadline or
+// this proxy's SetTimeout bound, whichever fires first).
+var ErrPagerTimeout = core.ErrPagerTimeout
+
+// ErrPagerDead means the pager conversation cannot complete because the
+// object's request port was destroyed.
+var ErrPagerDead = errors.New("pager: external pager port destroyed")
 
 // ObjectPorts are the three ports the kernel associates with an
 // externally managed memory object (§3.3): the paging_object port the
@@ -93,12 +100,20 @@ func NewExternalObject(k *core.Kernel, pagerPort *ipc.Port, size uint64, name st
 // Ports returns the object's port triple.
 func (eo *ExternalObject) Ports() ObjectPorts { return eo.ports }
 
-// SetTimeout changes how long the kernel waits for this pager to answer
-// data requests and unlocks before giving up.
+// SetTimeout changes this proxy's own per-call bound on how long it waits
+// for the pager to answer a data request or unlock. It is secondary to
+// the kernel's PagerPolicy deadline (carried in the context): whichever
+// fires first wins.
 func (eo *ExternalObject) SetTimeout(d time.Duration) {
 	eo.mu.Lock()
 	eo.timeout = d
 	eo.mu.Unlock()
+}
+
+func (eo *ExternalObject) getTimeout() time.Duration {
+	eo.mu.Lock()
+	defer eo.mu.Unlock()
+	return eo.timeout
 }
 
 // Readonly reports whether the pager demanded copy-on-write treatment
@@ -202,10 +217,28 @@ func (eo *ExternalObject) Name() string { return "external:" + eo.ports.PagerPor
 // Init implements core.Pager (pager_init was already sent at creation).
 func (eo *ExternalObject) Init(obj *core.Object) {}
 
+// removeWaiter drops ch from the offset's waiter list (the caller timed
+// out or was cancelled and nobody will drain the channel again).
+func (eo *ExternalObject) removeWaiter(offset uint64, ch chan provided) {
+	eo.mu.Lock()
+	ws := eo.waiters[offset]
+	for i, w := range ws {
+		if w == ch {
+			eo.waiters[offset] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(eo.waiters[offset]) == 0 {
+		delete(eo.waiters, offset)
+	}
+	eo.mu.Unlock()
+}
+
 // DataRequest implements core.Pager: send pager_data_request to the
 // external pager and block until it answers with pager_data_provided or
-// pager_data_unavailable.
-func (eo *ExternalObject) DataRequest(obj *core.Object, offset uint64, length int) ([]byte, bool) {
+// pager_data_unavailable, the context fires, or this proxy's own timeout
+// elapses.
+func (eo *ExternalObject) DataRequest(ctx context.Context, obj *core.Object, offset uint64, length int) ([]byte, error) {
 	ch := make(chan provided, 1)
 	eo.mu.Lock()
 	eo.waiters[offset] = append(eo.waiters[offset], ch)
@@ -220,29 +253,45 @@ func (eo *ExternalObject) DataRequest(obj *core.Object, offset uint64, length in
 		},
 	})
 	if err != nil {
-		eo.fulfill(offset, provided{unavailable: true})
-		<-ch
-		return nil, true
+		eo.removeWaiter(offset, ch)
+		return nil, fmt.Errorf("%w: %v", ErrPagerDead, err)
 	}
+	t := time.NewTimer(eo.getTimeout())
+	defer t.Stop()
 	select {
 	case p := <-ch:
-		return p.data, p.unavailable
-	case <-time.After(eo.timeout):
-		return nil, true
+		if p.unavailable {
+			return nil, core.ErrDataUnavailable
+		}
+		return p.data, nil
+	case <-ctx.Done():
+		eo.removeWaiter(offset, ch)
+		return nil, ctx.Err()
+	case <-t.C:
+		eo.removeWaiter(offset, ch)
+		return nil, fmt.Errorf("%w: no pager_data_provided within %v", ErrPagerTimeout, eo.getTimeout())
 	}
 }
 
-// DataWrite implements core.Pager: pageout sends pager_data_write.
-func (eo *ExternalObject) DataWrite(obj *core.Object, offset uint64, data []byte) {
+// DataWrite implements core.Pager: pageout sends pager_data_write. The
+// send itself is asynchronous; an error means the pager port is gone.
+func (eo *ExternalObject) DataWrite(ctx context.Context, obj *core.Object, offset uint64, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	_ = eo.ports.PagerPort.Send(&ipc.Message{
+	err := eo.ports.PagerPort.Send(&ipc.Message{
 		ID: ipc.MsgPagerDataWrite,
 		Items: []ipc.Item{
 			ipc.Int(offset),
 			ipc.Bytes(cp),
 		},
 	})
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrPagerDead, err)
+	}
+	return nil
 }
 
 // CheckLock implements core.LockingPager: lock values are bitmasks of
@@ -254,14 +303,15 @@ func (eo *ExternalObject) CheckLock(obj *core.Object, offset uint64, access vmty
 }
 
 // RequestUnlock implements core.LockingPager: send pager_data_unlock and
-// block the faulting thread until the pager grants a compatible lock.
-func (eo *ExternalObject) RequestUnlock(obj *core.Object, offset uint64, length int, access vmtypes.Prot) bool {
-	deadline := time.Now().Add(eo.timeout)
+// block the faulting thread until the pager grants a compatible lock, the
+// context fires, or this proxy's own timeout elapses.
+func (eo *ExternalObject) RequestUnlock(ctx context.Context, obj *core.Object, offset uint64, length int, access vmtypes.Prot) error {
+	deadline := time.Now().Add(eo.getTimeout())
 	for {
 		eo.mu.Lock()
 		if vmtypes.Prot(eo.locks[offset])&access == 0 {
 			eo.mu.Unlock()
-			return true
+			return nil
 		}
 		w := make(chan struct{})
 		eo.unlockWaiters[offset] = append(eo.unlockWaiters[offset], w)
@@ -277,16 +327,21 @@ func (eo *ExternalObject) RequestUnlock(obj *core.Object, offset uint64, length 
 			},
 		})
 		if err != nil {
-			return false
+			return fmt.Errorf("%w: %v", ErrPagerDead, err)
 		}
+		t := time.NewTimer(time.Until(deadline))
 		select {
 		case <-w:
+			t.Stop()
 			// Re-check the new lock value.
-		case <-time.After(time.Until(deadline)):
-			return false
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+			return fmt.Errorf("%w: no pager_data_lock within %v", ErrPagerTimeout, eo.getTimeout())
 		}
 		if time.Now().After(deadline) {
-			return false
+			return fmt.Errorf("%w: pager_data_lock still incompatible at deadline", ErrPagerTimeout)
 		}
 	}
 }

@@ -1,0 +1,141 @@
+package pager
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"machvm/internal/core"
+)
+
+// ErrInjected is the error a FlakyPager returns for injected failures.
+var ErrInjected = errors.New("pager: injected failure")
+
+// FlakyPager wraps another core.Pager with injectable misbehaviour —
+// delays, dropped requests (never answered), errors, and short reads — so
+// the kernel's deadline, retry, degradation and busy-page-abandonment
+// machinery can be exercised deterministically from tests and benchmarks.
+// All knobs are safe to flip concurrently while faults are in flight.
+//
+// The zero knobs pass everything straight through to the wrapped pager.
+type FlakyPager struct {
+	inner core.Pager
+
+	delay        atomic.Int64 // nanoseconds added before every call
+	dropRequests atomic.Bool  // DataRequest blocks until ctx fires
+	failRequests atomic.Int64 // fail this many DataRequests (-1: all)
+	failWrites   atomic.Int64 // fail this many DataWrites (-1: all)
+	shortRead    atomic.Int64 // truncate DataRequest results to this many bytes
+
+	requests atomic.Uint64
+	writes   atomic.Uint64
+}
+
+// NewFlakyPager wraps inner with injectable failures.
+func NewFlakyPager(inner core.Pager) *FlakyPager {
+	return &FlakyPager{inner: inner}
+}
+
+// SetDelay makes every call sleep d first (cancellable by context).
+func (fp *FlakyPager) SetDelay(d time.Duration) { fp.delay.Store(int64(d)) }
+
+// SetDrop makes DataRequest swallow requests: the call blocks until the
+// caller's context fires — the "hung pager" that never answers.
+func (fp *FlakyPager) SetDrop(drop bool) { fp.dropRequests.Store(drop) }
+
+// FailNextRequests makes the next n DataRequests return ErrInjected
+// (n < 0: every request fails until reset with 0).
+func (fp *FlakyPager) FailNextRequests(n int) { fp.failRequests.Store(int64(n)) }
+
+// FailNextWrites makes the next n DataWrites return ErrInjected
+// (n < 0: every write fails until reset with 0).
+func (fp *FlakyPager) FailNextWrites(n int) { fp.failWrites.Store(int64(n)) }
+
+// SetShortRead truncates DataRequest results to at most n bytes (0
+// disables truncation). The kernel zero-fills the tail.
+func (fp *FlakyPager) SetShortRead(n int) { fp.shortRead.Store(int64(n)) }
+
+// Calls reports how many DataRequests and DataWrites reached this
+// wrapper (including injected failures).
+func (fp *FlakyPager) Calls() (requests, writes uint64) {
+	return fp.requests.Load(), fp.writes.Load()
+}
+
+// takeFailure consumes one injected failure from the counter.
+func takeFailure(c *atomic.Int64) bool {
+	for {
+		n := c.Load()
+		if n == 0 {
+			return false
+		}
+		if n < 0 {
+			return true
+		}
+		if c.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// sleep waits the injected delay, cancellable by ctx.
+func (fp *FlakyPager) sleep(ctx context.Context) error {
+	d := time.Duration(fp.delay.Load())
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Name implements core.Pager.
+func (fp *FlakyPager) Name() string { return "flaky:" + fp.inner.Name() }
+
+// Init implements core.Pager.
+func (fp *FlakyPager) Init(obj *core.Object) { fp.inner.Init(obj) }
+
+// DataRequest implements core.Pager with the injected misbehaviour.
+func (fp *FlakyPager) DataRequest(ctx context.Context, obj *core.Object, offset uint64, length int) ([]byte, error) {
+	fp.requests.Add(1)
+	if fp.dropRequests.Load() {
+		// Never answer: the hung pager. Only the caller's deadline ends
+		// this.
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if err := fp.sleep(ctx); err != nil {
+		return nil, err
+	}
+	if takeFailure(&fp.failRequests) {
+		return nil, ErrInjected
+	}
+	data, err := fp.inner.DataRequest(ctx, obj, offset, length)
+	if err != nil {
+		return nil, err
+	}
+	if n := int(fp.shortRead.Load()); n > 0 && len(data) > n {
+		data = data[:n]
+	}
+	return data, nil
+}
+
+// DataWrite implements core.Pager with the injected misbehaviour.
+func (fp *FlakyPager) DataWrite(ctx context.Context, obj *core.Object, offset uint64, data []byte) error {
+	fp.writes.Add(1)
+	if err := fp.sleep(ctx); err != nil {
+		return err
+	}
+	if takeFailure(&fp.failWrites) {
+		return ErrInjected
+	}
+	return fp.inner.DataWrite(ctx, obj, offset, data)
+}
+
+// Terminate implements core.Pager.
+func (fp *FlakyPager) Terminate(obj *core.Object) { fp.inner.Terminate(obj) }

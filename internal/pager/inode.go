@@ -7,6 +7,7 @@
 package pager
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -74,40 +75,50 @@ func (ip *InodePager) Init(obj *core.Object) {}
 
 // DataRequest implements core.Pager (pager_data_request): read the file
 // block(s) for the page straight from disk.
-func (ip *InodePager) DataRequest(obj *core.Object, offset uint64, length int) ([]byte, bool) {
+func (ip *InodePager) DataRequest(ctx context.Context, obj *core.Object, offset uint64, length int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ino := ip.inode(obj)
 	if ino == nil {
-		return nil, true
+		return nil, core.ErrDataUnavailable
 	}
 	if offset >= ino.Size() {
-		return nil, true
+		return nil, core.ErrDataUnavailable
 	}
 	buf := make([]byte, length)
 	n, err := ino.ReadAt(buf, offset)
 	if err != nil || n == 0 {
-		return nil, true
+		return nil, core.ErrDataUnavailable
 	}
 	ip.reads.Add(1)
-	return buf, false
+	return buf, nil
 }
 
 // DataWrite implements core.Pager (pager_data_write): pageout goes to the
 // file.
-func (ip *InodePager) DataWrite(obj *core.Object, offset uint64, data []byte) {
+func (ip *InodePager) DataWrite(ctx context.Context, obj *core.Object, offset uint64, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ino := ip.inode(obj)
 	if ino == nil {
-		return
+		// No backing file: nowhere to put the data.
+		return fmt.Errorf("inode-pager: object %q has no backing inode", obj.Name())
 	}
 	end := offset + uint64(len(data))
 	if sz := ino.Size(); end > sz {
 		// Don't grow the file past its logical size with page tail.
 		if offset >= sz {
-			return
+			return nil
 		}
 		data = data[:sz-offset]
 	}
-	_ = ino.WriteAt(data, offset)
+	if err := ino.WriteAt(data, offset); err != nil {
+		return err
+	}
 	ip.writes.Add(1)
+	return nil
 }
 
 // Terminate implements core.Pager.
@@ -161,25 +172,31 @@ func (sp *SwapPager) fileFor(obj *core.Object, create bool) *unixfs.Inode {
 }
 
 // DataRequest implements core.Pager: read back previously paged-out data.
-func (sp *SwapPager) DataRequest(obj *core.Object, offset uint64, length int) ([]byte, bool) {
+func (sp *SwapPager) DataRequest(ctx context.Context, obj *core.Object, offset uint64, length int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ino := sp.fileFor(obj, false)
 	if ino == nil || offset >= ino.Size() {
-		return nil, true
+		return nil, core.ErrDataUnavailable
 	}
 	buf := make([]byte, length)
 	if n, err := ino.ReadAt(buf, offset); err != nil || n == 0 {
-		return nil, true
+		return nil, core.ErrDataUnavailable
 	}
-	return buf, false
+	return buf, nil
 }
 
 // DataWrite implements core.Pager: page out to the swap file.
-func (sp *SwapPager) DataWrite(obj *core.Object, offset uint64, data []byte) {
+func (sp *SwapPager) DataWrite(ctx context.Context, obj *core.Object, offset uint64, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ino := sp.fileFor(obj, true)
 	if ino == nil {
-		return
+		return fmt.Errorf("swap-pager: cannot create swap file for object %q", obj.Name())
 	}
-	_ = ino.WriteAt(data, offset)
+	return ino.WriteAt(data, offset)
 }
 
 // Terminate implements core.Pager: release the swap file.

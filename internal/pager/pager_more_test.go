@@ -2,9 +2,12 @@ package pager_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 	"time"
 
+	"machvm/internal/core"
 	"machvm/internal/ipc"
 	"machvm/internal/pager"
 	"machvm/internal/vmtypes"
@@ -16,19 +19,22 @@ func TestSwapPagerRoundTrip(t *testing.T) {
 	obj := k.NewObject(16*4096, nil, "swap-client")
 	sp.Init(obj)
 
+	ctx := context.Background()
 	// Nothing stored yet: unavailable.
-	if _, unavailable := sp.DataRequest(obj, 0, 4096); !unavailable {
-		t.Fatal("fresh swap should be unavailable")
+	if _, err := sp.DataRequest(ctx, obj, 0, 4096); !errors.Is(err, core.ErrDataUnavailable) {
+		t.Fatalf("fresh swap should be unavailable, got %v", err)
 	}
 	data := bytes.Repeat([]byte{0xEE}, 4096)
-	sp.DataWrite(obj, 8192, data)
-	got, unavailable := sp.DataRequest(obj, 8192, 4096)
-	if unavailable || !bytes.Equal(got, data) {
-		t.Fatal("swap round trip failed")
+	if err := sp.DataWrite(ctx, obj, 8192, data); err != nil {
+		t.Fatalf("DataWrite: %v", err)
+	}
+	got, err := sp.DataRequest(ctx, obj, 8192, 4096)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("swap round trip failed: %v", err)
 	}
 	// Other offsets are either unavailable or sparse zeros (the swap
 	// file grew past them); both make the kernel produce a zero page.
-	if d, unavailable := sp.DataRequest(obj, 0, 4096); !unavailable {
+	if d, err := sp.DataRequest(ctx, obj, 0, 4096); err == nil {
 		for _, b := range d {
 			if b != 0 {
 				t.Fatal("unwritten swap offset returned non-zero data")
@@ -37,8 +43,8 @@ func TestSwapPagerRoundTrip(t *testing.T) {
 	}
 	// Terminate releases the swap file.
 	sp.Terminate(obj)
-	if _, unavailable := sp.DataRequest(obj, 8192, 4096); !unavailable {
-		t.Fatal("terminated object should have no swap")
+	if _, err := sp.DataRequest(ctx, obj, 8192, 4096); !errors.Is(err, core.ErrDataUnavailable) {
+		t.Fatalf("terminated object should have no swap, got %v", err)
 	}
 	if sp.Name() == "" {
 		t.Fatal("pager needs a name")
@@ -60,21 +66,24 @@ func TestInodePagerEdges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	// The object rounds up to a page; the tail past EOF is unavailable
 	// at page granularity only beyond the last byte.
-	data, unavailable := ip.DataRequest(obj, 4096, 4096)
-	if unavailable {
-		t.Fatal("page containing EOF must be available")
+	data, err := ip.DataRequest(ctx, obj, 4096, 4096)
+	if err != nil {
+		t.Fatalf("page containing EOF must be available: %v", err)
 	}
 	if len(data) != 4096 || data[6000-4096-1] != 3 {
 		t.Fatal("EOF page content wrong")
 	}
-	if _, unavailable := ip.DataRequest(obj, 8192, 4096); !unavailable {
-		t.Fatal("page past EOF must be unavailable")
+	if _, err := ip.DataRequest(ctx, obj, 8192, 4096); !errors.Is(err, core.ErrDataUnavailable) {
+		t.Fatalf("page past EOF must be unavailable, got %v", err)
 	}
 	// DataWrite past the logical size must not grow the file.
 	grown := bytes.Repeat([]byte{7}, 4096)
-	ip.DataWrite(obj, 4096, grown)
+	if err := ip.DataWrite(ctx, obj, 4096, grown); err != nil {
+		t.Fatalf("DataWrite: %v", err)
+	}
 	if ino.Size() != 6000 {
 		t.Fatalf("pageout grew the file to %d", ino.Size())
 	}
@@ -87,19 +96,21 @@ func TestInodePagerEdges(t *testing.T) {
 		t.Fatal("pageout data did not land in the file")
 	}
 	// Writes entirely past EOF are dropped.
-	ip.DataWrite(obj, 16384, grown)
+	if err := ip.DataWrite(ctx, obj, 16384, grown); err != nil {
+		t.Fatalf("past-EOF DataWrite should be a silent no-op: %v", err)
+	}
 	if ino.Size() != 6000 {
 		t.Fatal("fully-past-EOF pageout grew the file")
 	}
 	// Bind an unrelated object explicitly.
 	other := k.NewObject(4096, nil, "bound")
 	ip.Bind(other, ino)
-	if d, unavailable := ip.DataRequest(other, 0, 4096); unavailable || d[0] != 3 {
-		t.Fatal("Bind did not attach the inode")
+	if d, err := ip.DataRequest(ctx, other, 0, 4096); err != nil || d[0] != 3 {
+		t.Fatalf("Bind did not attach the inode: %v", err)
 	}
 	ip.Terminate(obj)
-	if _, unavailable := ip.DataRequest(obj, 0, 4096); !unavailable {
-		t.Fatal("terminated object still served")
+	if _, err := ip.DataRequest(ctx, obj, 0, 4096); !errors.Is(err, core.ErrDataUnavailable) {
+		t.Fatalf("terminated object still served: %v", err)
 	}
 }
 
@@ -214,13 +225,53 @@ func TestPagerReadonlyMessage(t *testing.T) {
 func TestExternalObjectTimeout(t *testing.T) {
 	k, machine, _ := newWorld(t)
 	cpu := machine.CPU(0)
-	// A pager that never answers: the fault must fall back to zero fill
-	// after the timeout rather than hanging forever.
+	// A pager that never answers: under the default degradation policy
+	// (FallbackError) the fault must surface ErrPagerTimeout rather than
+	// hanging forever.
+	k.SetPagerPolicy(core.PagerPolicy{
+		Deadline: 50 * time.Millisecond,
+		Retries:  -1,
+	})
 	up := pager.NewUserPager("mute")
 	up.OnRequest = func(req pager.DataRequest) { /* silence */ }
 	defer up.Stop()
 	eo, obj := pager.NewExternalObject(k, up.Port, 4096, "mute")
-	eo.SetTimeout(50 * time.Millisecond)
+	_ = eo
+	m := k.NewMap()
+	defer m.Destroy()
+	m.Pmap().Activate(cpu)
+	addr, _ := m.AllocateWithObject(0, 4096, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	b := []byte{9}
+	done := make(chan error, 1)
+	go func() { done <- k.AccessBytes(cpu, m, addr, b, false) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, core.ErrPagerTimeout) {
+			t.Fatalf("mute pager should surface ErrPagerTimeout, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fault hung on a mute pager")
+	}
+	if got := k.VMStatistics().PagerTimeouts; got == 0 {
+		t.Fatal("PagerTimeouts statistic not incremented")
+	}
+}
+
+func TestExternalObjectTimeoutZeroFillFallback(t *testing.T) {
+	k, machine, _ := newWorld(t)
+	cpu := machine.CPU(0)
+	// With the object's degradation policy set to zero-fill, the same
+	// mute pager degrades to a zero page instead of an error.
+	k.SetPagerPolicy(core.PagerPolicy{
+		Deadline: 50 * time.Millisecond,
+		Retries:  -1,
+	})
+	up := pager.NewUserPager("mute-zf")
+	up.OnRequest = func(req pager.DataRequest) { /* silence */ }
+	defer up.Stop()
+	_, obj := pager.NewExternalObject(k, up.Port, 4096, "mute-zf")
+	obj.SetPagerFallback(core.FallbackZeroFill)
 	m := k.NewMap()
 	defer m.Destroy()
 	m.Pmap().Activate(cpu)
@@ -232,12 +283,15 @@ func TestExternalObjectTimeout(t *testing.T) {
 	select {
 	case err := <-done:
 		if err != nil {
-			t.Fatalf("timed-out fault should zero-fill: %v", err)
+			t.Fatalf("zero-fill fallback should succeed: %v", err)
 		}
 		if b[0] != 0 {
-			t.Fatal("timeout fallback should read zero")
+			t.Fatal("fallback should read zero")
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("fault hung on a mute pager")
+	}
+	if got := k.VMStatistics().PagerFallbacks; got == 0 {
+		t.Fatal("PagerFallbacks statistic not incremented")
 	}
 }

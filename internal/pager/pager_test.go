@@ -27,7 +27,7 @@ func newWorld(t testing.TB) (*core.Kernel, *hw.Machine, *unixfs.FS) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootImmediate)
-	k := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
+	k := core.MustNewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
 	fs := unixfs.NewFS(unixfs.NewDisk(machine, 8192))
 	k.SetSwapPager(pager.NewSwapPager(fs))
 	return k, machine, fs
@@ -199,7 +199,7 @@ func TestExternalPagerSeesPageout(t *testing.T) {
 		TLBSize:    64,
 	})
 	mod := vax.New(machine, pmap.ShootDeferred)
-	k := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
+	k := core.MustNewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
 
 	store := struct {
 		m map[uint64][]byte

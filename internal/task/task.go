@@ -7,6 +7,7 @@
 package task
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -179,15 +180,31 @@ func (th *Thread) Detach() {
 
 // Read performs a user-mode read of len(buf) bytes at va.
 func (th *Thread) Read(va vmtypes.VA, buf []byte) error {
-	return th.task.kernel.AccessBytes(th.cpu, th.task.Map, va, buf, false)
+	return th.ReadContext(context.Background(), va, buf)
+}
+
+// ReadContext is Read with caller-controlled cancellation: a read stuck
+// faulting against a slow or dead pager returns when ctx fires.
+func (th *Thread) ReadContext(ctx context.Context, va vmtypes.VA, buf []byte) error {
+	return th.task.kernel.AccessBytesContext(ctx, th.cpu, th.task.Map, va, buf, false)
 }
 
 // Write performs a user-mode write of buf at va.
 func (th *Thread) Write(va vmtypes.VA, buf []byte) error {
-	return th.task.kernel.AccessBytes(th.cpu, th.task.Map, va, buf, true)
+	return th.WriteContext(context.Background(), va, buf)
+}
+
+// WriteContext is Write with caller-controlled cancellation.
+func (th *Thread) WriteContext(ctx context.Context, va vmtypes.VA, buf []byte) error {
+	return th.task.kernel.AccessBytesContext(ctx, th.cpu, th.task.Map, va, buf, true)
 }
 
 // Touch performs a single-byte access (fault driver).
 func (th *Thread) Touch(va vmtypes.VA, write bool) error {
 	return th.task.kernel.Touch(th.cpu, th.task.Map, va, write)
+}
+
+// TouchContext is Touch with caller-controlled cancellation.
+func (th *Thread) TouchContext(ctx context.Context, va vmtypes.VA, write bool) error {
+	return th.task.kernel.TouchContext(ctx, th.cpu, th.task.Map, va, write)
 }

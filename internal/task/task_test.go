@@ -22,7 +22,7 @@ func newSun3Kernel(t testing.TB, cpus int) (*core.Kernel, *hw.Machine) {
 		TLBSize:    64,
 	})
 	mod := sun3.New(machine, pmap.ShootImmediate)
-	k := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 8192})
+	k := core.MustNewKernel(core.Config{Machine: machine, Module: mod, PageSize: 8192})
 	return k, machine
 }
 

@@ -19,7 +19,7 @@ func TestCalibrationPrint(t *testing.T) {
 		forkUnix int64
 	}
 	for _, a := range []workload.Arch{workload.ArchRTPC, workload.ArchUVAX2, workload.ArchSun3} {
-		mw := workload.NewMachWorld(a, workload.Options{MemoryMB: 8})
+		mw := workload.MustNewMachWorld(a, workload.Options{MemoryMB: 8})
 		uw := workload.NewUnixWorld(a, workload.Options{MemoryMB: 8})
 
 		zfM, err := workload.MachZeroFill(mw, 1024, 50)
@@ -49,7 +49,7 @@ func TestCalibrationPrint(t *testing.T) {
 	}
 
 	// File reads on the VAX 8200.
-	mw := workload.NewMachWorld(workload.ArchVAX8200, workload.Options{MemoryMB: 16})
+	mw := workload.MustNewMachWorld(workload.ArchVAX8200, workload.Options{MemoryMB: 16})
 	uw := workload.NewUnixWorld(workload.ArchVAX8200, workload.Options{MemoryMB: 16, NBufs: 400})
 	big := 2500 * 1024
 	small := 50 * 1024

@@ -16,7 +16,7 @@ func TestCompileWorkloadShape(t *testing.T) {
 	cfg := workload.ThirteenPrograms()
 
 	run := func(nbufs int) (mach, unix int64) {
-		mw := workload.NewMachWorld(workload.ArchVAX8650, workload.Options{MemoryMB: 16, DiskMB: 128})
+		mw := workload.MustNewMachWorld(workload.ArchVAX8650, workload.Options{MemoryMB: 16, DiskMB: 128})
 		uw := workload.NewUnixWorld(workload.ArchVAX8650, workload.Options{MemoryMB: 16, DiskMB: 128, NBufs: nbufs})
 		m, err := workload.MachCompile(mw, cfg)
 		if err != nil {
@@ -55,7 +55,7 @@ func TestCompileWorkloadShape(t *testing.T) {
 
 func TestSunCompileShape(t *testing.T) {
 	cfg := workload.ForkTestProgram()
-	mw := workload.NewMachWorld(workload.ArchSun3, workload.Options{MemoryMB: 16})
+	mw := workload.MustNewMachWorld(workload.ArchSun3, workload.Options{MemoryMB: 16})
 	uw := workload.NewUnixWorld(workload.ArchSun3, workload.Options{MemoryMB: 16})
 	m, err := workload.MachCompile(mw, cfg)
 	if err != nil {

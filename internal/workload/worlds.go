@@ -149,6 +149,9 @@ type Options struct {
 	Strategy pmap.Strategy
 	// ObjectCacheSize bounds Mach's object cache (default: generous).
 	ObjectCacheSize int
+	// Pager bounds every kernel→pager conversation; the zero value
+	// selects core.DefaultPagerPolicy.
+	Pager core.PagerPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -184,7 +187,7 @@ type MachWorld struct {
 }
 
 // NewMachWorld boots Mach on the architecture.
-func NewMachWorld(a Arch, opts Options) *MachWorld {
+func NewMachWorld(a Arch, opts Options) (*MachWorld, error) {
 	opts = opts.withDefaults()
 	spec := SpecFor(a)
 	frames := opts.MemoryMB << 20 / spec.HWPageSize
@@ -201,12 +204,16 @@ func NewMachWorld(a Arch, opts Options) *MachWorld {
 		TLBSize:    64,
 	})
 	mod := spec.NewModule(machine, opts.Strategy)
-	k := core.NewKernel(core.Config{
+	k, err := core.NewKernel(core.Config{
 		Machine:         machine,
 		Module:          mod,
 		PageSize:        spec.MachPageSize,
 		ObjectCacheSize: opts.ObjectCacheSize,
+		Pager:           opts.Pager,
 	})
+	if err != nil {
+		return nil, err
+	}
 	fs := unixfs.NewFS(unixfs.NewDisk(machine, opts.DiskMB<<20/unixfs.BlockSize))
 	ip := pager.NewInodePager(fs)
 	k.SetSwapPager(pager.NewSwapPager(fs))
@@ -218,7 +225,16 @@ func NewMachWorld(a Arch, opts Options) *MachWorld {
 		FS:      fs,
 		Inode:   ip,
 		objects: make(map[string]*core.Object),
+	}, nil
+}
+
+// MustNewMachWorld is NewMachWorld, panicking on error (tests, examples).
+func MustNewMachWorld(a Arch, opts Options) *MachWorld {
+	w, err := NewMachWorld(a, opts)
+	if err != nil {
+		panic(err)
 	}
+	return w
 }
 
 // FileObject returns the (cached) memory object for a file, reviving it

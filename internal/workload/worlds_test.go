@@ -33,7 +33,7 @@ func TestMachWorldBootsEveryArch(t *testing.T) {
 		workload.ArchUVAX2, workload.ArchRTPC, workload.ArchSun3,
 		workload.ArchNS32082, workload.ArchTLBOnly,
 	} {
-		w := workload.NewMachWorld(a, workload.Options{MemoryMB: 4})
+		w := workload.MustNewMachWorld(a, workload.Options{MemoryMB: 4})
 		if w.Kernel.TotalPages() == 0 {
 			t.Fatalf("%v: no usable pages", a)
 		}
@@ -47,7 +47,7 @@ func TestMachWorldBootsEveryArch(t *testing.T) {
 func TestNS32082WorldHonoursPhysicalLimit(t *testing.T) {
 	// Boot with 64MB; the chip can address only 32MB, so the kernel must
 	// see at most 32MB of usable pages.
-	w := workload.NewMachWorld(workload.ArchNS32082, workload.Options{MemoryMB: 64})
+	w := workload.MustNewMachWorld(workload.ArchNS32082, workload.Options{MemoryMB: 64})
 	usable := uint64(w.Kernel.TotalPages()) * w.Kernel.PageSize()
 	if usable > 32<<20 {
 		t.Fatalf("kernel uses %dMB; the NS32082 caps at 32MB", usable>>20)
@@ -55,7 +55,7 @@ func TestNS32082WorldHonoursPhysicalLimit(t *testing.T) {
 }
 
 func TestSun3WorldHasDisplayHole(t *testing.T) {
-	w := workload.NewMachWorld(workload.ArchSun3, workload.Options{MemoryMB: 8})
+	w := workload.MustNewMachWorld(workload.ArchSun3, workload.Options{MemoryMB: 8})
 	if len(w.Machine.Mem.Holes()) == 0 {
 		t.Fatal("SUN 3 world should declare a display-memory hole")
 	}
@@ -66,7 +66,7 @@ func TestSun3WorldHasDisplayHole(t *testing.T) {
 }
 
 func TestFileObjectCachingAcrossOpens(t *testing.T) {
-	w := workload.NewMachWorld(workload.ArchVAX8650, workload.Options{MemoryMB: 8})
+	w := workload.MustNewMachWorld(workload.ArchVAX8650, workload.Options{MemoryMB: 8})
 	if _, err := w.FS.Create("f", bytes.Repeat([]byte{1}, 64<<10)); err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestFileObjectCachingAcrossOpens(t *testing.T) {
 func TestZeroFillRejectsBadWorld(t *testing.T) {
 	// Sanity on the micro-op drivers: they run and produce positive
 	// virtual times.
-	w := workload.NewMachWorld(workload.ArchTLBOnly, workload.Options{MemoryMB: 4})
+	w := workload.MustNewMachWorld(workload.ArchTLBOnly, workload.Options{MemoryMB: 4})
 	v, err := workload.MachZeroFill(w, 1024, 3)
 	if err != nil || v <= 0 {
 		t.Fatalf("MachZeroFill = %d, %v", v, err)

@@ -14,17 +14,32 @@
 //
 // Quick start:
 //
-//	sys := machvm.New(machvm.VAX, machvm.Options{MemoryMB: 8})
+//	sys, err := machvm.New(machvm.VAX, machvm.Options{MemoryMB: 8})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	tk := sys.NewTask("init")
 //	th := tk.SpawnThread(sys.CPU(0))
 //	addr, _ := tk.Map.Allocate(0, 64<<10, true)
 //	_ = th.Write(addr, []byte("hello, mach"))
+//
+// (MustNew panics instead of returning the error, for examples and tests.)
+//
+// The kernel↔pager boundary is context-aware and error-returning: every
+// DataRequest/DataWrite is bounded by a configurable deadline with retries
+// (PagerPolicy, Options.Pager), concurrent faults on one page share a
+// single pager conversation, and a pager that hangs or fails surfaces
+// ErrPagerTimeout through the fault — or degrades to zero-fill or the
+// default pager, per Object.SetPagerFallback. Thread.ReadContext/
+// WriteContext let a caller cancel an access stuck behind a slow pager.
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package machvm
 
 import (
+	"fmt"
+
 	"machvm/internal/core"
 	"machvm/internal/hw"
 	"machvm/internal/ipc"
@@ -78,6 +93,15 @@ type (
 	Object = core.Object
 	// Pager is the kernel-side memory manager interface.
 	Pager = core.Pager
+	// PagerPolicy bounds every kernel→pager conversation (deadline,
+	// retries, backoff).
+	PagerPolicy = core.PagerPolicy
+	// PagerFallback selects an object's degradation policy on pager
+	// failure.
+	PagerFallback = core.PagerFallback
+	// FlakyPager wraps a Pager with injectable delays, drops, errors and
+	// short reads (fault injection for robustness testing).
+	FlakyPager = pager.FlakyPager
 	// Statistics is the vm_statistics snapshot.
 	Statistics = core.Statistics
 	// RegionInfo describes one region (vm_regions).
@@ -147,6 +171,34 @@ const (
 	TLBOnly
 )
 
+// Pager-boundary errors and degradation policies.
+var (
+	// ErrPagerTimeout wraps errors from pager conversations that
+	// exhausted the configured deadline.
+	ErrPagerTimeout = core.ErrPagerTimeout
+	// ErrDataUnavailable is a pager's definitive "no data here" answer.
+	ErrDataUnavailable = core.ErrDataUnavailable
+	// ErrInjected is the error a FlakyPager returns for injected failures.
+	ErrInjected = pager.ErrInjected
+)
+
+// Degradation policies for Object.SetPagerFallback.
+const (
+	// FallbackError surfaces the pager error through the fault (default).
+	FallbackError = core.FallbackError
+	// FallbackZeroFill zero-fills when the pager fails.
+	FallbackZeroFill = core.FallbackZeroFill
+	// FallbackSwap falls back to the kernel's default pager.
+	FallbackSwap = core.FallbackSwap
+)
+
+// NewFlakyPager wraps a Pager with injectable failures.
+func NewFlakyPager(inner Pager) *FlakyPager { return pager.NewFlakyPager(inner) }
+
+// DefaultPagerPolicy returns the deadline/retry policy used when
+// Options.Pager is zero.
+func DefaultPagerPolicy() PagerPolicy { return core.DefaultPagerPolicy() }
+
 // ShootdownStrategy selects the multiprocessor TLB consistency strategy
 // (§5.2).
 type ShootdownStrategy = pmap.Strategy
@@ -171,6 +223,9 @@ type Options struct {
 	// ObjectCacheSize bounds the cache of unreferenced persistent
 	// objects.
 	ObjectCacheSize int
+	// Pager bounds every kernel→pager conversation; the zero value
+	// selects DefaultPagerPolicy.
+	Pager PagerPolicy
 }
 
 // System is a booted machine running the Mach VM stack.
@@ -179,8 +234,10 @@ type System struct {
 	world *workload.MachWorld
 }
 
-// New boots a system of the given architecture.
-func New(arch Arch, opts Options) *System {
+// New boots a system of the given architecture. It returns an error for
+// unknown architectures or unusable options instead of panicking; MustNew
+// keeps the panicking convenience.
+func New(arch Arch, opts Options) (*System, error) {
 	var wa workload.Arch
 	switch arch {
 	case VAX:
@@ -198,16 +255,29 @@ func New(arch Arch, opts Options) *System {
 	case TLBOnly:
 		wa = workload.ArchTLBOnly
 	default:
-		panic("machvm: unknown architecture")
+		return nil, fmt.Errorf("machvm: unknown architecture %d", arch)
 	}
-	w := workload.NewMachWorld(wa, workload.Options{
+	w, err := workload.NewMachWorld(wa, workload.Options{
 		MemoryMB:        opts.MemoryMB,
 		CPUs:            opts.CPUs,
 		DiskMB:          opts.DiskMB,
 		Strategy:        opts.Strategy,
 		ObjectCacheSize: opts.ObjectCacheSize,
+		Pager:           opts.Pager,
 	})
-	return &System{arch: arch, world: w}
+	if err != nil {
+		return nil, err
+	}
+	return &System{arch: arch, world: w}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(arch Arch, opts Options) *System {
+	s, err := New(arch, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Arch returns the system's architecture.

@@ -17,7 +17,7 @@ func TestFacadeBootAllArchitectures(t *testing.T) {
 		machvm.VAX, machvm.VAX8200, machvm.VAX8650,
 		machvm.RTPC, machvm.Sun3, machvm.NS32082, machvm.TLBOnly,
 	} {
-		sys := machvm.New(arch, machvm.Options{MemoryMB: 4})
+		sys := machvm.MustNew(arch, machvm.Options{MemoryMB: 4})
 		if sys.Arch() != arch {
 			t.Fatalf("arch mismatch")
 		}
@@ -49,7 +49,7 @@ func TestFacadeBootAllArchitectures(t *testing.T) {
 }
 
 func TestFacadeMapFile(t *testing.T) {
-	sys := machvm.New(machvm.VAX8200, machvm.Options{MemoryMB: 8})
+	sys := machvm.MustNew(machvm.VAX8200, machvm.Options{MemoryMB: 8})
 	content := bytes.Repeat([]byte("mapped file content "), 500)
 	if _, err := sys.FS().Create("doc.txt", content); err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestFacadeMapFile(t *testing.T) {
 }
 
 func TestFacadeUserPager(t *testing.T) {
-	sys := machvm.New(machvm.TLBOnly, machvm.Options{MemoryMB: 8})
+	sys := machvm.MustNew(machvm.TLBOnly, machvm.Options{MemoryMB: 8})
 	up := machvm.NewUserPager("facade")
 	defer up.Stop()
 	up.OnRequest = func(req machvm.DataRequest) {
@@ -109,7 +109,7 @@ func TestFacadeUserPager(t *testing.T) {
 }
 
 func TestFacadeOOLTransfer(t *testing.T) {
-	sys := machvm.New(machvm.RTPC, machvm.Options{MemoryMB: 8, CPUs: 2})
+	sys := machvm.MustNew(machvm.RTPC, machvm.Options{MemoryMB: 8, CPUs: 2})
 	src := sys.NewTask("src")
 	dst := sys.NewTask("dst")
 	defer src.Destroy()
@@ -149,7 +149,7 @@ func TestFacadeOOLTransfer(t *testing.T) {
 
 func TestFacadeShootdownOption(t *testing.T) {
 	for _, s := range []machvm.ShootdownStrategy{machvm.ShootImmediate, machvm.ShootDeferred, machvm.ShootLazy} {
-		sys := machvm.New(machvm.NS32082, machvm.Options{MemoryMB: 4, CPUs: 2, Strategy: s})
+		sys := machvm.MustNew(machvm.NS32082, machvm.Options{MemoryMB: 4, CPUs: 2, Strategy: s})
 		if sys.PmapModule().Shootdown().Strategy() != s {
 			t.Fatalf("strategy not applied: %v", s)
 		}
@@ -157,7 +157,7 @@ func TestFacadeShootdownOption(t *testing.T) {
 }
 
 func TestFacadeForkIsolation(t *testing.T) {
-	sys := machvm.New(machvm.Sun3, machvm.Options{MemoryMB: 8})
+	sys := machvm.MustNew(machvm.Sun3, machvm.Options{MemoryMB: 8})
 	parent := sys.NewTask("p")
 	defer parent.Destroy()
 	th := parent.SpawnThread(sys.CPU(0))
@@ -183,7 +183,7 @@ func TestFacadeForkIsolation(t *testing.T) {
 // ExampleNew demonstrates the basic public API: boot a machine, make a
 // task, allocate and touch memory, fork.
 func ExampleNew() {
-	sys := machvm.New(machvm.VAX, machvm.Options{MemoryMB: 4})
+	sys := machvm.MustNew(machvm.VAX, machvm.Options{MemoryMB: 4})
 	tk := sys.NewTask("example")
 	th := tk.SpawnThread(sys.CPU(0))
 
@@ -201,7 +201,7 @@ func ExampleNew() {
 // ExampleSystem_MoveOut shows a whole region moving between tasks in one
 // message with no physical copy.
 func ExampleSystem_MoveOut() {
-	sys := machvm.New(machvm.Sun3, machvm.Options{MemoryMB: 8})
+	sys := machvm.MustNew(machvm.Sun3, machvm.Options{MemoryMB: 8})
 	src := sys.NewTask("src")
 	dst := sys.NewTask("dst")
 	ths := src.SpawnThread(sys.CPU(0))
