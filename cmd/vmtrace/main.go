@@ -15,7 +15,15 @@
 //	copy <src> <dst> <size>   vm_copy to a fresh allocation named <dst>
 //	fork                      fork the task; subsequent ops hit the child
 //	dealloc <name> <size>
+//	file <fname> <size>       create a file in the simulated FS
+//	mapfile <name> <fname>    map the file (inode pager), bind to <name>
+//	pageout                   run one pageout-daemon scan
 //	stats                     print vm_statistics and pmap counters
+//
+// Operations that talk to a pager report each conversation's shape:
+// round trips, pages moved per conversation (the cluster size actually
+// achieved), retries after transient pager errors, and fallbacks taken
+// when a pager failed for good.
 package main
 
 import (
@@ -84,6 +92,21 @@ func main() {
 		st := sys.Statistics()
 		return st.Faults, st.ZeroFillFaults, st.CowFaults
 	}
+	// pagerDelta summarizes the pager conversations an operation caused:
+	// trips, pages moved (in+out), cluster readahead, retries, fallbacks.
+	pagerSnap := func() (trips, pages, extras, retries, fallbacks uint64) {
+		st := sys.Statistics()
+		return st.PagerRoundTrips, st.Pageins + st.Pageouts, st.ClusterExtras,
+			st.PagerRetries, st.PagerFallbacks
+	}
+	pagerDelta := func(t0, p0, e0, r0, fb0 uint64) string {
+		t1, p1, e1, r1, fb1 := pagerSnap()
+		if t1 == t0 && r1 == r0 && fb1 == fb0 {
+			return ""
+		}
+		return fmt.Sprintf(" | pager trips+%d pages+%d cluster+%d retries+%d fallbacks+%d",
+			t1-t0, p1-p0, e1-e0, r1-r0, fb1-fb0)
+	}
 
 	for _, raw := range strings.Split(*scriptFlag, ";") {
 		fields := strings.Fields(strings.TrimSpace(raw))
@@ -91,6 +114,7 @@ func main() {
 			continue
 		}
 		f0, z0, c0 := lastFaults()
+		pt0, pp0, pe0, pr0, pf0 := pagerSnap()
 		t0 := sys.VirtualTime()
 		switch fields[0] {
 		case "alloc":
@@ -115,8 +139,9 @@ func main() {
 				status = err.Error()
 			}
 			f1, z1, c1 := lastFaults()
-			fmt.Printf("%-28s -> %s [faults+%d zf+%d cow+%d, %.1fus]\n",
-				raw, status, f1-f0, z1-z0, c1-c0, float64(sys.VirtualTime()-t0)/1e3)
+			fmt.Printf("%-28s -> %s [faults+%d zf+%d cow+%d, %.1fus%s]\n",
+				raw, status, f1-f0, z1-z0, c1-c0, float64(sys.VirtualTime()-t0)/1e3,
+				pagerDelta(pt0, pp0, pe0, pr0, pf0))
 			continue
 		case "protect":
 			va := resolve(fields[1])
@@ -153,11 +178,40 @@ func main() {
 				log.Fatalf("dealloc: %v", err)
 			}
 			fmt.Printf("%-28s -> ok\n", raw)
+		case "file":
+			size := parseSize(fields[2])
+			if _, err := sys.FS().Create(fields[1], make([]byte, size)); err != nil {
+				log.Fatalf("file: %v", err)
+			}
+			fmt.Printf("%-28s -> ok\n", raw)
+		case "mapfile":
+			addr, size, err := sys.MapFile(tk, fields[2], machvm.ProtDefault)
+			if err != nil {
+				log.Fatalf("mapfile: %v", err)
+			}
+			names[fields[1]] = addr
+			fmt.Printf("%-28s -> %#x (%d bytes, inode pager)\n", raw, addr, size)
+		case "pageout":
+			sys.Kernel().PageoutScan()
+			d := strings.TrimPrefix(pagerDelta(pt0, pp0, pe0, pr0, pf0), " | ")
+			if d == "" {
+				d = "no pager activity"
+			}
+			fmt.Printf("%-28s -> ok [%s]\n", raw, d)
 		case "stats":
 			st := sys.Statistics()
 			ms := sys.PmapModule().Stats()
 			fmt.Printf("vm: faults=%d zf=%d cow=%d reactivations=%d\n",
 				st.Faults, st.ZeroFillFaults, st.CowFaults, st.Reactivations)
+			avg := 0.0
+			if st.PagerRoundTrips > 0 {
+				avg = float64(st.Pageins+st.Pageouts) / float64(st.PagerRoundTrips)
+			}
+			fmt.Printf("pager: trips=%d pageins=%d pageouts=%d cluster-extras=%d avg-pages/trip=%.1f retries=%d fallbacks=%d\n",
+				st.PagerRoundTrips, st.Pageins, st.Pageouts, st.ClusterExtras,
+				avg, st.PagerRetries, st.PagerFallbacks)
+			fmt.Printf("ranges: pageout-runs=%d run-pages=%d span-promotions=%d\n",
+				st.PageoutRuns, st.PageoutRunPages, st.SpanPromotions)
 			fmt.Printf("pmap(%s): enters=%d removes=%d walks=%d misses=%d table=%dB\n",
 				sys.PmapModule().Name(), ms.Enters.Load(), ms.Removes.Load(),
 				ms.Walks.Load(), ms.WalkMisses.Load(), ms.TableBytes.Load())

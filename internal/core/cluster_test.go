@@ -1,0 +1,558 @@
+package core_test
+
+// Tests for range-first paging: clustered fault-in (one pager
+// conversation covering a run of pages), its correctness edges (shadow
+// chains, short reads, entry bounds), clustered pageout runs, and the
+// fault-driven superpage-span promotion on the VAX module.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+// newReclaimKernel is newVAXKernel with an unreachable free target, so
+// every PageoutScan reclaims as hard as it can — the way eviction-path
+// tests force pages out to their pagers.
+func newReclaimKernel(t testing.TB, cpus int) (*core.Kernel, *hw.Machine) {
+	t.Helper()
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: 4096,
+		CPUs:       cpus,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	k := core.MustNewKernel(core.Config{
+		Machine:    machine,
+		Module:     mod,
+		PageSize:   4096,
+		FreeTarget: 4096, // more than exists: scans always reclaim
+		FreeMin:    2,
+	})
+	return k, machine
+}
+
+// patternPager serves byte(pageIndex+1) for every byte of a page and
+// records each DataRequest/DataWrite conversation.
+type patternPager struct {
+	pageSize uint64
+	maxReply int // cap on reply length (0 = serve everything asked)
+
+	mu       sync.Mutex
+	requests [][2]uint64 // (offset, length) per DataRequest
+	writes   [][2]uint64 // (offset, length) per DataWrite
+}
+
+func (p *patternPager) Name() string             { return "pattern" }
+func (p *patternPager) Init(obj *core.Object)    {}
+func (p *patternPager) Terminate(o *core.Object) {}
+
+func (p *patternPager) DataRequest(ctx context.Context, o *core.Object, off uint64, n int) ([]byte, error) {
+	p.mu.Lock()
+	p.requests = append(p.requests, [2]uint64{off, uint64(n)})
+	p.mu.Unlock()
+	if p.maxReply > 0 && n > p.maxReply {
+		n = p.maxReply
+	}
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte((off+uint64(i))/p.pageSize + 1)
+	}
+	return data, nil
+}
+
+func (p *patternPager) DataWrite(ctx context.Context, o *core.Object, off uint64, d []byte) error {
+	p.mu.Lock()
+	p.writes = append(p.writes, [2]uint64{off, uint64(len(d))})
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *patternPager) requestLog() [][2]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([][2]uint64(nil), p.requests...)
+}
+
+func TestPagerClusterReducesRoundTrips(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	const pages = 16
+	size := uint64(pages) * k.PageSize()
+	pg := &patternPager{pageSize: k.PageSize()}
+	obj := k.NewObject(size, pg, "clustered")
+	m := k.NewMap()
+	defer m.Destroy()
+	cpu := machine.CPU(0)
+	m.Pmap().Activate(cpu)
+	addr, err := m.AllocateWithObject(0, size, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential read of every page: with the default cluster of 8 pages
+	// the whole object should cost 2 conversations, not 16.
+	for i := 0; i < pages; i++ {
+		b := make([]byte, 1)
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(uint64(i)*k.PageSize()), b, false); err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if b[0] != byte(i+1) {
+			t.Fatalf("page %d read %#x, want %#x", i, b[0], byte(i+1))
+		}
+	}
+	st := k.VMStatistics()
+	if st.PagerRoundTrips != 2 {
+		t.Errorf("PagerRoundTrips = %d, want 2 (16 pages / cluster 8)", st.PagerRoundTrips)
+	}
+	if st.ClusterExtras != 14 {
+		t.Errorf("ClusterExtras = %d, want 14", st.ClusterExtras)
+	}
+	if st.Pageins != 16 {
+		t.Errorf("Pageins = %d, want 16", st.Pageins)
+	}
+	for _, r := range pg.requestLog() {
+		if r[0]%(8*k.PageSize()) != 0 || r[1] != 8*k.PageSize() {
+			t.Errorf("conversation (off=%d len=%d) not an aligned 8-page cluster", r[0], r[1])
+		}
+	}
+}
+
+func TestSetClusterSizeDisablesReadahead(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	const pages = 8
+	size := uint64(pages) * k.PageSize()
+	pg := &patternPager{pageSize: k.PageSize()}
+	obj := k.NewObject(size, pg, "uncluster")
+	obj.SetClusterSize(1)
+	m := k.NewMap()
+	defer m.Destroy()
+	cpu := machine.CPU(0)
+	m.Pmap().Activate(cpu)
+	addr, err := m.AllocateWithObject(0, size, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pages; i++ {
+		b := make([]byte, 1)
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(uint64(i)*k.PageSize()), b, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := k.VMStatistics(); st.PagerRoundTrips != pages {
+		t.Errorf("PagerRoundTrips = %d, want %d with clustering off", st.PagerRoundTrips, pages)
+	}
+	for _, r := range pg.requestLog() {
+		if r[1] != k.PageSize() {
+			t.Errorf("conversation length %d, want single page %d", r[1], k.PageSize())
+		}
+	}
+}
+
+func TestClusterShortReadResolvesTailSeparately(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	const pages = 8
+	size := uint64(pages) * k.PageSize()
+	// The pager serves at most 2 pages per conversation: a short read.
+	pg := &patternPager{pageSize: k.PageSize(), maxReply: int(2 * k.PageSize())}
+	obj := k.NewObject(size, pg, "short-read")
+	m := k.NewMap()
+	defer m.Destroy()
+	cpu := machine.CPU(0)
+	m.Pmap().Activate(cpu)
+	addr, err := m.AllocateWithObject(0, size, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every byte must still be correct: the uncovered cluster tail is
+	// freed (never zero-filled behind the pager's back) and re-requested
+	// when actually faulted.
+	for i := 0; i < pages; i++ {
+		b := make([]byte, 1)
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(uint64(i)*k.PageSize()), b, false); err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if b[0] != byte(i+1) {
+			t.Fatalf("page %d read %#x, want %#x", i, b[0], byte(i+1))
+		}
+	}
+	// 2 pages per conversation -> 4 conversations for 8 pages.
+	if st := k.VMStatistics(); st.PagerRoundTrips != 4 {
+		t.Errorf("PagerRoundTrips = %d, want 4", st.PagerRoundTrips)
+	}
+}
+
+func TestClusterRespectsEntryBounds(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	const pages = 16
+	size := uint64(pages) * k.PageSize()
+	pg := &patternPager{pageSize: k.PageSize()}
+	obj := k.NewObject(size, pg, "windowed")
+	m := k.NewMap()
+	defer m.Destroy()
+	cpu := machine.CPU(0)
+	m.Pmap().Activate(cpu)
+	// Map only object pages [5, 9): the cluster around a fault in the
+	// window must never read object offsets outside it.
+	winLo := 5 * k.PageSize()
+	span := 4 * k.PageSize()
+	addr, err := m.AllocateWithObject(0, span, true, obj, winLo,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		b := make([]byte, 1)
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(i*k.PageSize()), b, false); err != nil {
+			t.Fatal(err)
+		}
+		if want := byte(5 + i + 1); b[0] != want {
+			t.Fatalf("window page %d read %#x, want %#x", i, b[0], want)
+		}
+	}
+	for _, r := range pg.requestLog() {
+		if r[0] < winLo || r[0]+r[1] > winLo+span {
+			t.Errorf("conversation (off=%d len=%d) outside entry window [%d, %d)",
+				r[0], r[1], winLo, winLo+span)
+		}
+	}
+}
+
+// chunkPager holds data only at the offsets it was explicitly given,
+// mimicking the default swap pager's chunk store: a DataRequest whose
+// offset has no chunk is answered with ErrDataUnavailable even when later
+// offsets in the requested range do have data.
+type chunkPager struct {
+	pageSize uint64
+
+	mu       sync.Mutex
+	chunks   map[uint64][]byte
+	requests [][2]uint64
+}
+
+func (p *chunkPager) Name() string             { return "chunks" }
+func (p *chunkPager) Init(obj *core.Object)    {}
+func (p *chunkPager) Terminate(o *core.Object) {}
+
+func (p *chunkPager) DataRequest(ctx context.Context, o *core.Object, off uint64, n int) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.requests = append(p.requests, [2]uint64{off, uint64(n)})
+	if _, ok := p.chunks[off]; !ok {
+		return nil, core.ErrDataUnavailable
+	}
+	var out []byte
+	for o := off; len(out) < n; o += p.pageSize {
+		c, ok := p.chunks[o]
+		if !ok {
+			break // stop at the first gap
+		}
+		out = append(out, c...)
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+func (p *chunkPager) DataWrite(ctx context.Context, o *core.Object, off uint64, d []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for lo := uint64(0); lo < uint64(len(d)); lo += p.pageSize {
+		hi := lo + p.pageSize
+		if hi > uint64(len(d)) {
+			hi = uint64(len(d))
+		}
+		p.chunks[off+lo] = append([]byte(nil), d[lo:hi]...)
+	}
+	return nil
+}
+
+// TestClusterGapAnchorRetry is the gap-correctness test: when a clustered
+// request lands on a pager (chunk-keyed, like the default swap store)
+// that has no data at the run's start but does hold the faulting page
+// further in, the skipped pages must NOT be papered over with zeroes —
+// the anchor gets its own single-page retry conversation and comes back
+// with the pager's real data.
+func TestClusterGapAnchorRetry(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	const pages = 8
+	pgsz := k.PageSize()
+	size := uint64(pages) * pgsz
+	pg := &chunkPager{pageSize: pgsz, chunks: map[uint64][]byte{}}
+	// Data only at page 3; everything else is a gap.
+	marked := make([]byte, pgsz)
+	for i := range marked {
+		marked[i] = 0xEE
+	}
+	pg.chunks[3*pgsz] = marked
+	obj := k.NewObject(size, pg, "gappy")
+	m := k.NewMap()
+	defer m.Destroy()
+	cpu := machine.CPU(0)
+	m.Pmap().Activate(cpu)
+	addr, err := m.AllocateWithObject(0, size, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Page 0: the clustered request at offset 0 is unavailable, so the
+	// faulting page itself zero-fills. Pages 1..7 were merely "skipped"
+	// (the pager said nothing about them) and must not materialize.
+	b := make([]byte, 1)
+	if err := k.AccessBytes(cpu, m, addr, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 {
+		t.Fatalf("page 0 read %#x, want zero fill", b[0])
+	}
+
+	// Page 3: the run starts at page 1 (page 0 is resident), and the
+	// pager is unavailable there — but page 3 has data. A skipped anchor
+	// must be retried alone, never zero-filled.
+	if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(3*pgsz), b, false); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xEE {
+		t.Fatalf("page 3 read %#x, want 0xEE: a skipped cluster page was zero-filled", b[0])
+	}
+	pg.mu.Lock()
+	sawRetry := false
+	for _, r := range pg.requests {
+		if r[0] == 3*pgsz && r[1] == pgsz {
+			sawRetry = true
+		}
+	}
+	pg.mu.Unlock()
+	if !sawRetry {
+		t.Error("pager never saw the anchor's single-page retry at page 3")
+	}
+
+	// The gap pages really are zero-filled once actually faulted.
+	for _, page := range []uint64{1, 2, 4, 7} {
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(page*pgsz), b, false); err != nil {
+			t.Fatalf("page %d: %v", page, err)
+		}
+		if b[0] != 0 {
+			t.Fatalf("page %d read %#x, want zero fill", page, b[0])
+		}
+	}
+}
+
+func TestPageoutRunsCoalesceDirtyNeighbors(t *testing.T) {
+	k, machine := newReclaimKernel(t, 1)
+	const pages = 16
+	size := uint64(pages) * k.PageSize()
+	pg := &patternPager{pageSize: k.PageSize()}
+	obj := k.NewObject(size, pg, "writeback")
+	m := k.NewMap()
+	defer m.Destroy()
+	cpu := machine.CPU(0)
+	m.Pmap().Activate(cpu)
+	addr, err := m.AllocateWithObject(0, size, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty every page, then pad the active queue with anonymous memory:
+	// the daemon's one-third rebalance needs a long queue to keep feeding
+	// candidates, and FIFO order deactivates the pattern pages first.
+	for i := 0; i < pages; i++ {
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(uint64(i)*k.PageSize()), []byte{byte(i)}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pad, err := m.Allocate(0, 64*k.PageSize(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if err := k.AccessBytes(cpu, m, pad+vmtypes.VA(i*k.PageSize()), []byte{1}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	written := func() uint64 {
+		pg.mu.Lock()
+		defer pg.mu.Unlock()
+		var n uint64
+		for _, w := range pg.writes {
+			n += w[1]
+		}
+		return n
+	}
+	for i := 0; i < 256 && written() < size; i++ {
+		k.PageoutScan()
+	}
+	if got := written(); got < size {
+		t.Fatalf("pager received only %d of %d dirty bytes back", got, size)
+	}
+	st := k.VMStatistics()
+	if st.PageoutRuns == 0 {
+		t.Fatal("no pageout runs recorded")
+	}
+	if st.PageoutRunPages != st.Pageouts {
+		t.Errorf("PageoutRunPages = %d, Pageouts = %d; every dirty page should ride a run",
+			st.PageoutRunPages, st.Pageouts)
+	}
+	if st.PageoutRuns >= st.Pageouts {
+		t.Errorf("PageoutRuns = %d for %d pageouts: adjacent dirty pages did not coalesce",
+			st.PageoutRuns, st.Pageouts)
+	}
+	pg.mu.Lock()
+	multi := 0
+	for _, w := range pg.writes {
+		if w[1] > k.PageSize() {
+			multi++
+		}
+	}
+	pg.mu.Unlock()
+	if multi == 0 {
+		t.Error("pager never saw a multi-page DataWrite")
+	}
+}
+
+func TestSuperpagePromotionAndDemotion(t *testing.T) {
+	k, machine := newVAXKernel(t, 1)
+	m := k.NewMap()
+	defer m.Destroy()
+	cpu := machine.CPU(0)
+	m.Pmap().Activate(cpu)
+
+	sp, ok := m.Pmap().(interface {
+		SuperSpan() uint64
+		SuperCount() int
+		CheckSuperInvariants() error
+	})
+	if !ok {
+		t.Fatal("vax pmap does not expose superpage introspection")
+	}
+	span := sp.SuperSpan() // 64KB: one page-table chunk
+	// Two whole spans of pager-backed memory at a span-aligned address.
+	// Clustered fault-in installs readahead pages resident-but-unmapped,
+	// which is exactly the dense-run state the core's span promotion
+	// upgrades with one EnterRange (a fully per-page-mapped span would be
+	// promoted by the module's own uniformity tracking instead).
+	size := 2 * span
+	pg := &patternPager{pageSize: k.PageSize()}
+	obj := k.NewObject(size, pg, "superpage")
+	base := vmtypes.VA(2 * span)
+	if _, err := m.AllocateWithObject(base, size, false, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false); err != nil {
+		t.Fatal(err)
+	}
+	// Touch every Mach page sequentially; verify contents through the
+	// promoted mapping as we go.
+	for off := uint64(0); off < size; off += k.PageSize() {
+		b := make([]byte, 1)
+		if err := k.AccessBytes(cpu, m, base+vmtypes.VA(off), b, false); err != nil {
+			t.Fatal(err)
+		}
+		if want := byte(off/k.PageSize() + 1); b[0] != want {
+			t.Fatalf("offset %#x read %#x, want %#x", off, b[0], want)
+		}
+	}
+	if err := sp.CheckSuperInvariants(); err != nil {
+		t.Fatalf("after promotion: %v", err)
+	}
+	c0 := sp.SuperCount()
+	if c0 == 0 {
+		t.Fatal("no span ever promoted")
+	}
+	if k.Stats().SpanPromotions.Load() == 0 {
+		t.Fatal("SpanPromotions counter never moved")
+	}
+
+	// Demotion trigger 1: a protection change on a sub-range breaks the
+	// first span's uniformity.
+	if err := m.Protect(base, k.PageSize(), false, vmtypes.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.CheckSuperInvariants(); err != nil {
+		t.Fatalf("after protect demotion: %v", err)
+	}
+	c1 := sp.SuperCount()
+	if c1 >= c0 {
+		t.Fatalf("SuperCount = %d after partial Protect, want < %d", c1, c0)
+	}
+
+	// Demotion trigger 2: removing one page of the second span.
+	if err := m.Deallocate(base+vmtypes.VA(span), k.PageSize()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.CheckSuperInvariants(); err != nil {
+		t.Fatalf("after deallocate demotion: %v", err)
+	}
+	if got := sp.SuperCount(); got != 0 {
+		t.Fatalf("SuperCount = %d after both demotions, want 0", got)
+	}
+}
+
+// TestPagerClusterStress hammers clustered fault-in from many goroutines
+// while the pageout daemon reclaims behind them; it rides in the CI race
+// matrix (-race, name matches the injection regex).
+func TestPagerClusterStress(t *testing.T) {
+	k, machine := newReclaimKernel(t, 4)
+	const pages = 256
+	size := uint64(pages) * k.PageSize()
+	pg := &patternPager{pageSize: k.PageSize()}
+	obj := k.NewObject(size, pg, "stress")
+	m := k.NewMap()
+	defer m.Destroy()
+	addr, err := m.AllocateWithObject(0, size, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < machine.NumCPUs(); c++ {
+		m.Pmap().Activate(machine.CPU(c))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 9)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cpu := machine.CPU(g % machine.NumCPUs())
+			for rep := 0; rep < 4; rep++ {
+				for i := 0; i < pages; i++ {
+					// Interleave strides so goroutines collide on flights.
+					page := (i*7 + g*13) % pages
+					b := make([]byte, 1)
+					if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(uint64(page)*k.PageSize()), b, false); err != nil {
+						errs <- fmt.Errorf("g%d page %d: %w", g, page, err)
+						return
+					}
+					if b[0] != byte(page+1) {
+						errs <- fmt.Errorf("g%d page %d read %#x, want %#x", g, page, b[0], byte(page+1))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 32; i++ {
+			k.PageoutScan()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"machvm/internal/pmap"
 	"machvm/internal/vmtypes"
 )
 
@@ -43,6 +44,17 @@ type faultState struct {
 	wired     bool
 	needsCopy bool
 	share     bool // obj was reached through a sharing map
+
+	// Cluster window: the resolved entry's object range [winLo, winHi) in
+	// obj's byte coordinates. Fault-in clustering never reads outside it,
+	// so readahead cannot touch offsets the entry does not map.
+	winLo uint64
+	winHi uint64
+
+	// Entry bounds in the top map's address space (direct entries only),
+	// used to clip superpage-span promotion to the entry.
+	entryStart vmtypes.VA
+	entryEnd   vmtypes.VA
 
 	// sm is the sharing map the entry resolved through (referenced;
 	// released with Destroy), nil for direct entries. smOff is the fault
@@ -249,6 +261,10 @@ func (fs *faultState) snapEntry(k *Kernel, entry *MapEntry, entryAddr vmtypes.VA
 	fs.prot = entry.prot
 	fs.wired = entry.wired
 	fs.needsCopy = entry.needsCopy
+	fs.winLo = k.truncPage(entry.offset)
+	fs.winHi = k.roundPage(entry.offset + entry.Span())
+	fs.entryStart = entry.start
+	fs.entryEnd = entry.end
 }
 
 // snapInner records a sharing-map entry's coordinates; the outer prot
@@ -259,12 +275,14 @@ func (fs *faultState) snapInner(k *Kernel, inner *MapEntry) {
 	fs.offset = k.truncPage(inner.offset + uint64(fs.smOff-inner.start))
 	fs.wired = inner.wired
 	fs.needsCopy = inner.needsCopy
+	fs.winLo = k.truncPage(inner.offset)
+	fs.winHi = k.roundPage(inner.offset + inner.Span())
 }
 
 // faultFinish resolves the page with no map lock held, then revalidates
 // the snapshot under the read lock and enters the hardware mapping.
 func (k *Kernel) faultFinish(ctx context.Context, fs *faultState) (done bool, err error) {
-	page, firstObj, err := k.faultPageLookup(ctx, fs.obj, fs.offset, fs.wantWrite, fs.share)
+	page, firstObj, installed, err := k.faultPageLookup(ctx, fs.obj, fs.offset, fs.wantWrite, fs.share, fs.winLo, fs.winHi)
 	if err != nil {
 		return true, err
 	}
@@ -306,12 +324,31 @@ func (k *Kernel) faultFinish(ctx context.Context, fs *faultState) (done bool, er
 		enterProt = enterProt.Intersect(vmtypes.ProtRead | vmtypes.ProtExecute)
 	}
 
-	// Enter the mapping in the top map's pmap, one hardware page at a
-	// time (a Mach page is a power-of-two multiple of hardware pages).
+	// Enter the mapping in the top map's pmap. A module with range
+	// support takes the whole Mach page (its run of hardware pages) in
+	// one EnterRange; others get one Enter per hardware page.
 	if m.pm != nil {
-		hwSize := vmtypes.VA(k.machine.Mem.PageSize())
-		for i := 0; i < k.hwRatio; i++ {
-			m.pm.Enter(fs.pageAddr+vmtypes.VA(i)*hwSize, page.pfn+vmtypes.PFN(i), enterProt, wired)
+		re, isRange := m.pm.(pmap.RangeEnterer)
+		if isRange && k.hwRatio > 1 {
+			buf := k.getPFNBuf(k.hwRatio)
+			pfns := (*buf)[:k.hwRatio]
+			for i := range pfns {
+				pfns[i] = page.pfn + vmtypes.PFN(i)
+			}
+			re.EnterRange(fs.pageAddr, pfns, enterProt, wired)
+			k.putPFNBuf(buf)
+		} else {
+			hwSize := vmtypes.VA(k.machine.Mem.PageSize())
+			for i := 0; i < k.hwRatio; i++ {
+				m.pm.Enter(fs.pageAddr+vmtypes.VA(i)*hwSize, page.pfn+vmtypes.PFN(i), enterProt, wired)
+			}
+		}
+		// Superpage-span promotion: when this fault did installation work
+		// (never on the resident fast path, which stays zero-overhead) and
+		// the mapping is an unrestricted direct one, try to upgrade the
+		// whole surrounding promotion granule in one range operation.
+		if isRange && installed && fs.sm == nil && !needsCopy && firstObj && pagerProhibits == 0 {
+			k.trySpanPromote(re, fs, page, enterProt, wired)
 		}
 	}
 	if fs.sm != nil {
@@ -351,6 +388,10 @@ func (fs *faultState) revalidate(k *Kernel) (prot vmtypes.Prot, wired bool, need
 			(fs.wantWrite && entry.needsCopy) {
 			return 0, false, false, false
 		}
+		// The entry may have been clipped while no lock was held; span
+		// promotion must respect the current bounds.
+		fs.entryStart = entry.start
+		fs.entryEnd = entry.end
 		return entry.prot, entry.wired, entry.needsCopy, true
 	}
 
@@ -446,13 +487,20 @@ func (k *Kernel) copyUpPage(first *Object, offset uint64, sharedFront bool, page
 // whose sole reference is the collapsing front, so every object this walk
 // can reach has refs >= 2 from any collapser's point of view and the
 // collapse aborts before touching it.
-func (k *Kernel) faultPageLookup(ctx context.Context, obj *Object, offset uint64, wantWrite, sharedFront bool) (*Page, bool, error) {
+// [winLo, winHi) is the entry's window in obj's byte coordinates; it is
+// translated down the chain alongside the offset and bounds fault-in
+// clustering. The returned installed flag reports whether this fault did
+// installation work (pager fill, copy-up, zero fill) as opposed to a pure
+// resident fast-path hit — the caller uses it to gate span promotion.
+func (k *Kernel) faultPageLookup(ctx context.Context, obj *Object, offset uint64, wantWrite, sharedFront bool, winLo, winHi uint64) (*Page, bool, bool, error) {
 	first := obj
+	installed := false
 
 restart:
 	for {
 		cur := first
 		curOffset := offset
+		lo, hi := winLo, winHi
 		depth := 0
 		for {
 			depth++
@@ -463,20 +511,21 @@ restart:
 			if page != nil {
 				if cur == first {
 					k.stats.ReactivateHits.Add(1)
-					return page, true, nil
+					return page, true, installed, nil
 				}
 				// Found in a backing object.
 				if !wantWrite {
-					return page, false, nil
+					return page, false, installed, nil
 				}
 				newPage, ok, err := k.copyUpPage(first, offset, sharedFront, page)
 				if err != nil {
-					return nil, false, err
+					return nil, false, installed, err
 				}
 				if !ok {
 					continue restart
 				}
-				return newPage, true, nil
+				installed = true
+				return newPage, true, installed, nil
 			}
 
 			// A busy absent page is owned by another faulter's pager
@@ -488,9 +537,10 @@ restart:
 			if flight != nil {
 				retry, err := k.resolveFlight(ctx, cur, curOffset, flight)
 				if err != nil {
-					return nil, false, err
+					return nil, false, installed, err
 				}
 				if retry {
+					installed = true
 					continue restart
 				}
 				skipPager = true
@@ -502,11 +552,12 @@ restart:
 			shadowOffset := cur.shadowOffset
 			cur.mu.Unlock()
 			if pager != nil && !skipPager {
-				retry, err := k.pageIn(ctx, cur, curOffset, pager)
+				retry, err := k.pageIn(ctx, cur, curOffset, pager, lo, hi)
 				if err != nil {
-					return nil, false, err
+					return nil, false, installed, err
 				}
 				if retry {
+					installed = true
 					continue restart
 				}
 				// Pager has no data: fall through to the shadow, or
@@ -518,7 +569,7 @@ restart:
 				// ("memory with no pager is automatically zero filled").
 				page, fresh, err := k.allocPage(first, offset)
 				if err != nil {
-					return nil, false, err
+					return nil, false, installed, err
 				}
 				if !fresh {
 					continue restart
@@ -528,10 +579,101 @@ restart:
 				if wantWrite {
 					page.dirty = true
 				}
-				return page, true, nil
+				installed = true
+				return page, true, installed, nil
 			}
 			curOffset += shadowOffset
+			lo += shadowOffset
+			hi += shadowOffset
 			cur = shadow
 		}
 	}
+}
+
+// tryClaimResident busy-claims the resident page at (obj, offset) without
+// blocking: nil if no page is resident or it is busy or absent. Used by
+// span promotion, which must never wait behind another fault.
+func (k *Kernel) tryClaimResident(obj *Object, offset uint64) *Page {
+	s := k.shardFor(obj, offset)
+	key := pageKey{obj: obj, offset: offset}
+	s.mu.Lock()
+	p := s.pages[key]
+	if p == nil || p.busy || p.absent {
+		s.mu.Unlock()
+		return nil
+	}
+	p.busy = true
+	s.mu.Unlock()
+	return p
+}
+
+// trySpanPromote upgrades the fault's mapping to the module's whole
+// promotion granule (vax: one page-table chunk; sun3: one PMEG segment)
+// when every Mach page of the surrounding span is already resident in the
+// first object — the dense-run case clustered fault-in produces. One
+// EnterRange covering the full span makes the module's promotion invariant
+// (all entries valid, uniform protection) hold by construction.
+//
+// Called under the top map's read lock with the faulting page
+// busy-claimed. Every other span page is try-claimed non-blocking; any
+// obstacle (absent, busy, not resident) aborts the attempt, so promotion
+// can never deadlock or stall the fault it rides on. Demotion is the
+// module's job: any later Remove/Protect/Collect that breaks the span's
+// uniformity downgrades it to per-page mappings.
+func (k *Kernel) trySpanPromote(re pmap.RangeEnterer, fs *faultState, page *Page, enterProt vmtypes.Prot, wired bool) {
+	span := re.SuperSpan()
+	if span <= k.pageSize || span%k.pageSize != 0 || span&(span-1) != 0 {
+		return
+	}
+	spanBase := fs.pageAddr & ^vmtypes.VA(span-1)
+	spanEnd := spanBase + vmtypes.VA(span)
+	if spanBase < fs.entryStart || spanEnd > fs.entryEnd {
+		return
+	}
+	if re.SuperActive(fs.pageAddr) {
+		return
+	}
+	if _, locking := fs.obj.Pager().(LockingPager); locking {
+		// Per-offset pager locks can restrict individual pages; a span
+		// mapping could not honor them.
+		return
+	}
+
+	nPages := int(span / k.pageSize)
+	offBase := fs.offset - uint64(fs.pageAddr-spanBase)
+	claimedBuf := k.getClaimBuf(nPages)
+	claimed := (*claimedBuf)[:nPages]
+	ok := true
+	for j := 0; j < nPages && ok; j++ {
+		off := offBase + uint64(j)*k.pageSize
+		if off == fs.offset {
+			claimed[j] = page
+			continue
+		}
+		if claimed[j] = k.tryClaimResident(fs.obj, off); claimed[j] == nil {
+			ok = false
+		}
+	}
+	if ok {
+		pfnBuf := k.getPFNBuf(nPages * k.hwRatio)
+		pfns := (*pfnBuf)[:nPages*k.hwRatio]
+		for j, p := range claimed {
+			for i := 0; i < k.hwRatio; i++ {
+				pfns[j*k.hwRatio+i] = p.pfn + vmtypes.PFN(i)
+			}
+		}
+		re.EnterRange(spanBase, pfns, enterProt, wired)
+		k.putPFNBuf(pfnBuf)
+		k.stats.SpanPromotions.Add(1)
+	}
+	for _, p := range claimed {
+		if p == nil || p == page {
+			continue // the faulting page stays claimed by faultFinish
+		}
+		if ok {
+			k.activatePage(p) // mapped into hardware: it is in use now
+		}
+		k.pageWakeup(p)
+	}
+	k.putClaimBuf(claimedBuf)
 }

@@ -85,6 +85,13 @@ type Kernel struct {
 	// clean requests. Safe because no Pager retains the DataWrite slice
 	// beyond the call (see the Pager interface contract).
 	pageBufs sync.Pool
+	// runBufs recycles the multi-page staging buffers behind clustered
+	// pageout writes; pfnBufs and claimBufs recycle the PFN and page
+	// scratch slices of range enters and span promotion, keeping the
+	// fault path allocation-free.
+	runBufs   sync.Pool
+	pfnBufs   sync.Pool
+	claimBufs sync.Pool
 
 	stats Stats
 }
@@ -100,6 +107,53 @@ func (k *Kernel) getPageBuf() []byte {
 
 func (k *Kernel) putPageBuf(b []byte) {
 	k.pageBufs.Put(&b)
+}
+
+// getRunBuf returns a scratch buffer of at least n bytes for a clustered
+// pageout write; return it with putRunBuf after the pager call returns.
+func (k *Kernel) getRunBuf(n int) *[]byte {
+	b, _ := k.runBufs.Get().(*[]byte)
+	if b == nil || cap(*b) < n {
+		s := make([]byte, n)
+		b = &s
+	}
+	*b = (*b)[:n]
+	return b
+}
+
+func (k *Kernel) putRunBuf(b *[]byte) { k.runBufs.Put(b) }
+
+// getPFNBuf returns a PFN scratch slice with capacity for at least n
+// frames, for EnterRange argument marshalling.
+func (k *Kernel) getPFNBuf(n int) *[]vmtypes.PFN {
+	b, _ := k.pfnBufs.Get().(*[]vmtypes.PFN)
+	if b == nil || cap(*b) < n {
+		s := make([]vmtypes.PFN, n)
+		b = &s
+	}
+	*b = (*b)[:n]
+	return b
+}
+
+func (k *Kernel) putPFNBuf(b *[]vmtypes.PFN) { k.pfnBufs.Put(b) }
+
+// getClaimBuf returns a page-pointer scratch slice for span promotion's
+// try-claim pass; putClaimBuf clears it (no page leaks past the return).
+func (k *Kernel) getClaimBuf(n int) *[]*Page {
+	b, _ := k.claimBufs.Get().(*[]*Page)
+	if b == nil || cap(*b) < n {
+		s := make([]*Page, n)
+		b = &s
+	}
+	*b = (*b)[:n]
+	return b
+}
+
+func (k *Kernel) putClaimBuf(b *[]*Page) {
+	for i := range *b {
+		(*b)[i] = nil
+	}
+	k.claimBufs.Put(b)
 }
 
 // Config configures a kernel.
@@ -189,7 +243,7 @@ func NewKernel(cfg Config) (*Kernel, error) {
 	k.cache.init(size)
 	k.disableHints = cfg.DisableMapHints
 	k.prewarmFork = cfg.PrewarmFork
-	k.swap = newMemorySwapPager(k.machine)
+	k.swap = newMemorySwapPager(k.machine, k.pageSize)
 	return k, nil
 }
 

@@ -127,6 +127,42 @@ type Map struct {
 
 	isShare bool
 	refs    atomic.Int32
+
+	// entryPool recycles MapEntry structs freed by Deallocate and
+	// Simplify for reuse by splits and allocations, so steady-state
+	// clip/merge traffic (Wire, Protect, fault-driven clips) stops
+	// allocating. Guarded by the write lock, linked through next,
+	// capped at entryPoolMax.
+	entryPool     *MapEntry
+	entryPoolSize int
+}
+
+// entryPoolMax bounds the per-map free list of recycled entries.
+const entryPoolMax = 64
+
+// newEntryLocked returns a zeroed MapEntry, reusing a recycled one when
+// available. Caller holds the write lock.
+func (m *Map) newEntryLocked() *MapEntry {
+	if e := m.entryPool; e != nil {
+		m.entryPool = e.next
+		m.entryPoolSize--
+		e.next = nil
+		return e
+	}
+	return &MapEntry{}
+}
+
+// recycleEntryLocked returns an unlinked entry to the pool. Only safe once
+// nothing can reach e anymore: it must be out of the entry list, the treap
+// and the hint (removeEntryLocked guarantees all three), and the caller
+// must be done reading its fields. Caller holds the write lock.
+func (m *Map) recycleEntryLocked(e *MapEntry) {
+	if m.entryPoolSize >= entryPoolMax {
+		return
+	}
+	*e = MapEntry{next: m.entryPool}
+	m.entryPool = e
+	m.entryPoolSize++
 }
 
 // bumpVersion records an entry mutation. Caller holds the write lock.
@@ -324,7 +360,8 @@ func (m *Map) clipStartLocked(e *MapEntry, va vmtypes.VA) {
 	if va <= e.start || va >= e.end {
 		return
 	}
-	left := &MapEntry{
+	left := m.newEntryLocked()
+	*left = MapEntry{
 		start:     e.start,
 		end:       va,
 		object:    e.object,
@@ -357,7 +394,8 @@ func (m *Map) clipEndLocked(e *MapEntry, va vmtypes.VA) {
 	if va <= e.start || va >= e.end {
 		return
 	}
-	right := &MapEntry{
+	right := m.newEntryLocked()
+	*right = MapEntry{
 		start:     va,
 		end:       e.end,
 		object:    e.object,
@@ -454,7 +492,8 @@ func (m *Map) allocateLocked(addr vmtypes.VA, size uint64, anywhere bool, obj *O
 	if next != nil && next.start < addr+vmtypes.VA(size) {
 		return 0, ErrInvalidAddress
 	}
-	entry := &MapEntry{
+	entry := m.newEntryLocked()
+	*entry = MapEntry{
 		start:     addr,
 		end:       addr + vmtypes.VA(size),
 		object:    obj,
@@ -504,6 +543,7 @@ func (m *Map) Deallocate(addr vmtypes.VA, size uint64) error {
 		if m.pm != nil {
 			m.pm.Remove(e.start, e.end)
 		}
+		m.recycleEntryLocked(e)
 		e = next
 	}
 	m.mu.Unlock()

@@ -55,6 +55,11 @@ type Object struct {
 	// generation distinguishes cache reuse from a fresh object.
 	generation uint64
 
+	// clusterPages is the fault-in cluster size in Mach pages (atomic:
+	// read on the fault path without the object lock). 0 selects the
+	// default; 1 disables clustering for this object.
+	clusterPages atomic.Int32
+
 	// fallback is the object's PagerFallback degradation policy, applied
 	// when its pager fails (atomic: read on the fault path without the
 	// object lock).
@@ -128,6 +133,38 @@ func (o *Object) Pager() Pager {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.pager
+}
+
+// defaultClusterPages is the fault-in cluster applied to objects that
+// never called SetClusterSize: one pager-backed miss reads an aligned run
+// of up to this many Mach pages (clipped to the entry and object bounds).
+const defaultClusterPages = 8
+
+// maxClusterPages bounds SetClusterSize; larger requests are clamped so a
+// single conversation cannot monopolize free memory.
+const maxClusterPages = 64
+
+// SetClusterSize sets the object's fault-in cluster size in Mach pages:
+// how much a single pager-backed miss reads around the faulting offset.
+// 1 disables clustering; 0 restores the default (8). Values are clamped
+// to [1, 64]. The extra pages are installed resident-but-unmapped, so
+// neighboring faults hit the resident fast path without a conversation.
+func (o *Object) SetClusterSize(pages int) {
+	if pages < 0 {
+		pages = 0
+	}
+	if pages > maxClusterPages {
+		pages = maxClusterPages
+	}
+	o.clusterPages.Store(int32(pages))
+}
+
+// ClusterSize returns the effective fault-in cluster size in Mach pages.
+func (o *Object) ClusterSize() int {
+	if n := o.clusterPages.Load(); n > 0 {
+		return int(n)
+	}
+	return defaultClusterPages
 }
 
 // SetCanPersist marks the object cacheable after its last release

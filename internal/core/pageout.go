@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"machvm/internal/vmtypes"
@@ -97,11 +98,7 @@ func (k *Kernel) pageoutScan() int {
 		// the pmaps; force the deferred per-CPU invalidations to
 		// completion before any victim's frame is written out or reused.
 		k.mod.Update()
-		for _, v := range batch {
-			if k.finishPageout(v) {
-				freed++
-			}
-		}
+		freed += k.finishPageoutBatch(batch)
 		batch = batch[:0]
 	}
 	for _, p := range candidates {
@@ -179,68 +176,129 @@ func (k *Kernel) claimPageout(p *Page) (pageoutVictim, bool) {
 	return v, true
 }
 
-// finishPageout writes one claimed victim to its pager if dirty and frees
-// the frame, reporting whether the frame was actually freed. The batch
-// flush (pmap_update) has already run, so no CPU can still hold a stale
-// translation to this frame. Taking the object lock blocking is safe here:
-// nothing is held, and every holder of obj.mu that waits on a busy page
-// releases the lock first.
-//
-// A DataWrite failure never loses data: the page stays dirty and resident
-// and is reactivated for a later pass. With FallbackSwap the object is
-// permanently retargeted to the default pager and the write retried there,
-// so dirty pages are not stranded behind a dead manager.
-func (k *Kernel) finishPageout(v pageoutVictim) bool {
-	p, obj := v.p, v.obj
-	dirty := v.dirty || k.isModified(p)
-	obj.mu.Lock()
-	if dirty {
-		pager := obj.pager
-		if pager == nil {
-			// Internal object: the default pager takes the data
-			// ("page-out is done to a default pager").
-			pager = k.swap
-			obj.pager = pager
-			obj.mu.Unlock()
-			pager.Init(obj)
-			obj.mu.Lock()
+// finishPageoutBatch disposes of a whole claimed batch after its
+// pmap_update: clean victims are freed outright, dirty ones are coalesced
+// into maximal runs of consecutive offsets within the same object and each
+// run goes to the pager as ONE DataWrite — the pageout mirror of clustered
+// fault-in. Sequentially dirtied memory therefore costs one pager
+// conversation (one disk latency) per run instead of one per page.
+// Returns the number of frames actually freed.
+func (k *Kernel) finishPageoutBatch(batch []pageoutVictim) int {
+	freed := 0
+	var dirtyByObj map[*Object][]pageoutVictim
+	for _, v := range batch {
+		if v.dirty || k.isModified(v.p) {
+			if dirtyByObj == nil {
+				dirtyByObj = make(map[*Object][]pageoutVictim)
+			}
+			dirtyByObj[v.obj] = append(dirtyByObj[v.obj], v)
+		} else {
+			k.finishCleanVictim(v)
+			freed++
 		}
-		data := k.getPageBuf()
-		k.snapshotPage(p, data)
-		obj.pagingInProgress++
-		obj.mu.Unlock()
-		err := k.pagerWriteData(pager, obj, v.offset, data)
-		if err != nil && obj.PagerFallback() == FallbackSwap && pager != k.swap {
-			// Degrade: hand the object to the default pager for good and
-			// land the data there.
-			k.stats.PagerFallbacks.Add(1)
-			obj.mu.Lock()
-			obj.pager = k.swap
-			obj.mu.Unlock()
-			k.swap.Init(obj)
-			err = k.pagerWriteData(k.swap, obj, v.offset, data)
-		}
-		obj.mu.Lock()
-		obj.pagingInProgress--
-		k.putPageBuf(data)
-		if err != nil {
-			// Keep the page and give it another chance on a later scan;
-			// the pager may recover. The hardware modify bit was consumed
-			// when the mappings were removed, so pin dirtiness in the
-			// machine-independent structure (we still own the busy bit).
-			k.stats.PageoutWriteFails.Add(1)
-			p.dirty = true
-			obj.mu.Unlock()
-			k.activatePage(p)
-			k.pageWakeup(p)
-			return false
-		}
-		k.clearModify(p)
-		k.stats.Pageouts.Add(1)
 	}
-	k.freePageObjLocked(p)
+	for obj, vs := range dirtyByObj {
+		if _, locking := obj.Pager().(LockingPager); locking {
+			// External memory managers negotiate per-offset page locks
+			// and the message protocol delivers them one page at a time;
+			// keep their writes single-page, mirroring fault-in.
+			for i := range vs {
+				freed += k.finishPageoutRun(vs[i : i+1])
+			}
+			continue
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].offset < vs[j].offset })
+		runStart := 0
+		for i := 1; i <= len(vs); i++ {
+			if i == len(vs) || vs[i].offset != vs[i-1].offset+k.pageSize {
+				freed += k.finishPageoutRun(vs[runStart:i])
+				runStart = i
+			}
+		}
+	}
+	return freed
+}
+
+// finishCleanVictim frees one clean claimed victim. The batch flush
+// (pmap_update) has already run, so no CPU can still hold a stale
+// translation to this frame.
+func (k *Kernel) finishCleanVictim(v pageoutVictim) {
+	v.obj.mu.Lock()
+	k.freePageObjLocked(v.p)
+	v.obj.mu.Unlock()
+}
+
+// finishPageoutRun writes one maximal run of dirty victims — consecutive
+// offsets in one object — to the pager as a single DataWrite and frees the
+// frames. Taking the object lock blocking is safe here: nothing is held,
+// and every holder of obj.mu that waits on a busy page releases the lock
+// first.
+//
+// A DataWrite failure never loses data: every page of the run stays dirty
+// and resident and is reactivated for a later pass. With FallbackSwap the
+// object is permanently retargeted to the default pager and the write
+// retried there, so dirty pages are not stranded behind a dead manager.
+func (k *Kernel) finishPageoutRun(run []pageoutVictim) int {
+	obj := run[0].obj
+	n := len(run)
+	pgsz := int(k.pageSize)
+	obj.mu.Lock()
+	pager := obj.pager
+	if pager == nil {
+		// Internal object: the default pager takes the data
+		// ("page-out is done to a default pager").
+		pager = k.swap
+		obj.pager = pager
+		obj.mu.Unlock()
+		pager.Init(obj)
+		obj.mu.Lock()
+	}
+	buf := k.getRunBuf(n * pgsz)
+	data := *buf
+	for i, v := range run {
+		k.snapshotPage(v.p, data[i*pgsz:(i+1)*pgsz])
+	}
+	obj.pagingInProgress++
 	obj.mu.Unlock()
-	return true
+	err := k.pagerWriteData(pager, obj, run[0].offset, data)
+	if err != nil && obj.PagerFallback() == FallbackSwap && pager != k.swap {
+		// Degrade: hand the object to the default pager for good and
+		// land the data there.
+		k.stats.PagerFallbacks.Add(1)
+		obj.mu.Lock()
+		obj.pager = k.swap
+		obj.mu.Unlock()
+		k.swap.Init(obj)
+		err = k.pagerWriteData(k.swap, obj, run[0].offset, data)
+	}
+	obj.mu.Lock()
+	obj.pagingInProgress--
+	k.putRunBuf(buf)
+	if err != nil {
+		// Keep the pages and give them another chance on a later scan;
+		// the pager may recover. The hardware modify bits were consumed
+		// when the mappings were removed, so pin dirtiness in the
+		// machine-independent structure (we still own the busy bits).
+		k.stats.PageoutWriteFails.Add(uint64(n))
+		for _, v := range run {
+			v.p.dirty = true
+		}
+		obj.mu.Unlock()
+		for _, v := range run {
+			k.activatePage(v.p)
+			k.pageWakeup(v.p)
+		}
+		return 0
+	}
+	k.stats.Pageouts.Add(uint64(n))
+	k.stats.PageoutRuns.Add(1)
+	k.stats.PageoutRunPages.Add(uint64(n))
+	for _, v := range run {
+		k.clearModify(v.p)
+		k.freePageObjLocked(v.p)
+	}
+	obj.mu.Unlock()
+	return n
 }
 
 // wakePageoutDaemon pokes the daemon without blocking; a full buffer means

@@ -201,18 +201,24 @@ func (k *Kernel) pagerWriteData(pager Pager, obj *Object, offset uint64, data []
 
 // memorySwapPager is the built-in default pager used when no filesystem-
 // backed inode pager has been configured. It stores paged-out data per
-// object, charging disk costs so that paging is not free. The per-object
-// index makes Terminate an O(object) purge — a terminated object's
-// entries (and the dead *Object key) can never linger in the store.
+// object in page-granule chunks, charging disk costs so that paging is not
+// free. The chunking matters for clustered reads: a multi-page DataRequest
+// returns the contiguous run of chunks actually written starting at the
+// requested offset, and stops at the first gap — a never-written neighbor
+// must fall through the shadow chain, not read back as zeroes. The
+// per-object index makes Terminate an O(object) purge — a terminated
+// object's entries (and the dead *Object key) can never linger in the
+// store.
 type memorySwapPager struct {
-	machine *hw.Machine
+	machine  *hw.Machine
+	pageSize uint64
 
 	mu    sync.Mutex
 	store map[*Object]map[uint64][]byte
 }
 
-func newMemorySwapPager(m *hw.Machine) *memorySwapPager {
-	return &memorySwapPager{machine: m, store: make(map[*Object]map[uint64][]byte)}
+func newMemorySwapPager(m *hw.Machine, pageSize uint64) *memorySwapPager {
+	return &memorySwapPager{machine: m, pageSize: pageSize, store: make(map[*Object]map[uint64][]byte)}
 }
 
 func (s *memorySwapPager) Name() string { return "default-swap" }
@@ -224,13 +230,27 @@ func (s *memorySwapPager) DataRequest(ctx context.Context, obj *Object, offset u
 		return nil, err
 	}
 	s.mu.Lock()
-	data, ok := s.store[obj][offset]
-	s.mu.Unlock()
+	chunks := s.store[obj]
+	first, ok := chunks[offset]
 	if !ok {
+		s.mu.Unlock()
 		return nil, ErrDataUnavailable
 	}
+	data := make([]byte, 0, length)
+	data = append(data, first...)
+	for next := offset + s.pageSize; len(data) < length; next += s.pageSize {
+		chunk, ok := chunks[next]
+		if !ok {
+			break
+		}
+		data = append(data, chunk...)
+	}
+	s.mu.Unlock()
+	if len(data) > length {
+		data = data[:length]
+	}
 	s.machine.Charge(s.machine.Cost.DiskLatency)
-	s.machine.ChargeKB(s.machine.Cost.DiskPerKB, length)
+	s.machine.ChargeKB(s.machine.Cost.DiskPerKB, len(data))
 	return data, nil
 }
 
@@ -238,8 +258,6 @@ func (s *memorySwapPager) DataWrite(ctx context.Context, obj *Object, offset uin
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
 	s.machine.Charge(s.machine.Cost.DiskLatency)
 	s.machine.ChargeKB(s.machine.Cost.DiskPerKB, len(data))
 	s.mu.Lock()
@@ -248,7 +266,15 @@ func (s *memorySwapPager) DataWrite(ctx context.Context, obj *Object, offset uin
 		m = make(map[uint64][]byte)
 		s.store[obj] = m
 	}
-	m[offset] = cp
+	for lo := uint64(0); lo < uint64(len(data)); lo += s.pageSize {
+		hi := lo + s.pageSize
+		if hi > uint64(len(data)) {
+			hi = uint64(len(data))
+		}
+		cp := make([]byte, hi-lo)
+		copy(cp, data[lo:hi])
+		m[offset+lo] = cp
+	}
 	s.mu.Unlock()
 	return nil
 }

@@ -8,29 +8,45 @@ import (
 	"machvm/internal/vmtypes"
 )
 
-// A pagerFlight is one in-flight DataRequest conversation for a single
-// (object, offset). Flights are single-flight: the first faulter (the
-// leader) allocates the busy page, registers the flight and runs the pager
-// conversation; every concurrent faulter for the same page joins the
-// flight and shares its outcome — including its error — instead of
-// issuing a duplicate request or paying a fresh deadline of its own.
+// A pagerFlight is one in-flight DataRequest conversation for a contiguous
+// run of pages in one object. Flights are single-flight per page: the
+// first faulter (the leader) allocates the busy anchor page, extends the
+// run around it up to the object's cluster size, registers the flight
+// under every page of the run and issues one conversation for the whole
+// range; every concurrent faulter for any page of the run joins the flight
+// and shares its per-page outcome instead of issuing a duplicate request
+// or paying a fresh deadline of its own.
 //
 // The busy-page claim protocol survives abandonment: the flight, not any
-// particular faulter, owns the page's busy bit. A faulter whose context is
-// cancelled walks away immediately while the flight keeps running to its
-// own deadline, after which it either fills the page (clearing busy) or
-// frees it (waking every waiter) — a page can never stay busy forever
+// particular faulter, owns the pages' busy bits. A faulter whose context
+// is cancelled walks away immediately while the flight keeps running to
+// its own deadline, after which each page is either filled (clearing busy)
+// or freed (waking every waiter) — a page can never stay busy forever
 // because the thread that wanted it gave up.
 type pagerFlight struct {
-	// done is closed once the flight resolved the page: filled and
-	// resident (err == nil), or removed (err != nil).
+	// done is closed once every page of the run is resolved.
 	done chan struct{}
-	// err is valid only after done is closed.
-	err error
 	// isFallback marks a flight already running against the default swap
 	// pager as a degradation, so a failure never re-applies FallbackSwap.
 	isFallback bool
+
+	// The run this flight owns: len(pages) busy absent pages, pages[i]
+	// at object byte offset start + i*pageSize. errs[i] is page i's
+	// outcome, valid only after done is closed: nil (filled and
+	// resident), errClusterSkipped (freed without a definitive answer),
+	// ErrDataUnavailable or a pager error (freed).
+	start uint64
+	pages []*Page
+	errs  []error
 }
+
+// errClusterSkipped marks a cluster page the pager's reply did not reach:
+// neither filled nor definitively absent. The page is freed and its
+// waiters re-walk the chain; whoever reaches pageIn first becomes the
+// anchor of its own conversation, which resolves that page definitively —
+// so progress is guaranteed and a gap in one pager's data is never papered
+// over with zeroes that would hide a backing object's pages.
+var errClusterSkipped = errors.New("pager: cluster page not covered by reply")
 
 // Flight outcomes as seen by a waiter.
 const (
@@ -38,17 +54,30 @@ const (
 	flightUnavailable            // definitive no-data: continue down the chain
 	flightFailed                 // pager failure: apply the object's fallback
 	flightAbandoned              // the caller's context fired first
+	flightSkipped                // not covered by the clustered reply: rewalk
 )
 
-// registerFlight publishes f as the in-flight request for key. Lock order:
-// flightMu is a leaf (never held while taking a shard or object lock).
-func (k *Kernel) registerFlight(key pageKey, f *pagerFlight) {
+// registerFlight publishes f as the in-flight request for every page of
+// its run. Lock order: flightMu is a leaf (never held while taking a shard
+// or object lock).
+func (k *Kernel) registerFlight(obj *Object, f *pagerFlight) {
 	k.flightMu.Lock()
-	k.flights[key] = f
+	for i := range f.pages {
+		k.flights[pageKey{obj: obj, offset: f.start + uint64(i)*k.pageSize}] = f
+	}
 	k.flightMu.Unlock()
 }
 
-// flightFor returns the in-flight request for key, if any.
+// unregisterFlight removes every key of f's run from the flight table.
+func (k *Kernel) unregisterFlight(obj *Object, f *pagerFlight) {
+	k.flightMu.Lock()
+	for i := range f.pages {
+		delete(k.flights, pageKey{obj: obj, offset: f.start + uint64(i)*k.pageSize})
+	}
+	k.flightMu.Unlock()
+}
+
+// flightFor returns the in-flight request covering key, if any.
 func (k *Kernel) flightFor(key pageKey) *pagerFlight {
 	k.flightMu.Lock()
 	f := k.flights[key]
@@ -56,66 +85,145 @@ func (k *Kernel) flightFor(key pageKey) *pagerFlight {
 	return f
 }
 
-// runPageInFlight runs the pager conversation for the flight's busy page
-// and resolves it. On success the page is filled and woken; on failure
-// (including ErrDataUnavailable) it is freed, so waiters parked on the
-// busy channel re-look-up and find it gone. The flight is unregistered
-// before the page is released either way, so a faulter can never join a
-// flight whose page has already moved on.
-func (k *Kernel) runPageInFlight(f *pagerFlight, key pageKey, p *Page, pager Pager) {
-	obj, offset := key.obj, key.offset
-	data, err := k.pagerRequestData(pager, obj, offset, int(k.pageSize))
-	if err == nil {
-		// Copy the pager's data into physical memory, charging the copy.
-		// A short read zero-fills the tail.
-		k.machine.ChargeKB(k.machine.Cost.CopyPerKB, len(data))
-		hwPage := k.machine.Mem.PageSize()
-		for i := 0; i < k.hwRatio; i++ {
-			pfn := p.pfn + vmtypes.PFN(i)
-			k.machine.Mem.LockFrame(pfn)
-			frame := k.machine.Mem.Frame(pfn)
-			lo := i * hwPage
-			if lo >= len(data) {
-				clear(frame)
-			} else {
-				n := copy(frame, data[lo:])
-				clear(frame[n:])
-			}
-			k.machine.Mem.UnlockFrame(pfn)
-		}
-		p.absent = false
-		k.stats.Pageins.Add(1)
+// indexOf translates an object offset into the flight's page index. Only
+// valid for offsets within the run (waiters join through registered keys).
+func (f *pagerFlight) indexOf(offset, pageSize uint64) int {
+	return int((offset - f.start) / pageSize)
+}
 
-		k.flightMu.Lock()
-		delete(k.flights, key)
-		k.flightMu.Unlock()
-		obj.mu.Lock()
-		obj.pagingInProgress--
-		obj.mu.Unlock()
-		f.err = nil
-		k.pageWakeup(p)
-		close(f.done)
-		return
+// fillPageFrom copies one page's worth of pager data starting at data[lo]
+// into p's hardware frames, zero-filling the tail of a short read.
+func (k *Kernel) fillPageFrom(p *Page, data []byte, lo int) {
+	hwPage := k.machine.Mem.PageSize()
+	for i := 0; i < k.hwRatio; i++ {
+		pfn := p.pfn + vmtypes.PFN(i)
+		k.machine.Mem.LockFrame(pfn)
+		frame := k.machine.Mem.Frame(pfn)
+		off := lo + i*hwPage
+		if off >= len(data) {
+			clear(frame)
+		} else {
+			n := copy(frame, data[off:])
+			clear(frame[n:])
+		}
+		k.machine.Mem.UnlockFrame(pfn)
+	}
+}
+
+// runClusterFlight runs the pager conversation for the flight's run of
+// busy pages and resolves each page individually. Filled pages go resident
+// (readahead extras on the inactive queue, so a wrong guess stays
+// reclaimable); pages the reply did not cover are freed with
+// errClusterSkipped so their waiters re-look-up; the anchor — the page the
+// leading faulter actually needs — is always resolved definitively, with a
+// single-page retry conversation if the clustered reply fell short of it.
+// The flight is unregistered before any page is released, so a faulter can
+// never join a flight whose pages have already moved on.
+func (k *Kernel) runClusterFlight(f *pagerFlight, obj *Object, pager Pager, anchor int) {
+	n := len(f.pages)
+	pgsz := int(k.pageSize)
+	data, err := k.pagerRequestData(pager, obj, f.start, n*pgsz)
+	k.stats.PagerRoundTrips.Add(1)
+	switch {
+	case err == nil:
+		// A short read is legal: the reply covers a prefix of the run
+		// and the rest is resolved separately. A successful reply always
+		// covers at least the first page (zero-filling its tail), which
+		// preserves the single-page semantics exactly.
+		covered := (len(data) + pgsz - 1) / pgsz
+		if covered < 1 {
+			covered = 1
+		}
+		if covered > n {
+			covered = n
+		}
+		k.machine.ChargeKB(k.machine.Cost.CopyPerKB, len(data))
+		for i := 0; i < n; i++ {
+			if i < covered {
+				k.fillPageFrom(f.pages[i], data, i*pgsz)
+				f.errs[i] = nil
+			} else {
+				f.errs[i] = errClusterSkipped
+			}
+		}
+	case errors.Is(err, ErrDataUnavailable):
+		// Definitive only for the first page: the pager said nothing
+		// about what lies beyond the offset it rejected.
+		f.errs[0] = err
+		for i := 1; i < n; i++ {
+			f.errs[i] = errClusterSkipped
+		}
+	default:
+		// Conversation failure (timeout, pager error): there is no
+		// per-page information to extract, so every page shares the
+		// failure — exactly as single-page flights always have.
+		for i := 0; i < n; i++ {
+			f.errs[i] = err
+		}
 	}
 
-	// Failure or no data: the busy page must not linger. Remove it and
-	// wake anyone parked on it before publishing the outcome.
-	k.flightMu.Lock()
-	delete(k.flights, key)
-	k.flightMu.Unlock()
+	if errors.Is(f.errs[anchor], errClusterSkipped) {
+		// The faulting page itself must leave the flight with a
+		// definitive answer; re-ask for it alone.
+		aoff := f.start + uint64(anchor)*k.pageSize
+		adata, aerr := k.pagerRequestData(pager, obj, aoff, pgsz)
+		k.stats.PagerRoundTrips.Add(1)
+		if aerr == nil {
+			k.machine.ChargeKB(k.machine.Cost.CopyPerKB, len(adata))
+			k.fillPageFrom(f.pages[anchor], adata, 0)
+			f.errs[anchor] = nil
+		} else {
+			f.errs[anchor] = aerr
+		}
+	}
+
+	// Unregister before releasing any page, so no faulter can join a dead
+	// flight, then resolve every page: fill-and-wake or free-and-wake.
+	k.unregisterFlight(obj, f)
 	obj.mu.Lock()
 	obj.pagingInProgress--
 	obj.mu.Unlock()
-	f.err = err
-	k.freePage(p)
+
+	filled := 0
+	for i, p := range f.pages {
+		if f.errs[i] != nil {
+			// Freeing removes the page's identity and wakes the waiters
+			// parked on its busy bit; they re-look-up and find it gone.
+			k.freePage(p)
+			continue
+		}
+		p.absent = false
+		filled++
+		// Resident-but-unmapped: a neighboring fault claims the page off
+		// the inactive queue without a conversation, while an unused
+		// readahead page stays within the pageout daemon's easy reach.
+		// The anchor is activated by its faulter right after wakeup.
+		if s, _ := k.lockPage(p); s != nil {
+			if p.wireCount.Load() == 0 {
+				k.setQueue(p, queueInactive)
+			}
+			s.mu.Unlock()
+		}
+		k.pageWakeup(p)
+	}
+	if filled > 0 {
+		k.stats.Pageins.Add(uint64(filled))
+		extras := filled
+		if f.errs[anchor] == nil {
+			extras--
+		}
+		if extras > 0 {
+			k.stats.ClusterExtras.Add(uint64(extras))
+		}
+	}
 	close(f.done)
 }
 
-// awaitPageFlight waits for the flight's outcome, or for the caller's
-// context — whichever comes first. An abandoning caller returns an error
-// immediately; the flight continues in the background and resolves the
-// busy page on its own deadline.
-func (k *Kernel) awaitPageFlight(ctx context.Context, f *pagerFlight) (int, error) {
+// awaitPageFlight waits for the flight's outcome for the page at offset,
+// or for the caller's context — whichever comes first. An abandoning
+// caller returns an error immediately; the flight continues in the
+// background and resolves its busy pages on its own deadline.
+func (k *Kernel) awaitPageFlight(ctx context.Context, f *pagerFlight, offset uint64) (int, error) {
 	if ctx.Done() != nil {
 		select {
 		case <-f.done:
@@ -126,24 +234,29 @@ func (k *Kernel) awaitPageFlight(ctx context.Context, f *pagerFlight) (int, erro
 	} else {
 		<-f.done
 	}
-	if f.err == nil {
+	err := f.errs[f.indexOf(offset, k.pageSize)]
+	switch {
+	case err == nil:
 		return flightResident, nil
-	}
-	if errors.Is(f.err, ErrDataUnavailable) {
+	case errors.Is(err, errClusterSkipped):
+		return flightSkipped, nil
+	case errors.Is(err, ErrDataUnavailable):
 		return flightUnavailable, nil
+	default:
+		return flightFailed, err
 	}
-	return flightFailed, f.err
 }
 
-// resolveFlight waits for f and applies obj's degradation policy to a
-// failure. It returns pageIn's pair: retry=true means the page is
-// resident (rewalk the chain and claim it); retry=false with no error
-// means "no data here" (continue down the shadow chain without re-asking
-// this level's pager); an error aborts the fault.
+// resolveFlight waits for f's outcome at offset and applies obj's
+// degradation policy to a failure. It returns pageIn's pair: retry=true
+// means rewalk the chain (the page is resident, or its fate is unknown and
+// the rewalk will settle it); retry=false with no error means "no data
+// here" (continue down the shadow chain without re-asking this level's
+// pager); an error aborts the fault.
 func (k *Kernel) resolveFlight(ctx context.Context, obj *Object, offset uint64, f *pagerFlight) (retry bool, err error) {
-	st, ferr := k.awaitPageFlight(ctx, f)
+	st, ferr := k.awaitPageFlight(ctx, f, offset)
 	switch st {
-	case flightResident:
+	case flightResident, flightSkipped:
 		return true, nil
 	case flightUnavailable:
 		return false, nil
@@ -204,26 +317,72 @@ func (k *Kernel) claimPageOrFlight(obj *Object, offset uint64) (*Page, *pagerFli
 	}
 }
 
-// pageIn asks the object's pager for the page at offset, through a
-// registered single-flight conversation bounded by the kernel's
-// PagerPolicy. Returns as resolveFlight does: retry=true means rewalk the
-// chain (the page is resident, or a concurrent faulter owns the offset);
-// retry=false with no error means the pager has no data (or degradation
-// chose zero-fill) and the caller continues down the chain.
-func (k *Kernel) pageIn(ctx context.Context, obj *Object, offset uint64, pager Pager) (retry bool, err error) {
-	return k.pageInWith(ctx, obj, offset, pager, pager == k.swap)
+// pageIn asks the object's pager for the page at offset — and, when the
+// object's cluster size allows, for an aligned run of neighbors around it
+// in the same conversation — through a registered single-flight bounded by
+// the kernel's PagerPolicy. [winLo, winHi) is the map entry's window in
+// obj's byte coordinates; the cluster never reads past it. Returns as
+// resolveFlight does: retry=true means rewalk the chain; retry=false with
+// no error means the pager has no data (or degradation chose zero-fill)
+// and the caller continues down the chain.
+func (k *Kernel) pageIn(ctx context.Context, obj *Object, offset uint64, pager Pager, winLo, winHi uint64) (retry bool, err error) {
+	return k.pageInWith(ctx, obj, offset, pager, pager == k.swap, winLo, winHi)
 }
 
 // pageInFallback is the FallbackSwap degradation read: ask the default
 // pager for the data instead. Marked as a fallback so a swap failure
-// surfaces instead of recursing.
+// surfaces instead of recursing; a degraded read stays single-page.
 func (k *Kernel) pageInFallback(ctx context.Context, obj *Object, offset uint64) (retry bool, err error) {
-	return k.pageInWith(ctx, obj, offset, k.swap, true)
+	return k.pageInWith(ctx, obj, offset, k.swap, true, offset, offset+k.pageSize)
 }
 
-func (k *Kernel) pageInWith(ctx context.Context, obj *Object, offset uint64, pager Pager, isFallback bool) (retry bool, err error) {
-	// Insert a busy page first so concurrent faulters wait instead of
-	// issuing duplicate requests.
+// clusterBounds computes the aligned cluster window around a faulting
+// offset: [lo, hi) in obj's byte coordinates, clipped to the map entry's
+// window and the object's size. Locking pagers negotiate per-offset locks
+// on data delivery, so clustering is disabled for them — a cluster page
+// must never bypass a lock the pager would have attached.
+func (k *Kernel) clusterBounds(obj *Object, pager Pager, offset, winLo, winHi uint64) (lo, hi uint64) {
+	lo, hi = offset, offset+k.pageSize
+	cluster := obj.ClusterSize()
+	if cluster <= 1 {
+		return lo, hi
+	}
+	if _, ok := pager.(LockingPager); ok {
+		return lo, hi
+	}
+	span := uint64(cluster) * k.pageSize
+	clo := offset - offset%span
+	chi := clo + span
+	if clo < winLo {
+		clo = winLo
+	}
+	if chi > winHi {
+		chi = winHi
+	}
+	if size := k.roundPage(obj.Size()); chi > size {
+		chi = size
+	}
+	// The run always contains the faulting page, whatever the window
+	// arithmetic produced.
+	if clo > lo {
+		clo = lo
+	}
+	if chi < hi {
+		chi = hi
+	}
+	return clo, chi
+}
+
+// clusterAllocOK reports whether readahead may take another free page.
+// Clustering never digs into the pageout reserve the way a demand fault
+// must: a cluster under memory pressure just shrinks to the anchor.
+func (k *Kernel) clusterAllocOK() bool {
+	return k.FreeCount() > k.freeMin
+}
+
+func (k *Kernel) pageInWith(ctx context.Context, obj *Object, offset uint64, pager Pager, isFallback bool, winLo, winHi uint64) (retry bool, err error) {
+	// Insert a busy anchor page first so concurrent faulters wait instead
+	// of issuing duplicate requests.
 	p, fresh, err := k.allocPage(obj, offset)
 	if err != nil {
 		return false, err
@@ -233,6 +392,40 @@ func (k *Kernel) pageInWith(ctx context.Context, obj *Object, offset uint64, pag
 	}
 	p.absent = true
 
+	// Extend the run contiguously around the anchor within the cluster
+	// window, claiming each neighbor as a fresh busy absent page.
+	// Best-effort: the run stops at an already-resident neighbor, at an
+	// allocation failure, or when free memory is too tight for readahead.
+	lo, hi := k.clusterBounds(obj, pager, offset, winLo, winHi)
+	var below, above []*Page
+	for o := offset; o > lo && k.clusterAllocOK(); o -= k.pageSize {
+		q, qfresh, qerr := k.allocPage(obj, o-k.pageSize)
+		if qerr != nil || !qfresh {
+			break
+		}
+		q.absent = true
+		below = append(below, q) // nearest first
+	}
+	for o := offset + k.pageSize; o < hi && k.clusterAllocOK(); o += k.pageSize {
+		q, qfresh, qerr := k.allocPage(obj, o)
+		if qerr != nil || !qfresh {
+			break
+		}
+		q.absent = true
+		above = append(above, q)
+	}
+
+	f := &pagerFlight{done: make(chan struct{}), isFallback: isFallback}
+	f.start = offset - uint64(len(below))*k.pageSize
+	f.pages = make([]*Page, 0, len(below)+1+len(above))
+	for i := len(below) - 1; i >= 0; i-- {
+		f.pages = append(f.pages, below[i])
+	}
+	f.pages = append(f.pages, p)
+	f.pages = append(f.pages, above...)
+	f.errs = make([]error, len(f.pages))
+	anchor := len(below)
+
 	// The pager conversation happens with no locks held; raising
 	// pagingInProgress keeps the object from being collapsed or torn down
 	// while the request is in flight.
@@ -240,16 +433,14 @@ func (k *Kernel) pageInWith(ctx context.Context, obj *Object, offset uint64, pag
 	obj.pagingInProgress++
 	obj.mu.Unlock()
 
-	f := &pagerFlight{done: make(chan struct{}), isFallback: isFallback}
-	key := pageKey{obj: obj, offset: offset}
-	k.registerFlight(key, f)
+	k.registerFlight(obj, f)
 	if ctx.Done() == nil {
 		// The caller cannot be cancelled, so waiting for the flight is
 		// the same as running it: skip the goroutine handoff. The
 		// conversation is still bounded by the kernel's deadline.
-		k.runPageInFlight(f, key, p, pager)
+		k.runClusterFlight(f, obj, pager, anchor)
 	} else {
-		go k.runPageInFlight(f, key, p, pager)
+		go k.runClusterFlight(f, obj, pager, anchor)
 	}
 	return k.resolveFlight(ctx, obj, offset, f)
 }

@@ -45,6 +45,9 @@ func (m *Map) mergeWithNextLocked(e *MapEntry) {
 	e.end = n.end
 	m.sizeBytes += n.Span() // removeEntryLocked subtracts it again
 	m.removeEntryLocked(n)
+	// The deferred releases above captured their pointers when the defers
+	// were registered, so zeroing n for reuse is safe here.
+	m.recycleEntryLocked(n)
 	m.charge()
 }
 

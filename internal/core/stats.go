@@ -41,6 +41,11 @@ type Stats struct {
 	PagerFlightJoins  atomic.Uint64 // faulters that joined an in-flight pager request
 	PagerAbandons     atomic.Uint64 // faulters whose context fired while a request was in flight
 	PageoutWriteFails atomic.Uint64 // DataWrite failures that kept the page dirty and resident
+	PagerRoundTrips   atomic.Uint64 // DataRequest conversations issued (clustered or single)
+	ClusterExtras     atomic.Uint64 // readahead pages installed beyond the faulting page
+	PageoutRuns       atomic.Uint64 // DataWrite conversations issued by the pageout daemon
+	PageoutRunPages   atomic.Uint64 // dirty pages carried by those DataWrites
+	SpanPromotions    atomic.Uint64 // whole-span EnterRange promotions driven by faults
 }
 
 // Stats returns the kernel's counters.
@@ -81,6 +86,11 @@ type Statistics struct {
 	PagerFallbacks   uint64
 	PagerFlightJoins uint64
 	PagerAbandons    uint64
+	PagerRoundTrips  uint64
+	ClusterExtras    uint64
+	PageoutRuns      uint64
+	PageoutRunPages  uint64
+	SpanPromotions   uint64
 }
 
 // VMStatistics implements vm_statistics: statistics about the use of
@@ -127,5 +137,10 @@ func (k *Kernel) VMStatistics() Statistics {
 	s.PagerFallbacks = k.stats.PagerFallbacks.Load()
 	s.PagerFlightJoins = k.stats.PagerFlightJoins.Load()
 	s.PagerAbandons = k.stats.PagerAbandons.Load()
+	s.PagerRoundTrips = k.stats.PagerRoundTrips.Load()
+	s.ClusterExtras = k.stats.ClusterExtras.Load()
+	s.PageoutRuns = k.stats.PageoutRuns.Load()
+	s.PageoutRunPages = k.stats.PageoutRunPages.Load()
+	s.SpanPromotions = k.stats.SpanPromotions.Load()
 	return s
 }

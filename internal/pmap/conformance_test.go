@@ -456,6 +456,249 @@ func TestTableMemoryAccounting(t *testing.T) {
 	pmR.Destroy()
 }
 
+// enterRange establishes a run of mappings the way the machine-independent
+// layer does: one EnterRange when the module supports it, a per-page loop
+// otherwise. Conformance: both paths must produce indistinguishable maps.
+func enterRange(pm pmap.Map, va vmtypes.VA, pfns []vmtypes.PFN, ps vmtypes.VA, prot vmtypes.Prot, wired bool) {
+	if re, ok := pm.(pmap.RangeEnterer); ok {
+		re.EnterRange(va, pfns, prot, wired)
+		return
+	}
+	for i, pfn := range pfns {
+		pm.Enter(va+vmtypes.VA(i)*ps, pfn, prot, wired)
+	}
+}
+
+// superMap is the introspection surface the superpage modules export for
+// tests and invariant walkers.
+type superMap interface {
+	pmap.RangeEnterer
+	SuperCount() int
+	CheckSuperInvariants() error
+}
+
+func checkSuperInvariants(t *testing.T, pm pmap.Map) {
+	t.Helper()
+	if sm, ok := pm.(superMap); ok {
+		if err := sm.CheckSuperInvariants(); err != nil {
+			t.Fatalf("superpage invariants: %v", err)
+		}
+	}
+}
+
+// TestEnterRangeMatchesEnter runs every module through the MI layer's two
+// range paths: whatever EnterRange (or its per-page fallback) established
+// must be indistinguishable from individual Enter calls through
+// Walk/Extract/Access, and sub-range Remove must behave identically —
+// including demoting any promoted span rather than over-removing.
+func TestEnterRangeMatchesEnter(t *testing.T) {
+	forEachArch(t, func(t *testing.T, a testArch) {
+		_, mod := newTestMachine(a, 1)
+		perPage := mod.Create()
+		ranged := mod.Create()
+		defer perPage.Destroy()
+		defer ranged.Destroy()
+		ps := vmtypes.VA(a.hwPageSize)
+		const n = 16
+		base := vmtypes.VA(32) * ps
+
+		// Distinct frames per map so the RT PC's one-mapping-per-frame
+		// rule cannot couple the two maps.
+		var pfnsA, pfnsB []vmtypes.PFN
+		for i := 0; i < n; i++ {
+			pfnsA = append(pfnsA, vmtypes.PFN(1+i))
+			pfnsB = append(pfnsB, vmtypes.PFN(101+i))
+		}
+		for i, pfn := range pfnsA {
+			perPage.Enter(base+vmtypes.VA(i)*ps, pfn, vmtypes.ProtDefault, false)
+		}
+		enterRange(ranged, base, pfnsB, ps, vmtypes.ProtDefault, false)
+		checkSuperInvariants(t, ranged)
+
+		for i := 0; i < n; i++ {
+			va := base + vmtypes.VA(i)*ps
+			_, protA, okA := perPage.Walk(va)
+			pfnB, protB, okB := ranged.Walk(va)
+			if !okB {
+				// A module that may forget (tlbonly) must forget from both
+				// paths alike; a hit on the per-page map with a miss on the
+				// ranged map would make the paths distinguishable.
+				if okA {
+					t.Fatalf("page %d: per-page path translates, range path lost it", i)
+				}
+				continue
+			}
+			if pfnB != pfnsB[i] {
+				t.Fatalf("page %d: range path maps to %d, want %d", i, pfnB, pfnsB[i])
+			}
+			if okA && protA != protB {
+				t.Fatalf("page %d: prot differs, per-page %v vs range %v", i, protA, protB)
+			}
+			if got, ok := ranged.Extract(va); !ok || got != pfnsB[i] {
+				t.Fatalf("page %d: Extract = %d,%v; want %d,true", i, got, ok, pfnsB[i])
+			}
+		}
+
+		// Sub-range removal must behave identically on both paths.
+		perPage.Remove(base+4*ps, base+8*ps)
+		ranged.Remove(base+4*ps, base+8*ps)
+		checkSuperInvariants(t, ranged)
+		for i := 0; i < n; i++ {
+			va := base + vmtypes.VA(i)*ps
+			inHole := i >= 4 && i < 8
+			if inHole && (perPage.Access(va) || ranged.Access(va)) {
+				t.Fatalf("page %d survived Remove", i)
+			}
+			if !inHole && ranged.Access(va) != perPage.Access(va) {
+				t.Fatalf("page %d: Access disagrees between paths after Remove", i)
+			}
+		}
+	})
+}
+
+// TestModuleSuperpageLifecycle drives the two superpage modules (vax
+// page-table chunks, sun3 PMEG segments) through promotion and every
+// demotion trigger, with the invariant walker run after each step.
+func TestModuleSuperpageLifecycle(t *testing.T) {
+	forEachArch(t, func(t *testing.T, a testArch) {
+		_, mod := newTestMachine(a, 1)
+		pm := mod.Create()
+		defer pm.Destroy()
+		sm, ok := pm.(superMap)
+		if !ok {
+			t.Skipf("%s has no superpage support (per-page fallback covered elsewhere)", a.name)
+		}
+		ps := vmtypes.VA(a.hwPageSize)
+		span := vmtypes.VA(sm.SuperSpan())
+		n := int(span / ps)
+		base := 2 * span
+
+		pfns := make([]vmtypes.PFN, n)
+		for i := range pfns {
+			pfns[i] = vmtypes.PFN(1 + i)
+		}
+		sm.EnterRange(base, pfns, vmtypes.ProtDefault, false)
+		checkSuperInvariants(t, pm)
+		if !sm.SuperActive(base) {
+			t.Fatal("full uniform EnterRange did not promote the granule")
+		}
+		if sm.SuperCount() == 0 {
+			t.Fatal("SuperCount = 0 after promotion")
+		}
+		// Promoted translations are still per-page correct.
+		for i := 0; i < n; i++ {
+			if pfn, _, ok := pm.Walk(base + vmtypes.VA(i)*ps); !ok || pfn != pfns[i] {
+				t.Fatalf("promoted page %d: Walk = %d,%v; want %d,true", i, pfn, ok, pfns[i])
+			}
+		}
+
+		// Demotion trigger 1: non-uniform protection.
+		pm.Protect(base, base+ps, vmtypes.ProtRead)
+		checkSuperInvariants(t, pm)
+		if sm.SuperActive(base) {
+			t.Fatal("granule still promoted after partial Protect")
+		}
+		if _, prot, ok := pm.Walk(base); !ok || prot.Allows(vmtypes.ProtWrite) {
+			t.Fatalf("protected page: Walk = %v,%v; want read-only hit", prot, ok)
+		}
+		if _, prot, ok := pm.Walk(base + ps); !ok || !prot.Allows(vmtypes.ProtWrite) {
+			t.Fatalf("neighbor lost write on demotion: %v,%v", prot, ok)
+		}
+
+		// Demotion trigger 2: partial Remove of a promoted granule.
+		base2 := base + span
+		sm.EnterRange(base2, pfns, vmtypes.ProtDefault, false)
+		checkSuperInvariants(t, pm)
+		if !sm.SuperActive(base2) {
+			t.Fatal("second granule did not promote")
+		}
+		pm.Remove(base2, base2+ps)
+		checkSuperInvariants(t, pm)
+		if sm.SuperActive(base2) {
+			t.Fatal("granule still promoted after partial Remove")
+		}
+		if pm.Access(base2) {
+			t.Fatal("removed page still translates")
+		}
+		if !pm.Access(base2 + ps) {
+			t.Fatal("demotion dropped a neighbor that was not removed")
+		}
+
+		// Collect drops unwired state (demoting as needed)...
+		pm.Collect()
+		checkSuperInvariants(t, pm)
+		// ...but a wired promoted granule survives Collect whole.
+		base3 := base2 + span
+		sm.EnterRange(base3, pfns, vmtypes.ProtDefault, true)
+		checkSuperInvariants(t, pm)
+		pm.Collect()
+		checkSuperInvariants(t, pm)
+		for i := 0; i < n; i++ {
+			if !pm.Access(base3 + vmtypes.VA(i)*ps) {
+				t.Fatalf("Collect dropped wired page %d of a promoted granule", i)
+			}
+		}
+	})
+}
+
+// TestRangeOpsUnderDeferredShootdown exercises promotion and demotion with
+// the deferred shootdown strategy on multiple CPUs: removing a promoted
+// granule queues per-CPU invalidations without IPIs, and after pmap_update
+// no CPU may still translate through the dead span.
+func TestRangeOpsUnderDeferredShootdown(t *testing.T) {
+	for _, a := range allArchs() {
+		t.Run(a.name, func(t *testing.T) {
+			machine := hw.NewMachine(hw.Config{
+				Cost:       a.cost,
+				HWPageSize: a.hwPageSize,
+				PhysFrames: a.frames,
+				CPUs:       4,
+				TLBSize:    64,
+			})
+			mod := a.newModule(machine, pmap.ShootDeferred)
+			pm := mod.Create()
+			defer pm.Destroy()
+			sm, ok := pm.(superMap)
+			if !ok {
+				t.Skipf("%s has no range support", a.name)
+			}
+			for _, cpu := range machine.CPUs() {
+				pm.Activate(cpu)
+			}
+			ps := vmtypes.VA(a.hwPageSize)
+			span := vmtypes.VA(sm.SuperSpan())
+			n := int(span / ps)
+			base := 2 * span
+			pfns := make([]vmtypes.PFN, n)
+			for i := range pfns {
+				pfns[i] = vmtypes.PFN(1 + i)
+			}
+			sm.EnterRange(base, pfns, vmtypes.ProtDefault, false)
+			if !sm.SuperActive(base) {
+				t.Fatal("granule did not promote")
+			}
+			// Warm every CPU's TLB through the promoted mapping.
+			for _, cpu := range machine.CPUs() {
+				if res := pmap.Access(mod, cpu, pm, base, vmtypes.ProtRead); res.Fault != vmtypes.FaultNone {
+					t.Fatalf("warmup fault on cpu %d: %v", cpu.ID, res.Fault)
+				}
+			}
+			before := machine.IPIsSent()
+			pm.Remove(base, base+span)
+			checkSuperInvariants(t, pm)
+			if machine.IPIsSent() != before {
+				t.Fatal("deferred strategy sent IPIs on Remove")
+			}
+			mod.Update()
+			for _, cpu := range machine.CPUs() {
+				if res := pmap.Access(mod, cpu, pm, base, vmtypes.ProtRead); res.Fault == vmtypes.FaultNone {
+					t.Fatalf("cpu %d still translates a removed promoted span", cpu.ID)
+				}
+			}
+		})
+	}
+}
+
 func mustPanic(t *testing.T, what string, fn func()) {
 	t.Helper()
 	defer func() {

@@ -21,6 +21,11 @@ type MapCore struct {
 
 	activeMu sync.Mutex
 	active   []*hw.CPU
+	// activeSnap is a copy-on-write snapshot of active, rebuilt on every
+	// (rare) activate/deactivate so the hot shootdown paths can read the
+	// CPU set without locking or allocating. The slice behind the pointer
+	// is immutable: readers iterate it, never mutate or retain it.
+	activeSnap atomic.Pointer[[]*hw.CPU]
 }
 
 // InitCore initialises the core with a fresh space and one reference.
@@ -51,7 +56,15 @@ func (mc *MapCore) ActivateOn(cpu *hw.CPU) {
 		}
 	}
 	mc.active = append(mc.active, cpu)
+	mc.snapLocked()
 	cpu.SetActiveSpace(mc.space)
+}
+
+// snapLocked rebuilds the immutable active-CPU snapshot; activeMu held.
+func (mc *MapCore) snapLocked() {
+	snap := make([]*hw.CPU, len(mc.active))
+	copy(snap, mc.active)
+	mc.activeSnap.Store(&snap)
 }
 
 // DeactivateOn records that cpu no longer runs with this map.
@@ -62,6 +75,7 @@ func (mc *MapCore) DeactivateOn(cpu *hw.CPU) {
 		if c == cpu {
 			mc.active[i] = mc.active[len(mc.active)-1]
 			mc.active = mc.active[:len(mc.active)-1]
+			mc.snapLocked()
 			return
 		}
 	}
@@ -69,13 +83,15 @@ func (mc *MapCore) DeactivateOn(cpu *hw.CPU) {
 
 // ActiveCPUs returns a snapshot of the CPUs this map is active on.
 // Full information as to which processors are currently using which maps
-// is provided to pmap from machine-independent code (§3.6).
+// is provided to pmap from machine-independent code (§3.6). The returned
+// slice is a shared immutable snapshot (copy-on-write, refreshed by
+// ActivateOn/DeactivateOn): callers iterate it but must not mutate or
+// retain it, which keeps per-page shootdowns allocation-free.
 func (mc *MapCore) ActiveCPUs() []*hw.CPU {
-	mc.activeMu.Lock()
-	defer mc.activeMu.Unlock()
-	out := make([]*hw.CPU, len(mc.active))
-	copy(out, mc.active)
-	return out
+	if snap := mc.activeSnap.Load(); snap != nil {
+		return *snap
+	}
+	return nil
 }
 
 // IsActive reports whether any CPU currently uses the map.

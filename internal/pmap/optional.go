@@ -24,3 +24,33 @@ type Copier interface {
 type Pageabler interface {
 	Pageable(start, end vmtypes.VA, pageable bool)
 }
+
+// RangeEnterer is the optional range extension of pmap_enter: establish a
+// run of consecutive hardware mappings in one call. The paper's interface
+// is strictly per-page; a module implements RangeEnterer when its table
+// structure lets it do materially better than a loop of Enter calls —
+// batching lock holds and shootdowns per table granule, and recognizing
+// when a granule has become fully and uniformly mapped so it can be
+// treated as one large mapping ("superpage"). Machines with nothing to
+// gain (ns32082, rtpc, tlbonly) simply do not implement the interface and
+// the machine-independent layer falls back to the per-page loop.
+//
+// Every mapping established through EnterRange must be indistinguishable,
+// through Extract/Access/Walk and the physical-to-virtual database, from
+// the same mappings established by individual Enter calls; promotion is a
+// module-private representation change, never a semantic one.
+type RangeEnterer interface {
+	// EnterRange maps len(pfns) consecutive hardware pages starting at
+	// va, all with the same protection and wiring. va must be hardware-
+	// page aligned; pfns[i] backs va + i*pagesize.
+	EnterRange(va vmtypes.VA, pfns []vmtypes.PFN, prot vmtypes.Prot, wired bool)
+
+	// SuperSpan returns the byte span of the module's promotion granule
+	// (the VAX page-table page, the SUN 3 segment). The machine-
+	// independent layer uses it to size promotion attempts.
+	SuperSpan() uint64
+
+	// SuperActive reports whether the granule containing va is currently
+	// promoted, letting callers skip redundant promotion work.
+	SuperActive(va vmtypes.VA) bool
+}

@@ -60,6 +60,25 @@ func TestPmapModelProperty(t *testing.T) {
 						model[vpn+d] = mm
 					}
 				}
+			case 8: // range enter (EnterRange or the MI per-page fallback)
+				n := uint64(rng.Intn(6) + 2)
+				if vpn+n > vpnSpace {
+					n = vpnSpace - vpn
+				}
+				prot := []vmtypes.Prot{vmtypes.ProtRead, vmtypes.ProtDefault, vmtypes.ProtAll}[rng.Intn(3)]
+				pfns := make([]vmtypes.PFN, n)
+				for d := range pfns {
+					pfns[d] = pfnFor(vpn + uint64(d))
+				}
+				enterRange(pm, va, pfns, vmtypes.VA(ps), prot, false)
+				for d := uint64(0); d < n; d++ {
+					model[vpn+d] = modelMapping{pfn: pfnFor(vpn + d), prot: prot}
+				}
+				if sm, ok := pm.(superMap); ok {
+					if err := sm.CheckSuperInvariants(); err != nil {
+						t.Fatalf("%s: superpage invariants after EnterRange: %v", a.name, err)
+					}
+				}
 			case 7: // collect: pmap may forget all non-wired mappings
 				pm.Collect()
 				for v, mm := range model {

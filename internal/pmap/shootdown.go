@@ -167,6 +167,9 @@ type ModuleStats struct {
 	CopyOnWrites  atomic.Uint64
 	AliasReplaces atomic.Uint64 // RT PC: one-mapping-per-page evictions
 	ContextSteals atomic.Uint64 // SUN 3: >8 active tasks compete
+	RangeEnters   atomic.Uint64 // batched EnterRange calls (RangeEnterer modules)
+	Promotions    atomic.Uint64 // table granules promoted to superpage status
+	Demotions     atomic.Uint64 // superpages broken back to base pages
 	TableBytes    atomic.Int64  // current machine-dependent table memory
 	TableBytesMax atomic.Int64  // high-water mark
 }

@@ -13,6 +13,7 @@
 package sun3
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -113,18 +114,23 @@ type pentry struct {
 }
 
 // pmeg is a page-map entry group: the page table for one 128KB segment.
+// A PMEG whose every entry is valid with one uniform protection is
+// "super": the MMU can satisfy the translation from the segment probe
+// alone, so Walk on a promoted PMEG charges one level instead of two.
 type pmeg struct {
 	entries [pagesPerPMEG]pentry
 	used    int
+	super   bool
 }
 
 type sun3Map struct {
 	pmap.MapCore
 	mod *Module
 
-	mu       sync.Mutex
-	segments map[uint64]*pmeg
-	resident int
+	mu         sync.Mutex
+	segments   map[uint64]*pmeg
+	resident   int
+	superCount int
 
 	// context and lastUsed are guarded by mod.mu; haveContext is
 	// atomic because the hot Walk path reads it.
@@ -214,6 +220,9 @@ func (m *sun3Map) dropHardwareState() {
 			p.used--
 			m.resident--
 		}
+		if p.super && p.used != pagesPerPMEG {
+			m.demoteLocked(p)
+		}
 		if allGone && p.used == 0 {
 			delete(m.segments, seg)
 		}
@@ -234,6 +243,42 @@ func (m *sun3Map) pmegFor(vpn uint64, create bool) *pmeg {
 		m.mod.Machine().Charge(m.mod.Machine().Cost.PTEOp * pagesPerPMEG / 4)
 	}
 	return p
+}
+
+// updateSuperLocked re-derives the PMEG's superpage status after entry
+// changes: super exactly when every entry is valid with one uniform
+// protection. O(1) unless the PMEG is full. Called with m.mu held.
+func (m *sun3Map) updateSuperLocked(p *pmeg) {
+	want := p.used == pagesPerPMEG
+	if want {
+		p0 := p.entries[0].prot
+		for i := 1; i < pagesPerPMEG; i++ {
+			if p.entries[i].prot != p0 {
+				want = false
+				break
+			}
+		}
+	}
+	switch {
+	case want && !p.super:
+		p.super = true
+		m.superCount++
+		m.mod.Stats().Promotions.Add(1)
+	case !want && p.super:
+		p.super = false
+		m.superCount--
+		m.mod.Stats().Demotions.Add(1)
+	}
+}
+
+// demoteLocked clears a PMEG's superpage status on a partial operation
+// known to break it (a removal). Called with m.mu held.
+func (m *sun3Map) demoteLocked(p *pmeg) {
+	if p.super {
+		p.super = false
+		m.superCount--
+		m.mod.Stats().Demotions.Add(1)
+	}
 }
 
 // Enter establishes one hardware mapping, acquiring a context first if
@@ -258,6 +303,7 @@ func (m *sun3Map) Enter(va vmtypes.VA, pfn vmtypes.PFN, prot vmtypes.Prot, wired
 		m.resident++
 	}
 	*e = pentry{pfn: pfn, prot: prot, valid: true, wired: wired}
+	m.updateSuperLocked(p)
 	m.mu.Unlock()
 
 	if replaced {
@@ -290,6 +336,7 @@ func (m *sun3Map) Remove(start, end vmtypes.VA) {
 		*e = pentry{}
 		p.used--
 		m.resident--
+		m.demoteLocked(p)
 		if p.used == 0 {
 			delete(m.segments, vpn/pagesPerPMEG)
 		}
@@ -320,6 +367,9 @@ func (m *sun3Map) Protect(start, end vmtypes.VA, prot vmtypes.Prot) {
 			changed = np != e.prot
 			e.prot = np
 		}
+		if changed {
+			m.updateSuperLocked(p)
+		}
 		m.mu.Unlock()
 		if changed {
 			mod.Machine().Charge(mod.Machine().Cost.PTEOp)
@@ -334,8 +384,8 @@ func (m *sun3Map) Protect(start, end vmtypes.VA, prot vmtypes.Prot) {
 func (m *sun3Map) Walk(va vmtypes.VA) (vmtypes.PFN, vmtypes.Prot, bool) {
 	mod := m.mod
 	mod.Stats().Walks.Add(1)
-	mod.Machine().Charge(2 * mod.Machine().Cost.WalkLevel)
 	if !m.haveContext.Load() {
+		mod.Machine().Charge(2 * mod.Machine().Cost.WalkLevel)
 		mod.Stats().WalkMisses.Add(1)
 		return 0, 0, false
 	}
@@ -343,6 +393,13 @@ func (m *sun3Map) Walk(va vmtypes.VA) (vmtypes.PFN, vmtypes.Prot, bool) {
 	defer m.mu.Unlock()
 	vpn := uint64(va) / HWPageSize
 	p := m.pmegFor(vpn, false)
+	if p != nil && p.super {
+		// A promoted PMEG acts as one segment-level mapping: the segment
+		// probe alone resolves the translation.
+		mod.Machine().Charge(mod.Machine().Cost.WalkLevel)
+	} else {
+		mod.Machine().Charge(2 * mod.Machine().Cost.WalkLevel)
+	}
 	if p == nil || !p.entries[vpn%pagesPerPMEG].valid {
 		mod.Stats().WalkMisses.Add(1)
 		return 0, 0, false
@@ -409,6 +466,7 @@ func (m *sun3Map) Destroy() {
 				victims = append(victims, victim{vpn: seg*pagesPerPMEG + uint64(i), pfn: e.pfn})
 			}
 		}
+		m.demoteLocked(p)
 		delete(m.segments, seg)
 	}
 	m.resident = 0
@@ -436,3 +494,124 @@ func (m *sun3Map) ResidentCount() int {
 
 // HasContext reports whether the map currently holds a hardware context.
 func (m *sun3Map) HasContext() bool { return m.haveContext.Load() }
+
+// EnterRange implements the optional pmap.RangeEnterer: one context
+// acquisition and one lock hold per PMEG for a run of consecutive
+// mappings, with promotion checked once per touched PMEG.
+func (m *sun3Map) EnterRange(va vmtypes.VA, pfns []vmtypes.PFN, prot vmtypes.Prot, wired bool) {
+	if len(pfns) == 0 {
+		return
+	}
+	if uint64(va)%HWPageSize != 0 {
+		panic("sun3: EnterRange address not hardware-page aligned")
+	}
+	if va+vmtypes.VA(len(pfns))*HWPageSize > MaxUserVA {
+		panic("sun3: virtual address beyond the 256MB map limit")
+	}
+	mod := m.mod
+	mod.acquireContext(m)
+	mod.Stats().RangeEnters.Add(1)
+	mod.Stats().Enters.Add(uint64(len(pfns)))
+
+	type replacement struct {
+		vpn uint64
+		pfn vmtypes.PFN
+	}
+	var replaced []replacement
+	startVPN := uint64(va) / HWPageSize
+	for i := 0; i < len(pfns); {
+		seg := (startVPN + uint64(i)) / pagesPerPMEG
+		m.mu.Lock()
+		p := m.pmegFor(startVPN+uint64(i), true)
+		for ; i < len(pfns); i++ {
+			vpn := startVPN + uint64(i)
+			if vpn/pagesPerPMEG != seg {
+				break
+			}
+			mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+			e := &p.entries[vpn%pagesPerPMEG]
+			want := pentry{pfn: pfns[i], prot: prot, valid: true, wired: wired}
+			if *e == want {
+				continue
+			}
+			if e.valid {
+				replaced = append(replaced, replacement{vpn: vpn, pfn: e.pfn})
+			} else {
+				p.used++
+				m.resident++
+			}
+			*e = want
+		}
+		m.updateSuperLocked(p)
+		m.mu.Unlock()
+	}
+	for _, r := range replaced {
+		if r.pfn != pfns[r.vpn-startVPN] {
+			mod.DB().RemovePV(r.pfn, m, vmtypes.VA(r.vpn*HWPageSize))
+		}
+		mod.Shootdown().InvalidatePage(m.Space(), r.vpn, m.ActiveCPUs(), true)
+	}
+	for i, pfn := range pfns {
+		mod.DB().AddPV(pfn, m, vmtypes.VA((startVPN+uint64(i))*HWPageSize))
+	}
+}
+
+// SuperSpan returns the SUN 3 promotion granule: one 128KB segment.
+func (m *sun3Map) SuperSpan() uint64 { return segmentSize }
+
+// SuperActive reports whether the PMEG containing va is promoted.
+func (m *sun3Map) SuperActive(va vmtypes.VA) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.segments[uint64(va)/HWPageSize/pagesPerPMEG]
+	return p != nil && p.super
+}
+
+// SuperCount returns the number of currently promoted PMEGs.
+func (m *sun3Map) SuperCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.superCount
+}
+
+// CheckSuperInvariants verifies the promotion bookkeeping: each PMEG's
+// used matches its count of valid entries, a PMEG is marked super exactly
+// when fully mapped with uniform protection, and the map-wide counter
+// matches the marked PMEGs.
+func (m *sun3Map) CheckSuperInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	supers := 0
+	for seg, p := range m.segments {
+		used := 0
+		mixed := false
+		var p0 vmtypes.Prot
+		for i := range p.entries {
+			if !p.entries[i].valid {
+				continue
+			}
+			if used == 0 {
+				p0 = p.entries[i].prot
+			} else if p.entries[i].prot != p0 {
+				mixed = true
+			}
+			used++
+		}
+		if used != p.used {
+			return fmt.Errorf("sun3: segment %d records used=%d but holds %d valid entries", seg, p.used, used)
+		}
+		uniform := used == pagesPerPMEG && !mixed
+		if p.super != uniform {
+			return fmt.Errorf("sun3: segment %d super=%v but full-and-uniform=%v", seg, p.super, uniform)
+		}
+		if p.super {
+			supers++
+		}
+	}
+	if supers != m.superCount {
+		return fmt.Errorf("sun3: superCount=%d but %d segments are marked super", m.superCount, supers)
+	}
+	return nil
+}
+
+var _ pmap.RangeEnterer = (*sun3Map)(nil)

@@ -13,6 +13,7 @@
 package vax
 
 import (
+	"fmt"
 	"sync"
 
 	"machvm/internal/hw"
@@ -124,19 +125,24 @@ type pte struct {
 }
 
 // ptChunk is one page-table page: the granule at which Mach creates and
-// destroys VAX page tables.
+// destroys VAX page tables. A chunk whose every PTE is valid with one
+// uniform protection is "super": the closest thing 1987 VAX hardware has
+// to a superpage, a page-table page the module can treat as one large
+// mapping when batching range operations.
 type ptChunk struct {
-	ptes [ptesPerChunk]pte
-	used int
+	ptes  [ptesPerChunk]pte
+	used  int
+	super bool
 }
 
 type vaxMap struct {
 	pmap.MapCore
 	mod *Module
 
-	mu       sync.Mutex
-	chunks   map[uint64]*ptChunk
-	resident int
+	mu         sync.Mutex
+	chunks     map[uint64]*ptChunk
+	resident   int
+	superCount int
 }
 
 func (m *vaxMap) chunkFor(vpn uint64, create bool) *ptChunk {
@@ -158,6 +164,42 @@ func (m *vaxMap) freeChunkIfEmpty(vpn uint64) {
 	if c := m.chunks[ci]; c != nil && c.used == 0 {
 		delete(m.chunks, ci)
 		m.mod.Stats().AddTableBytes(-HWPageSize)
+	}
+}
+
+// updateSuperLocked re-derives the chunk's superpage status after PTE
+// changes: super exactly when every PTE is valid with one uniform
+// protection. O(1) unless the chunk is full. Called with m.mu held.
+func (m *vaxMap) updateSuperLocked(c *ptChunk) {
+	want := c.used == ptesPerChunk
+	if want {
+		p0 := c.ptes[0].prot
+		for i := 1; i < ptesPerChunk; i++ {
+			if c.ptes[i].prot != p0 {
+				want = false
+				break
+			}
+		}
+	}
+	switch {
+	case want && !c.super:
+		c.super = true
+		m.superCount++
+		m.mod.Stats().Promotions.Add(1)
+	case !want && c.super:
+		c.super = false
+		m.superCount--
+		m.mod.Stats().Demotions.Add(1)
+	}
+}
+
+// demoteLocked clears a chunk's superpage status on a partial operation
+// that is known to break it (a removal). Called with m.mu held.
+func (m *vaxMap) demoteLocked(c *ptChunk) {
+	if c.super {
+		c.super = false
+		m.superCount--
+		m.mod.Stats().Demotions.Add(1)
 	}
 }
 
@@ -192,6 +234,7 @@ func (m *vaxMap) Enter(va vmtypes.VA, pfn vmtypes.PFN, prot vmtypes.Prot, wired 
 	if replaced {
 		m.resident--
 	}
+	m.updateSuperLocked(c)
 	m.mu.Unlock()
 
 	if replaced {
@@ -225,6 +268,7 @@ func (m *vaxMap) Remove(start, end vmtypes.VA) {
 		*e = pte{}
 		c.used--
 		m.resident--
+		m.demoteLocked(c)
 		m.freeChunkIfEmpty(vpn)
 		m.mu.Unlock()
 
@@ -254,6 +298,9 @@ func (m *vaxMap) Protect(start, end vmtypes.VA, prot vmtypes.Prot) {
 		newProt := e.prot.Intersect(prot)
 		changed := newProt != e.prot
 		e.prot = newProt
+		if changed {
+			m.updateSuperLocked(c)
+		}
 		m.mu.Unlock()
 		if changed {
 			mod.Machine().Charge(mod.Machine().Cost.PTEOp)
@@ -338,6 +385,9 @@ func (m *vaxMap) Collect() {
 				m.resident--
 			}
 		}
+		if c.super && c.used != ptesPerChunk {
+			m.demoteLocked(c)
+		}
 		if c.used == 0 {
 			delete(m.chunks, ci)
 			mod.Stats().AddTableBytes(-HWPageSize)
@@ -369,6 +419,7 @@ func (m *vaxMap) Destroy() {
 				victims = append(victims, victim{vpn: ci*ptesPerChunk + uint64(i), pfn: e.pfn})
 			}
 		}
+		m.demoteLocked(c)
 		delete(m.chunks, ci)
 		mod.Stats().AddTableBytes(-HWPageSize)
 	}
@@ -429,7 +480,126 @@ func (m *vaxMap) CopyMappings(dst pmap.Map, dstAddr vmtypes.VA, length uint64, s
 // exactly the "need not perform any hardware function" case.
 func (m *vaxMap) Pageable(start, end vmtypes.VA, pageable bool) {}
 
+// EnterRange implements the optional pmap.RangeEnterer: establish a run of
+// consecutive hardware mappings with one lock hold, one promotion check,
+// and one PV pass per page-table page rather than per PTE.
+func (m *vaxMap) EnterRange(va vmtypes.VA, pfns []vmtypes.PFN, prot vmtypes.Prot, wired bool) {
+	if len(pfns) == 0 {
+		return
+	}
+	if uint64(va)%HWPageSize != 0 {
+		panic("vax: EnterRange address not hardware-page aligned")
+	}
+	if va+vmtypes.VA(len(pfns))*HWPageSize > MaxUserVA {
+		panic("vax: virtual address beyond the 2GB user limit")
+	}
+	mod := m.mod
+	mod.Stats().RangeEnters.Add(1)
+	mod.Stats().Enters.Add(uint64(len(pfns)))
+
+	type replacement struct {
+		vpn uint64
+		pfn vmtypes.PFN
+	}
+	var replaced []replacement
+	startVPN := uint64(va) / HWPageSize
+	for i := 0; i < len(pfns); {
+		ci := (startVPN + uint64(i)) / ptesPerChunk
+		m.mu.Lock()
+		c := m.chunkFor(startVPN+uint64(i), true)
+		for ; i < len(pfns); i++ {
+			vpn := startVPN + uint64(i)
+			if vpn/ptesPerChunk != ci {
+				break
+			}
+			mod.Machine().Charge(mod.Machine().Cost.PTEOp)
+			e := &c.ptes[vpn%ptesPerChunk]
+			want := pte{pfn: pfns[i], prot: prot, valid: true, wired: wired}
+			if *e == want {
+				continue
+			}
+			if e.valid {
+				replaced = append(replaced, replacement{vpn: vpn, pfn: e.pfn})
+			} else {
+				c.used++
+				m.resident++
+			}
+			*e = want
+		}
+		m.updateSuperLocked(c)
+		m.mu.Unlock()
+	}
+	for _, r := range replaced {
+		if r.pfn != pfns[r.vpn-startVPN] {
+			mod.DB().RemovePV(r.pfn, m, vmtypes.VA(r.vpn*HWPageSize))
+		}
+		mod.Shootdown().InvalidatePage(m.Space(), r.vpn, m.ActiveCPUs(), true)
+	}
+	for i, pfn := range pfns {
+		mod.DB().AddPV(pfn, m, vmtypes.VA((startVPN+uint64(i))*HWPageSize))
+	}
+}
+
+// SuperSpan returns the VAX promotion granule: one page-table page's span.
+func (m *vaxMap) SuperSpan() uint64 { return ptesPerChunk * HWPageSize }
+
+// SuperActive reports whether the chunk containing va is promoted.
+func (m *vaxMap) SuperActive(va vmtypes.VA) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.chunks[uint64(va)/HWPageSize/ptesPerChunk]
+	return c != nil && c.super
+}
+
+// SuperCount returns the number of currently promoted page-table pages.
+func (m *vaxMap) SuperCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.superCount
+}
+
+// CheckSuperInvariants verifies the bookkeeping the promotion machinery
+// relies on: each chunk's used matches its count of valid PTEs, a chunk is
+// marked super exactly when fully mapped with uniform protection, and the
+// map-wide super counter matches the marked chunks.
+func (m *vaxMap) CheckSuperInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	supers := 0
+	for ci, c := range m.chunks {
+		used := 0
+		mixed := false
+		var p0 vmtypes.Prot
+		for i := range c.ptes {
+			if !c.ptes[i].valid {
+				continue
+			}
+			if used == 0 {
+				p0 = c.ptes[i].prot
+			} else if c.ptes[i].prot != p0 {
+				mixed = true
+			}
+			used++
+		}
+		if used != c.used {
+			return fmt.Errorf("vax: chunk %d records used=%d but holds %d valid PTEs", ci, c.used, used)
+		}
+		uniform := used == ptesPerChunk && !mixed
+		if c.super != uniform {
+			return fmt.Errorf("vax: chunk %d super=%v but full-and-uniform=%v", ci, c.super, uniform)
+		}
+		if c.super {
+			supers++
+		}
+	}
+	if supers != m.superCount {
+		return fmt.Errorf("vax: superCount=%d but %d chunks are marked super", m.superCount, supers)
+	}
+	return nil
+}
+
 var (
-	_ pmap.Copier    = (*vaxMap)(nil)
-	_ pmap.Pageabler = (*vaxMap)(nil)
+	_ pmap.Copier       = (*vaxMap)(nil)
+	_ pmap.Pageabler    = (*vaxMap)(nil)
+	_ pmap.RangeEnterer = (*vaxMap)(nil)
 )
