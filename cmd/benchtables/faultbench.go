@@ -32,10 +32,25 @@ type faultBenchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 
+	// Parallel rows only: set when the row's procs setting exceeds the
+	// host's CPU count, so GOMAXPROCS was oversubscribed. The row is
+	// still emitted — the configured procs list is fixed so every host
+	// produces the same set of rows — but its ns/op is not a true
+	// parallel measurement.
+	HostLimited bool `json:"host_limited,omitempty"`
+
 	// Sequential pager-read rows only: paging-efficiency metrics.
 	ClusterPages    int     `json:"cluster_pages,omitempty"`
 	RoundTripsPerMB float64 `json:"round_trips_per_mb,omitempty"`
 	FaultsPerMB     float64 `json:"faults_per_mb,omitempty"`
+
+	// Virtual-scaling rows only: the workload runs on SimCPUs simulated
+	// processors, executed serially on the host, and all times are read
+	// off the virtual clock — bit-identical on any host.
+	SimCPUs           int     `json:"sim_cpus,omitempty"`
+	Variant           string  `json:"variant,omitempty"`
+	VirtualMakespanNS int64   `json:"virtual_makespan_ns,omitempty"`
+	VirtualSpeedup    float64 `json:"virtual_speedup,omitempty"`
 }
 
 type faultBenchFile struct {
@@ -162,9 +177,9 @@ func benchParallelZeroFill(b *testing.B) {
 // a simulated device.
 type zeroPager struct{}
 
-func (zeroPager) Name() string             { return "zero" }
-func (zeroPager) Init(*core.Object)        {}
-func (zeroPager) Terminate(*core.Object)   {}
+func (zeroPager) Name() string                                                          { return "zero" }
+func (zeroPager) Init(*core.Object)                                                     {}
+func (zeroPager) Terminate(*core.Object)                                                {}
 func (zeroPager) DataWrite(_ context.Context, _ *core.Object, _ uint64, _ []byte) error { return nil }
 func (zeroPager) DataRequest(_ context.Context, _ *core.Object, _ uint64, n int) ([]byte, error) {
 	return make([]byte, n), nil
@@ -213,9 +228,171 @@ func measureSequentialPagerRead(clusterPages int) (faultBenchResult, error) {
 	}, nil
 }
 
-// writeFaultJSON runs the fault benchmarks at 1 and GOMAXPROCS workers and
-// writes the results to path.
+// scalingSimCPUs is the simulated-CPU axis of the virtual scaling
+// curves. The counts are simulated: the workload executes serially on
+// the host, so a 1-core CI runner produces the same 16-CPU row as a
+// 64-core workstation.
+var scalingSimCPUs = []int{1, 2, 4, 8, 16}
+
+// measureVirtualScaling runs a fixed zero-fill fault workload split
+// across simCPUs simulated processors and reports the virtual-time
+// makespan: the largest per-CPU share of virtual work. Execution is
+// serial on the host — each simulated CPU's share runs to completion
+// with its charge buffer flushed before the next starts — so the
+// virtual totals are exact and reproducible bit-for-bit on any host.
+//
+// Two variants bracket the paper's §5.2 discussion:
+//   - "private": each simulated CPU faults in its own address map.
+//     There is no inherent serialization, so the curve is near-linear.
+//   - "shared": every CPU works in one shared map that is active on all
+//     CPUs, with deferred TLB shootdown drained at quantum boundaries.
+//     Region teardown now buys TLB-coherence work on every other CPU,
+//     and the curve droops accordingly.
+func measureVirtualScaling(simCPUs int, variant string) (faultBenchResult, error) {
+	strategy := pmap.ShootImmediate
+	if variant == "shared" {
+		strategy = pmap.ShootDeferred
+	}
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: 65536,
+		CPUs:       simCPUs,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, strategy)
+	k, err := core.NewKernel(core.Config{Machine: machine, Module: mod, PageSize: 4096})
+	if err != nil {
+		return faultBenchResult{}, err
+	}
+	const (
+		totalOps    = 2048
+		regionPages = 64
+	)
+	pageSize := k.PageSize()
+	regionSize := regionPages * pageSize
+	opsPer := totalOps / simCPUs
+
+	maps := make([]*core.Map, simCPUs)
+	addrs := make([]vmtypes.VA, simCPUs)
+	if variant == "shared" {
+		m := k.NewMap()
+		for i := 0; i < simCPUs; i++ {
+			maps[i] = m
+			m.Pmap().Activate(machine.CPU(i))
+		}
+	} else {
+		for i := 0; i < simCPUs; i++ {
+			maps[i] = k.NewMap()
+			maps[i].Pmap().Activate(machine.CPU(i))
+		}
+	}
+	for i := 0; i < simCPUs; i++ {
+		if addrs[i], err = maps[i].Allocate(0, regionSize, true); err != nil {
+			return faultBenchResult{}, err
+		}
+	}
+
+	var makespan int64
+	for i := 0; i < simCPUs; i++ {
+		cpu := machine.CPU(i)
+		m := maps[i]
+		addr := addrs[i]
+		start := machine.Clock.Now()
+		for op := 0; op < opsPer; op++ {
+			va := addr + vmtypes.VA(uint64(op%regionPages)*pageSize)
+			if err := k.Touch(cpu, m, va, true); err != nil {
+				return faultBenchResult{}, err
+			}
+			if (op+1)%regionPages == 0 {
+				if err := m.Deallocate(addr, regionSize); err != nil {
+					return faultBenchResult{}, err
+				}
+				if variant == "shared" {
+					// Quantum boundary: every CPU drains its deferred
+					// invalidation queue (and flushes its charges).
+					machine.TickAll()
+				}
+				if addr, err = m.Allocate(0, regionSize, true); err != nil {
+					return faultBenchResult{}, err
+				}
+			}
+		}
+		machine.FlushAllCharges()
+		if d := machine.Clock.Now() - start; d > makespan {
+			makespan = d
+		}
+	}
+
+	return faultBenchResult{
+		Name:              "VirtualScalingZeroFill",
+		Procs:             1,
+		Iterations:        totalOps,
+		NsPerOp:           float64(makespan) / float64(opsPer),
+		SimCPUs:           simCPUs,
+		Variant:           variant,
+		VirtualMakespanNS: makespan,
+	}, nil
+}
+
+// scalingRows produces the virtual speedup curves for both variants:
+// speedup(N) = makespan(1 CPU) / makespan(N CPUs), all in virtual time.
+func scalingRows() ([]faultBenchResult, error) {
+	var rows []faultBenchResult
+	for _, variant := range []string{"private", "shared"} {
+		var base int64
+		for _, n := range scalingSimCPUs {
+			r, err := measureVirtualScaling(n, variant)
+			if err != nil {
+				return nil, err
+			}
+			if n == 1 {
+				base = r.VirtualMakespanNS
+			}
+			if r.VirtualMakespanNS > 0 {
+				r.VirtualSpeedup = float64(base) / float64(r.VirtualMakespanNS)
+			}
+			rows = append(rows, r)
+			fmt.Fprintf(os.Stderr, "%s/%s/sim_cpus=%d: %d virtual ns makespan, speedup %.2f\n",
+				r.Name, variant, n, r.VirtualMakespanNS, r.VirtualSpeedup)
+		}
+	}
+	return rows, nil
+}
+
+// writeScalingJSON emits only the virtual scaling rows to stdout — the
+// CI determinism smoke runs it twice and diffs the output, which works
+// because everything in these rows is virtual time.
+func writeScalingJSON() error {
+	rows, err := scalingRows()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(data, '\n'))
+	return err
+}
+
+// writeFaultJSON runs the fault benchmarks and writes the results to
+// path. The virtual scaling rows run first: their virtual totals are
+// reproducible bit-for-bit only if the maps they create are created in
+// the same order every run, and the host-calibrated testing.Benchmark
+// rows (whose iteration counts vary by host) would otherwise perturb
+// that order.
 func writeFaultJSON(path string) error {
+	out := faultBenchFile{
+		GeneratedBy: "cmd/benchtables -faultjson",
+		GoVersion:   runtime.Version(),
+	}
+	scaling, err := scalingRows()
+	if err != nil {
+		return err
+	}
+	out.Benchmarks = append(out.Benchmarks, scaling...)
+
 	type bench struct {
 		name     string
 		fn       func(*testing.B)
@@ -226,15 +403,14 @@ func writeFaultJSON(path string) error {
 		{"ParallelResidentFaults", benchParallelResidentFaults, true},
 		{"ParallelZeroFill", benchParallelZeroFill, true},
 	}
-	maxProcs := runtime.GOMAXPROCS(0)
-	out := faultBenchFile{
-		GeneratedBy: "cmd/benchtables -faultjson",
-		GoVersion:   runtime.Version(),
-	}
+	// The procs list is configured, not discovered: every host emits the
+	// same rows. A procs above the host's CPU count runs oversubscribed
+	// and is marked host_limited instead of being dropped.
+	hostCPUs := runtime.NumCPU()
 	for _, bn := range benches {
 		procsList := []int{1}
-		if bn.parallel && maxProcs > 1 {
-			procsList = append(procsList, maxProcs)
+		if bn.parallel {
+			procsList = []int{1, 4}
 		}
 		for _, procs := range procsList {
 			prev := runtime.GOMAXPROCS(procs)
@@ -247,6 +423,7 @@ func writeFaultJSON(path string) error {
 				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 				AllocsPerOp: r.AllocsPerOp(),
 				BytesPerOp:  r.AllocedBytesPerOp(),
+				HostLimited: procs > hostCPUs,
 			})
 			fmt.Fprintf(os.Stderr, "%s/procs=%d: %.1f ns/op, %d allocs/op\n",
 				bn.name, procs, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())

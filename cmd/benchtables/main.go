@@ -27,14 +27,21 @@ import (
 )
 
 var (
-	tableFlag  = flag.String("table", "all", "which table to regenerate: 7-1, 7-2, mp, all")
-	kernelFlag = flag.Bool("kernel", false, "include the full kernel-build rows in table 7-2")
-	repsFlag   = flag.Int("reps", 20, "repetitions for micro-operations")
-	faultFlag  = flag.String("faultjson", "", "write the fault-path benchmark baseline to this file and exit")
+	tableFlag   = flag.String("table", "all", "which table to regenerate: 7-1, 7-2, mp, all")
+	kernelFlag  = flag.Bool("kernel", false, "include the full kernel-build rows in table 7-2")
+	repsFlag    = flag.Int("reps", 20, "repetitions for micro-operations")
+	faultFlag   = flag.String("faultjson", "", "write the fault-path benchmark baseline to this file and exit")
+	scalingFlag = flag.Bool("scaling", false, "print the virtual-clock scaling rows as JSON to stdout and exit")
 )
 
 func main() {
 	flag.Parse()
+	if *scalingFlag {
+		if err := writeScalingJSON(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *faultFlag != "" {
 		if err := writeFaultJSON(*faultFlag); err != nil {
 			log.Fatal(err)

@@ -36,6 +36,12 @@ func (k *Kernel) AccessBytesContext(ctx context.Context, cpu *hw.CPU, m *Map, va
 	if write {
 		access = vmtypes.ProtWrite
 	}
+	// Access completion is a batch boundary for the CPU's charge buffer:
+	// everything the TLB probes, walks and faults below accumulate
+	// locally is flushed to the global clock before returning.
+	if cpu != nil {
+		defer cpu.FlushCharges()
+	}
 	hwPage := uint64(k.machine.Mem.PageSize())
 	done := 0
 	for done < len(buf) {
@@ -81,7 +87,7 @@ func (k *Kernel) resolveAccess(ctx context.Context, cpu *hw.CPU, m *Map, va vmty
 		if res.Fault == vmtypes.FaultProtection {
 			serviced = k.mod.CorrectFaultAccess(res.Reported, res.MappingProt)
 		}
-		if err := k.FaultContext(ctx, m, va, serviced); err != nil {
+		if err := k.faultContextOn(ctx, cpu, m, va, serviced); err != nil {
 			return 0, err
 		}
 	}

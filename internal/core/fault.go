@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"machvm/internal/hw"
 	"machvm/internal/pmap"
 	"machvm/internal/vmtypes"
 )
@@ -85,8 +86,20 @@ func (k *Kernel) Fault(m *Map, va vmtypes.VA, access vmtypes.Prot) error {
 // kernel's full pager deadline. The underlying pager conversation keeps
 // running to its own deadline and resolves the busy page either way.
 func (k *Kernel) FaultContext(ctx context.Context, m *Map, va vmtypes.VA, access vmtypes.Prot) error {
+	return k.faultContextOn(ctx, nil, m, va, access)
+}
+
+// faultContextOn is the fault entry point with CPU attribution: when cpu
+// is non-nil the trap cost (and any per-CPU hardware costs charged deeper
+// in the path) accumulate in cpu's local buffer, and the fault return is
+// a batch boundary that flushes them to the global clock. A nil cpu
+// (kernel-initiated faults, vm_read/vm_write) charges the clock directly.
+func (k *Kernel) faultContextOn(ctx context.Context, cpu *hw.CPU, m *Map, va vmtypes.VA, access vmtypes.Prot) error {
 	k.stats.Faults.Add(1)
-	k.machine.Charge(k.machine.Cost.FaultTrap)
+	k.machine.ChargeOn(cpu, k.machine.Cost.FaultTrap)
+	if cpu != nil {
+		defer cpu.FlushCharges()
+	}
 
 	pageAddr := vmtypes.VA(k.truncPage(uint64(va)))
 	for {
@@ -183,7 +196,7 @@ func (k *Kernel) faultSnapshot(fs *faultState) (retry bool, err error) {
 		if entry.object == nil {
 			// Lazy allocation: zero-fill memory gets its internal
 			// object on first touch.
-			entry.object = k.NewObject(entry.Span(), nil, "anonymous")
+			entry.object = k.newAnonObject(entry.Span())
 			entry.offset = 0
 			m.bumpVersion()
 		}
@@ -237,7 +250,7 @@ func (k *Kernel) faultSnapshotInner(fs *faultState) (retry bool, err error) {
 			sm.bumpVersion()
 		}
 		if inner.object == nil {
-			inner.object = k.NewObject(inner.Span(), nil, "anonymous")
+			inner.object = k.newAnonObject(inner.Span())
 			inner.offset = 0
 			sm.bumpVersion()
 		}

@@ -128,8 +128,8 @@ func checkPageAccounting(t *testing.T, k *Kernel) {
 		s := &k.shards[i]
 		s.mu.Lock()
 		for key, p := range s.pages {
-			id := p.ident.Load()
-			if id == nil || id.obj != key.obj || id.offset != key.offset {
+			obj, off, _, ok := p.identity()
+			if !ok || obj != key.obj || off != key.offset {
 				s.mu.Unlock()
 				t.Fatal("hash entry disagrees with page identity")
 			}
@@ -137,7 +137,7 @@ func checkPageAccounting(t *testing.T, k *Kernel) {
 				s.mu.Unlock()
 				t.Fatal("page hashed into the wrong shard")
 			}
-			seen[id.obj]++
+			seen[obj]++
 			hashed++
 		}
 		s.mu.Unlock()
@@ -146,7 +146,7 @@ func checkPageAccounting(t *testing.T, k *Kernel) {
 	counts := map[int]int{}
 	for _, p := range k.pages {
 		counts[p.queue]++
-		if (p.queue == queueFree || p.queue == queueMagazine) && p.ident.Load() != nil {
+		if _, _, _, ok := p.identity(); ok && (p.queue == queueFree || p.queue == queueMagazine) {
 			t.Fatal("free page still belongs to an object")
 		}
 		if p.wireCount.Load() > 0 && p.queue != queueNone {
@@ -219,7 +219,7 @@ func checkPageAccounting(t *testing.T, k *Kernel) {
 	// Every non-free page with an identity is hashed exactly once.
 	withIdent := 0
 	for _, p := range k.pages {
-		if p.ident.Load() != nil {
+		if _, _, _, ok := p.identity(); ok {
 			withIdent++
 		}
 	}

@@ -92,6 +92,10 @@ type Kernel struct {
 	runBufs   sync.Pool
 	pfnBufs   sync.Pool
 	claimBufs sync.Pool
+	// objectPool recycles the fault path's internal objects — lazy
+	// anonymous zero-fill memory and COW shadows — between termination
+	// and the next fault that needs one (see newPooledObject).
+	objectPool sync.Pool
 
 	stats Stats
 }
@@ -216,10 +220,14 @@ func NewKernel(cfg Config) (*Kernel, error) {
 		flights:     make(map[pageKey]*pagerFlight),
 	}
 	for i := range k.shards {
-		k.shards[i].pages = make(map[pageKey]*Page)
-		k.shards[i].waiters = make(map[pageKey]chan struct{})
+		// Size hints keep the first faults from growing the hash
+		// incrementally: bucket growth is an allocation the steady
+		// state never sees.
+		k.shards[i].pages = make(map[pageKey]*Page, 32)
+		k.shards[i].waiters = make(map[pageKey]chan struct{}, 4)
 	}
 	k.initResidentPages()
+	k.prewarmPools()
 	if cfg.FreeTarget > 0 {
 		k.freeTarget = cfg.FreeTarget
 	} else {
@@ -245,6 +253,36 @@ func NewKernel(cfg Config) (*Kernel, error) {
 	k.prewarmFork = cfg.PrewarmFork
 	k.swap = newMemorySwapPager(k.machine, k.pageSize)
 	return k, nil
+}
+
+// prewarmPools primes the fault path's recycling layers at boot so the
+// very first faults already run with the steady-state allocation
+// profile: a few pooled objects, pageout staging buffers, and the PFN
+// and page scratch slices behind range enters and span promotion. The
+// sizes match the largest consumers (maxClusterPages-page pageout runs,
+// a 16-Mach-page superpage span); getRunBuf and friends grow a buffer
+// that turns out too small, so these are floors, not limits.
+func (k *Kernel) prewarmPools() {
+	const (
+		warmObjects  = 4
+		warmSpan     = 64 // Mach pages in the largest superpage span (a full VAX chunk)
+		warmPageBufs = 2
+	)
+	for i := 0; i < warmObjects; i++ {
+		o := &Object{}
+		o.pooled = true
+		k.objectPool.Put(o)
+	}
+	for i := 0; i < warmPageBufs; i++ {
+		b := make([]byte, k.pageSize)
+		k.pageBufs.Put(&b)
+	}
+	run := make([]byte, maxClusterPages*int(k.pageSize))
+	k.runBufs.Put(&run)
+	pfns := make([]vmtypes.PFN, warmSpan*k.hwRatio)
+	k.pfnBufs.Put(&pfns)
+	claims := make([]*Page, warmSpan)
+	k.claimBufs.Put(&claims)
 }
 
 // MustNewKernel is NewKernel, panicking on configuration errors — the

@@ -179,7 +179,20 @@ func (k *Kernel) NewMap() *Map {
 		prioState: seedPrioState(),
 	}
 	m.refs.Store(1)
+	m.primeEntryPool(4)
 	return m
+}
+
+// primeEntryPool pre-populates the map's entry free list so the first
+// allocations and clips recycle instead of allocating — part of keeping
+// alloc counts stable from the very first fault (the pool refills
+// itself from Deallocate in the steady state).
+func (m *Map) primeEntryPool(n int) {
+	for i := 0; i < n && m.entryPoolSize < entryPoolMax; i++ {
+		e := &MapEntry{next: m.entryPool}
+		m.entryPool = e
+		m.entryPoolSize++
+	}
 }
 
 // NewTransitMap creates a pmap-less holding map used to keep out-of-line
@@ -246,8 +259,13 @@ func (m *Map) Destroy() {
 		return
 	}
 	m.mu.Lock()
-	var objs []*Object
-	var subs []*Map
+	// Stack-backed collections: teardown of typical maps (a handful of
+	// entries) must not allocate. Larger maps spill to the heap via
+	// append, which is fine off the fault path.
+	var objArr [8]*Object
+	var subArr [4]*Map
+	objs := objArr[:0]
+	subs := subArr[:0]
 	for e := m.head; e != nil; e = e.next {
 		if e.object != nil {
 			objs = append(objs, e.object)
@@ -518,8 +536,13 @@ func (m *Map) Deallocate(addr vmtypes.VA, size uint64) error {
 	end := addr + vmtypes.VA(size)
 
 	m.mu.Lock()
-	var objs []*Object
-	var subs []*Map
+	// Stack-backed as in Destroy: the common deallocate covers one or
+	// two entries and must stay allocation-free (the zero-fill benchmark
+	// cycles Allocate/Touch/Deallocate in its steady state).
+	var objArr [8]*Object
+	var subArr [4]*Map
+	objs := objArr[:0]
+	subs := subArr[:0]
 	e, hit := m.lookupEntryLocked(addr)
 	if !hit {
 		if e == nil {

@@ -52,8 +52,18 @@ type Object struct {
 	// name is a debugging label.
 	name string
 
-	// generation distinguishes cache reuse from a fresh object.
-	generation uint64
+	// pooled marks fault-path internal objects (lazy anonymous memory
+	// and COW shadows) that recycle through the kernel's object pool at
+	// termination instead of being garbage. Only terminateObject may
+	// recycle: at that point refs is 0, every page is gone, and no
+	// shadow-chain walker can stand on the object.
+	pooled bool
+
+	// generation distinguishes cache or pool reuse from a fresh object.
+	// Atomic because the page-shard hash reads it from lock-free
+	// identity snapshots that may race with a pooled reinitialization
+	// (such stale readers then fail seqlock revalidation and retry).
+	generation atomic.Uint64
 
 	// clusterPages is the fault-in cluster size in Mach pages (atomic:
 	// read on the fault path without the object lock). 0 selects the
@@ -90,16 +100,58 @@ var objectGen atomic.Uint64
 // (nil for internal zero-fill memory).
 func (k *Kernel) NewObject(size uint64, pager Pager, name string) *Object {
 	o := &Object{
-		refs:       1,
-		size:       k.roundPage(size),
-		pager:      pager,
-		internal:   pager == nil,
-		name:       name,
-		generation: objectGen.Add(1),
+		refs:     1,
+		size:     k.roundPage(size),
+		pager:    pager,
+		internal: pager == nil,
+		name:     name,
 	}
+	o.generation.Store(objectGen.Add(1))
 	if pager != nil {
 		pager.Init(o)
 	}
+	k.stats.ObjectsCreated.Add(1)
+	return o
+}
+
+// newPooledObject returns a recycled (or fresh) fault-path object with
+// every field reset and a new generation. Pooled objects are the
+// fault path's internal creations — lazy anonymous zero-fill memory and
+// COW shadows: they never have a pager and never enter the object
+// cache, so terminateObject is their only exit and the recycle point.
+// Fields are reset one by one (never by struct copy — the mutex and
+// atomics must not be overwritten while a stale lock-free reader still
+// holds the pointer).
+func (k *Kernel) newPooledObject() *Object {
+	o, _ := k.objectPool.Get().(*Object)
+	if o == nil {
+		o = &Object{}
+	}
+	o.refs = 1
+	o.size = 0
+	o.pager = nil
+	o.internal = true
+	o.canPersist = false
+	o.cached = false
+	o.shadow = nil
+	o.shadowOffset = 0
+	o.pageList = nil
+	o.resident = 0
+	o.pagingInProgress = 0
+	o.name = ""
+	o.pooled = true
+	o.clusterPages.Store(0)
+	o.fallback.Store(0)
+	o.generation.Store(objectGen.Add(1))
+	return o
+}
+
+// newAnonObject is the pooled equivalent of NewObject(size, nil,
+// "anonymous"), used by the fault path's lazy zero-fill allocation.
+func (k *Kernel) newAnonObject(size uint64) *Object {
+	o := k.newPooledObject()
+	o.size = k.roundPage(size)
+	o.name = "anonymous"
 	k.stats.ObjectsCreated.Add(1)
 	return o
 }
@@ -247,15 +299,15 @@ func (k *Kernel) terminateObject(o *Object) {
 			o.mu.Unlock()
 			break
 		}
-		// List membership implies identity, so the ident is stable while
-		// o's lock is held.
-		id := p.ident.Load()
-		s := k.shardFor(o, id.offset)
+		// List membership implies identity, so the identity is stable
+		// while o's lock is held.
+		off := p.Offset()
+		s := k.shardFor(o, off)
 		s.mu.Lock()
 		if p.busy {
 			// Wait for the page's I/O to settle before freeing.
 			k.stats.BusyWaits.Add(1)
-			ch := s.waitChan(pageKey{obj: o, offset: id.offset})
+			ch := s.waitChan(pageKey{obj: o, offset: off})
 			s.mu.Unlock()
 			o.mu.Unlock()
 			<-ch
@@ -273,21 +325,26 @@ func (k *Kernel) terminateObject(o *Object) {
 		o.pager.Terminate(o)
 	}
 	k.stats.ObjectsTerminated.Add(1)
+	if o.pooled {
+		// Refs hit zero and every page is gone, so nothing reaches this
+		// object through a map entry or its page list anymore; lock-free
+		// page-identity snapshots that still hold the pointer revalidate
+		// against the seqlock and retry. (The collapseShadow bypass path
+		// deliberately does NOT recycle: a shadow-chain walker may still
+		// stand on the bypassed backing object.)
+		k.objectPool.Put(o)
+	}
 }
 
 // shadowObject makes a new shadow object in front of o: an initially empty
 // internal object, without a pager but with a pointer to the shadowed
 // object (§3.4). The caller transfers its reference on o to the shadow.
 func (k *Kernel) shadowObject(o *Object, offset, size uint64) *Object {
-	s := &Object{
-		refs:         1,
-		size:         k.roundPage(size),
-		internal:     true,
-		shadow:       o,
-		shadowOffset: offset,
-		name:         "shadow",
-		generation:   objectGen.Add(1),
-	}
+	s := k.newPooledObject()
+	s.size = k.roundPage(size)
+	s.shadow = o
+	s.shadowOffset = offset
+	s.name = "shadow"
 	k.stats.ObjectsCreated.Add(1)
 	k.stats.ShadowsCreated.Add(1)
 	return s
@@ -328,8 +385,8 @@ func (k *Kernel) collapseShadow(front *Object) {
 		aborted := false
 		for p := backing.pageList; p != nil; {
 			next := p.objNext
-			id := p.ident.Load()
-			s := k.shardFor(backing, id.offset)
+			off := p.Offset()
+			s := k.shardFor(backing, off)
 			s.mu.Lock()
 			if p.busy {
 				// Give up; try again another time.
@@ -339,7 +396,7 @@ func (k *Kernel) collapseShadow(front *Object) {
 			}
 			k.removePageLocked(s, p)
 			s.mu.Unlock()
-			newOffset := int64(id.offset) - int64(shadowOffset)
+			newOffset := int64(off) - int64(shadowOffset)
 			moved := false
 			if newOffset >= 0 && uint64(newOffset) < front.size {
 				d := k.shardFor(front, uint64(newOffset))

@@ -13,7 +13,7 @@ func (k *Kernel) collectObjectRange(obj *Object, offset, length uint64) []*Page 
 	var pages []*Page
 	obj.mu.Lock()
 	for p := obj.pageList; p != nil; p = p.objNext {
-		if o := p.ident.Load().offset; o >= offset && o < offset+length {
+		if o := p.Offset(); o >= offset && o < offset+length {
 			pages = append(pages, p)
 		}
 	}
@@ -34,16 +34,15 @@ func (k *Kernel) CleanObjectRange(obj *Object, offset, length uint64) error {
 	}
 	var firstErr error
 	for _, p := range k.collectObjectRange(obj, offset, length) {
-		s, id := k.lockPage(p)
+		s, pObj, pOff := k.lockPage(p)
 		if s == nil {
 			continue
 		}
-		if id.obj != obj || p.busy {
+		if pObj != obj || p.busy {
 			s.mu.Unlock()
 			continue
 		}
 		dirty := p.dirty
-		pOff := id.offset
 		p.busy = true
 		s.mu.Unlock()
 
@@ -79,11 +78,11 @@ func (k *Kernel) CleanObjectRange(obj *Object, offset, length uint64) error {
 // touch refaults and asks the pager again.
 func (k *Kernel) FlushObjectRange(obj *Object, offset, length uint64) {
 	for _, p := range k.collectObjectRange(obj, offset, length) {
-		s, id := k.lockPage(p)
+		s, pObj, _ := k.lockPage(p)
 		if s == nil {
 			continue
 		}
-		if id.obj != obj || p.busy || p.wireCount.Load() > 0 {
+		if pObj != obj || p.busy || p.wireCount.Load() > 0 {
 			s.mu.Unlock()
 			continue
 		}

@@ -29,16 +29,23 @@ type Page struct {
 	// pfn is the first hardware frame of this Mach page.
 	pfn vmtypes.PFN
 
-	// ident is the page's (object, offset) identity — byte offsets are
-	// used throughout to avoid linking the implementation to a notion of
-	// page size. It is nil while the page is free or in transit between
-	// objects. The pointer is published atomically so that lock-free
-	// holders of a *Page (the pageout daemon's queue snapshots) can
-	// locate the owning shard, lock it, and revalidate: identity changes
-	// happen only under the owning shard's lock, so a thread that holds
-	// that lock and re-reads the same pointer knows the identity is
-	// stable until it unlocks.
-	ident atomic.Pointer[pageIdent]
+	// The page's (object, offset) identity — byte offsets are used
+	// throughout to avoid linking the implementation to a notion of page
+	// size. identObj is nil while the page is free or in transit between
+	// objects. The pair is published under a seqlock (identSeq odd while
+	// a change is in flight, bumped to a new even value after) so that
+	// lock-free holders of a *Page (the pageout daemon's queue
+	// snapshots) can read a consistent snapshot, locate the owning
+	// shard, lock it, and revalidate by re-reading identSeq: identity
+	// changes happen only under the owning shard's lock, and identSeq is
+	// monotonic, so an unchanged sequence number proves the identity is
+	// stable until that lock is released. The previous design published
+	// a freshly allocated immutable pair per identity change; the
+	// seqlock keeps the same protocol with zero allocation, which is
+	// what the zero-fill fault path needs.
+	identObj atomic.Pointer[Object]
+	identOff atomic.Uint64
+	identSeq atomic.Uint64
 
 	// Memory-object list links, guarded by the owning object's mutex.
 	objPrev, objNext *Page
@@ -76,11 +83,38 @@ type Page struct {
 	precious bool
 }
 
-// pageIdent is an immutable (object, offset) pair. Every identity change
-// allocates a fresh pageIdent, so pointer equality means "unchanged".
-type pageIdent struct {
-	obj    *Object
-	offset uint64
+// identity returns a consistent snapshot of the page's (object, offset)
+// identity plus the seqlock value it was read at; ok=false means the
+// page has no identity (free or in transit). Safe with no locks held —
+// an in-flight change (odd or moved sequence) is simply re-read.
+func (p *Page) identity() (obj *Object, off uint64, seq uint64, ok bool) {
+	for {
+		seq = p.identSeq.Load()
+		if seq&1 == 0 {
+			obj = p.identObj.Load()
+			off = p.identOff.Load()
+			if p.identSeq.Load() == seq {
+				return obj, off, seq, obj != nil
+			}
+		}
+	}
+}
+
+// setIdentity publishes a new identity. The caller holds the shard lock
+// the identity hashes to, which serializes all writers for this page.
+func (p *Page) setIdentity(obj *Object, off uint64) {
+	p.identSeq.Add(1) // odd: change in progress
+	p.identObj.Store(obj)
+	p.identOff.Store(off)
+	p.identSeq.Add(1) // even again: stable
+}
+
+// clearIdentity retires the page's identity (same locking as setIdentity).
+func (p *Page) clearIdentity() {
+	p.identSeq.Add(1)
+	p.identObj.Store(nil)
+	p.identOff.Store(0)
+	p.identSeq.Add(1)
 }
 
 // PFN returns the page's first hardware frame number.
@@ -88,8 +122,8 @@ func (p *Page) PFN() vmtypes.PFN { return p.pfn }
 
 // Offset returns the page's byte offset within its object (0 when free).
 func (p *Page) Offset() uint64 {
-	if id := p.ident.Load(); id != nil {
-		return id.offset
+	if _, off, _, ok := p.identity(); ok {
+		return off
 	}
 	return 0
 }
@@ -147,7 +181,7 @@ func (s *pageShard) wake(key pageKey) {
 // shardIndexFor returns the index of the shard owning (obj, offset); the
 // free-page magazine with the same index serves allocations for it.
 func (k *Kernel) shardIndexFor(obj *Object, offset uint64) int {
-	h := obj.generation * 0x9e3779b97f4a7c15
+	h := obj.generation.Load() * 0x9e3779b97f4a7c15
 	h ^= (offset >> 12) * 0xbf58476d1ce4e5b9
 	h ^= h >> 29
 	return int(h & (numPageShards - 1))
@@ -159,19 +193,21 @@ func (k *Kernel) shardFor(obj *Object, offset uint64) *pageShard {
 }
 
 // lockPage locks the shard guarding p's current identity and returns it
-// with the identity, or (nil, nil) for a page with no identity (free or in
-// transit). While the returned lock is held the identity cannot change,
-// because identity changes require the same lock.
-func (k *Kernel) lockPage(p *Page) (*pageShard, *pageIdent) {
+// with the identity, or a nil shard for a page with no identity (free or
+// in transit). While the returned lock is held the identity cannot
+// change, because identity changes require the same lock; an unchanged
+// identSeq after acquiring it proves the snapshot is still current (the
+// sequence is monotonic, so ABA is impossible).
+func (k *Kernel) lockPage(p *Page) (*pageShard, *Object, uint64) {
 	for {
-		id := p.ident.Load()
-		if id == nil {
-			return nil, nil
+		obj, off, seq, ok := p.identity()
+		if !ok {
+			return nil, nil, 0
 		}
-		s := k.shardFor(id.obj, id.offset)
+		s := k.shardFor(obj, off)
 		s.mu.Lock()
-		if p.ident.Load() == id {
-			return s, id
+		if p.identSeq.Load() == seq {
+			return s, obj, off
 		}
 		// The page changed identity while we chased its shard.
 		s.mu.Unlock()
@@ -460,7 +496,7 @@ func (k *Kernel) insertPageLocked(s *pageShard, p *Page, obj *Object, offset uin
 	if s.pages[key] != nil {
 		panic(fmt.Sprintf("core: duplicate resident page for object %p offset %d", obj, offset))
 	}
-	p.ident.Store(&pageIdent{obj: obj, offset: offset})
+	p.setIdentity(obj, offset)
 	p.mag = uint8(k.shardIndexFor(obj, offset))
 	s.pages[key] = p
 	// Object list: push front (cheap; order is not semantic).
@@ -478,15 +514,16 @@ func (k *Kernel) insertPageLocked(s *pageShard, p *Page, obj *Object, offset uin
 // caller holds the owning object's lock and the shard lock of p's
 // identity.
 func (k *Kernel) removePageLocked(s *pageShard, p *Page) {
-	id := p.ident.Load()
-	if id == nil {
+	// The caller holds the identity's shard lock, so no identity change
+	// is in flight and the fields can be read directly.
+	obj := p.identObj.Load()
+	if obj == nil {
 		return
 	}
-	obj := id.obj
-	key := pageKey{obj: obj, offset: id.offset}
+	key := pageKey{obj: obj, offset: p.identOff.Load()}
 	delete(s.pages, key)
 	s.wake(key)
-	p.ident.Store(nil)
+	p.clearIdentity()
 	if p.objPrev != nil {
 		p.objPrev.objNext = p.objNext
 	} else {
@@ -504,15 +541,14 @@ func (k *Kernel) removePageLocked(s *pageShard, p *Page) {
 // busy bit).
 func (k *Kernel) freePage(p *Page) {
 	for {
-		id := p.ident.Load()
-		if id == nil {
+		obj, off, seq, ok := p.identity()
+		if !ok {
 			break
 		}
-		obj := id.obj
 		obj.mu.Lock()
-		s := k.shardFor(obj, id.offset)
+		s := k.shardFor(obj, off)
 		s.mu.Lock()
-		if p.ident.Load() != id {
+		if p.identSeq.Load() != seq {
 			s.mu.Unlock()
 			obj.mu.Unlock()
 			continue
@@ -528,8 +564,8 @@ func (k *Kernel) freePage(p *Page) {
 // freePageObjLocked is freePage for callers already holding the owning
 // object's lock (the pageout daemon).
 func (k *Kernel) freePageObjLocked(p *Page) {
-	if id := p.ident.Load(); id != nil {
-		s := k.shardFor(id.obj, id.offset)
+	if obj, off, _, ok := p.identity(); ok {
+		s := k.shardFor(obj, off)
 		s.mu.Lock()
 		k.removePageLocked(s, p)
 		s.mu.Unlock()
@@ -569,19 +605,19 @@ func (k *Kernel) lookupPage(obj *Object, offset uint64, wait bool) *Page {
 
 // pageWakeup clears busy and wakes the waiters parked on this page.
 func (k *Kernel) pageWakeup(p *Page) {
-	s, id := k.lockPage(p)
+	s, obj, off := k.lockPage(p)
 	if s == nil {
 		p.busy = false
 		return
 	}
 	p.busy = false
-	s.wake(pageKey{obj: id.obj, offset: id.offset})
+	s.wake(pageKey{obj: obj, offset: off})
 	s.mu.Unlock()
 }
 
 // activatePage puts p on the active queue (it is in use).
 func (k *Kernel) activatePage(p *Page) {
-	s, _ := k.lockPage(p)
+	s, _, _ := k.lockPage(p)
 	if s == nil {
 		return
 	}
@@ -593,7 +629,7 @@ func (k *Kernel) activatePage(p *Page) {
 
 // deactivatePage moves p to the inactive queue (pageout candidate).
 func (k *Kernel) deactivatePage(p *Page) {
-	s, _ := k.lockPage(p)
+	s, _, _ := k.lockPage(p)
 	if s == nil {
 		return
 	}
@@ -608,7 +644,7 @@ func (k *Kernel) deactivatePage(p *Page) {
 
 // wirePage pins p in memory (removing it from pageout's reach).
 func (k *Kernel) wirePage(p *Page) {
-	s, _ := k.lockPage(p)
+	s, _, _ := k.lockPage(p)
 	if s == nil {
 		return
 	}
@@ -620,7 +656,7 @@ func (k *Kernel) wirePage(p *Page) {
 
 // unwirePage releases a pin.
 func (k *Kernel) unwirePage(p *Page) {
-	s, _ := k.lockPage(p)
+	s, _, _ := k.lockPage(p)
 	if s == nil {
 		return
 	}

@@ -143,12 +143,11 @@ type pageoutVictim struct {
 // wiring and queue membership may all have changed since the snapshot, so
 // everything is revalidated under the shard lock first.
 func (k *Kernel) claimPageout(p *Page) (pageoutVictim, bool) {
-	id := p.ident.Load()
-	if id == nil {
+	obj, _, _, ok := p.identity()
+	if !ok {
 		k.stats.PageoutSkips.Add(1)
 		return pageoutVictim{}, false
 	}
-	obj := id.obj
 	// Lock the object without violating the object→shard lock order:
 	// try-lock, and skip the page on contention (as Mach's daemon does).
 	if !obj.mu.TryLock() {
@@ -157,19 +156,19 @@ func (k *Kernel) claimPageout(p *Page) (pageoutVictim, bool) {
 	}
 	defer obj.mu.Unlock()
 
-	s, cur := k.lockPage(p)
+	s, cur, curOff := k.lockPage(p)
 	if s == nil {
 		k.stats.PageoutSkips.Add(1)
 		return pageoutVictim{}, false
 	}
 	// Revalidate after the race window.
-	if cur.obj != obj || p.busy || p.wireCount.Load() > 0 || p.queue != queueInactive {
+	if cur != obj || p.busy || p.wireCount.Load() > 0 || p.queue != queueInactive {
 		s.mu.Unlock()
 		k.stats.PageoutSkips.Add(1)
 		return pageoutVictim{}, false
 	}
 	p.busy = true
-	v := pageoutVictim{p: p, obj: obj, offset: cur.offset, dirty: p.dirty}
+	v := pageoutVictim{p: p, obj: obj, offset: curOff, dirty: p.dirty}
 	s.mu.Unlock()
 
 	k.removeAllMappings(p)

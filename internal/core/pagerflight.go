@@ -198,7 +198,7 @@ func (k *Kernel) runClusterFlight(f *pagerFlight, obj *Object, pager Pager, anch
 		// the inactive queue without a conversation, while an unused
 		// readahead page stays within the pageout daemon's easy reach.
 		// The anchor is activated by its faulter right after wakeup.
-		if s, _ := k.lockPage(p); s != nil {
+		if s, _, _ := k.lockPage(p); s != nil {
 			if p.wireCount.Load() == 0 {
 				k.setQueue(p, queueInactive)
 			}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// that count host allocations skip under it (the race runtime allocates
+// shadow state at unpredictable points).
+const raceEnabled = true

@@ -1,0 +1,56 @@
+package hw
+
+// Exact-total flush correctness: concurrent chargers, flushers and
+// batching-mode flips must conspire to deliver every charged nanosecond
+// to the clock exactly once. Run with -race.
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestChargeFlushConcurrentExact(t *testing.T) {
+	const (
+		nCPUs   = 4
+		iters   = 5000
+		perIter = 7
+	)
+	m := NewMachine(Config{HWPageSize: 512, PhysFrames: 16, CPUs: nCPUs, TLBSize: 8})
+
+	var wg sync.WaitGroup
+	for i := 0; i < nCPUs; i++ {
+		wg.Add(1)
+		go func(cpu *CPU) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				cpu.Charge(perIter)
+				if j%64 == 0 {
+					cpu.FlushCharges()
+				}
+				if j%97 == 0 {
+					cpu.Tick()
+				}
+			}
+		}(m.CPU(i))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			m.SetUnbatchedCharging(i%2 == 0)
+		}
+		m.SetUnbatchedCharging(false)
+	}()
+	wg.Wait()
+	m.FlushAllCharges()
+
+	want := int64(nCPUs) * iters * perIter
+	if got := m.Clock.Now(); got != want {
+		t.Fatalf("clock total %d after concurrent charging, want exactly %d", got, want)
+	}
+	for i := 0; i < nCPUs; i++ {
+		if p := m.CPU(i).PendingNS(); p != 0 {
+			t.Errorf("cpu %d: %d pending ns after final flush", i, p)
+		}
+	}
+}

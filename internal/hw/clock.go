@@ -10,23 +10,56 @@
 // sets. See DESIGN.md §2 for the substitution argument.
 package hw
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// clockStripes is the number of independent accumulation cells. Charges
+// land on one cell chosen by the calling goroutine's stack address; Now
+// sums them all. Addition is commutative and every charge is an exact
+// integer, so the total is independent of which cell each charge landed
+// on — striping changes contention, never the virtual time.
+const clockStripes = 8
+
+// clockCell is one padded accumulator; the padding keeps adjacent cells
+// on different cache lines so concurrent charges do not false-share.
+type clockCell struct {
+	ns atomic.Int64
+	_  [56]byte
+}
 
 // Clock is the virtual clock. It advances only when components charge
 // simulated time against it, so identical workloads produce identical
-// virtual durations regardless of host speed.
+// virtual durations regardless of host speed. Internally it is striped
+// across cache-line-padded cells so that charges from different CPUs do
+// not serialize on one hot line (§5.2's shared-point argument applies to
+// the simulator itself).
 type Clock struct {
-	ns atomic.Int64
+	cells [clockStripes]clockCell
 }
 
-// Now returns the current virtual time in nanoseconds.
-func (c *Clock) Now() int64 { return c.ns.Load() }
-
-// Advance adds d virtual nanoseconds and returns the new time.
-// Negative charges are ignored.
-func (c *Clock) Advance(d int64) int64 {
-	if d <= 0 {
-		return c.ns.Load()
+// Now returns the current virtual time in nanoseconds: the sum of every
+// stripe. The sum is exact — each Advance added its full amount to
+// exactly one stripe.
+func (c *Clock) Now() int64 {
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].ns.Load()
 	}
-	return c.ns.Add(d)
+	return total
+}
+
+// Advance adds d virtual nanoseconds to one stripe. Negative and zero
+// charges are ignored. The stripe is picked from the address of a stack
+// local: goroutines get stable, spread-out stacks, so repeated charges
+// from one goroutine stay on one cell while different goroutines tend to
+// use different cells.
+func (c *Clock) Advance(d int64) {
+	if d <= 0 {
+		return
+	}
+	var probe byte
+	idx := (uintptr(unsafe.Pointer(&probe)) >> 10) % clockStripes
+	c.cells[idx].ns.Add(d)
 }

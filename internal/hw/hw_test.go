@@ -24,17 +24,17 @@ func TestClockMonotonic(t *testing.T) {
 	if c.Now() != 0 {
 		t.Fatal("fresh clock should read zero")
 	}
-	if got := c.Advance(5); got != 5 {
-		t.Fatalf("Advance = %d", got)
+	c.Advance(5)
+	if c.Now() != 5 {
+		t.Fatalf("Now = %d after Advance(5)", c.Now())
 	}
-	if got := c.Advance(-3); got != 5 {
+	c.Advance(-3)
+	if c.Now() != 5 {
 		t.Fatal("negative charges must be ignored")
 	}
-	if got := c.Advance(0); got != 5 {
-		t.Fatal("zero charges must be ignored")
-	}
+	c.Advance(0)
 	if c.Now() != 5 {
-		t.Fatal("Now disagrees")
+		t.Fatal("zero charges must be ignored")
 	}
 }
 
@@ -253,6 +253,96 @@ func TestMachineCharges(t *testing.T) {
 	m.ChargeKB(1000, 512) // half a KB
 	if d := m.Clock.Now() - t0; d != 500 {
 		t.Fatalf("ChargeKB = %d", d)
+	}
+}
+
+// TestChargeKBRoundsUp is the regression test for the sub-1KB truncation
+// bug: perKB*bytes/1024 charged 0 virtual ns for short pager reads and
+// sub-page DataWrite tails. Any nonzero transfer must cost at least its
+// proportional share, rounded up.
+func TestChargeKBRoundsUp(t *testing.T) {
+	m := hw.NewMachine(hw.Config{Cost: testCost(), HWPageSize: 1024, PhysFrames: 8, CPUs: 1})
+	cases := []struct {
+		perKB int64
+		bytes int
+		want  int64
+	}{
+		{1000, 512, 500}, // exact half KB: unchanged by rounding
+		{1000, 1024, 1000},
+		{1000, 1, 1},   // 1 byte at 1000 ns/KB: ceil(1000/1024) = 1
+		{400, 100, 40}, // ceil(40000/1024) = 40 (trunc gave 39)
+		{1, 1, 1},      // smallest nonzero transfer is never free
+		{1000, 0, 0},   // nothing moved, nothing charged
+		{0, 512, 0},    // free rate stays free
+	}
+	for _, c := range cases {
+		t0 := m.Clock.Now()
+		m.ChargeKB(c.perKB, c.bytes)
+		if d := m.Clock.Now() - t0; d != c.want {
+			t.Errorf("ChargeKB(%d, %d) charged %d, want %d", c.perKB, c.bytes, d, c.want)
+		}
+	}
+}
+
+// TestCPUChargeBuffer checks the per-CPU batching protocol: charges
+// accumulate locally, reach the global clock only on flush, and the
+// totals are identical to write-through (unbatched) charging.
+func TestCPUChargeBuffer(t *testing.T) {
+	m := hw.NewMachine(hw.Config{Cost: testCost(), HWPageSize: 1024, PhysFrames: 8, CPUs: 2})
+	c0, c1 := m.CPU(0), m.CPU(1)
+	c0.Charge(100)
+	c1.ChargeKB(1000, 512)
+	if m.Clock.Now() != 0 {
+		t.Fatalf("batched charges leaked to the clock early: %d", m.Clock.Now())
+	}
+	if c0.PendingNS() != 100 || c1.PendingNS() != 500 {
+		t.Fatalf("pending = %d/%d, want 100/500", c0.PendingNS(), c1.PendingNS())
+	}
+	c0.FlushCharges()
+	if m.Clock.Now() != 100 {
+		t.Fatalf("flush of CPU 0 should advance clock to 100, got %d", m.Clock.Now())
+	}
+	m.FlushAllCharges()
+	if m.Clock.Now() != 600 {
+		t.Fatalf("FlushAllCharges total = %d, want 600", m.Clock.Now())
+	}
+	if c0.ChargedNS() != 100 || c1.ChargedNS() != 500 {
+		t.Fatalf("lifetime totals = %d/%d", c0.ChargedNS(), c1.ChargedNS())
+	}
+
+	// A timer tick is a batch boundary.
+	c0.Charge(7)
+	c0.Tick()
+	if m.Clock.Now() != 607 {
+		t.Fatalf("Tick did not flush: %d", m.Clock.Now())
+	}
+
+	// Unbatched mode writes through immediately; totals stay identical.
+	m.SetUnbatchedCharging(true)
+	c1.Charge(3)
+	if m.Clock.Now() != 610 || c1.PendingNS() != 0 {
+		t.Fatalf("unbatched charge not written through: now=%d pending=%d",
+			m.Clock.Now(), c1.PendingNS())
+	}
+	m.SetUnbatchedCharging(false)
+}
+
+// TestChargeOnNilCPU checks the nil-CPU fallback charges the global
+// clock directly.
+func TestChargeOnNilCPU(t *testing.T) {
+	m := hw.NewMachine(hw.Config{Cost: testCost(), HWPageSize: 1024, PhysFrames: 8, CPUs: 1})
+	m.ChargeOn(nil, 42)
+	m.ChargeKBOn(nil, 1000, 512)
+	if m.Clock.Now() != 542 {
+		t.Fatalf("nil-CPU charges = %d, want 542", m.Clock.Now())
+	}
+	m.ChargeOn(m.CPU(0), 8)
+	if m.Clock.Now() != 542 {
+		t.Fatal("CPU-attributed charge must stay buffered")
+	}
+	m.CPU(0).FlushCharges()
+	if m.Clock.Now() != 550 {
+		t.Fatalf("after flush = %d, want 550", m.Clock.Now())
 	}
 }
 

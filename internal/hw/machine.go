@@ -17,6 +17,12 @@ type Machine struct {
 	cpus []*CPU
 
 	ipisSent atomic.Uint64
+
+	// unbatched forces per-CPU charges to write through to the global
+	// clock immediately instead of accumulating in the CPU's local
+	// buffer. Both modes must produce identical virtual totals; tests
+	// flip this to prove the batching invariant.
+	unbatched atomic.Bool
 }
 
 // Config describes a machine to construct.
@@ -75,9 +81,55 @@ func (m *Machine) NumCPUs() int { return len(m.cpus) }
 // Charge advances the virtual clock by d nanoseconds.
 func (m *Machine) Charge(d int64) { m.Clock.Advance(d) }
 
-// ChargeKB advances the clock by a per-kilobyte rate applied to n bytes.
+// chargeKBAmount converts a per-kilobyte rate applied to n bytes into a
+// charge, rounding up so that any nonzero transfer costs at least one
+// proportional unit (a 512-byte pager read at 1000 ns/KB charges 500 ns,
+// a 1-byte tail still charges 1 ns — never silently free).
+func chargeKBAmount(perKB int64, bytes int) int64 {
+	if perKB <= 0 || bytes <= 0 {
+		return 0
+	}
+	return (perKB*int64(bytes) + 1023) / 1024
+}
+
+// ChargeKB advances the clock by a per-kilobyte rate applied to n bytes,
+// rounding up so sub-1KB transfers are never free.
 func (m *Machine) ChargeKB(perKB int64, bytes int) {
-	m.Clock.Advance(perKB * int64(bytes) / 1024)
+	m.Clock.Advance(chargeKBAmount(perKB, bytes))
+}
+
+// ChargeOn charges d nanoseconds to cpu's local buffer when cpu is
+// non-nil (batched; flushed at the next batch boundary), or directly to
+// the global clock when no CPU context is available.
+func (m *Machine) ChargeOn(cpu *CPU, d int64) {
+	if cpu != nil {
+		cpu.Charge(d)
+		return
+	}
+	m.Charge(d)
+}
+
+// ChargeKBOn is ChargeKB attributed to a CPU's local buffer (nil falls
+// back to the global clock).
+func (m *Machine) ChargeKBOn(cpu *CPU, perKB int64, bytes int) {
+	m.ChargeOn(cpu, chargeKBAmount(perKB, bytes))
+}
+
+// SetUnbatchedCharging switches per-CPU charging between batched (local
+// buffers flushed at batch boundaries) and write-through mode. Pending
+// buffers are flushed on every transition so no charge is stranded.
+func (m *Machine) SetUnbatchedCharging(on bool) {
+	m.unbatched.Store(on)
+	m.FlushAllCharges()
+}
+
+// FlushAllCharges drains every CPU's pending charge buffer into the
+// global clock. Callers that need Clock.Now() to reflect all work done
+// so far (statistics snapshots, end-of-run totals) call this first.
+func (m *Machine) FlushAllCharges() {
+	for _, c := range m.cpus {
+		c.FlushCharges()
+	}
 }
 
 // IPI interrupts the target CPU and runs fn on it, charging the sender's

@@ -31,13 +31,37 @@ type TLBStats struct {
 	Evictions    uint64
 }
 
+// tlbSlot is a cached translation plus the sequence number of the FIFO
+// record that owns it, so stale FIFO records (left by FlushPage or
+// FlushSpace, or by a flush-then-reinsert of the same key) can be
+// recognized without being removed eagerly.
+type tlbSlot struct {
+	entry TLBEntry
+	seq   uint64
+}
+
+// tlbRec is one FIFO ring record.
+type tlbRec struct {
+	key TLBKey
+	seq uint64
+}
+
 // TLB is a finite translation lookaside buffer with FIFO replacement.
 // Replacement order is deterministic so simulations are reproducible.
+//
+// The FIFO is a fixed ring of 2×size records and the map stores entries
+// by value, so steady-state operation — insert, evict, flush, reinsert —
+// performs no heap allocation (a hot fault path inserts on every TLB
+// miss). Flushes leave stale records in the ring; they are skipped
+// during eviction and compacted in place when the ring fills.
 type TLB struct {
 	mu      sync.Mutex
 	size    int
-	entries map[TLBKey]*TLBEntry
-	fifo    []TLBKey
+	entries map[TLBKey]tlbSlot
+	ring    []tlbRec
+	head    int // index of the oldest record
+	count   int // live+stale records in the ring
+	seq     uint64
 	stats   TLBStats
 }
 
@@ -48,7 +72,8 @@ func NewTLB(size int) *TLB {
 	}
 	return &TLB{
 		size:    size,
-		entries: make(map[TLBKey]*TLBEntry, size),
+		entries: make(map[TLBKey]tlbSlot, size),
+		ring:    make([]tlbRec, 2*size),
 	}
 }
 
@@ -60,33 +85,55 @@ func (t *TLB) Size() int { return t.size }
 func (t *TLB) Lookup(key TLBKey) (TLBEntry, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if e, ok := t.entries[key]; ok {
+	if s, ok := t.entries[key]; ok {
 		t.stats.Hits++
-		return *e, true
+		return s.entry, true
 	}
 	t.stats.Misses++
 	return TLBEntry{}, false
+}
+
+// pushRec appends a record to the ring, compacting stale records in
+// place (preserving order) when it is full. At most size records can be
+// live, so compaction of a full 2×size ring always frees space.
+func (t *TLB) pushRec(rec tlbRec) {
+	if t.count == len(t.ring) {
+		kept := 0
+		for i := 0; i < t.count; i++ {
+			r := t.ring[(t.head+i)%len(t.ring)]
+			if s, ok := t.entries[r.key]; ok && s.seq == r.seq {
+				t.ring[kept] = r
+				kept++
+			}
+		}
+		t.head = 0
+		t.count = kept
+	}
+	t.ring[(t.head+t.count)%len(t.ring)] = rec
+	t.count++
 }
 
 // Insert loads a translation, evicting the oldest entry if full.
 func (t *TLB) Insert(key TLBKey, entry TLBEntry) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if e, ok := t.entries[key]; ok {
-		*e = entry
+	if s, ok := t.entries[key]; ok {
+		s.entry = entry
+		t.entries[key] = s
 		return
 	}
 	for len(t.entries) >= t.size {
-		victim := t.fifo[0]
-		t.fifo = t.fifo[1:]
-		if _, ok := t.entries[victim]; ok {
-			delete(t.entries, victim)
+		rec := t.ring[t.head]
+		t.head = (t.head + 1) % len(t.ring)
+		t.count--
+		if s, ok := t.entries[rec.key]; ok && s.seq == rec.seq {
+			delete(t.entries, rec.key)
 			t.stats.Evictions++
 		}
 	}
-	e := entry
-	t.entries[key] = &e
-	t.fifo = append(t.fifo, key)
+	t.seq++
+	t.entries[key] = tlbSlot{entry: entry, seq: t.seq}
+	t.pushRec(tlbRec{key: key, seq: t.seq})
 }
 
 // FlushPage invalidates a single translation if present.
@@ -116,7 +163,7 @@ func (t *TLB) FlushAll() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	clear(t.entries)
-	t.fifo = t.fifo[:0]
+	t.head, t.count = 0, 0
 	t.stats.FullFlushes++
 }
 

@@ -25,7 +25,9 @@ type AccessResult struct {
 
 // Access performs one hardware access of the given type at va through
 // cpu's TLB and m's translation structures, charging costs as the real
-// machine would. It does not resolve faults — that is the
+// machine would. Costs accumulate in cpu's local charge buffer (this is
+// a per-CPU hardware event) and reach the global clock at the caller's
+// batch boundary. It does not resolve faults — that is the
 // machine-independent fault handler's job.
 func Access(mod Module, cpu *hw.CPU, m Map, va vmtypes.VA, access vmtypes.Prot) AccessResult {
 	machine := mod.Machine()
@@ -34,7 +36,7 @@ func Access(mod Module, cpu *hw.CPU, m Map, va vmtypes.VA, access vmtypes.Prot) 
 	key := hw.TLBKey{Space: m.Space(), VPN: vpn}
 
 	if e, hit := cpu.TLB.Lookup(key); hit {
-		machine.Charge(machine.Cost.MemAccess)
+		cpu.Charge(machine.Cost.MemAccess)
 		if e.Prot.Allows(access) {
 			mod.MarkAccess(e.PFN, access.Allows(vmtypes.ProtWrite))
 			return AccessResult{PFN: e.PFN, Fault: vmtypes.FaultNone, Reported: access, TLBHit: true}
@@ -46,7 +48,7 @@ func Access(mod Module, cpu *hw.CPU, m Map, va vmtypes.VA, access vmtypes.Prot) 
 		cpu.TLB.FlushPage(key)
 	}
 
-	machine.Charge(machine.Cost.TLBMiss)
+	cpu.Charge(machine.Cost.TLBMiss)
 	pfn, prot, ok := m.Walk(va)
 	if !ok {
 		return AccessResult{Fault: vmtypes.FaultTranslation, Reported: mod.ReportFault(access)}
@@ -59,7 +61,7 @@ func Access(mod Module, cpu *hw.CPU, m Map, va vmtypes.VA, access vmtypes.Prot) 
 		}
 	}
 	cpu.TLB.Insert(key, hw.TLBEntry{PFN: pfn, Prot: prot})
-	machine.Charge(machine.Cost.MemAccess)
+	cpu.Charge(machine.Cost.MemAccess)
 	mod.MarkAccess(pfn, access.Allows(vmtypes.ProtWrite))
 	return AccessResult{PFN: pfn, Fault: vmtypes.FaultNone, Reported: access}
 }

@@ -18,8 +18,13 @@ type frameState struct {
 	// mu guards this frame's entry only: the database is striped
 	// per-frame so that faults entering mappings for unrelated frames
 	// never contend (every fault crosses AddPV hwRatio times).
-	mu         sync.Mutex
+	mu sync.Mutex
+	// pvs starts as a capacity-1 slice over inline storage (see
+	// NewPhysDB), so the common case — a frame mapped in exactly one
+	// place — appends without allocating; shared frames grow onto the
+	// heap as before.
 	pvs        []PV
+	pv0        [1]PV
 	modified   bool
 	referenced bool
 }
@@ -34,7 +39,12 @@ type PhysDB struct {
 
 // NewPhysDB creates a database covering nframes hardware frames.
 func NewPhysDB(nframes int) *PhysDB {
-	return &PhysDB{frames: make([]frameState, nframes)}
+	db := &PhysDB{frames: make([]frameState, nframes)}
+	for i := range db.frames {
+		fs := &db.frames[i]
+		fs.pvs = fs.pv0[:0:1]
+	}
+	return db
 }
 
 func (db *PhysDB) valid(pfn vmtypes.PFN) bool { return pfn < vmtypes.PFN(len(db.frames)) }

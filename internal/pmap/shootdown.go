@@ -106,13 +106,13 @@ func (s *Shooter) InvalidatePage(space uint32, vpn uint64, active []*hw.CPU, rem
 		case ShootImmediate:
 			s.stats.RemoteIPIs.Add(1)
 			s.machine.IPI(cpu, func(c *hw.CPU) {
-				c.Machine().Charge(c.Machine().Cost.TLBFlushPage)
+				c.Charge(c.Machine().Cost.TLBFlushPage)
 				c.TLB.FlushPage(key)
 			})
 		case ShootDeferred:
 			s.stats.DeferredFlushes.Add(1)
 			cpu.Defer(func(c *hw.CPU) {
-				c.Machine().Charge(c.Machine().Cost.TLBFlushPage)
+				c.Charge(c.Machine().Cost.TLBFlushPage)
 				c.TLB.FlushPage(key)
 			})
 		case ShootLazy:
@@ -129,7 +129,7 @@ func (s *Shooter) InvalidateSpace(space uint32, active []*hw.CPU) {
 			if i != 0 {
 				s.stats.RemoteIPIs.Add(1)
 				s.machine.IPI(cpu, func(c *hw.CPU) {
-					c.Machine().Charge(c.Machine().Cost.TLBFlushAll)
+					c.Charge(c.Machine().Cost.TLBFlushAll)
 					c.TLB.FlushSpace(space)
 				})
 				continue
@@ -141,7 +141,7 @@ func (s *Shooter) InvalidateSpace(space uint32, active []*hw.CPU) {
 		}
 		s.stats.DeferredFlushes.Add(1)
 		cpu.Defer(func(c *hw.CPU) {
-			c.Machine().Charge(c.Machine().Cost.TLBFlushAll)
+			c.Charge(c.Machine().Cost.TLBFlushAll)
 			c.TLB.FlushSpace(space)
 		})
 	}

