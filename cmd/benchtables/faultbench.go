@@ -18,6 +18,7 @@ import (
 
 	"machvm/internal/core"
 	"machvm/internal/hw"
+	"machvm/internal/pager/ztier"
 	"machvm/internal/pmap"
 	"machvm/internal/pmap/vax"
 	"machvm/internal/vmtypes"
@@ -51,6 +52,13 @@ type faultBenchResult struct {
 	Variant           string  `json:"variant,omitempty"`
 	VirtualMakespanNS int64   `json:"virtual_makespan_ns,omitempty"`
 	VirtualSpeedup    float64 `json:"virtual_speedup,omitempty"`
+
+	// Working-set sweep rows only: the tiered-paging degradation curve.
+	// WSRatio is working set / physical memory; Variant is "flat" (pager
+	// only) or "ztier" (compressed tier interposed); NsPerOp is virtual
+	// nanoseconds per page touched.
+	WSRatio     float64 `json:"ws_ratio,omitempty"`
+	TierHitRate float64 `json:"tier_hit_rate,omitempty"`
 }
 
 type faultBenchFile struct {
@@ -360,6 +368,169 @@ func scalingRows() ([]faultBenchResult, error) {
 	return rows, nil
 }
 
+// delayedStorePager is the slow backing tier for the working-set sweep:
+// an in-memory store with the default pager's contiguous-run semantics
+// that charges disk latency (plus a fixed network-ish delay) per
+// conversation in virtual time.
+type delayedStorePager struct {
+	machine  *hw.Machine
+	pageSize uint64
+	delayNS  int64
+	store    map[uint64][]byte
+}
+
+func (p *delayedStorePager) Name() string           { return "delayed-store" }
+func (p *delayedStorePager) Init(*core.Object)      {}
+func (p *delayedStorePager) Terminate(*core.Object) {}
+func (p *delayedStorePager) charge(bytes int) {
+	p.machine.Charge(p.machine.Cost.DiskLatency + p.delayNS)
+	p.machine.ChargeKB(p.machine.Cost.DiskPerKB, bytes)
+}
+
+func (p *delayedStorePager) DataRequest(_ context.Context, _ *core.Object, off uint64, n int) ([]byte, error) {
+	first, ok := p.store[off]
+	if !ok {
+		return nil, core.ErrDataUnavailable
+	}
+	data := append(make([]byte, 0, n), first...)
+	for next := off + p.pageSize; len(data) < n; next += p.pageSize {
+		c, ok := p.store[next]
+		if !ok {
+			break
+		}
+		data = append(data, c...)
+	}
+	if len(data) > n {
+		data = data[:n]
+	}
+	p.charge(len(data))
+	return data, nil
+}
+
+func (p *delayedStorePager) DataWrite(_ context.Context, _ *core.Object, off uint64, data []byte) error {
+	p.charge(len(data))
+	for lo := uint64(0); lo < uint64(len(data)); lo += p.pageSize {
+		hi := lo + p.pageSize
+		if hi > uint64(len(data)) {
+			hi = uint64(len(data))
+		}
+		p.store[off+lo] = append([]byte(nil), data[lo:hi]...)
+	}
+	return nil
+}
+
+// measureWorkingSet touches a working set of ratioNum/ratioDen times
+// physical memory repeatedly against the delayed backing pager, with and
+// without the compressed tier interposed, and reports virtual time per
+// page — the graceful-degradation curve of the tiered design.
+func measureWorkingSet(ratioNum, ratioDen int, tiered bool) (faultBenchResult, error) {
+	const frames = 512 // × 512B hardware pages = 256KB of physical memory
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: frames,
+		CPUs:       1,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	k, err := core.NewKernel(core.Config{
+		Machine:    machine,
+		Module:     mod,
+		PageSize:   4096,
+		FreeTarget: frames + 1, // scans always reclaim everything
+		FreeMin:    2,
+	})
+	if err != nil {
+		return faultBenchResult{}, err
+	}
+	pageSize := k.PageSize()
+	backing := &delayedStorePager{
+		machine:  machine,
+		pageSize: pageSize,
+		delayNS:  40e6,
+		store:    make(map[uint64][]byte),
+	}
+	var pg core.Pager = backing
+	var tier *ztier.Tier
+	variant := "flat"
+	if tiered {
+		tier = ztier.New(backing, ztier.Config{
+			Budget: 4 << 20, PageSize: pageSize, Stats: k.Stats(), Machine: machine,
+		})
+		defer tier.Close()
+		pg = tier
+		variant = "ztier"
+	}
+
+	ramPages := frames * vax.HWPageSize / int(pageSize)
+	wsPages := ramPages * ratioNum / ratioDen
+	size := uint64(wsPages) * pageSize
+	obj := k.NewObject(size, pg, "sweep")
+	m := k.NewMap()
+	defer m.Destroy()
+	cpu := machine.CPU(0)
+	m.Pmap().Activate(cpu)
+	addr, err := m.AllocateWithObject(0, size, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		return faultBenchResult{}, err
+	}
+	buf := make([]byte, pageSize)
+	for p := 0; p < wsPages; p++ {
+		for i := range buf {
+			buf[i] = byte(p*31 + i%97)
+		}
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(uint64(p)*pageSize), buf, true); err != nil {
+			return faultBenchResult{}, err
+		}
+	}
+	var touched int
+	for pass := 0; pass < 2; pass++ {
+		k.PageoutScan()
+		for p := 0; p < wsPages; p++ {
+			if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(uint64(p)*pageSize), buf[:64], false); err != nil {
+				return faultBenchResult{}, err
+			}
+			touched++
+		}
+	}
+	cpu.FlushCharges()
+	virtual := machine.Clock.Now()
+	st := k.VMStatistics()
+	row := faultBenchResult{
+		Name:              "WorkingSetSweep",
+		Procs:             1,
+		Iterations:        touched,
+		NsPerOp:           float64(virtual) / float64(touched),
+		Variant:           variant,
+		VirtualMakespanNS: virtual,
+		WSRatio:           float64(ratioNum) / float64(ratioDen),
+	}
+	if hits, misses := st.ZtierHits, st.ZtierMisses; hits+misses > 0 {
+		row.TierHitRate = float64(hits) / float64(hits+misses)
+	}
+	return row, nil
+}
+
+// workingSetRows sweeps the working set from half of RAM to twice RAM,
+// flat and tiered, so the JSON captures both curves.
+func workingSetRows() ([]faultBenchResult, error) {
+	var rows []faultBenchResult
+	ratios := []struct{ num, den int }{{1, 2}, {1, 1}, {3, 2}, {2, 1}}
+	for _, r := range ratios {
+		for _, tiered := range []bool{false, true} {
+			row, err := measureWorkingSet(r.num, r.den, tiered)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(os.Stderr, "%s/ws=%.1fx/%s: %.0f virtual ns/page, tier hit rate %.2f\n",
+				row.Name, row.WSRatio, row.Variant, row.NsPerOp, row.TierHitRate)
+		}
+	}
+	return rows, nil
+}
+
 // writeScalingJSON emits only the virtual scaling rows to stdout — the
 // CI determinism smoke runs it twice and diffs the output, which works
 // because everything in these rows is virtual time.
@@ -392,6 +563,11 @@ func writeFaultJSON(path string) error {
 		return err
 	}
 	out.Benchmarks = append(out.Benchmarks, scaling...)
+	sweep, err := workingSetRows()
+	if err != nil {
+		return err
+	}
+	out.Benchmarks = append(out.Benchmarks, sweep...)
 
 	type bench struct {
 		name     string

@@ -40,6 +40,7 @@ import (
 var (
 	archFlag   = flag.String("arch", "vax", "architecture: vax, rtpc, sun3, ns32082, tlbonly")
 	scriptFlag = flag.String("script", "alloc a 16K; write a+0; read a+0; write a+4096; copy a b 16K; write b+0; stats", "trace script")
+	ztierFlag  = flag.String("ztier", "", "interpose a compressed swap tier with this budget (e.g. 4M)")
 )
 
 var archs = map[string]machvm.Arch{
@@ -70,6 +71,10 @@ func main() {
 		os.Exit(2)
 	}
 	sys := machvm.MustNew(arch, machvm.Options{MemoryMB: 8})
+	if *ztierFlag != "" {
+		tier := sys.EnableCompressedSwap(int64(parseSize(*ztierFlag)))
+		defer tier.Close()
+	}
 	cpu := sys.CPU(0)
 	tk := sys.NewTask("trace")
 	th := tk.SpawnThread(cpu)
@@ -212,6 +217,13 @@ func main() {
 				avg, st.PagerRetries, st.PagerFallbacks)
 			fmt.Printf("ranges: pageout-runs=%d run-pages=%d span-promotions=%d\n",
 				st.PageoutRuns, st.PageoutRunPages, st.SpanPromotions)
+			ratio := 0.0
+			if st.ZtierCompressedBytes > 0 {
+				ratio = float64(st.ZtierStoredBytes) / float64(st.ZtierCompressedBytes)
+			}
+			fmt.Printf("tiers: hits=%d misses=%d evictions=%d bypasses=%d zero-pages=%d compression=%.2fx\n",
+				st.ZtierHits, st.ZtierMisses, st.ZtierEvictions, st.ZtierBypasses,
+				st.SwapZeroPages, ratio)
 			fmt.Printf("pmap(%s): enters=%d removes=%d walks=%d misses=%d table=%dB\n",
 				sys.PmapModule().Name(), ms.Enters.Load(), ms.Removes.Load(),
 				ms.Walks.Load(), ms.WalkMisses.Load(), ms.TableBytes.Load())

@@ -1,128 +1,65 @@
-// netmemory: the §6 integration of loosely-coupled systems. Two simulated
-// machines ("nodes") of *different architectures* run their own kernels;
-// a task on node B maps a memory object whose pager lives on node A, so
-// node A's memory is faulted across the "network" page by page — shared
-// copy-on-reference, exactly the possibility §6 sketches: "tasks may map
-// into their address spaces references to memory objects which can be
-// implemented by pagers anywhere on the network".
+// netmemory: the §6 integration of loosely-coupled systems — "tasks may
+// map into their address spaces references to memory objects which can
+// be implemented by pagers anywhere on the network".
+//
+// This is now a thin demo of the netpager package. The memory server is
+// a NetMemBackend served over a pipe (stand in any net.Conn); the client
+// node maps a memory object backed by a NetPagerClient and faults the
+// server's pages across the wire — pipelined, many requests in flight,
+// replies matched back by tag. A compressed tier (ztier) then stacks in
+// front of the same connection: refaults that hit the tier finish
+// without touching the network at all.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
+	"net"
 
 	"machvm"
 )
 
-// Network message IDs (a user protocol above MsgUserBase).
 const (
-	msgFetch = 0x2000 + iota
-	msgFetchReply
-	msgWriteBack
+	pageSize   = 4096
+	regionSize = 512 << 10
+	remoteID   = 1 // the first object the client introduces gets wire ID 1
 )
 
 func main() {
-	// Node A: a VAX holding the master copy of the data.
-	nodeA := machvm.MustNew(machvm.VAX, machvm.Options{MemoryMB: 8})
-	server := nodeA.NewTask("memserver")
-	defer server.Destroy()
-	thA := server.SpawnThread(nodeA.CPU(0))
-
-	const regionSize = 512 << 10
-	master, err := server.Map.Allocate(0, regionSize, true)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// Fill the master region with recognizable records.
-	for off := 0; off < regionSize; off += 512 {
-		rec := fmt.Sprintf("nodeA-rec-%06d", off)
-		if err := thA.Write(master+machvm.VA(off), []byte(rec)); err != nil {
-			log.Fatal(err)
+	// "Node A": the remote memory server. No kernel needed — it is just a
+	// store behind the wire protocol.
+	backend := machvm.NewNetMemBackend(pageSize)
+	for off := 0; off < regionSize; off += pageSize {
+		page := make([]byte, pageSize)
+		for rec := 0; rec < pageSize; rec += 512 {
+			copy(page[rec:], fmt.Sprintf("nodeA-rec-%06d", off+rec))
 		}
+		backend.Put(remoteID, uint64(off), page)
 	}
+	cliConn, srvConn := net.Pipe()
+	go machvm.ServeNetPager(srvConn, backend)
 
-	// The memory server: answers page fetches out of its own task
-	// memory and accepts write-backs into it.
-	servicePort := machvm.NewPort("netmem-service")
-	wbDone := make(chan struct{}, 8)
-	go func() {
-		for {
-			msg, err := servicePort.Receive()
-			if err != nil {
-				return
-			}
-			switch msg.ID {
-			case msgFetch:
-				offset := msg.Items[0].Int
-				length := msg.Items[1].Int
-				data, err := nodeA.Kernel().VMRead(server.Map, master+machvm.VA(offset), length)
-				if err != nil {
-					data = nil
-				}
-				_ = msg.Reply.Send(&machvm.Message{
-					ID:    msgFetchReply,
-					Items: []machvm.Item{{Tag: 1 /* bytes */, Bytes: data}},
-				})
-			case msgWriteBack:
-				offset := msg.Items[0].Int
-				_ = nodeA.Kernel().VMWrite(server.Map, master+machvm.VA(offset), msg.Items[1].Bytes)
-				select {
-				case wbDone <- struct{}{}:
-				default:
-				}
-			}
-		}
-	}()
-
-	// Node B: an RT PC — a different MMU entirely — mapping node A's
-	// memory through a proxy pager.
+	// "Node B": an RT PC — a different MMU entirely — mapping node A's
+	// memory through the network pager client.
 	nodeB := machvm.MustNew(machvm.RTPC, machvm.Options{MemoryMB: 4})
-	proxy := machvm.NewUserPager("netmem-proxy")
-	defer proxy.Stop()
-	fetches := 0
-	proxy.OnRequest = func(req machvm.DataRequest) {
-		fetches++
-		reply := machvm.NewPort("fetch-reply")
-		defer reply.Destroy()
-		err := servicePort.Send(&machvm.Message{
-			ID:    msgFetch,
-			Items: []machvm.Item{{Int: req.Offset}, {Int: uint64(req.Length)}},
-			Reply: reply,
-		})
-		if err != nil {
-			req.Unavailable()
-			return
-		}
-		ans, err := reply.Receive()
-		if err != nil || ans.Items[0].Bytes == nil {
-			req.Unavailable()
-			return
-		}
-		req.Provide(ans.Items[0].Bytes, 0)
-	}
-	proxy.OnWrite = func(offset uint64, data []byte) {
-		_ = servicePort.Send(&machvm.Message{
-			ID:    msgWriteBack,
-			Items: []machvm.Item{{Int: offset}, {Bytes: data}},
-		})
-	}
+	client := machvm.NewNetPagerClient(cliConn, "nodeA-memory")
+	defer client.Close()
+	taskB := nodeB.NewTask("netclient")
+	defer taskB.Destroy()
+	thB := taskB.SpawnThread(nodeB.CPU(0))
 
-	remote := nodeB.NewUserPagerObject(proxy, regionSize, "nodeA-memory")
-	client := nodeB.NewTask("client")
-	defer client.Destroy()
-	thB := client.SpawnThread(nodeB.CPU(0))
-	base, err := client.Map.AllocateWithObject(0, regionSize, true, remote, 0,
+	remote := nodeB.Kernel().NewObject(regionSize, client, "remote-memory")
+	base, err := taskB.Map.AllocateWithObject(0, regionSize, true, remote, 0,
 		machvm.ProtDefault, machvm.ProtAll, machvm.InheritCopy, false)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("node B (%s) mapped %dKB of node A (%s) memory at %#x\n",
-		nodeB.Machine().Cost.Name, regionSize/1024, nodeA.Machine().Cost.Name, base)
+	fmt.Printf("node B (%s) mapped %dKB of remote memory at %#x\n",
+		nodeB.Machine().Cost.Name, regionSize/1024, base)
 
 	// Copy-on-reference: only what node B touches crosses the network.
-	probe := []int{0, 64 << 10, 300 << 10, 511 << 10}
-	for _, off := range probe {
+	for _, off := range []int{0, 64 << 10, 300 << 10, 511 << 10} {
 		want := fmt.Sprintf("nodeA-rec-%06d", off&^511)
 		got := make([]byte, len(want))
 		if err := thB.Read(base+machvm.VA(off&^511), got); err != nil {
@@ -133,28 +70,53 @@ func main() {
 		}
 		fmt.Printf("  remote read at offset %6dKB: %q\n", off/1024, got)
 	}
-	fmt.Printf("pages fetched across the network: %d (of %d in the region)\n",
-		fetches, regionSize/int(nodeB.Kernel().PageSize()))
+	st := nodeB.Statistics()
+	fmt.Printf("network faults: %d pageins, %d pager round trips\n",
+		st.Pageins, st.PagerRoundTrips)
 
-	// Node B modifies a record; memory pressure (or an explicit clean)
-	// pushes it home.
+	// Write back: node B modifies a record and cleans the range; the
+	// mutation lands in node A's store over the same connection.
 	if err := thB.Write(base, []byte("nodeB-modified!!")); err != nil {
 		log.Fatal(err)
 	}
-	nodeB.Kernel().CleanObjectRange(remote, 0, nodeB.Kernel().PageSize())
-	// The write-back travels pager -> port -> server; wait for it.
-	select {
-	case <-wbDone:
-	case <-time.After(5 * time.Second):
-		log.Fatal("write-back never arrived at node A")
-	}
-	check := make([]byte, 16)
-	if err := thA.Read(master, check); err != nil {
+	if err := nodeB.Kernel().CleanObjectRange(remote, 0, pageSize); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("node A master after node B's write-back: %q\n", check)
-	if string(check) != "nodeB-modified!!" {
-		log.Fatal("write-back did not reach the master copy")
+	check, err := client.DataRequest(context.Background(), remote, 0, 16)
+	if err != nil || string(check) != "nodeB-modified!!" {
+		log.Fatalf("write-back did not reach the server: %q err=%v", check, err)
 	}
-	fmt.Println("two kernels, two MMUs, one memory object — §6 works")
+	fmt.Printf("node A store after node B's write-back: %q\n", check)
+
+	// Stack the compressed tier in front of the connection: cleaned pages
+	// compress into local RAM, so refaults hit the tier and never touch
+	// the wire unless the budget overflows.
+	tier := nodeB.NewCompressedTier(client, 1<<20)
+	defer tier.Close()
+	tiered := nodeB.Kernel().NewObject(regionSize, tier, "remote-tiered")
+	tbase, err := taskB.Map.AllocateWithObject(0, regionSize, true, tiered, 0,
+		machvm.ProtDefault, machvm.ProtAll, machvm.InheritCopy, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for off := 0; off < regionSize; off += pageSize {
+		rec := []byte(fmt.Sprintf("nodeB-tier-%06d", off))
+		if err := thB.Write(tbase+machvm.VA(off), rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := nodeB.Kernel().CleanObjectRange(tiered, 0, regionSize); err != nil {
+		log.Fatal(err)
+	}
+	nodeB.Kernel().FlushObjectRange(tiered, 0, regionSize)
+	got := make([]byte, 16)
+	for off := 0; off < regionSize; off += pageSize {
+		if err := thB.Read(tbase+machvm.VA(off), got); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st = nodeB.Statistics()
+	fmt.Printf("tiered refaults: tier hits=%d, chunks sent to the server: %d\n",
+		st.ZtierHits, backend.Pages(remoteID+1))
+	fmt.Println("one wire protocol, two storage tiers, one memory object — §6 works")
 }

@@ -251,7 +251,7 @@ func NewKernel(cfg Config) (*Kernel, error) {
 	k.cache.init(size)
 	k.disableHints = cfg.DisableMapHints
 	k.prewarmFork = cfg.PrewarmFork
-	k.swap = newMemorySwapPager(k.machine, k.pageSize)
+	k.swap = newMemorySwapPager(k.machine, k.pageSize, &k.stats)
 	return k, nil
 }
 

@@ -74,6 +74,22 @@ type Object struct {
 	// when its pager fails (atomic: read on the fault path without the
 	// object lock).
 	fallback atomic.Int32
+
+	// tier is the caller-requested storage-tier placement (Tier); autoTier
+	// is the kernel's decision when tier is TierAuto, driven by the
+	// pageout daemon's reference information (see noteRefaults /
+	// notePageouts). Both atomic: a tiered pager reads them during
+	// DataWrite with no object lock held.
+	tier     atomic.Int32
+	autoTier atomic.Int32
+
+	// tierRefaults counts pages paged back in from the object's pager;
+	// tierPageouts counts pages the daemon wrote out. Together they are
+	// the signal for automatic tier placement: an object whose pages keep
+	// refaulting after eviction is hot, one that pours pages out and never
+	// asks for them back is cold.
+	tierRefaults atomic.Uint64
+	tierPageouts atomic.Uint64
 }
 
 // PagerFallback selects how a fault degrades when the object's pager
@@ -93,6 +109,98 @@ const (
 	// are never stranded behind a dead manager.
 	FallbackSwap
 )
+
+// Tier is an object's storage-tier placement hint, consumed by tiered
+// pagers (internal/pager/ztier) on the pageout path. The kernel itself
+// attaches no mechanism to a tier beyond computing the automatic placement;
+// a flat pager is free to ignore it.
+type Tier int32
+
+const (
+	// TierAuto lets the pageout daemon's reference information decide:
+	// objects whose pages keep refaulting after eviction are promoted hot,
+	// objects that stream pages out without ever refaulting demote cold.
+	// The default.
+	TierAuto Tier = iota
+	// TierHot pins the object's evictions in the fast tier: a tiered
+	// pager keeps its compressed blobs resident and evicts them to the
+	// backing store only under hard memory pressure.
+	TierHot
+	// TierCold marks the object writeback-eager: a tiered pager bypasses
+	// the fast tier entirely and writes straight to the backing store, so
+	// a cold object never occupies compressed-pool budget.
+	TierCold
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierAuto:
+		return "auto"
+	case TierHot:
+		return "hot"
+	case TierCold:
+		return "cold"
+	default:
+		return "tier(?)"
+	}
+}
+
+// Automatic tier-placement thresholds: an auto object is promoted hot once
+// this many pages refaulted back from its pager, and demoted cold once it
+// paged out this many pages without a single refault.
+const (
+	tierPromoteRefaults = 16
+	tierDemotePageouts  = 64
+)
+
+// SetTier sets the object's storage-tier placement. TierAuto (the default)
+// re-enables automatic placement from the pageout daemon's reference
+// information.
+func (o *Object) SetTier(t Tier) {
+	o.tier.Store(int32(t))
+	if t != TierAuto {
+		o.autoTier.Store(int32(TierAuto)) // forget the automatic verdict
+	}
+}
+
+// RequestedTier returns the tier set with SetTier (TierAuto by default).
+func (o *Object) RequestedTier() Tier { return Tier(o.tier.Load()) }
+
+// EffectiveTier returns the placement a tiered pager should honor: the
+// explicit SetTier value when one is set, otherwise the kernel's automatic
+// verdict (TierAuto until enough reference information accumulates).
+func (o *Object) EffectiveTier() Tier {
+	if t := Tier(o.tier.Load()); t != TierAuto {
+		return t
+	}
+	return Tier(o.autoTier.Load())
+}
+
+// noteRefaults records n pages paged back in from the object's pager and
+// applies the automatic promotion rule: refaulting evictions mean the
+// working set is larger than memory but live — exactly what the fast tier
+// is for — so the object is pinned hot.
+func (o *Object) noteRefaults(k *Kernel, n int) {
+	if o.tierRefaults.Add(uint64(n)) >= tierPromoteRefaults &&
+		Tier(o.tier.Load()) == TierAuto &&
+		o.autoTier.CompareAndSwap(int32(TierAuto), int32(TierHot)) {
+		k.stats.TierPromotions.Add(1)
+	}
+	// Any refault rescinds a cold verdict: the object is being read again.
+	o.autoTier.CompareAndSwap(int32(TierCold), int32(TierAuto))
+}
+
+// notePageouts records n pages written out and applies the automatic
+// demotion rule: a stream of evictions with no refault at all is cold data
+// (a scan, a log, a dropped cache) that should not occupy fast-tier budget.
+func (o *Object) notePageouts(k *Kernel, n int) {
+	if o.tierPageouts.Add(uint64(n)) >= tierDemotePageouts &&
+		o.tierRefaults.Load() == 0 &&
+		Tier(o.tier.Load()) == TierAuto &&
+		o.autoTier.CompareAndSwap(int32(TierAuto), int32(TierCold)) {
+		k.stats.TierDemotions.Add(1)
+	}
+}
 
 var objectGen atomic.Uint64
 
@@ -142,6 +250,10 @@ func (k *Kernel) newPooledObject() *Object {
 	o.pooled = true
 	o.clusterPages.Store(0)
 	o.fallback.Store(0)
+	o.tier.Store(0)
+	o.autoTier.Store(0)
+	o.tierRefaults.Store(0)
+	o.tierPageouts.Store(0)
 	o.generation.Store(objectGen.Add(1))
 	return o
 }

@@ -262,11 +262,15 @@ func (k *Kernel) finishPageoutRun(run []pageoutVictim) int {
 	err := k.pagerWriteData(pager, obj, run[0].offset, data)
 	if err != nil && obj.PagerFallback() == FallbackSwap && pager != k.swap {
 		// Degrade: hand the object to the default pager for good and
-		// land the data there.
+		// land the data there. Tell the failed pager the object is gone so
+		// a tiered pager (ztier wrapping the dead backing store) purges its
+		// compressed blobs instead of stranding them keyed by a retargeted
+		// object.
 		k.stats.PagerFallbacks.Add(1)
 		obj.mu.Lock()
 		obj.pager = k.swap
 		obj.mu.Unlock()
+		pager.Terminate(obj)
 		k.swap.Init(obj)
 		err = k.pagerWriteData(k.swap, obj, run[0].offset, data)
 	}
@@ -292,6 +296,7 @@ func (k *Kernel) finishPageoutRun(run []pageoutVictim) int {
 	k.stats.Pageouts.Add(uint64(n))
 	k.stats.PageoutRuns.Add(1)
 	k.stats.PageoutRunPages.Add(uint64(n))
+	obj.notePageouts(k, n)
 	for _, v := range run {
 		k.clearModify(v.p)
 		k.freePageObjLocked(v.p)

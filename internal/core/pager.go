@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"machvm/internal/hw"
+	"machvm/internal/vmtypes"
 )
 
 // Pager errors. The kernel↔pager boundary is error-returning and
@@ -209,16 +210,35 @@ func (k *Kernel) pagerWriteData(pager Pager, obj *Object, offset uint64, data []
 // per-object index makes Terminate an O(object) purge — a terminated
 // object's entries (and the dead *Object key) can never linger in the
 // store.
+//
+// Zero-page elision: a full-page DataWrite of all zeroes stores a shared
+// zero-length sentinel chunk instead of a 4KB copy, and DataRequest
+// reconstitutes the zeroes on the way out. Sparse workloads (mostly-zero
+// heaps paged out under pressure) therefore cost the store almost nothing,
+// and the elided pages skip the per-KB transfer charge — only the
+// per-operation latency remains.
 type memorySwapPager struct {
 	machine  *hw.Machine
 	pageSize uint64
+	zero     []byte // shared all-zero page for sentinel reconstitution
+	stats    *Stats // kernel counters (SwapZeroPages); never nil
 
 	mu    sync.Mutex
 	store map[*Object]map[uint64][]byte
 }
 
-func newMemorySwapPager(m *hw.Machine, pageSize uint64) *memorySwapPager {
-	return &memorySwapPager{machine: m, pageSize: pageSize, store: make(map[*Object]map[uint64][]byte)}
+// swapZeroChunk is the stored sentinel for an elided all-zero page. Only
+// full-page chunks are elided, so a zero length is unambiguous.
+var swapZeroChunk = []byte{}
+
+func newMemorySwapPager(m *hw.Machine, pageSize uint64, stats *Stats) *memorySwapPager {
+	return &memorySwapPager{
+		machine:  m,
+		pageSize: pageSize,
+		zero:     make([]byte, pageSize),
+		stats:    stats,
+		store:    make(map[*Object]map[uint64][]byte),
+	}
 }
 
 func (s *memorySwapPager) Name() string { return "default-swap" }
@@ -236,21 +256,36 @@ func (s *memorySwapPager) DataRequest(ctx context.Context, obj *Object, offset u
 		s.mu.Unlock()
 		return nil, ErrDataUnavailable
 	}
+	// A zero-length chunk is the elided-zero-page sentinel: reconstitute a
+	// full page of zeroes in its place. Elided pages also skip the per-KB
+	// transfer charge below — they were never really moved.
 	data := make([]byte, 0, length)
-	data = append(data, first...)
+	elided := 0
+	appendChunk := func(chunk []byte) {
+		if len(chunk) == 0 {
+			data = append(data, s.zero...)
+			elided++
+			return
+		}
+		data = append(data, chunk...)
+	}
+	appendChunk(first)
 	for next := offset + s.pageSize; len(data) < length; next += s.pageSize {
 		chunk, ok := chunks[next]
 		if !ok {
 			break
 		}
-		data = append(data, chunk...)
+		appendChunk(chunk)
 	}
 	s.mu.Unlock()
 	if len(data) > length {
 		data = data[:length]
 	}
 	s.machine.Charge(s.machine.Cost.DiskLatency)
-	s.machine.ChargeKB(s.machine.Cost.DiskPerKB, len(data))
+	moved := len(data) - elided*int(s.pageSize)
+	if moved > 0 {
+		s.machine.ChargeKB(s.machine.Cost.DiskPerKB, moved)
+	}
 	return data, nil
 }
 
@@ -258,24 +293,36 @@ func (s *memorySwapPager) DataWrite(ctx context.Context, obj *Object, offset uin
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.machine.Charge(s.machine.Cost.DiskLatency)
-	s.machine.ChargeKB(s.machine.Cost.DiskPerKB, len(data))
 	s.mu.Lock()
 	m := s.store[obj]
 	if m == nil {
 		m = make(map[uint64][]byte)
 		s.store[obj] = m
 	}
+	moved := 0
 	for lo := uint64(0); lo < uint64(len(data)); lo += s.pageSize {
 		hi := lo + s.pageSize
 		if hi > uint64(len(data)) {
 			hi = uint64(len(data))
 		}
+		chunk := data[lo:hi]
+		// Zero-page elision: a full page of zeroes stores the shared
+		// sentinel instead of a 4KB copy and skips the transfer charge.
+		if hi-lo == s.pageSize && vmtypes.IsZero(chunk) {
+			m[offset+lo] = swapZeroChunk
+			s.stats.SwapZeroPages.Add(1)
+			continue
+		}
 		cp := make([]byte, hi-lo)
-		copy(cp, data[lo:hi])
+		copy(cp, chunk)
 		m[offset+lo] = cp
+		moved += len(cp)
 	}
 	s.mu.Unlock()
+	s.machine.Charge(s.machine.Cost.DiskLatency)
+	if moved > 0 {
+		s.machine.ChargeKB(s.machine.Cost.DiskPerKB, moved)
+	}
 	return nil
 }
 

@@ -208,6 +208,11 @@ func (k *Kernel) runClusterFlight(f *pagerFlight, obj *Object, pager Pager, anch
 	}
 	if filled > 0 {
 		k.stats.Pageins.Add(uint64(filled))
+		// Pages coming back from a pager are refaults in the tier-placement
+		// sense: the object's data was evicted and wanted again. Feed the
+		// auto-tier machinery (resident hits and zero fills stay untouched,
+		// keeping the fast fault paths free of this accounting).
+		obj.noteRefaults(k, filled)
 		extras := filled
 		if f.errs[anchor] == nil {
 			extras--

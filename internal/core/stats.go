@@ -46,6 +46,20 @@ type Stats struct {
 	PageoutRuns       atomic.Uint64 // DataWrite conversations issued by the pageout daemon
 	PageoutRunPages   atomic.Uint64 // dirty pages carried by those DataWrites
 	SpanPromotions    atomic.Uint64 // whole-span EnterRange promotions driven by faults
+
+	// Tiered-paging counters. The Ztier* counters are bumped by the
+	// compressed swap tier (internal/pager/ztier) when it is wired to this
+	// kernel's Stats; the Tier* and SwapZeroPages counters by the kernel
+	// itself.
+	ZtierHits            atomic.Uint64 // DataRequests served from the compressed pool
+	ZtierMisses          atomic.Uint64 // DataRequests that fell through to the backing tier
+	ZtierStoredBytes     atomic.Uint64 // uncompressed bytes accepted into the pool (cumulative)
+	ZtierCompressedBytes atomic.Uint64 // compressed bytes those stores occupied (cumulative)
+	ZtierEvictions       atomic.Uint64 // blobs written back to the backing tier by the pool
+	ZtierBypasses        atomic.Uint64 // pages routed straight to the backing tier (incompressible or cold)
+	TierPromotions       atomic.Uint64 // auto-tier objects pinned hot by refault pressure
+	TierDemotions        atomic.Uint64 // auto-tier objects demoted cold (eviction stream, no refaults)
+	SwapZeroPages        atomic.Uint64 // all-zero pages the default pager elided to a sentinel
 }
 
 // Stats returns the kernel's counters.
@@ -91,6 +105,16 @@ type Statistics struct {
 	PageoutRuns      uint64
 	PageoutRunPages  uint64
 	SpanPromotions   uint64
+
+	ZtierHits            uint64
+	ZtierMisses          uint64
+	ZtierStoredBytes     uint64
+	ZtierCompressedBytes uint64
+	ZtierEvictions       uint64
+	ZtierBypasses        uint64
+	TierPromotions       uint64
+	TierDemotions        uint64
+	SwapZeroPages        uint64
 }
 
 // VMStatistics implements vm_statistics: statistics about the use of
@@ -142,5 +166,14 @@ func (k *Kernel) VMStatistics() Statistics {
 	s.PageoutRuns = k.stats.PageoutRuns.Load()
 	s.PageoutRunPages = k.stats.PageoutRunPages.Load()
 	s.SpanPromotions = k.stats.SpanPromotions.Load()
+	s.ZtierHits = k.stats.ZtierHits.Load()
+	s.ZtierMisses = k.stats.ZtierMisses.Load()
+	s.ZtierStoredBytes = k.stats.ZtierStoredBytes.Load()
+	s.ZtierCompressedBytes = k.stats.ZtierCompressedBytes.Load()
+	s.ZtierEvictions = k.stats.ZtierEvictions.Load()
+	s.ZtierBypasses = k.stats.ZtierBypasses.Load()
+	s.TierPromotions = k.stats.TierPromotions.Load()
+	s.TierDemotions = k.stats.TierDemotions.Load()
+	s.SwapZeroPages = k.stats.SwapZeroPages.Load()
 	return s
 }

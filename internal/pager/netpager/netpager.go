@@ -1,0 +1,310 @@
+// Package netpager is a concurrent network memory manager: the §6
+// "pagers anywhere on the network" possibility, hardened from the
+// examples/netmemory sketch into a reusable client/server pair.
+//
+// The client side implements core.Pager over a single pipelined
+// connection: many requests may be in flight at once, each carrying a
+// tag; replies arrive in any order and are matched back to their waiting
+// callers by tag. The server side (see server.go) answers requests
+// concurrently against a Backend, so a slow page does not convoy the
+// fast ones — exactly the behaviour a remote memory server exhibits.
+//
+// Partial failure composes from the outside: wrap the Client in the
+// existing pager.FlakyPager for injected errors, or wrap the Backend's
+// conn in something lossy. The kernel's PagerPolicy (deadline, retries)
+// and per-object fallback already govern what happens then.
+package netpager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"context"
+
+	"machvm/internal/core"
+)
+
+// Frame kinds.
+const (
+	kReq     byte = 1 // client→server: DataRequest(obj, off, aux=length)
+	kData    byte = 2 // server→client: data payload
+	kUnavail byte = 3 // server→client: pager_data_unavailable
+	kErr     byte = 4 // server→client: error string payload
+	kWrite   byte = 5 // client→server: DataWrite(obj, off, payload=data)
+	kWriteOK byte = 6 // server→client: write acknowledged
+	kInit    byte = 7 // client→server: object introduced (no reply)
+	kTerm    byte = 8 // client→server: object terminated (no reply)
+)
+
+// headerLen is kind(1) + tag(8) + obj(8) + off(8) + aux(4) + plen(4).
+const headerLen = 33
+
+// maxPayload bounds a frame; anything larger is a corrupt stream.
+const maxPayload = 16 << 20
+
+// ErrNoData is the Backend's definitive "no data at this range" answer;
+// the client surfaces it as core.ErrDataUnavailable.
+var ErrNoData = errors.New("netpager: no data")
+
+// ErrClosed is returned by client calls after the connection died.
+var ErrClosed = errors.New("netpager: connection closed")
+
+// frame is one protocol message.
+type frame struct {
+	kind    byte
+	tag     uint64
+	obj     uint64
+	off     uint64
+	aux     uint32
+	payload []byte
+}
+
+func writeFrame(w io.Writer, f frame) error {
+	var hdr [headerLen]byte
+	hdr[0] = f.kind
+	binary.LittleEndian.PutUint64(hdr[1:], f.tag)
+	binary.LittleEndian.PutUint64(hdr[9:], f.obj)
+	binary.LittleEndian.PutUint64(hdr[17:], f.off)
+	binary.LittleEndian.PutUint32(hdr[25:], f.aux)
+	binary.LittleEndian.PutUint32(hdr[29:], uint32(len(f.payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.payload) > 0 {
+		if _, err := w.Write(f.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	f := frame{
+		kind: hdr[0],
+		tag:  binary.LittleEndian.Uint64(hdr[1:]),
+		obj:  binary.LittleEndian.Uint64(hdr[9:]),
+		off:  binary.LittleEndian.Uint64(hdr[17:]),
+		aux:  binary.LittleEndian.Uint32(hdr[25:]),
+	}
+	plen := binary.LittleEndian.Uint32(hdr[29:])
+	if plen > maxPayload {
+		return frame{}, fmt.Errorf("netpager: oversized frame (%d bytes)", plen)
+	}
+	if plen > 0 {
+		f.payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// Client is the kernel-side proxy: a core.Pager whose storage lives
+// across the connection. Safe for concurrent use; every in-flight call
+// owns a tag and blocks only on its own reply (or its context).
+type Client struct {
+	conn io.ReadWriteCloser
+	name string
+
+	wmu sync.Mutex // serializes frame writes (frames interleave whole)
+
+	tags atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan frame
+	ids     map[*core.Object]uint64
+	nextID  uint64
+	sticky  error
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewClient wraps conn and starts the reply-dispatch reader. The
+// connection carries the pipelined request stream; replies may come back
+// in any order.
+func NewClient(conn io.ReadWriteCloser, name string) *Client {
+	if name == "" {
+		name = "netpager"
+	}
+	c := &Client{
+		conn:    conn,
+		name:    name,
+		pending: make(map[uint64]chan frame),
+		ids:     make(map[*core.Object]uint64),
+		done:    make(chan struct{}),
+	}
+	go c.reader()
+	return c
+}
+
+// Close tears down the connection; in-flight and future calls fail with
+// ErrClosed (or the underlying read error).
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
+}
+
+// fail marks the client dead and releases every waiter.
+func (c *Client) fail(err error) {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		if c.sticky == nil {
+			c.sticky = err
+		}
+		c.mu.Unlock()
+		close(c.done)
+	})
+}
+
+// reader dispatches replies to their tagged waiters until the stream
+// dies. A reply whose tag has no waiter (the caller's context fired
+// first) is dropped — the caller already unregistered.
+func (c *Client) reader() {
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[f.tag]
+		delete(c.pending, f.tag)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f // buffered: never blocks the reader
+		}
+	}
+}
+
+// objID returns (assigning if needed) the wire ID for obj.
+func (c *Client) objID(obj *core.Object) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.ids[obj]; ok {
+		return id
+	}
+	c.nextID++
+	c.ids[obj] = c.nextID
+	return c.nextID
+}
+
+// send writes one frame, respecting the sticky error.
+func (c *Client) send(f frame) error {
+	c.mu.Lock()
+	err := c.sticky
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if werr := writeFrame(c.conn, f); werr != nil {
+		return fmt.Errorf("%w: %v", ErrClosed, werr)
+	}
+	return nil
+}
+
+// call performs one tagged round trip: register, send, await the reply
+// or the caller's context. Abandoning a call unregisters its tag, so a
+// late reply is dropped instead of leaking a channel.
+func (c *Client) call(ctx context.Context, f frame) (frame, error) {
+	tag := c.tags.Add(1)
+	f.tag = tag
+	ch := make(chan frame, 1)
+	c.mu.Lock()
+	if c.sticky != nil {
+		err := c.sticky
+		c.mu.Unlock()
+		return frame{}, err
+	}
+	c.pending[tag] = ch
+	c.mu.Unlock()
+
+	if err := c.send(f); err != nil {
+		c.mu.Lock()
+		delete(c.pending, tag)
+		c.mu.Unlock()
+		return frame{}, err
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, tag)
+		c.mu.Unlock()
+		return frame{}, ctx.Err()
+	case <-c.done:
+		c.mu.Lock()
+		err := c.sticky
+		delete(c.pending, tag)
+		c.mu.Unlock()
+		return frame{}, err
+	}
+}
+
+// Name implements core.Pager.
+func (c *Client) Name() string { return c.name }
+
+// Init implements core.Pager (fire-and-forget pager_init).
+func (c *Client) Init(obj *core.Object) {
+	_ = c.send(frame{kind: kInit, obj: c.objID(obj)})
+}
+
+// Terminate implements core.Pager: the remote store drops the object and
+// the local ID mapping is released (no dead *Object keys).
+func (c *Client) Terminate(obj *core.Object) {
+	c.mu.Lock()
+	id, ok := c.ids[obj]
+	delete(c.ids, obj)
+	c.mu.Unlock()
+	if ok {
+		_ = c.send(frame{kind: kTerm, obj: id})
+	}
+}
+
+// DataRequest implements core.Pager over one tagged conversation.
+func (c *Client) DataRequest(ctx context.Context, obj *core.Object, offset uint64, length int) ([]byte, error) {
+	reply, err := c.call(ctx, frame{kind: kReq, obj: c.objID(obj), off: offset, aux: uint32(length)})
+	if err != nil {
+		return nil, err
+	}
+	switch reply.kind {
+	case kData:
+		return reply.payload, nil
+	case kUnavail:
+		return nil, core.ErrDataUnavailable
+	case kErr:
+		return nil, fmt.Errorf("netpager: remote: %s", reply.payload)
+	default:
+		return nil, fmt.Errorf("netpager: unexpected reply kind %d", reply.kind)
+	}
+}
+
+// DataWrite implements core.Pager. The data is copied onto the wire
+// before the call returns, honoring the only-valid-during-the-call
+// contract.
+func (c *Client) DataWrite(ctx context.Context, obj *core.Object, offset uint64, data []byte) error {
+	reply, err := c.call(ctx, frame{kind: kWrite, obj: c.objID(obj), off: offset, payload: data})
+	if err != nil {
+		return err
+	}
+	switch reply.kind {
+	case kWriteOK:
+		return nil
+	case kErr:
+		return fmt.Errorf("netpager: remote: %s", reply.payload)
+	default:
+		return fmt.Errorf("netpager: unexpected reply kind %d", reply.kind)
+	}
+}

@@ -1,0 +1,364 @@
+package netpager_test
+
+// Tests for the network pager: out-of-order tag matching, many
+// concurrent in-flight conversations, kernel integration with injected
+// partial failure (FlakyPager around the client), context cancellation
+// against a hung remote, and connection-death degradation.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/pager"
+	"machvm/internal/pager/netpager"
+	"machvm/internal/pager/ztier"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+const pgsz = 4096
+
+// newPair wires a client and a served MemBackend over an in-process
+// pipe, returning both plus a cleanup.
+func newPair(t testing.TB) (*netpager.Client, *netpager.MemBackend) {
+	t.Helper()
+	backend := netpager.NewMemBackend(pgsz)
+	cliConn, srvConn := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = netpager.Serve(srvConn, backend)
+	}()
+	client := netpager.NewClient(cliConn, "")
+	t.Cleanup(func() {
+		client.Close()
+		srvConn.Close()
+		<-done
+	})
+	return client, backend
+}
+
+func pageFill(buf []byte, seed int) {
+	for i := range buf {
+		buf[i] = byte(seed*31 + i%97)
+	}
+}
+
+func newNetKernel(t testing.TB, cpus, frames int) (*core.Kernel, *hw.Machine) {
+	t.Helper()
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: frames,
+		CPUs:       cpus,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	k := core.MustNewKernel(core.Config{
+		Machine:    machine,
+		Module:     mod,
+		PageSize:   pgsz,
+		FreeTarget: frames + 1, // scans always reclaim everything
+		FreeMin:    2,
+	})
+	return k, machine
+}
+
+func mapObject(t testing.TB, k *core.Kernel, machine *hw.Machine, obj *core.Object, size uint64) (*core.Map, vmtypes.VA) {
+	t.Helper()
+	m := k.NewMap()
+	m.Pmap().Activate(machine.CPU(0))
+	addr, err := m.AllocateWithObject(0, size, true, obj, 0,
+		vmtypes.ProtDefault, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		t.Fatalf("AllocateWithObject: %v", err)
+	}
+	return m, addr
+}
+
+// TestOutOfOrderReplies pins the pipelining claim: a slow page must not
+// convoy a fast one. The first request is delayed server-side; a second
+// request issued after it must complete first, and both must carry the
+// right data back to the right caller.
+func TestOutOfOrderReplies(t *testing.T) {
+	client, backend := newPair(t)
+	slow := make([]byte, pgsz)
+	fast := make([]byte, pgsz)
+	pageFill(slow, 1)
+	pageFill(fast, 2)
+	backend.Put(1, 0, slow)
+	backend.Put(1, pgsz, fast)
+	backend.Delay = func(obj, off uint64) time.Duration {
+		if off == 0 {
+			return 100 * time.Millisecond
+		}
+		return 0
+	}
+
+	obj := &core.Object{}
+	var order [2]int32
+	var seq atomic.Int32
+	var wg sync.WaitGroup
+	started := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		close(started)
+		data, err := client.DataRequest(context.Background(), obj, 0, pgsz)
+		if err != nil || !bytes.Equal(data, slow) {
+			t.Errorf("slow request: err=%v match=%v", err, bytes.Equal(data, slow))
+		}
+		order[0] = seq.Add(1)
+	}()
+	go func() {
+		defer wg.Done()
+		<-started
+		time.Sleep(10 * time.Millisecond) // ensure the slow request hit the wire first
+		data, err := client.DataRequest(context.Background(), obj, pgsz, pgsz)
+		if err != nil || !bytes.Equal(data, fast) {
+			t.Errorf("fast request: err=%v match=%v", err, bytes.Equal(data, fast))
+		}
+		order[1] = seq.Add(1)
+	}()
+	wg.Wait()
+	if order[1] != 1 || order[0] != 2 {
+		t.Fatalf("replies arrived in issue order (slow=%d fast=%d); pipelining failed", order[0], order[1])
+	}
+}
+
+// TestManyInFlight hammers one connection from many goroutines mixing
+// reads and writes; every reply must match its own request's object and
+// offset (a tag-mismatch bug shows up as cross-talk here).
+func TestManyInFlight(t *testing.T) {
+	client, backend := newPair(t)
+	const pages = 64
+	for p := 0; p < pages; p++ {
+		buf := make([]byte, pgsz)
+		pageFill(buf, p)
+		backend.Put(1, uint64(p)*pgsz, buf)
+	}
+	// Jitter some offsets so replies interleave.
+	backend.Delay = func(obj, off uint64) time.Duration {
+		return time.Duration((off/pgsz)%5) * time.Millisecond
+	}
+
+	obj := &core.Object{}
+	client.Init(obj)
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			want := make([]byte, pgsz)
+			for i := 0; i < 40; i++ {
+				p := (g*7 + i*13) % pages
+				pageFill(want, p)
+				data, err := client.DataRequest(context.Background(), obj, uint64(p)*pgsz, pgsz)
+				if err != nil {
+					errs <- fmt.Errorf("g%d read p%d: %v", g, p, err)
+					return
+				}
+				if !bytes.Equal(data, want) {
+					errs <- fmt.Errorf("g%d read p%d: cross-talk (got page for wrong tag)", g, p)
+					return
+				}
+				if i%8 == 0 { // interleave writes on a disjoint object
+					if err := client.DataWrite(context.Background(), obj, uint64(pages+g)*pgsz, want); err != nil {
+						errs <- fmt.Errorf("g%d write: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelIntegrationWithFlaky runs the kernel against the network
+// pager with pager.FlakyPager composed kernel-side: pageouts land in the
+// remote store, refaults come back intact, and injected request failures
+// degrade through the object's fallback instead of wedging the fault.
+func TestKernelIntegrationWithFlaky(t *testing.T) {
+	client, backend := newPair(t)
+	k, machine := newNetKernel(t, 1, 64)
+	k.SetPagerPolicy(core.PagerPolicy{Deadline: time.Second, Retries: 1, BackoffBase: time.Millisecond})
+
+	fp := pager.NewFlakyPager(client)
+	const pages = 16
+	size := uint64(pages) * pgsz
+	obj := k.NewObject(size, fp, "remote")
+	obj.SetPagerFallback(core.FallbackZeroFill)
+	m, addr := mapObject(t, k, machine, obj, size)
+	defer m.Destroy()
+	cpu := machine.CPU(0)
+
+	buf := make([]byte, pgsz)
+	for p := 0; p < pages; p++ {
+		pageFill(buf, p)
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(p*pgsz), buf, true); err != nil {
+			t.Fatalf("populate p%d: %v", p, err)
+		}
+	}
+	k.PageoutScan()
+	if got := backend.Pages(1); got == 0 {
+		t.Fatalf("pageout wrote nothing to the remote store")
+	}
+
+	// Clean refaults pull the data back over the wire.
+	got := make([]byte, pgsz)
+	want := make([]byte, pgsz)
+	for p := 0; p < pages; p++ {
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(p*pgsz), got, false); err != nil {
+			t.Fatalf("refault p%d: %v", p, err)
+		}
+		pageFill(want, p)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("p%d corrupted across the network round trip", p)
+		}
+	}
+
+	// Partial failure: every remaining request fails; faults must resolve
+	// via zero-fill fallback, not hang.
+	k.PageoutScan()
+	fp.FailNextRequests(-1)
+	before := k.VMStatistics().PagerFallbacks
+	if err := k.AccessBytes(cpu, m, addr, got, false); err != nil {
+		t.Fatalf("fault under injected failure: %v", err)
+	}
+	if k.VMStatistics().PagerFallbacks == before {
+		t.Fatalf("injected failures did not route through fallback")
+	}
+	fp.FailNextRequests(0)
+}
+
+// TestContextCancellation points the client at a hung remote: the
+// caller's context must release the fault promptly, and the connection
+// must stay usable — the eventual stale reply is dropped by tag.
+func TestContextCancellation(t *testing.T) {
+	client, backend := newPair(t)
+	buf := make([]byte, pgsz)
+	pageFill(buf, 9)
+	backend.Put(1, 0, buf)
+	var hang atomic.Bool
+	hang.Store(true)
+	backend.Delay = func(obj, off uint64) time.Duration {
+		if hang.Load() {
+			return 300 * time.Millisecond
+		}
+		return 0
+	}
+
+	obj := &core.Object{}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.DataRequest(ctx, obj, 0, pgsz)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hung remote returned %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 200*time.Millisecond {
+		t.Fatalf("cancellation took %v; caller stayed blocked on the remote", time.Since(start))
+	}
+
+	// The abandoned tag's late reply must not poison the next call.
+	hang.Store(false)
+	time.Sleep(350 * time.Millisecond) // let the stale reply drain
+	data, err := client.DataRequest(context.Background(), obj, 0, pgsz)
+	if err != nil || !bytes.Equal(data, buf) {
+		t.Fatalf("connection unusable after cancellation: err=%v", err)
+	}
+}
+
+// TestConnectionDeath severs the wire mid-flight: blocked callers get an
+// error (not a hang), later calls fail fast, and the kernel-side story
+// stays "pager error" — which fallback policy already handles.
+func TestConnectionDeath(t *testing.T) {
+	client, backend := newPair(t)
+	buf := make([]byte, pgsz)
+	pageFill(buf, 4)
+	backend.Put(1, 0, buf)
+	backend.Delay = func(obj, off uint64) time.Duration { return time.Second }
+
+	obj := &core.Object{}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := client.DataRequest(context.Background(), obj, 0, pgsz)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	client.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("in-flight call survived a dead connection")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call hung after connection death")
+	}
+	if _, err := client.DataRequest(context.Background(), obj, 0, pgsz); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+// TestZtierOverNetpager stacks the full hierarchy: resident memory over
+// the compressed tier over the network pager. Evictions stream to the
+// remote store, tier hits come back with zero wire round trips, and data
+// survives the whole journey.
+func TestZtierOverNetpager(t *testing.T) {
+	client, backend := newPair(t)
+	k, machine := newNetKernel(t, 1, 64)
+	tier := ztier.New(client, ztier.Config{
+		Budget: 1 << 20, PageSize: pgsz, Stats: k.Stats(), Machine: machine,
+	})
+	defer tier.Close()
+
+	const pages = 24
+	size := uint64(pages) * pgsz
+	obj := k.NewObject(size, tier, "remote-tiered")
+	m, addr := mapObject(t, k, machine, obj, size)
+	defer m.Destroy()
+	cpu := machine.CPU(0)
+
+	buf := make([]byte, pgsz)
+	for p := 0; p < pages; p++ {
+		pageFill(buf, p)
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(p*pgsz), buf, true); err != nil {
+			t.Fatalf("populate p%d: %v", p, err)
+		}
+	}
+	k.PageoutScan()
+
+	want := make([]byte, pgsz)
+	for p := 0; p < pages; p++ {
+		if err := k.AccessBytes(cpu, m, addr+vmtypes.VA(p*pgsz), buf, false); err != nil {
+			t.Fatalf("refault p%d: %v", p, err)
+		}
+		pageFill(want, p)
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("p%d corrupted through tier+network", p)
+		}
+	}
+	if k.VMStatistics().ZtierHits == 0 {
+		t.Fatalf("no tier hits; every refault went over the wire")
+	}
+	// The pool absorbed the whole working set, so nothing should have
+	// crossed the wire to the remote store at all.
+	if got := backend.Pages(1); got != 0 {
+		t.Fatalf("tier leaked %d chunks to the remote store while under budget", got)
+	}
+}

@@ -1,0 +1,186 @@
+package netpager
+
+// Server side of the network pager: a frame loop that answers each
+// request in its own goroutine against a Backend, so replies go back in
+// completion order, not arrival order. The tag travels with the request
+// and comes back on the reply; the client matches them up.
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Backend is the remote store the server answers from. Objects are
+// identified by the wire ID the client assigned; methods may be called
+// concurrently from many request handlers.
+type Backend interface {
+	// DataRequest returns up to length bytes at off, or ErrNoData when
+	// the range has never been written (the definitive-absence answer
+	// that becomes pager_data_unavailable kernel-side).
+	DataRequest(obj, off uint64, length int) ([]byte, error)
+	// DataWrite persists data at off.
+	DataWrite(obj, off uint64, data []byte) error
+	// Init and Terminate bracket an object's lifetime.
+	Init(obj uint64)
+	Terminate(obj uint64)
+}
+
+// Serve answers frames on conn against b until the connection fails,
+// then waits for in-flight handlers and returns the read error. Run it
+// in its own goroutine; io.EOF / io.ErrClosedPipe are the normal
+// shutdown outcomes.
+func Serve(conn io.ReadWriteCloser, b Backend) error {
+	var wmu sync.Mutex // one reply frame at a time on the wire
+	var wg sync.WaitGroup
+	reply := func(f frame) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = writeFrame(conn, f) // a dead conn also kills the read loop
+	}
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			wg.Wait()
+			return err
+		}
+		switch f.kind {
+		case kInit:
+			b.Init(f.obj)
+		case kTerm:
+			b.Terminate(f.obj)
+		case kReq, kWrite:
+			wg.Add(1)
+			go func(f frame) {
+				defer wg.Done()
+				reply(handle(f, b))
+			}(f)
+		default:
+			reply(frame{kind: kErr, tag: f.tag, payload: []byte("bad request kind")})
+		}
+	}
+}
+
+// handle runs one request against the backend and builds its reply.
+func handle(f frame, b Backend) frame {
+	switch f.kind {
+	case kReq:
+		data, err := b.DataRequest(f.obj, f.off, int(f.aux))
+		switch {
+		case err == ErrNoData:
+			return frame{kind: kUnavail, tag: f.tag}
+		case err != nil:
+			return frame{kind: kErr, tag: f.tag, payload: []byte(err.Error())}
+		default:
+			return frame{kind: kData, tag: f.tag, payload: data}
+		}
+	default: // kWrite
+		if err := b.DataWrite(f.obj, f.off, f.payload); err != nil {
+			return frame{kind: kErr, tag: f.tag, payload: []byte(err.Error())}
+		}
+		return frame{kind: kWriteOK, tag: f.tag}
+	}
+}
+
+// MemBackend is an in-memory Backend: the remote memory server from the
+// netmemory example, now reusable. Reads follow the kernel's covered-
+// prefix contract: a request starting on a stored page returns the
+// longest contiguous stored run (short reads are legal); a request whose
+// first page was never written returns ErrNoData.
+type MemBackend struct {
+	pageSize uint64
+
+	mu    sync.Mutex
+	store map[uint64]map[uint64][]byte
+
+	// Delay, if set, is consulted per read request; the handler sleeps
+	// that long before touching the store. Tests use it to force replies
+	// out of arrival order.
+	Delay func(obj, off uint64) time.Duration
+}
+
+// NewMemBackend returns an empty store serving pageSize-aligned chunks.
+func NewMemBackend(pageSize uint64) *MemBackend {
+	return &MemBackend{pageSize: pageSize, store: make(map[uint64]map[uint64][]byte)}
+}
+
+// Put seeds a page (or partial tail page) at off, for preloading a
+// region before any client attaches.
+func (m *MemBackend) Put(obj, off uint64, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pages := m.store[obj]
+	if pages == nil {
+		pages = make(map[uint64][]byte)
+		m.store[obj] = pages
+	}
+	pages[off] = append([]byte(nil), data...)
+}
+
+// Pages reports how many chunks are stored for obj.
+func (m *MemBackend) Pages(obj uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.store[obj])
+}
+
+func (m *MemBackend) Init(obj uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store[obj] == nil {
+		m.store[obj] = make(map[uint64][]byte)
+	}
+}
+
+func (m *MemBackend) Terminate(obj uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.store, obj)
+}
+
+func (m *MemBackend) DataRequest(obj, off uint64, length int) ([]byte, error) {
+	if m.Delay != nil {
+		if d := m.Delay(obj, off); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pages := m.store[obj]
+	var out []byte
+	for uint64(len(out)) < uint64(length) {
+		chunk, ok := pages[off+uint64(len(out))]
+		if !ok {
+			break
+		}
+		out = append(out, chunk...)
+		if uint64(len(chunk)) < m.pageSize {
+			break // tail chunk ends the run
+		}
+	}
+	if out == nil {
+		return nil, ErrNoData
+	}
+	if uint64(length) < uint64(len(out)) {
+		out = out[:length]
+	}
+	return out, nil
+}
+
+func (m *MemBackend) DataWrite(obj, off uint64, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pages := m.store[obj]
+	if pages == nil {
+		pages = make(map[uint64][]byte)
+		m.store[obj] = pages
+	}
+	for lo := uint64(0); lo < uint64(len(data)); lo += m.pageSize {
+		hi := lo + m.pageSize
+		if hi > uint64(len(data)) {
+			hi = uint64(len(data))
+		}
+		pages[off+lo] = append([]byte(nil), data[lo:hi]...)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package ztier
+
+import "errors"
+
+// An LZ4-block-style codec sized for page-granule blobs. The format is a
+// sequence of tokens: the high nibble is the literal length, the low
+// nibble the match length minus minMatch, each extended by 255-run bytes
+// when the nibble saturates at 15; literals follow the token, then a
+// 2-byte little-endian back-reference offset. The final sequence carries
+// literals only (no offset). This is deliberately a from-scratch
+// implementation: the repo takes no dependencies, and a page-sized input
+// needs none of a general codec's streaming machinery.
+//
+// compress is lossy about effort, never about data: it returns nil when
+// the input does not shrink below maxLen, which the tier treats as "this
+// page is incompressible — bypass to the backing store". decompress
+// rejects any corrupt framing rather than reading out of bounds.
+
+const (
+	minMatch  = 4
+	hashLog   = 12
+	maxOffset = 65535
+)
+
+var errCorrupt = errors.New("ztier: corrupt compressed blob")
+
+func load32(b []byte, i int) uint32 {
+	_ = b[i+3]
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+func hash4(u uint32) uint32 { return (u * 2654435761) >> (32 - hashLog) }
+
+// emitLen appends the 255-run extension encoding of v (the amount beyond
+// the saturated nibble).
+func emitLen(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// emitSeq appends one sequence: lit literals, then (when offset > 0) a
+// match of mlen bytes at distance offset. It reports false when dst would
+// meet or exceed maxLen — the incompressible bail-out.
+func emitSeq(dst, lit []byte, offset, mlen, maxLen int) ([]byte, bool) {
+	ll := len(lit)
+	tok := byte(15) << 4
+	if ll < 15 {
+		tok = byte(ll) << 4
+	}
+	ml := 0
+	if offset > 0 {
+		ml = mlen - minMatch
+		if ml < 15 {
+			tok |= byte(ml)
+		} else {
+			tok |= 15
+		}
+	}
+	dst = append(dst, tok)
+	if ll >= 15 {
+		dst = emitLen(dst, ll-15)
+	}
+	dst = append(dst, lit...)
+	if offset > 0 {
+		dst = append(dst, byte(offset), byte(offset>>8))
+		if ml >= 15 {
+			dst = emitLen(dst, ml-15)
+		}
+	}
+	if len(dst) >= maxLen {
+		return dst, false
+	}
+	return dst, true
+}
+
+// compress encodes src and returns the compressed bytes, or nil when the
+// result would not fit under maxLen bytes (incompressible at the caller's
+// threshold). The returned slice is freshly allocated and immutable by
+// convention — the tier shares it across readers without copying.
+func compress(src []byte, maxLen int) []byte {
+	if len(src) < minMatch+1 || maxLen <= 0 {
+		return nil
+	}
+	var table [1 << hashLog]int32 // position+1 of the last occurrence
+	dst := make([]byte, 0, maxLen)
+	anchor, i := 0, 0
+	ok := true
+	for i+minMatch <= len(src) {
+		h := hash4(load32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand > maxOffset || load32(src, cand) != load32(src, i) {
+			i++
+			continue
+		}
+		mlen := minMatch
+		for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
+			mlen++
+		}
+		dst, ok = emitSeq(dst, src[anchor:i], i-cand, mlen, maxLen)
+		if !ok {
+			return nil
+		}
+		i += mlen
+		anchor = i
+	}
+	dst, ok = emitSeq(dst, src[anchor:], 0, 0, maxLen)
+	if !ok {
+		return nil
+	}
+	return dst
+}
+
+// readLen resolves a saturated length nibble's 255-run extension.
+func readLen(src []byte, i *int, base int) (int, error) {
+	v := base
+	for {
+		if *i >= len(src) {
+			return 0, errCorrupt
+		}
+		b := src[*i]
+		*i++
+		v += int(b)
+		if b != 255 {
+			return v, nil
+		}
+	}
+}
+
+// decompress decodes a blob produced by compress into a fresh buffer of
+// exactly size bytes.
+func decompress(src []byte, size int) ([]byte, error) {
+	dst := make([]byte, 0, size)
+	i := 0
+	for i < len(src) {
+		tok := src[i]
+		i++
+		ll := int(tok >> 4)
+		if ll == 15 {
+			var err error
+			if ll, err = readLen(src, &i, 15); err != nil {
+				return nil, err
+			}
+		}
+		if i+ll > len(src) || len(dst)+ll > size {
+			return nil, errCorrupt
+		}
+		dst = append(dst, src[i:i+ll]...)
+		i += ll
+		if i == len(src) {
+			break // literal-only tail sequence
+		}
+		if i+2 > len(src) {
+			return nil, errCorrupt
+		}
+		off := int(src[i]) | int(src[i+1])<<8
+		i += 2
+		if off == 0 || off > len(dst) {
+			return nil, errCorrupt
+		}
+		ml := int(tok & 15)
+		if ml == 15 {
+			var err error
+			if ml, err = readLen(src, &i, 15); err != nil {
+				return nil, err
+			}
+		}
+		ml += minMatch
+		if len(dst)+ml > size {
+			return nil, errCorrupt
+		}
+		// Byte-at-a-time: matches may overlap their own output (RLE).
+		pos := len(dst) - off
+		for j := 0; j < ml; j++ {
+			dst = append(dst, dst[pos+j])
+		}
+	}
+	if len(dst) != size {
+		return nil, errCorrupt
+	}
+	return dst, nil
+}

@@ -1,0 +1,124 @@
+package ztier
+
+import (
+	"bytes"
+	"testing"
+)
+
+// lcg is a deterministic pseudo-random stream for test data.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r) >> 11
+}
+
+func roundTrip(t *testing.T, src []byte, wantCompressed bool) {
+	t.Helper()
+	maxLen := len(src) - len(src)/8
+	comp := compress(src, maxLen)
+	if comp == nil {
+		if wantCompressed {
+			t.Fatalf("len %d input unexpectedly incompressible", len(src))
+		}
+		return
+	}
+	if len(comp) >= maxLen {
+		t.Fatalf("compress returned %d bytes, over its own threshold %d", len(comp), maxLen)
+	}
+	got, err := decompress(comp, len(src))
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch (len %d, compressed %d)", len(src), len(comp))
+	}
+}
+
+func TestCodecRoundTripPatterns(t *testing.T) {
+	// RLE page: the best case.
+	roundTrip(t, bytes.Repeat([]byte{0xA5}, 4096), true)
+	// Zero page (the tier elides these before the codec, but the codec
+	// must still handle them).
+	roundTrip(t, make([]byte, 4096), true)
+	// Text-like periodic data.
+	roundTrip(t, bytes.Repeat([]byte("the quick brown fox "), 205)[:4096], true)
+	// Short tail chunk (partial page).
+	roundTrip(t, bytes.Repeat([]byte{7}, 1000), true)
+	// Structured binary: repeating 16-byte records with a counter.
+	rec := make([]byte, 4096)
+	for i := range rec {
+		if i%16 == 0 {
+			rec[i] = byte(i / 16)
+		} else {
+			rec[i] = byte(i % 16)
+		}
+	}
+	roundTrip(t, rec, true)
+}
+
+func TestCodecIncompressibleReturnsNil(t *testing.T) {
+	r := lcg(1)
+	noise := make([]byte, 4096)
+	for i := range noise {
+		noise[i] = byte(r.next())
+	}
+	if comp := compress(noise, len(noise)-len(noise)/8); comp != nil {
+		// High-entropy noise must not "compress"; if the encoder found
+		// enough accidental matches, the bail-out threshold failed.
+		t.Fatalf("random page compressed to %d bytes", len(comp))
+	}
+	// Tiny inputs can never pay for their framing.
+	if comp := compress([]byte{1, 2, 3}, 2); comp != nil {
+		t.Fatalf("3-byte input compressed")
+	}
+}
+
+func TestCodecRandomizedRoundTrips(t *testing.T) {
+	r := lcg(42)
+	for iter := 0; iter < 300; iter++ {
+		size := int(r.next()%8192) + 5
+		src := make([]byte, size)
+		mode := r.next() % 4
+		for i := range src {
+			switch mode {
+			case 0: // low entropy: few distinct bytes
+				src[i] = byte(r.next() % 4)
+			case 1: // runs
+				src[i] = byte((i / 37) % 7)
+			case 2: // periodic with noise every 64 bytes
+				if i%64 == 0 {
+					src[i] = byte(r.next())
+				} else {
+					src[i] = byte(i % 13)
+				}
+			case 3: // full noise (usually incompressible — that's fine)
+				src[i] = byte(r.next())
+			}
+		}
+		roundTrip(t, src, false)
+	}
+}
+
+func TestDecompressRejectsCorruptInput(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdabcdzz"), 410)[:4096]
+	comp := compress(src, 4096)
+	if comp == nil {
+		t.Fatal("fixture did not compress")
+	}
+	// Truncations and bit flips must error or round-trip-fail cleanly,
+	// never panic or read out of bounds.
+	for cut := 0; cut < len(comp); cut += 7 {
+		if got, err := decompress(comp[:cut], len(src)); err == nil && bytes.Equal(got, src) {
+			t.Fatalf("truncation at %d round-tripped", cut)
+		}
+	}
+	for i := 0; i < len(comp); i += 11 {
+		mut := append([]byte(nil), comp...)
+		mut[i] ^= 0xFF
+		_, _ = decompress(mut, len(src)) // must not panic
+	}
+	if _, err := decompress([]byte{0xF0}, 100); err == nil {
+		t.Fatal("dangling length extension accepted")
+	}
+}

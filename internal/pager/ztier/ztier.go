@@ -1,0 +1,558 @@
+// Package ztier is a zswap-style compressed in-memory paging tier that
+// interposes on the kernel↔pager boundary (PR-5 contract). Pageout
+// DataWrites land as per-page compressed blobs in a budgeted RAM pool;
+// DataRequest hits decompress in memory with zero backing-pager round
+// trips, and misses fall through to the wrapped pager. When the pool
+// exceeds its budget a writeback worker evicts the coldest blobs — CLOCK
+// over insertion order — to the backing tier in clustered multi-page
+// writes, mirroring the pageout daemon's run coalescing.
+//
+// Placement honors Object.EffectiveTier: cold objects bypass the pool
+// entirely (writeback-eager demotion), hot objects get extra CLOCK
+// chances so refaulting working sets stay in the fast tier. All-zero
+// pages store a sentinel blob (sharing the default pager's zero-page
+// elision idea) and incompressible pages bypass straight to backing.
+package ztier
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"machvm/internal/core"
+	"machvm/internal/hw"
+	"machvm/internal/vmtypes"
+)
+
+// Config parameterizes a Tier. The zero value of any field selects its
+// default.
+type Config struct {
+	// Budget is the compressed-byte capacity of the pool; above it the
+	// writeback worker evicts toward the backing tier. Default 1 MiB.
+	Budget int64
+	// PageSize is the kernel page size blobs are cut at. Default 4096.
+	PageSize uint64
+	// EvictBatch caps the blobs selected per writeback round; runs within
+	// the round coalesce into clustered DataWrites. Default 32.
+	EvictBatch int
+	// Machine, when set, charges virtual time for compression and
+	// decompression at CopyPerKB — the order-of-magnitude contrast with
+	// the backing store's DiskLatency is the whole point of the tier.
+	Machine *hw.Machine
+	// Stats, when set, receives the Ztier* counters (wire the kernel's
+	// own Stats here). When nil the tier keeps private counters.
+	Stats *core.Stats
+}
+
+// blob is one compressed page in the pool. data is immutable once stored
+// — readers decompress it outside the tier lock; a fresh DataWrite for
+// the same offset replaces the blob rather than mutating it. A nil data
+// with size > 0 is the zero-page sentinel.
+type blob struct {
+	obj  *core.Object
+	off  uint64
+	data []byte
+	size int  // uncompressed size
+	ref  bool // CLOCK referenced bit
+	wb   bool // selected for writeback: off the clock, still readable
+	dead bool // removed from the index (evicted, replaced or purged)
+}
+
+// Tier is the compressed tier; it implements core.Pager around a backing
+// core.Pager.
+//
+// Lock order: t.mu is a leaf — no backing-pager call, no kernel call and
+// no allocation-triggering fault ever happens while it is held. The
+// kernel calls into the tier only from pager conversations, which it
+// issues with no kernel locks held, so t.mu nests inside nothing.
+type Tier struct {
+	backing core.Pager
+	cfg     Config
+	stats   *core.Stats
+
+	mu    sync.Mutex
+	cond  *sync.Cond // writeback-drain waits (Terminate)
+	objs  map[*core.Object]map[uint64]*blob
+	clock []*blob // insertion order; front is the CLOCK hand
+	dead  int     // dead entries still on the clock (lazy deletion)
+	used  int64   // compressed bytes resident (sentinels count 0)
+	inWB  map[*core.Object]int
+
+	kick      chan struct{}
+	stop      chan struct{}
+	closeOnce sync.Once
+}
+
+// New wraps backing with a compressed tier and starts its writeback
+// worker. Close stops the worker; the Tier remains usable as a pager
+// afterwards (eviction then only happens via Drain).
+func New(backing core.Pager, cfg Config) *Tier {
+	if cfg.Budget <= 0 {
+		cfg.Budget = 1 << 20
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.EvictBatch <= 0 {
+		cfg.EvictBatch = 32
+	}
+	st := cfg.Stats
+	if st == nil {
+		st = new(core.Stats)
+	}
+	t := &Tier{
+		backing: backing,
+		cfg:     cfg,
+		stats:   st,
+		objs:    make(map[*core.Object]map[uint64]*blob),
+		inWB:    make(map[*core.Object]int),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	go t.worker()
+	return t
+}
+
+// Close stops the writeback worker. It does not flush the pool; callers
+// that want the backing store complete should Drain first.
+func (t *Tier) Close() { t.closeOnce.Do(func() { close(t.stop) }) }
+
+// Name implements core.Pager.
+func (t *Tier) Name() string { return "ztier(" + t.backing.Name() + ")" }
+
+// Init implements core.Pager; the backing tier must know the object too,
+// since bypasses and writebacks land there.
+func (t *Tier) Init(obj *core.Object) { t.backing.Init(obj) }
+
+// Terminate implements core.Pager. It drains in-flight writebacks for the
+// object first, so a completing writeback can never recreate store state
+// for a terminated object in the backing pager, then purges the object's
+// blobs and forwards the termination. This is what keeps a FallbackSwap
+// retarget from stranding compressed blobs keyed by a dead *Object.
+func (t *Tier) Terminate(obj *core.Object) {
+	t.mu.Lock()
+	for t.inWB[obj] > 0 {
+		t.cond.Wait()
+	}
+	if chunks := t.objs[obj]; chunks != nil {
+		for _, b := range chunks {
+			if !b.dead {
+				b.dead = true
+				t.dead++
+				t.used -= int64(len(b.data))
+			}
+		}
+		delete(t.objs, obj)
+	}
+	t.compactClockLocked()
+	t.mu.Unlock()
+	t.backing.Terminate(obj)
+}
+
+// charge advances virtual time when a machine is wired.
+func (t *Tier) charge(bytes int) {
+	if t.cfg.Machine != nil && bytes > 0 {
+		t.cfg.Machine.ChargeKB(t.cfg.Machine.Cost.CopyPerKB, bytes)
+	}
+}
+
+// DataRequest implements core.Pager: serve the longest covered prefix
+// from the pool (short reads are legal under the PR-6 contract — the
+// kernel resolves the remainder separately), or fall through to the
+// backing tier when the first page misses. A hit never touches the
+// backing pager.
+func (t *Tier) DataRequest(ctx context.Context, obj *core.Object, offset uint64, length int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	chunks := t.objs[obj]
+	first := chunks[offset]
+	if first == nil || first.dead {
+		t.mu.Unlock()
+		t.stats.ZtierMisses.Add(1)
+		data, err := t.backing.DataRequest(ctx, obj, offset, length)
+		if err == nil {
+			// Read admission: a miss fills the cache, so a page that
+			// refaults clean out of the backing tier still earns a blob
+			// and its next refault is a hit. The backing copy stays
+			// valid — the page is clean — so a later eviction of the
+			// admitted blob merely rewrites identical bytes.
+			t.admit(obj, offset, data)
+		}
+		return data, err
+	}
+	run := make([]*blob, 1, length/int(t.cfg.PageSize)+1)
+	run[0] = first
+	first.ref = true
+	total := first.size
+	for next := offset + t.cfg.PageSize; total < length; next += t.cfg.PageSize {
+		b := chunks[next]
+		if b == nil || b.dead {
+			break
+		}
+		b.ref = true
+		run = append(run, b)
+		total += b.size
+	}
+	t.mu.Unlock()
+
+	// Decompress outside the lock; blob data is immutable once stored.
+	out := make([]byte, 0, total)
+	for _, b := range run {
+		if b.data == nil {
+			out = append(out, make([]byte, b.size)...)
+			continue
+		}
+		page, err := decompress(b.data, b.size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page...)
+	}
+	if len(out) > length {
+		out = out[:length]
+	}
+	t.stats.ZtierHits.Add(1)
+	t.charge(len(out))
+	return out, nil
+}
+
+// DataWrite implements core.Pager: cut the run into pages and store each
+// as a compressed blob, with three bypass routes to the backing tier —
+// the whole run when the object is demoted cold, and individual pages
+// that are incompressible. All-zero pages store a sentinel.
+func (t *Tier) DataWrite(ctx context.Context, obj *core.Object, offset uint64, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	pgsz := t.cfg.PageSize
+	if obj.EffectiveTier() == core.TierCold {
+		// Writeback-eager demotion: cold data must not consume pool
+		// budget; it goes straight to the slow tier.
+		t.stats.ZtierBypasses.Add((uint64(len(data)) + pgsz - 1) / pgsz)
+		return t.backing.DataWrite(ctx, obj, offset, data)
+	}
+
+	// Incompressible pages are forwarded in contiguous sub-runs so the
+	// backing tier still sees clustered writes.
+	bypassLo := -1
+	flushBypass := func(hi int) error {
+		if bypassLo < 0 {
+			return nil
+		}
+		lo := bypassLo
+		bypassLo = -1
+		t.stats.ZtierBypasses.Add(uint64(hi-lo) / pgsz)
+		return t.backing.DataWrite(ctx, obj, offset+uint64(lo), data[lo:hi])
+	}
+
+	stored := 0
+	for lo := 0; lo < len(data); lo += int(pgsz) {
+		hi := lo + int(pgsz)
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunk := data[lo:hi]
+		var comp []byte
+		switch {
+		case vmtypes.IsZero(chunk):
+			comp = nil // sentinel
+		default:
+			comp = compress(chunk, len(chunk)-len(chunk)/8)
+			if comp == nil {
+				// Incompressible: extend (or start) the bypass run.
+				if bypassLo < 0 {
+					bypassLo = lo
+				}
+				continue
+			}
+		}
+		if err := flushBypass(lo); err != nil {
+			return err
+		}
+		t.insert(obj, offset+uint64(lo), comp, len(chunk))
+		stored += len(chunk)
+	}
+	if err := flushBypass(len(data)); err != nil {
+		return err
+	}
+	t.charge(stored)
+	t.kickIfOver()
+	return nil
+}
+
+// admit stores pool blobs for data just read from the backing tier —
+// zero and incompressible pages are simply skipped (their copy in the
+// backing store remains authoritative for the skip case; zeroes get the
+// sentinel). Cold objects are not admitted: they were demoted to keep
+// them out of the pool.
+func (t *Tier) admit(obj *core.Object, offset uint64, data []byte) {
+	if obj.EffectiveTier() == core.TierCold {
+		return
+	}
+	pgsz := int(t.cfg.PageSize)
+	stored := 0
+	for lo := 0; lo < len(data); lo += pgsz {
+		hi := lo + pgsz
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunk := data[lo:hi]
+		var comp []byte
+		if !vmtypes.IsZero(chunk) {
+			if comp = compress(chunk, len(chunk)-len(chunk)/8); comp == nil {
+				continue // incompressible: leave it to the backing tier
+			}
+		}
+		t.insert(obj, offset+uint64(lo), comp, len(chunk))
+		stored += len(chunk)
+	}
+	t.charge(stored)
+	t.kickIfOver()
+}
+
+// kickIfOver pokes the writeback worker when the pool exceeds budget.
+func (t *Tier) kickIfOver() {
+	t.mu.Lock()
+	over := t.used > t.cfg.Budget
+	t.mu.Unlock()
+	if over {
+		select {
+		case t.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// insert stores one blob, replacing any existing blob at the offset.
+func (t *Tier) insert(obj *core.Object, off uint64, comp []byte, size int) {
+	b := &blob{obj: obj, off: off, data: comp, size: size}
+	t.mu.Lock()
+	chunks := t.objs[obj]
+	if chunks == nil {
+		chunks = make(map[uint64]*blob)
+		t.objs[obj] = chunks
+	}
+	if old := chunks[off]; old != nil && !old.dead {
+		old.dead = true
+		t.dead++
+		t.used -= int64(len(old.data))
+	}
+	chunks[off] = b
+	t.clock = append(t.clock, b)
+	t.used += int64(len(comp))
+	t.stats.ZtierStoredBytes.Add(uint64(size))
+	t.stats.ZtierCompressedBytes.Add(uint64(len(comp)))
+	t.compactClockLocked()
+	t.mu.Unlock()
+}
+
+// compactClockLocked drops dead entries once they dominate the ring, so
+// purged objects' blobs do not pin *Object pointers indefinitely.
+func (t *Tier) compactClockLocked() {
+	if t.dead <= len(t.clock)/2 || t.dead < 64 {
+		return
+	}
+	live := t.clock[:0]
+	for _, b := range t.clock {
+		if !b.dead && !b.wb {
+			live = append(live, b)
+		}
+	}
+	// In-flight writebacks re-enter the clock only on failure; dropping
+	// them here is fine because finishWriteback re-appends explicitly.
+	t.clock = live
+	t.dead = 0
+}
+
+// worker is the background writeback loop: each kick runs Drain rounds
+// until the pool is back under budget or a round stops making progress.
+func (t *Tier) worker() {
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-t.kick:
+			t.Drain(context.Background())
+		}
+	}
+}
+
+// Drain runs writeback rounds on the caller's goroutine until the pool
+// is within budget, a round makes no progress (e.g. the backing pager is
+// failing every write), or ctx is done. Tests use it for deterministic
+// eviction; Close callers use it to flush.
+func (t *Tier) Drain(ctx context.Context) {
+	for ctx.Err() == nil {
+		t.mu.Lock()
+		over := t.used > t.cfg.Budget
+		t.mu.Unlock()
+		if !over {
+			return
+		}
+		if t.writebackRound(ctx) == 0 {
+			return
+		}
+	}
+}
+
+// writebackRound selects up to EvictBatch victims by CLOCK over insertion
+// order — referenced blobs get a second chance, hot objects' blobs get
+// extra passes — writes them to the backing tier as clustered runs, and
+// removes the survivors from the pool. It returns the number of blobs
+// evicted. A blob under writeback stays readable in the index until the
+// backing write succeeds: evicting first and writing second would let a
+// concurrent DataRequest miss and zero-fill — data loss.
+func (t *Tier) writebackRound(ctx context.Context) int {
+	t.mu.Lock()
+	need := t.used - t.cfg.Budget
+	var victims []*blob
+	// Bound the scan: two full CLOCK passes plus the batch, after which
+	// even referenced/hot blobs are taken — the budget must win.
+	maxScan := 2*len(t.clock) + t.cfg.EvictBatch
+	var freed int64
+	for scanned := 0; len(t.clock) > 0 && len(victims) < t.cfg.EvictBatch && freed < need; scanned++ {
+		b := t.clock[0]
+		t.clock = t.clock[1:]
+		if b.dead {
+			t.dead--
+			continue
+		}
+		if scanned < maxScan {
+			if b.ref {
+				b.ref = false
+				t.clock = append(t.clock, b)
+				continue
+			}
+			if b.obj.EffectiveTier() == core.TierHot {
+				// Hot objects evict last: leave the bit set so the next
+				// pass still passes them over.
+				t.clock = append(t.clock, b)
+				continue
+			}
+		}
+		b.wb = true
+		t.inWB[b.obj]++
+		victims = append(victims, b)
+		freed += int64(len(b.data))
+	}
+	t.mu.Unlock()
+	if len(victims) == 0 {
+		return 0
+	}
+
+	// Cluster: group by object, sort by offset, coalesce adjacent pages
+	// into single multi-page DataWrites (PR-6 run coalescing, tier-side).
+	byObj := make(map[*core.Object][]*blob)
+	for _, b := range victims {
+		byObj[b.obj] = append(byObj[b.obj], b)
+	}
+	evicted := 0
+	for obj, bs := range byObj {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].off < bs[j].off })
+		runStart := 0
+		for i := 1; i <= len(bs); i++ {
+			if i < len(bs) && bs[i].off == bs[i-1].off+uint64(bs[i-1].size) {
+				continue
+			}
+			evicted += t.writebackRun(ctx, obj, bs[runStart:i])
+			runStart = i
+		}
+	}
+	return evicted
+}
+
+// writebackRun writes one coalesced run to the backing tier and finishes
+// each blob: on success the blob leaves the pool (unless a fresher write
+// already replaced it); on failure it rejoins the clock with its
+// referenced bit set, keeping the data safe for a later round.
+func (t *Tier) writebackRun(ctx context.Context, obj *core.Object, run []*blob) int {
+	total := 0
+	for _, b := range run {
+		total += b.size
+	}
+	buf := make([]byte, 0, total)
+	ok := true
+	for _, b := range run {
+		if b.data == nil {
+			buf = append(buf, make([]byte, b.size)...)
+			continue
+		}
+		page, err := decompress(b.data, b.size)
+		if err != nil {
+			ok = false
+			break
+		}
+		buf = append(buf, page...)
+	}
+	var err error
+	if ok {
+		t.charge(total)
+		err = t.backing.DataWrite(ctx, obj, run[0].off, buf)
+	}
+
+	evicted := 0
+	t.mu.Lock()
+	for _, b := range run {
+		b.wb = false
+		t.inWB[obj]--
+		if t.inWB[obj] == 0 {
+			delete(t.inWB, obj)
+		}
+		if b.dead {
+			continue // replaced or purged while in flight
+		}
+		if ok && err == nil {
+			b.dead = true
+			t.used -= int64(len(b.data))
+			if chunks := t.objs[obj]; chunks != nil && chunks[b.off] == b {
+				delete(chunks, b.off)
+				if len(chunks) == 0 {
+					delete(t.objs, obj)
+				}
+			}
+			t.stats.ZtierEvictions.Add(1)
+			evicted++
+			continue
+		}
+		// Keep the data: back onto the clock with a second chance.
+		b.ref = true
+		t.clock = append(t.clock, b)
+	}
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	return evicted
+}
+
+// Stored reports the live pool contents: blob count, uncompressed bytes
+// represented, and compressed bytes resident (the budgeted figure).
+func (t *Tier) Stored() (blobs int, raw, compressed int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, chunks := range t.objs {
+		for _, b := range chunks {
+			if !b.dead {
+				blobs++
+				raw += int64(b.size)
+				compressed += int64(len(b.data))
+			}
+		}
+	}
+	return blobs, raw, compressed
+}
+
+// ObjectBlobs reports how many live blobs the pool holds for obj —
+// the no-stranded-blobs assertion in retarget tests.
+func (t *Tier) ObjectBlobs(obj *core.Object) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, b := range t.objs[obj] {
+		if !b.dead {
+			n++
+		}
+	}
+	return n
+}

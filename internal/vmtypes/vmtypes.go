@@ -125,3 +125,30 @@ func RoundDown(a, size uint64) uint64 { return a &^ (size - 1) }
 
 // RoundUp rounds a up to a multiple of size (a power of two).
 func RoundUp(a, size uint64) uint64 { return (a + size - 1) &^ (size - 1) }
+
+// IsZero reports whether every byte of b is zero. It is the shared
+// zero-page detector behind the default pager's zero-page elision and the
+// compressed swap tier's zero-blob fast path: a paged-out page of zeroes
+// is stored as a sentinel instead of a copy. Word-at-a-time over the
+// aligned body, byte checks for the edges.
+func IsZero(b []byte) bool {
+	i := 0
+	// Unaligned (or short) head.
+	for i < len(b) && (len(b)-i) >= 8 && i%8 != 0 {
+		if b[i] != 0 {
+			return false
+		}
+		i++
+	}
+	for ; i+8 <= len(b); i += 8 {
+		if b[i]|b[i+1]|b[i+2]|b[i+3]|b[i+4]|b[i+5]|b[i+6]|b[i+7] != 0 {
+			return false
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}

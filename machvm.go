@@ -39,11 +39,14 @@ package machvm
 
 import (
 	"fmt"
+	"io"
 
 	"machvm/internal/core"
 	"machvm/internal/hw"
 	"machvm/internal/ipc"
 	"machvm/internal/pager"
+	"machvm/internal/pager/netpager"
+	"machvm/internal/pager/ztier"
 	"machvm/internal/pmap"
 	"machvm/internal/task"
 	"machvm/internal/unixfs"
@@ -144,6 +147,32 @@ type (
 	PmapModule = pmap.Module
 	// Pmap is one task's physical map.
 	Pmap = pmap.Map
+
+	// CompressedTier is a zswap-style compressed in-memory paging tier
+	// interposed in front of a slower backing pager.
+	CompressedTier = ztier.Tier
+	// CompressedTierConfig tunes a CompressedTier (budget, batch sizes).
+	CompressedTierConfig = ztier.Config
+
+	// NetPagerClient is a Pager whose storage lives across a connection:
+	// pipelined, tag-matched, many requests in flight at once.
+	NetPagerClient = netpager.Client
+	// NetPagerBackend is the store a netpager server answers from.
+	NetPagerBackend = netpager.Backend
+	// NetMemBackend is an in-memory NetPagerBackend (a remote memory
+	// server).
+	NetMemBackend = netpager.MemBackend
+
+	// Tier is a memory object's placement in the paging hierarchy.
+	Tier = core.Tier
+)
+
+// Tier placement values: TierAuto lets refault/pageout behaviour decide,
+// TierHot pins an object's pages in the fast tier, TierCold bypasses it.
+const (
+	TierAuto = core.TierAuto
+	TierHot  = core.TierHot
+	TierCold = core.TierCold
 )
 
 // Arch selects a machine architecture.
@@ -333,6 +362,47 @@ func (s *System) NewUserPagerObject(up *UserPager, size uint64, name string) *Ob
 // NewUserPager creates a user-state memory manager with a fresh service
 // port and a running server loop.
 func NewUserPager(name string) *UserPager { return pager.NewUserPager(name) }
+
+// NewCompressedTier builds a compressed in-memory tier in front of
+// backing, wired to this system's kernel statistics and cost model.
+// Close it when done (per-object state is purged by object Terminate).
+func (s *System) NewCompressedTier(backing Pager, budget int64) *CompressedTier {
+	k := s.world.Kernel
+	return ztier.New(backing, ztier.Config{
+		Budget:   budget,
+		PageSize: k.PageSize(),
+		Stats:    k.Stats(),
+		Machine:  s.world.Machine,
+	})
+}
+
+// EnableCompressedSwap interposes a compressed tier between the kernel
+// and its default (swap) pager: anonymous pageouts compress into RAM and
+// only spill to swap when the budget overflows — the tiered-paging
+// quickstart. Returns the tier for stats inspection and draining.
+func (s *System) EnableCompressedSwap(budget int64) *CompressedTier {
+	k := s.world.Kernel
+	t := s.NewCompressedTier(k.SwapPager(), budget)
+	k.SetSwapPager(t)
+	return t
+}
+
+// NewNetPagerClient attaches a network pager client to conn; the result
+// is a Pager any memory object can be backed by. name may be empty.
+func NewNetPagerClient(conn io.ReadWriteCloser, name string) *NetPagerClient {
+	return netpager.NewClient(conn, name)
+}
+
+// ServeNetPager answers pager requests on conn from backend until the
+// connection dies; run it in its own goroutine.
+func ServeNetPager(conn io.ReadWriteCloser, backend NetPagerBackend) error {
+	return netpager.Serve(conn, backend)
+}
+
+// NewNetMemBackend builds an in-memory remote store for ServeNetPager.
+func NewNetMemBackend(pageSize uint64) *NetMemBackend {
+	return netpager.NewMemBackend(pageSize)
+}
 
 // Statistics returns the vm_statistics snapshot.
 func (s *System) Statistics() Statistics { return s.world.Kernel.VMStatistics() }
