@@ -265,7 +265,13 @@ func (k *Kernel) finishPageoutRun(run []pageoutVictim) int {
 		// land the data there. Tell the failed pager the object is gone so
 		// a tiered pager (ztier wrapping the dead backing store) purges its
 		// compressed blobs instead of stranding them keyed by a retargeted
-		// object.
+		// object. Terminate is deliberately the full pager teardown, not
+		// just tier bookkeeping: it destroys whatever the failed pager
+		// still stored for the object (ztier pool purge, netpager remote
+		// store drop). The retarget is permanent — nothing will ever read
+		// from the old pager again — so pages whose only copy lived there
+		// are lost either way; destroying the store makes that explicit
+		// and frees its memory rather than leaking an unreachable copy.
 		k.stats.PagerFallbacks.Add(1)
 		obj.mu.Lock()
 		obj.pager = k.swap

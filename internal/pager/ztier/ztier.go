@@ -18,6 +18,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"time"
 
 	"machvm/internal/core"
 	"machvm/internal/hw"
@@ -35,6 +36,13 @@ type Config struct {
 	// EvictBatch caps the blobs selected per writeback round; runs within
 	// the round coalesce into clustered DataWrites. Default 32.
 	EvictBatch int
+	// WritebackDeadline bounds each worker-driven writeback round, so a
+	// hung backing pager (a netpager whose remote stopped replying)
+	// cannot wedge the worker — and with it Terminate, which drains
+	// in-flight writebacks — forever. Default 2s, mirroring the kernel's
+	// DefaultPagerPolicy deadline; negative disables the bound. Explicit
+	// Drain calls are bounded only by the caller's context.
+	WritebackDeadline time.Duration
 	// Machine, when set, charges virtual time for compression and
 	// decompression at CopyPerKB — the order-of-magnitude contrast with
 	// the backing store's DiskLatency is the whole point of the tier.
@@ -95,6 +103,11 @@ func New(backing core.Pager, cfg Config) *Tier {
 	}
 	if cfg.EvictBatch <= 0 {
 		cfg.EvictBatch = 32
+	}
+	if cfg.WritebackDeadline == 0 {
+		cfg.WritebackDeadline = 2 * time.Second
+	} else if cfg.WritebackDeadline < 0 {
+		cfg.WritebackDeadline = 0
 	}
 	st := cfg.Stats
 	if st == nil {
@@ -170,6 +183,18 @@ func (t *Tier) DataRequest(ctx context.Context, obj *core.Object, offset uint64,
 	chunks := t.objs[obj]
 	first := chunks[offset]
 	if first == nil || first.dead {
+		// Clamp the fall-through read at the first pool-resident page in
+		// the range: its blob may be the newest copy (page evicted to
+		// backing earlier, then re-paged-out into the pool), so the
+		// backing tier must not be allowed to answer for it. The short
+		// read is legal — the kernel re-asks for the remainder and hits
+		// the pool.
+		for n := int(t.cfg.PageSize); n < length; n += int(t.cfg.PageSize) {
+			if b := chunks[offset+uint64(n)]; b != nil && !b.dead {
+				length = n
+				break
+			}
+		}
 		t.mu.Unlock()
 		t.stats.ZtierMisses.Add(1)
 		data, err := t.backing.DataRequest(ctx, obj, offset, length)
@@ -230,13 +255,18 @@ func (t *Tier) DataWrite(ctx context.Context, obj *core.Object, offset uint64, d
 	pgsz := t.cfg.PageSize
 	if obj.EffectiveTier() == core.TierCold {
 		// Writeback-eager demotion: cold data must not consume pool
-		// budget; it goes straight to the slow tier.
+		// budget; it goes straight to the slow tier. Retire any pool
+		// blobs the run shadows first — stored before the demotion, they
+		// hold older bytes and would otherwise win the next DataRequest.
+		t.invalidateRange(obj, offset, len(data))
 		t.stats.ZtierBypasses.Add((uint64(len(data)) + pgsz - 1) / pgsz)
 		return t.backing.DataWrite(ctx, obj, offset, data)
 	}
 
 	// Incompressible pages are forwarded in contiguous sub-runs so the
-	// backing tier still sees clustered writes.
+	// backing tier still sees clustered writes. Pool blobs the sub-run
+	// shadows (the page was compressible last time around) are retired
+	// first for the same stale-read reason as the cold path.
 	bypassLo := -1
 	flushBypass := func(hi int) error {
 		if bypassLo < 0 {
@@ -244,7 +274,8 @@ func (t *Tier) DataWrite(ctx context.Context, obj *core.Object, offset uint64, d
 		}
 		lo := bypassLo
 		bypassLo = -1
-		t.stats.ZtierBypasses.Add(uint64(hi-lo) / pgsz)
+		t.invalidateRange(obj, offset+uint64(lo), hi-lo)
+		t.stats.ZtierBypasses.Add((uint64(hi-lo) + pgsz - 1) / pgsz)
 		return t.backing.DataWrite(ctx, obj, offset+uint64(lo), data[lo:hi])
 	}
 
@@ -272,7 +303,7 @@ func (t *Tier) DataWrite(ctx context.Context, obj *core.Object, offset uint64, d
 		if err := flushBypass(lo); err != nil {
 			return err
 		}
-		t.insert(obj, offset+uint64(lo), comp, len(chunk))
+		t.insert(obj, offset+uint64(lo), comp, len(chunk), true)
 		stored += len(chunk)
 	}
 	if err := flushBypass(len(data)); err != nil {
@@ -283,11 +314,56 @@ func (t *Tier) DataWrite(ctx context.Context, obj *core.Object, offset uint64, d
 	return nil
 }
 
+// invalidateRange retires any live pool blobs covering [offset,
+// offset+n) before a bypass write lands newer bytes in the backing tier
+// — leaving them live would serve stale data on the next fault. A blob
+// already selected for writeback is waited out first, so its in-flight
+// backing DataWrite (carrying the old bytes) cannot land after the
+// bypass write and resurrect them; the wait is bounded because
+// worker-driven rounds run under WritebackDeadline.
+func (t *Tier) invalidateRange(obj *core.Object, offset uint64, n int) {
+	end := offset + uint64(n)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		chunks := t.objs[obj]
+		if chunks == nil {
+			return
+		}
+		inflight := false
+		for off := offset; off < end; off += t.cfg.PageSize {
+			if b := chunks[off]; b != nil && !b.dead && b.wb {
+				inflight = true
+				break
+			}
+		}
+		if inflight {
+			t.cond.Wait()
+			continue
+		}
+		for off := offset; off < end; off += t.cfg.PageSize {
+			if b := chunks[off]; b != nil && !b.dead {
+				b.dead = true
+				t.dead++
+				t.used -= int64(len(b.data))
+				delete(chunks, off)
+			}
+		}
+		if len(chunks) == 0 {
+			delete(t.objs, obj)
+		}
+		t.compactClockLocked()
+		return
+	}
+}
+
 // admit stores pool blobs for data just read from the backing tier —
 // zero and incompressible pages are simply skipped (their copy in the
 // backing store remains authoritative for the skip case; zeroes get the
 // sentinel). Cold objects are not admitted: they were demoted to keep
-// them out of the pool.
+// them out of the pool. Admission never replaces a live blob: a blob
+// that appeared while the backing read was in flight carries fresher
+// bytes than the backing copy, and replacing it would lose data.
 func (t *Tier) admit(obj *core.Object, offset uint64, data []byte) {
 	if obj.EffectiveTier() == core.TierCold {
 		return
@@ -306,8 +382,9 @@ func (t *Tier) admit(obj *core.Object, offset uint64, data []byte) {
 				continue // incompressible: leave it to the backing tier
 			}
 		}
-		t.insert(obj, offset+uint64(lo), comp, len(chunk))
-		stored += len(chunk)
+		if t.insert(obj, offset+uint64(lo), comp, len(chunk), false) {
+			stored += len(chunk)
+		}
 	}
 	t.charge(stored)
 	t.kickIfOver()
@@ -326,8 +403,12 @@ func (t *Tier) kickIfOver() {
 	}
 }
 
-// insert stores one blob, replacing any existing blob at the offset.
-func (t *Tier) insert(obj *core.Object, off uint64, comp []byte, size int) {
+// insert stores one blob at off and reports whether it was stored. When
+// replace is set an existing live blob is superseded (pageout writes
+// carry the newest bytes); when clear — read admission — an existing
+// live blob wins and the insert is dropped, because the pool copy may be
+// newer than whatever the backing tier just served.
+func (t *Tier) insert(obj *core.Object, off uint64, comp []byte, size int, replace bool) bool {
 	b := &blob{obj: obj, off: off, data: comp, size: size}
 	t.mu.Lock()
 	chunks := t.objs[obj]
@@ -336,6 +417,10 @@ func (t *Tier) insert(obj *core.Object, off uint64, comp []byte, size int) {
 		t.objs[obj] = chunks
 	}
 	if old := chunks[off]; old != nil && !old.dead {
+		if !replace {
+			t.mu.Unlock()
+			return false
+		}
 		old.dead = true
 		t.dead++
 		t.used -= int64(len(old.data))
@@ -347,6 +432,7 @@ func (t *Tier) insert(obj *core.Object, off uint64, comp []byte, size int) {
 	t.stats.ZtierCompressedBytes.Add(uint64(len(comp)))
 	t.compactClockLocked()
 	t.mu.Unlock()
+	return true
 }
 
 // compactClockLocked drops dead entries once they dominate the ring, so
@@ -369,13 +455,22 @@ func (t *Tier) compactClockLocked() {
 
 // worker is the background writeback loop: each kick runs Drain rounds
 // until the pool is back under budget or a round stops making progress.
+// Its context dies with Close and every round runs under the configured
+// WritebackDeadline, so a hung backing DataWrite can stall one round at
+// most — never Terminate's drain of in-flight writebacks.
 func (t *Tier) worker() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-t.stop
+		cancel()
+	}()
 	for {
 		select {
 		case <-t.stop:
 			return
 		case <-t.kick:
-			t.Drain(context.Background())
+			t.drain(ctx, t.cfg.WritebackDeadline)
 		}
 	}
 }
@@ -384,7 +479,11 @@ func (t *Tier) worker() {
 // is within budget, a round makes no progress (e.g. the backing pager is
 // failing every write), or ctx is done. Tests use it for deterministic
 // eviction; Close callers use it to flush.
-func (t *Tier) Drain(ctx context.Context) {
+func (t *Tier) Drain(ctx context.Context) { t.drain(ctx, 0) }
+
+// drain is Drain with an optional per-round deadline (0 means none);
+// the writeback worker passes WritebackDeadline here.
+func (t *Tier) drain(ctx context.Context, perRound time.Duration) {
 	for ctx.Err() == nil {
 		t.mu.Lock()
 		over := t.used > t.cfg.Budget
@@ -392,7 +491,15 @@ func (t *Tier) Drain(ctx context.Context) {
 		if !over {
 			return
 		}
-		if t.writebackRound(ctx) == 0 {
+		rctx, cancel := ctx, context.CancelFunc(nil)
+		if perRound > 0 {
+			rctx, cancel = context.WithTimeout(ctx, perRound)
+		}
+		n := t.writebackRound(rctx)
+		if cancel != nil {
+			cancel()
+		}
+		if n == 0 {
 			return
 		}
 	}

@@ -524,6 +524,173 @@ func TestZtierTeardownStress(t *testing.T) {
 	}
 }
 
+// TestZtierBypassInvalidatesStaleBlobs drives the tier directly through
+// the pager contract to pin the swap-cache staleness bug: a blob kept in
+// the pool after a refault must die when a rewrite of the same page
+// reaches the backing tier through a bypass route (incompressible page
+// or cold-object run), or the next fault would resurrect the old bytes.
+func TestZtierBypassInvalidatesStaleBlobs(t *testing.T) {
+	k, _ := newTierKernel(t, 1, 64)
+	backing := newMemBacking(nil)
+	tier := ztier.New(backing, ztier.Config{Budget: 8 << 20, PageSize: pgsz, Stats: k.Stats()})
+	defer tier.Close()
+	ctx := context.Background()
+
+	noise := func(buf []byte, seed uint64) {
+		r := seed
+		for i := range buf {
+			r = r*6364136223846793005 + 1442695040888963407
+			buf[i] = byte(r >> 33)
+		}
+	}
+	old := make([]byte, pgsz)
+	pagePattern(old, 1)
+
+	// Route 1: incompressible rewrite of a pooled page.
+	obj := k.NewObject(4*pgsz, tier, "zt-stale-incomp")
+	if err := tier.DataWrite(ctx, obj, 0, old); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tier.DataRequest(ctx, obj, 0, pgsz); err != nil || !bytes.Equal(got, old) {
+		t.Fatalf("priming hit: %v", err) // blob stays pooled, swap-cache style
+	}
+	fresh := make([]byte, pgsz)
+	noise(fresh, 7)
+	if err := tier.DataWrite(ctx, obj, 0, fresh); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tier.DataRequest(ctx, obj, 0, pgsz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fresh) {
+		t.Error("incompressible bypass left a stale blob serving old bytes")
+	}
+
+	// Route 2: whole-run cold-object bypass over pooled pages.
+	obj2 := k.NewObject(4*pgsz, tier, "zt-stale-cold")
+	if err := tier.DataWrite(ctx, obj2, 0, old); err != nil {
+		t.Fatal(err)
+	}
+	obj2.SetTier(core.TierCold)
+	fresh2 := make([]byte, pgsz)
+	pagePattern(fresh2, 99)
+	if err := tier.DataWrite(ctx, obj2, 0, fresh2); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = tier.DataRequest(ctx, obj2, 0, pgsz); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fresh2) {
+		t.Error("cold-object bypass left a stale blob serving old bytes")
+	}
+}
+
+// TestZtierMissClampsAtPoolResidentPage pins the clustered-miss data-loss
+// bug: when the first page misses but a later page in the range has a
+// live blob — the newest copy, re-paged-out after an earlier eviction —
+// the fall-through backing read must stop short of it, and admission
+// must not replace it with the backing tier's stale copy.
+func TestZtierMissClampsAtPoolResidentPage(t *testing.T) {
+	k, _ := newTierKernel(t, 1, 64)
+	backing := newMemBacking(nil)
+	tier := ztier.New(backing, ztier.Config{Budget: 8 << 20, PageSize: pgsz, Stats: k.Stats()})
+	defer tier.Close()
+	ctx := context.Background()
+	obj := k.NewObject(4*pgsz, tier, "zt-clamp")
+
+	// Backing holds version A of pages 0 and 1 (an earlier eviction);
+	// the pool then receives version B of page 1 only (re-paged-out).
+	a := make([]byte, 2*pgsz)
+	pagePattern(a[:pgsz], 0)
+	pagePattern(a[pgsz:], 1)
+	if err := backing.DataWrite(ctx, obj, 0, a); err != nil {
+		t.Fatal(err)
+	}
+	b1 := make([]byte, pgsz)
+	pagePattern(b1, 201)
+	if err := tier.DataWrite(ctx, obj, pgsz, b1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clustered fault over both pages: the miss must clamp at page 1.
+	got, err := tier.DataRequest(ctx, obj, 0, 2*pgsz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > pgsz {
+		t.Fatalf("miss read %d bytes past the pool-resident page, want <= %d", len(got), pgsz)
+	}
+	if !bytes.Equal(got[:pgsz], a[:pgsz]) {
+		t.Error("page 0 corrupted on clamped miss")
+	}
+	// The kernel re-asks for the remainder: page 1 must still be B.
+	if got, err = tier.DataRequest(ctx, obj, pgsz, pgsz); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b1) {
+		t.Error("stale backing copy clobbered the fresher pool blob")
+	}
+}
+
+// hangBacking blocks every DataWrite until its context dies, modelling a
+// remote pager whose far end stopped replying.
+type hangBacking struct{ writes atomic.Uint64 }
+
+func (h *hangBacking) Name() string             { return "hang" }
+func (h *hangBacking) Init(o *core.Object)      {}
+func (h *hangBacking) Terminate(o *core.Object) {}
+func (h *hangBacking) DataRequest(ctx context.Context, o *core.Object, off uint64, n int) ([]byte, error) {
+	return nil, core.ErrDataUnavailable
+}
+func (h *hangBacking) DataWrite(ctx context.Context, o *core.Object, off uint64, data []byte) error {
+	h.writes.Add(1)
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestZtierWritebackDeadlineUnwedgesTerminate pins the worker-hang bug:
+// a backing pager that never answers a writeback DataWrite must not wedge
+// Terminate (which drains in-flight writebacks) — the per-round
+// WritebackDeadline has to cut the write loose.
+func TestZtierWritebackDeadlineUnwedgesTerminate(t *testing.T) {
+	k, _ := newTierKernel(t, 1, 64)
+	backing := &hangBacking{}
+	tier := ztier.New(backing, ztier.Config{
+		Budget: 64, PageSize: pgsz, EvictBatch: 4,
+		WritebackDeadline: 20 * time.Millisecond, Stats: k.Stats(),
+	})
+	defer tier.Close()
+	obj := k.NewObject(16*pgsz, tier, "zt-hang")
+
+	// Overfill the pool so the worker kicks and wedges in the hung write.
+	buf := make([]byte, pgsz)
+	for i := 0; i < 16; i++ {
+		pagePattern(buf, i)
+		if err := tier.DataWrite(context.Background(), obj, uint64(i)*pgsz, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for backing.writes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writeback worker never attempted a backing write")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		tier.Terminate(obj)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Terminate wedged behind a hung backing writeback")
+	}
+}
+
 // TestZtierThroughputAdvantage is the acceptance headline measured in
 // virtual time: a working set 1.5× physical memory against a delayed
 // backing pager must sustain at least 3× the throughput with the
