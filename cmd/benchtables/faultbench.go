@@ -223,7 +223,7 @@ func measureSequentialPagerRead(clusterPages int) (faultBenchResult, error) {
 		}
 	}
 	elapsed := time.Since(start)
-	st := k.VMStatistics()
+	st := k.Stats().Snapshot()
 	name := "SequentialPagerRead"
 	return faultBenchResult{
 		Name:            name,
@@ -496,7 +496,7 @@ func measureWorkingSet(ratioNum, ratioDen int, tiered bool) (faultBenchResult, e
 	}
 	cpu.FlushCharges()
 	virtual := machine.Clock.Now()
-	st := k.VMStatistics()
+	st := k.Stats().Snapshot()
 	row := faultBenchResult{
 		Name:              "WorkingSetSweep",
 		Procs:             1,

@@ -5,6 +5,16 @@
 // Usage:
 //
 //	vmtrace -arch rtpc -script "alloc a 16K; write a+0; write a+4096; copy a b 16K; write b+0; stats"
+//	vmtrace record -o run.trace -script "alloc a 16K; write a+0; pageout"
+//	vmtrace replay run.trace
+//
+// `record` runs the script with event tracing enabled and writes the full
+// trace — every operation, fault, pager conversation and pageout decision,
+// timestamped on the virtual clock — to the output file. `replay` re-runs
+// a recorded trace on a freshly booted machine and verifies the new run is
+// bit-identical (same events, same virtual-clock times, same final stats);
+// it exits nonzero on divergence, making any nondeterminism a one-command
+// repro.
 //
 // Script commands (semicolon separated):
 //
@@ -37,16 +47,12 @@ import (
 	"machvm"
 )
 
-var (
-	archFlag   = flag.String("arch", "vax", "architecture: vax, rtpc, sun3, ns32082, tlbonly")
-	scriptFlag = flag.String("script", "alloc a 16K; write a+0; read a+0; write a+4096; copy a b 16K; write b+0; stats", "trace script")
-	ztierFlag  = flag.String("ztier", "", "interpose a compressed swap tier with this budget (e.g. 4M)")
-)
-
 var archs = map[string]machvm.Arch{
 	"vax": machvm.VAX, "vax8200": machvm.VAX8200, "vax8650": machvm.VAX8650,
 	"rtpc": machvm.RTPC, "sun3": machvm.Sun3, "ns32082": machvm.NS32082, "tlbonly": machvm.TLBOnly,
 }
+
+const defaultScript = "alloc a 16K; write a+0; read a+0; write a+4096; copy a b 16K; write b+0; stats"
 
 func parseSize(s string) uint64 {
 	mult := uint64(1)
@@ -63,18 +69,93 @@ func parseSize(s string) uint64 {
 	return v * mult
 }
 
-func main() {
-	flag.Parse()
-	arch, ok := archs[*archFlag]
+func bootArch(name string) *machvm.System {
+	arch, ok := archs[name]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *archFlag)
+		fmt.Fprintf(os.Stderr, "unknown arch %q\n", name)
 		os.Exit(2)
 	}
-	sys := machvm.MustNew(arch, machvm.Options{MemoryMB: 8})
+	return machvm.MustNew(arch, machvm.Options{MemoryMB: 8})
+}
+
+func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "record":
+			recordMain(os.Args[2:])
+			return
+		case "replay":
+			replayMain(os.Args[2:])
+			return
+		}
+	}
+	archFlag := flag.String("arch", "vax", "architecture: vax, rtpc, sun3, ns32082, tlbonly")
+	scriptFlag := flag.String("script", defaultScript, "trace script")
+	ztierFlag := flag.String("ztier", "", "interpose a compressed swap tier with this budget (e.g. 4M)")
+	flag.Parse()
+	sys := bootArch(*archFlag)
 	if *ztierFlag != "" {
 		tier := sys.EnableCompressedSwap(int64(parseSize(*ztierFlag)))
 		defer tier.Close()
 	}
+	runScript(sys, *scriptFlag)
+}
+
+func recordMain(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	archFlag := fs.String("arch", "vax", "architecture: vax, rtpc, sun3, ns32082, tlbonly")
+	scriptFlag := fs.String("script", defaultScript, "trace script")
+	outFlag := fs.String("o", "run.trace", "output trace file")
+	_ = fs.Parse(args)
+	// The compressed tier and other concurrent machinery are outside the
+	// deterministic-replay contract, so record offers no -ztier.
+	sys := bootArch(*archFlag)
+	sys.StartTrace()
+	runScript(sys, *scriptFlag)
+	tr := sys.StopTrace()
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		log.Fatalf("record: %v", err)
+	}
+	if err := tr.Encode(f); err != nil {
+		log.Fatalf("record: encoding trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("record: %v", err)
+	}
+	fmt.Printf("recorded %d events, virtual clock %.3fms -> %s\n",
+		len(tr.Events), float64(tr.Clock)/1e6, *outFlag)
+}
+
+func replayMain(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vmtrace replay <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	tr, err := machvm.DecodeTrace(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	res, err := machvm.Replay(tr)
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	if !res.OK() {
+		fmt.Fprintf(os.Stderr, "replay DIVERGED:\n%s\n", res.Divergence())
+		os.Exit(1)
+	}
+	fmt.Printf("replay ok: %d events bit-identical, virtual clock %.3fms, stats match\n",
+		len(tr.Events), float64(tr.Clock)/1e6)
+}
+
+func runScript(sys *machvm.System, script string) {
 	cpu := sys.CPU(0)
 	tk := sys.NewTask("trace")
 	th := tk.SpawnThread(cpu)
@@ -93,33 +174,26 @@ func main() {
 		return base + machvm.VA(off)
 	}
 
-	lastFaults := func() (f, zf, cow uint64) {
-		st := sys.Statistics()
-		return st.Faults, st.ZeroFillFaults, st.CowFaults
-	}
 	// pagerDelta summarizes the pager conversations an operation caused:
 	// trips, pages moved (in+out), cluster readahead, retries, fallbacks.
-	pagerSnap := func() (trips, pages, extras, retries, fallbacks uint64) {
-		st := sys.Statistics()
-		return st.PagerRoundTrips, st.Pageins + st.Pageouts, st.ClusterExtras,
-			st.PagerRetries, st.PagerFallbacks
-	}
-	pagerDelta := func(t0, p0, e0, r0, fb0 uint64) string {
-		t1, p1, e1, r1, fb1 := pagerSnap()
-		if t1 == t0 && r1 == r0 && fb1 == fb0 {
+	pagerDelta := func(s0, s1 machvm.StatsSnapshot) string {
+		if s1.PagerRoundTrips == s0.PagerRoundTrips &&
+			s1.PagerRetries == s0.PagerRetries && s1.PagerFallbacks == s0.PagerFallbacks {
 			return ""
 		}
 		return fmt.Sprintf(" | pager trips+%d pages+%d cluster+%d retries+%d fallbacks+%d",
-			t1-t0, p1-p0, e1-e0, r1-r0, fb1-fb0)
+			s1.PagerRoundTrips-s0.PagerRoundTrips,
+			(s1.Pageins+s1.Pageouts)-(s0.Pageins+s0.Pageouts),
+			s1.ClusterExtras-s0.ClusterExtras,
+			s1.PagerRetries-s0.PagerRetries, s1.PagerFallbacks-s0.PagerFallbacks)
 	}
 
-	for _, raw := range strings.Split(*scriptFlag, ";") {
+	for _, raw := range strings.Split(script, ";") {
 		fields := strings.Fields(strings.TrimSpace(raw))
 		if len(fields) == 0 {
 			continue
 		}
-		f0, z0, c0 := lastFaults()
-		pt0, pp0, pe0, pr0, pf0 := pagerSnap()
+		s0 := sys.StatsSnapshot()
 		t0 := sys.VirtualTime()
 		switch fields[0] {
 		case "alloc":
@@ -143,11 +217,11 @@ func main() {
 			if err != nil {
 				status = err.Error()
 			}
-			f1, z1, c1 := lastFaults()
+			s1 := sys.StatsSnapshot()
 			fmt.Printf("%-28s -> %s [faults+%d zf+%d cow+%d, %.1fus%s]\n",
-				raw, status, f1-f0, z1-z0, c1-c0, float64(sys.VirtualTime()-t0)/1e3,
-				pagerDelta(pt0, pp0, pe0, pr0, pf0))
-			continue
+				raw, status, s1.Faults-s0.Faults, s1.ZeroFillFaults-s0.ZeroFillFaults,
+				s1.CowFaults-s0.CowFaults, float64(sys.VirtualTime()-t0)/1e3,
+				pagerDelta(s0, s1))
 		case "protect":
 			va := resolve(fields[1])
 			size := parseSize(fields[2])
@@ -185,7 +259,7 @@ func main() {
 			fmt.Printf("%-28s -> ok\n", raw)
 		case "file":
 			size := parseSize(fields[2])
-			if _, err := sys.FS().Create(fields[1], make([]byte, size)); err != nil {
+			if err := sys.CreateFile(fields[1], make([]byte, size)); err != nil {
 				log.Fatalf("file: %v", err)
 			}
 			fmt.Printf("%-28s -> ok\n", raw)
@@ -198,16 +272,16 @@ func main() {
 			fmt.Printf("%-28s -> %#x (%d bytes, inode pager)\n", raw, addr, size)
 		case "pageout":
 			sys.Kernel().PageoutScan()
-			d := strings.TrimPrefix(pagerDelta(pt0, pp0, pe0, pr0, pf0), " | ")
+			d := strings.TrimPrefix(pagerDelta(s0, sys.StatsSnapshot()), " | ")
 			if d == "" {
 				d = "no pager activity"
 			}
 			fmt.Printf("%-28s -> ok [%s]\n", raw, d)
 		case "stats":
-			st := sys.Statistics()
+			st := sys.StatsSnapshot()
 			ms := sys.PmapModule().Stats()
 			fmt.Printf("vm: faults=%d zf=%d cow=%d reactivations=%d\n",
-				st.Faults, st.ZeroFillFaults, st.CowFaults, st.Reactivations)
+				st.Faults, st.ZeroFillFaults, st.CowFaults, st.ReactivateHits)
 			avg := 0.0
 			if st.PagerRoundTrips > 0 {
 				avg = float64(st.Pageins+st.Pageouts) / float64(st.PagerRoundTrips)
@@ -231,6 +305,5 @@ func main() {
 		default:
 			log.Fatalf("unknown command %q", fields[0])
 		}
-		_ = t0
 	}
 }

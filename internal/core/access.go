@@ -7,6 +7,7 @@ import (
 
 	"machvm/internal/hw"
 	"machvm/internal/pmap"
+	"machvm/internal/trace"
 	"machvm/internal/vmtypes"
 )
 
@@ -32,6 +33,28 @@ func (k *Kernel) AccessBytes(cpu *hw.CPU, m *Map, va vmtypes.VA, buf []byte, wri
 // AccessBytesContext is AccessBytes with caller-controlled cancellation:
 // an access stuck faulting against a slow pager returns when ctx fires.
 func (k *Kernel) AccessBytesContext(ctx context.Context, cpu *hw.CPU, m *Map, va vmtypes.VA, buf []byte, write bool) error {
+	l, top := k.traceBegin()
+	err := k.accessBytes(ctx, cpu, m, va, buf, write)
+	if l != nil {
+		if top {
+			e := trace.Event{
+				Map: m.id, CPU: -1, Addr: uint64(va),
+				Size: uint64(len(buf)), Flag: write, Err: traceErr(err),
+			}
+			if cpu != nil {
+				e.CPU = int64(cpu.ID)
+			}
+			if write {
+				e.Data = trace.FillOf(buf)
+			}
+			l.Append(k.traceEvent(trace.OpAccess, e))
+		}
+		l.EndOp()
+	}
+	return err
+}
+
+func (k *Kernel) accessBytes(ctx context.Context, cpu *hw.CPU, m *Map, va vmtypes.VA, buf []byte, write bool) error {
 	access := vmtypes.ProtRead
 	if write {
 		access = vmtypes.ProtWrite
@@ -181,6 +204,21 @@ func (m *Map) mappingWritable(va vmtypes.VA) bool {
 // VMRead implements vm_read (Table 2-1): read the contents of a region of
 // a task's address space.
 func (k *Kernel) VMRead(m *Map, addr vmtypes.VA, size uint64) ([]byte, error) {
+	l, top := k.traceBegin()
+	buf, err := k.vmRead(m, addr, size)
+	if l != nil {
+		if top {
+			l.Append(k.traceEvent(trace.OpVMRead, trace.Event{
+				Map: m.id, Addr: uint64(addr), Size: size,
+				Ret: uint64(len(buf)), Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return buf, err
+}
+
+func (k *Kernel) vmRead(m *Map, addr vmtypes.VA, size uint64) ([]byte, error) {
 	k.machine.Charge(k.machine.Cost.Syscall)
 	buf := make([]byte, size)
 	if err := k.CopyIn(m, addr, buf); err != nil {
@@ -192,6 +230,55 @@ func (k *Kernel) VMRead(m *Map, addr vmtypes.VA, size uint64) ([]byte, error) {
 // VMWrite implements vm_write (Table 2-1): write the contents of a region
 // of a task's address space.
 func (k *Kernel) VMWrite(m *Map, addr vmtypes.VA, data []byte) error {
+	l, top := k.traceBegin()
+	err := k.vmWrite(m, addr, data)
+	if l != nil {
+		if top {
+			l.Append(k.traceEvent(trace.OpVMWrite, trace.Event{
+				Map: m.id, Addr: uint64(addr), Size: uint64(len(data)),
+				Data: trace.FillOf(data), Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return err
+}
+
+func (k *Kernel) vmWrite(m *Map, addr vmtypes.VA, data []byte) error {
 	k.machine.Charge(k.machine.Cost.Syscall)
 	return k.CopyOut(m, addr, data)
+}
+
+// Activate makes this map's address space current on cpu (pmap_activate),
+// recorded as a trace input so replay binds the same space to the same
+// CPU. Sharing and transit maps have no pmap and no-op.
+func (m *Map) Activate(cpu *hw.CPU) {
+	l, top := m.k.traceBegin()
+	if m.pm != nil {
+		m.pm.Activate(cpu)
+	}
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpActivate, trace.Event{
+				Map: m.id, CPU: int64(cpu.ID),
+			}))
+		}
+		l.EndOp()
+	}
+}
+
+// Deactivate releases this map's address space from cpu (pmap_deactivate).
+func (m *Map) Deactivate(cpu *hw.CPU) {
+	l, top := m.k.traceBegin()
+	if m.pm != nil {
+		m.pm.Deactivate(cpu)
+	}
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpDeactivate, trace.Event{
+				Map: m.id, CPU: int64(cpu.ID),
+			}))
+		}
+		l.EndOp()
+	}
 }

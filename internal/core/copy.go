@@ -2,6 +2,7 @@ package core
 
 import (
 	"machvm/internal/pmap"
+	"machvm/internal/trace"
 	"machvm/internal/vmtypes"
 )
 
@@ -113,6 +114,22 @@ func (k *Kernel) writeProtectObjectRange(obj *Object, offset, size uint64) {
 // chosen in dst. This is the engine behind both vm_copy and out-of-line
 // message data transfer.
 func (m *Map) CopyTo(dst *Map, srcAddr vmtypes.VA, size uint64, dstAddr vmtypes.VA, anywhere bool) (vmtypes.VA, error) {
+	l, top := m.k.traceBegin()
+	va, err := m.copyTo(dst, srcAddr, size, dstAddr, anywhere)
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpCopyTo, trace.Event{
+				Map: m.id, Map2: dst.id, Addr: uint64(srcAddr), Size: size,
+				Addr2: uint64(dstAddr), Flag: anywhere,
+				Ret: uint64(va), Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return va, err
+}
+
+func (m *Map) copyTo(dst *Map, srcAddr vmtypes.VA, size uint64, dstAddr vmtypes.VA, anywhere bool) (vmtypes.VA, error) {
 	size = m.k.roundPage(size)
 	if err := m.checkRange(srcAddr, size); err != nil {
 		return 0, err
@@ -209,6 +226,21 @@ func (m *Map) CopyTo(dst *Map, srcAddr vmtypes.VA, size uint64, dstAddr vmtypes.
 // address to another within the task (Table 2-1). The destination range
 // is replaced.
 func (m *Map) Copy(srcAddr vmtypes.VA, size uint64, dstAddr vmtypes.VA) error {
+	l, top := m.k.traceBegin()
+	err := m.copyRange(srcAddr, size, dstAddr)
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpCopy, trace.Event{
+				Map: m.id, Addr: uint64(srcAddr), Size: size,
+				Addr2: uint64(dstAddr), Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return err
+}
+
+func (m *Map) copyRange(srcAddr vmtypes.VA, size uint64, dstAddr vmtypes.VA) error {
 	m.k.machine.Charge(m.k.machine.Cost.Syscall)
 	size = m.k.roundPage(size)
 	if err := m.Deallocate(dstAddr, size); err != nil && err != ErrInvalidAddress {
@@ -223,6 +255,20 @@ func (m *Map) Copy(srcAddr vmtypes.VA, size uint64, dstAddr vmtypes.VA) error {
 // read/write through a sharing map, copy entries are copied by value with
 // copy-on-write, and none entries leave the child's range unallocated.
 func (m *Map) Fork() *Map {
+	l, top := m.k.traceBegin()
+	child := m.fork()
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpFork, trace.Event{
+				Map: m.id, Ret: child.id,
+			}))
+		}
+		l.EndOp()
+	}
+	return child
+}
+
+func (m *Map) fork() *Map {
 	child := m.k.NewMap()
 	m.k.machine.Charge(m.k.machine.Cost.TaskCreate)
 

@@ -154,12 +154,12 @@ func TestVMCopyIsCopyOnWrite(t *testing.T) {
 	if err := m.Deallocate(dst, 16384); err != nil {
 		t.Fatal(err)
 	}
-	copies := k.Stats().CowFaults.Load()
+	copies := k.Stats().Snapshot().CowFaults
 	if _, err := m.CopyTo(m, src, 16384, dst, false); err != nil {
 		t.Fatalf("CopyTo: %v", err)
 	}
 	// No data copied yet.
-	if got := k.Stats().CowFaults.Load(); got != copies {
+	if got := k.Stats().Snapshot().CowFaults; got != copies {
 		t.Fatalf("virtual copy performed %d physical copies", got-copies)
 	}
 
@@ -192,7 +192,7 @@ func TestVMCopyIsCopyOnWrite(t *testing.T) {
 	if b[0] != 0xAB {
 		t.Fatal("write to source leaked into copy")
 	}
-	if k.Stats().CowFaults.Load() == copies {
+	if k.Stats().Snapshot().CowFaults == copies {
 		t.Fatal("writes after virtual copy should have copied pages")
 	}
 }
@@ -384,7 +384,7 @@ func TestPageoutReclaimsAndPagesBackIn(t *testing.T) {
 			t.Fatalf("write page %d: %v", off/4096, err)
 		}
 	}
-	if k.Stats().Pageouts.Load() == 0 {
+	if k.Stats().Snapshot().Pageouts == 0 {
 		t.Fatal("expected pageouts with memory oversubscribed 2x")
 	}
 	// Read everything back and verify.
@@ -397,7 +397,7 @@ func TestPageoutReclaimsAndPagesBackIn(t *testing.T) {
 			t.Fatalf("page %d corrupted after pageout: % x", off/4096, b)
 		}
 	}
-	if k.Stats().Pageins.Load() == 0 {
+	if k.Stats().Snapshot().Pageins == 0 {
 		t.Fatal("expected pageins on the second pass")
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"machvm/internal/hw"
 	"machvm/internal/pmap"
+	"machvm/internal/trace"
 	"machvm/internal/vmtypes"
 )
 
@@ -86,7 +87,18 @@ func (k *Kernel) Fault(m *Map, va vmtypes.VA, access vmtypes.Prot) error {
 // kernel's full pager deadline. The underlying pager conversation keeps
 // running to its own deadline and resolves the busy page either way.
 func (k *Kernel) FaultContext(ctx context.Context, m *Map, va vmtypes.VA, access vmtypes.Prot) error {
-	return k.faultContextOn(ctx, nil, m, va, access)
+	l, top := k.traceBegin()
+	err := k.faultContextOn(ctx, nil, m, va, access)
+	if l != nil {
+		if top {
+			l.Append(k.traceEvent(trace.OpFault, trace.Event{
+				Map: m.id, Addr: uint64(va), Arg: int64(access),
+				Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return err
 }
 
 // faultContextOn is the fault entry point with CPU attribution: when cpu
@@ -95,6 +107,16 @@ func (k *Kernel) FaultContext(ctx context.Context, m *Map, va vmtypes.VA, access
 // a batch boundary that flushes them to the global clock. A nil cpu
 // (kernel-initiated faults, vm_read/vm_write) charges the clock directly.
 func (k *Kernel) faultContextOn(ctx context.Context, cpu *hw.CPU, m *Map, va vmtypes.VA, access vmtypes.Prot) error {
+	err := k.faultRun(ctx, cpu, m, va, access)
+	// Every serviced fault is an observation the replayer must reproduce —
+	// same address, same access, same virtual-clock completion time.
+	k.traceObserve(trace.EvFault, trace.Event{
+		Map: m.id, Addr: uint64(va), Arg: int64(access), Err: traceErr(err),
+	})
+	return err
+}
+
+func (k *Kernel) faultRun(ctx context.Context, cpu *hw.CPU, m *Map, va vmtypes.VA, access vmtypes.Prot) error {
 	k.stats.Faults.Add(1)
 	k.machine.ChargeOn(cpu, k.machine.Cost.FaultTrap)
 	if cpu != nil {

@@ -128,9 +128,10 @@ func TestFaultVsMutatorRace(t *testing.T) {
 	if faults.Load() == 0 {
 		t.Fatal("no fault ever succeeded")
 	}
+	snap := k.Stats().Snapshot()
 	t.Logf("faults=%d denied=%d holes=%d retries=%d hintmiss=%d",
 		faults.Load(), denied.Load(), holes.Load(),
-		k.Stats().FaultRetries.Load(), k.Stats().MapHintMisses.Load())
+		snap.FaultRetries, snap.MapHintMisses)
 
 	// The map survived: full structural check.
 	checkMapInvariants(t, m)

@@ -1,0 +1,409 @@
+package core
+
+// Fuzzers for the map-op grammar. FuzzMapOps drives a byte-coded program
+// of Allocate/Deallocate/Protect/SetInherit/CopyTo/Fork/Wire/Fault/
+// PageoutScan against one kernel, maintaining a shadow content model
+// (first byte of every written page) and running the structural invariant
+// walkers as it goes — any accounting drift, treap/list disagreement or
+// stale page content is a crash. FuzzFaultVsMutator races a faulting
+// goroutine against a map-mutating goroutine and checks the same
+// invariants after the dust settles; run it with -race.
+//
+// The checked-in corpus under testdata/fuzz seeds the shapes of bugs
+// found by earlier PRs (flush-before-pageout stale reads, fork/COW write
+// visibility) so they stay covered forever.
+
+import (
+	"sync"
+	"testing"
+
+	"machvm/internal/hw"
+	"machvm/internal/pmap"
+	"machvm/internal/pmap/vax"
+	"machvm/internal/vmtypes"
+)
+
+// newFuzzKernel is newTestKernel with a quarter of the frames: the page
+// accounting walker visits every frame, and fuzzing throughput is bounded
+// by boot + walk cost per exec.
+func newFuzzKernel(t testing.TB) *Kernel {
+	t.Helper()
+	machine := hw.NewMachine(hw.Config{
+		Cost:       vax.DefaultCost(),
+		HWPageSize: vax.HWPageSize,
+		PhysFrames: 2048,
+		CPUs:       1,
+		TLBSize:    64,
+	})
+	mod := vax.New(machine, pmap.ShootImmediate)
+	return MustNewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
+}
+
+const (
+	fuzzOpAlloc = iota
+	fuzzOpDealloc
+	fuzzOpDeallocPage
+	fuzzOpProtect
+	fuzzOpInherit
+	fuzzOpWrite
+	fuzzOpRead
+	fuzzOpFork
+	fuzzOpCopyTo
+	fuzzOpWire
+	fuzzOpUnwire
+	fuzzOpScan
+	fuzzOpFault
+	fuzzOpDestroyMap
+	fuzzOpSwitchMap
+	fuzzOpCount
+)
+
+type fregion struct {
+	addr  vmtypes.VA
+	pages uint64
+	inh   vmtypes.Inherit
+}
+
+type fmapState struct {
+	m       *Map
+	regions []fregion
+	model   map[vmtypes.VA]byte // expected first byte per page; 0 if absent
+	untrack map[vmtypes.VA]bool // pages with shared-inheritance history
+}
+
+func (ms *fmapState) forEachPage(r fregion, fn func(va vmtypes.VA)) {
+	for i := uint64(0); i < r.pages; i++ {
+		fn(r.addr + vmtypes.VA(i*4096))
+	}
+}
+
+func FuzzMapOps(f *testing.F) {
+	pg := func(ops ...byte) []byte { return ops }
+	// Flush-before-pageout shape: written page paged out and read back must
+	// return the written bytes, not a stale pager copy (the PR-4 bug).
+	f.Add(pg(fuzzOpAlloc, 8, fuzzOpWrite, 0, 2, 0xAB, fuzzOpScan, fuzzOpRead, 0, 2, fuzzOpScan, fuzzOpRead, 0, 2))
+	// Fork/COW visibility: parent writes after fork must not leak into the
+	// child, across an intervening pageout.
+	f.Add(pg(fuzzOpAlloc, 4, fuzzOpWrite, 0, 1, 0x11, fuzzOpFork, fuzzOpWrite, 0, 1, 0x22,
+		fuzzOpScan, fuzzOpSwitchMap, 1, fuzzOpRead, 0, 1))
+	// Copy + diverge: COW copy keeps the pre-copy bytes while the source
+	// moves on, with wire/unwire churn in between.
+	f.Add(pg(fuzzOpAlloc, 6, fuzzOpWrite, 0, 0, 0x33, fuzzOpCopyTo, 0, fuzzOpWrite, 0, 0, 0x44,
+		fuzzOpWire, 1, fuzzOpScan, fuzzOpUnwire, 1, fuzzOpRead, 1, 0, fuzzOpRead, 0, 0))
+	// Clipping churn: partial deallocate splits entries; protect and
+	// inherit sub-ranges on the fragments, then fault through them.
+	f.Add(pg(fuzzOpAlloc, 9, fuzzOpWrite, 0, 4, 0x55, fuzzOpDeallocPage, 0, 2, fuzzOpProtect, 1, 1,
+		fuzzOpInherit, 0, 1, fuzzOpFault, 1, 0, 1, fuzzOpRead, 1, 1, fuzzOpDealloc, 0))
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		k := newFuzzKernel(t)
+		cpu := k.Machine().CPU(0)
+		root := k.NewMap()
+		root.Activate(cpu)
+		states := []*fmapState{{m: root, model: map[vmtypes.VA]byte{}, untrack: map[vmtypes.VA]bool{}}}
+		cur := 0
+
+		pos := 0
+		next := func() (byte, bool) {
+			if pos >= len(program) {
+				return 0, false
+			}
+			b := program[pos]
+			pos++
+			return b, true
+		}
+		region := func(ms *fmapState) (fregion, int, bool) {
+			b, ok := next()
+			if !ok || len(ms.regions) == 0 {
+				return fregion{}, 0, false
+			}
+			i := int(b) % len(ms.regions)
+			return ms.regions[i], i, true
+		}
+		pageOf := func(r fregion) (vmtypes.VA, bool) {
+			b, ok := next()
+			if !ok {
+				return 0, false
+			}
+			return r.addr + vmtypes.VA(uint64(b)%r.pages*k.PageSize()), true
+		}
+
+		steps := 0
+		for {
+			op, ok := next()
+			if !ok || steps > 512 {
+				break
+			}
+			steps++
+			ms := states[cur]
+			switch int(op) % fuzzOpCount {
+			case fuzzOpAlloc:
+				b, ok := next()
+				if !ok || len(ms.regions) >= 8 {
+					break
+				}
+				pages := uint64(b)%16 + 1
+				addr, err := ms.m.Allocate(0, pages*k.PageSize(), true)
+				if err == nil {
+					ms.regions = append(ms.regions, fregion{addr, pages, vmtypes.InheritCopy})
+				}
+			case fuzzOpDealloc:
+				r, i, ok := region(ms)
+				if !ok {
+					break
+				}
+				if err := ms.m.Deallocate(r.addr, r.pages*k.PageSize()); err == nil {
+					ms.forEachPage(r, func(va vmtypes.VA) { delete(ms.model, va); delete(ms.untrack, va) })
+					ms.regions = append(ms.regions[:i], ms.regions[i+1:]...)
+				}
+			case fuzzOpDeallocPage:
+				r, i, ok := region(ms)
+				if !ok || r.pages < 3 {
+					break
+				}
+				va, ok := pageOf(r)
+				if !ok {
+					break
+				}
+				if err := ms.m.Deallocate(va, k.PageSize()); err != nil {
+					break
+				}
+				delete(ms.model, va)
+				delete(ms.untrack, va)
+				// Split the record around the hole.
+				left := fregion{r.addr, uint64(va-r.addr) / k.PageSize(), r.inh}
+				right := fregion{va + vmtypes.VA(k.PageSize()), r.pages - left.pages - 1, r.inh}
+				ms.regions = append(ms.regions[:i], ms.regions[i+1:]...)
+				if left.pages > 0 {
+					ms.regions = append(ms.regions, left)
+				}
+				if right.pages > 0 {
+					ms.regions = append(ms.regions, right)
+				}
+			case fuzzOpProtect:
+				r, _, ok := region(ms)
+				if !ok {
+					break
+				}
+				b, ok := next()
+				if !ok {
+					break
+				}
+				prots := []vmtypes.Prot{vmtypes.ProtRead, vmtypes.ProtDefault, vmtypes.ProtRead | vmtypes.ProtExecute, vmtypes.ProtNone}
+				_ = ms.m.Protect(r.addr, r.pages*k.PageSize(), false, prots[int(b)%len(prots)])
+			case fuzzOpInherit:
+				r, i, ok := region(ms)
+				if !ok {
+					break
+				}
+				b, ok := next()
+				if !ok {
+					break
+				}
+				inhs := []vmtypes.Inherit{vmtypes.InheritCopy, vmtypes.InheritShared, vmtypes.InheritNone}
+				inh := inhs[int(b)%len(inhs)]
+				if err := ms.m.SetInherit(r.addr, r.pages*k.PageSize(), inh); err == nil {
+					ms.regions[i].inh = inh
+				}
+			case fuzzOpWrite:
+				r, _, ok := region(ms)
+				if !ok {
+					break
+				}
+				va, ok := pageOf(r)
+				if !ok {
+					break
+				}
+				v, ok := next()
+				if !ok {
+					break
+				}
+				if err := k.AccessBytes(cpu, ms.m, va, []byte{v}, true); err == nil && !ms.untrack[va] {
+					ms.model[va] = v
+				}
+			case fuzzOpRead:
+				r, _, ok := region(ms)
+				if !ok {
+					break
+				}
+				va, ok := pageOf(r)
+				if !ok {
+					break
+				}
+				buf := make([]byte, 1)
+				if err := k.AccessBytes(cpu, ms.m, va, buf, false); err == nil && !ms.untrack[va] {
+					if want := ms.model[va]; buf[0] != want {
+						t.Fatalf("map %d va %#x read %#x, model says %#x (stale or lost write)", cur, va, buf[0], want)
+					}
+				}
+			case fuzzOpFork:
+				if len(states) >= 4 {
+					break
+				}
+				child := ms.m.Fork()
+				cs := &fmapState{m: child, model: map[vmtypes.VA]byte{}, untrack: map[vmtypes.VA]bool{}}
+				for _, r := range ms.regions {
+					switch r.inh {
+					case vmtypes.InheritNone:
+					case vmtypes.InheritShared:
+						cs.regions = append(cs.regions, r)
+						// Writes now travel both ways; stop predicting
+						// content for these pages on either side.
+						ms.forEachPage(r, func(va vmtypes.VA) {
+							delete(ms.model, va)
+							ms.untrack[va] = true
+							cs.untrack[va] = true
+						})
+					default:
+						cs.regions = append(cs.regions, r)
+						ms.forEachPage(r, func(va vmtypes.VA) {
+							if ms.untrack[va] {
+								cs.untrack[va] = true
+							} else if v, okm := ms.model[va]; okm {
+								cs.model[va] = v
+							}
+						})
+					}
+				}
+				states = append(states, cs)
+			case fuzzOpCopyTo:
+				r, _, ok := region(ms)
+				if !ok || len(ms.regions) >= 8 {
+					break
+				}
+				dst, err := ms.m.CopyTo(ms.m, r.addr, r.pages*k.PageSize(), 0, true)
+				if err != nil {
+					break
+				}
+				nr := fregion{dst, r.pages, vmtypes.InheritCopy}
+				ms.regions = append(ms.regions, nr)
+				for i := uint64(0); i < r.pages; i++ {
+					src := r.addr + vmtypes.VA(i*k.PageSize())
+					d := dst + vmtypes.VA(i*k.PageSize())
+					if ms.untrack[src] {
+						ms.untrack[d] = true
+					} else if v, okm := ms.model[src]; okm {
+						ms.model[d] = v
+					}
+				}
+			case fuzzOpWire:
+				r, _, ok := region(ms)
+				if !ok {
+					break
+				}
+				_ = ms.m.Wire(r.addr, r.pages*k.PageSize())
+			case fuzzOpUnwire:
+				r, _, ok := region(ms)
+				if !ok {
+					break
+				}
+				_ = ms.m.Unwire(r.addr, r.pages*k.PageSize())
+			case fuzzOpScan:
+				k.PageoutScan()
+			case fuzzOpFault:
+				r, _, ok := region(ms)
+				if !ok {
+					break
+				}
+				va, ok := pageOf(r)
+				if !ok {
+					break
+				}
+				b, ok := next()
+				if !ok {
+					break
+				}
+				access := vmtypes.ProtRead
+				if b%2 == 1 {
+					access = vmtypes.ProtWrite
+				}
+				_ = k.Fault(ms.m, va, access)
+			case fuzzOpDestroyMap:
+				if len(states) < 2 || cur == 0 {
+					break
+				}
+				ms.m.Destroy()
+				states = append(states[:cur], states[cur+1:]...)
+				cur = 0
+			case fuzzOpSwitchMap:
+				b, ok := next()
+				if !ok {
+					break
+				}
+				states[cur].m.Deactivate(cpu)
+				cur = int(b) % len(states)
+				states[cur].m.Activate(cpu)
+			}
+			checkMapInvariants(t, states[cur].m)
+			if steps%16 == 0 {
+				checkPageAccounting(t, k)
+				if sp, okm := states[cur].m.Pmap().(interface{ CheckSuperInvariants() error }); okm {
+					if err := sp.CheckSuperInvariants(); err != nil {
+						t.Fatalf("superpage invariants after step %d: %v", steps, err)
+					}
+				}
+			}
+		}
+		for _, ms := range states {
+			checkMapInvariants(t, ms.m)
+		}
+		checkPageAccounting(t, k)
+	})
+}
+
+// FuzzFaultVsMutator races faults and pageout scans against map mutation
+// on one address space. The content model cannot be checked concurrently;
+// the properties under test are crash-freedom, race-cleanliness (run with
+// -race) and intact structural invariants once both sides quiesce.
+func FuzzFaultVsMutator(f *testing.F) {
+	f.Add([]byte{0x10, 0x31, 0x52, 0x73, 0x04, 0x25}, []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0x00, 0x11, 0x22, 0x33}, []byte{7, 6, 5, 4, 3, 2, 1, 0})
+
+	f.Fuzz(func(t *testing.T, mutOps, faultOps []byte) {
+		k := newFuzzKernel(t)
+		cpu := k.Machine().CPU(0)
+		m := k.NewMap()
+		m.Activate(cpu)
+		const pages = 32
+		base, err := m.Allocate(0, pages*4096, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i+1 < len(mutOps); i += 2 {
+				va := base + vmtypes.VA(uint64(mutOps[i+1])%pages*4096)
+				switch mutOps[i] % 6 {
+				case 0:
+					_ = m.Protect(va, 4096, false, vmtypes.ProtRead)
+				case 1:
+					_ = m.Protect(va, 4096, false, vmtypes.ProtDefault)
+				case 2:
+					_ = m.Wire(va, 4096)
+				case 3:
+					_ = m.Unwire(va, 4096)
+				case 4:
+					_ = m.SetInherit(va, 4096, vmtypes.InheritShared)
+				case 5:
+					k.PageoutScan()
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i, b := range faultOps {
+				va := base + vmtypes.VA(uint64(b)%pages*4096)
+				_ = k.Fault(m, va, []vmtypes.Prot{vmtypes.ProtRead, vmtypes.ProtWrite}[i%2])
+			}
+		}()
+		wg.Wait()
+
+		checkMapInvariants(t, m)
+		checkPageAccounting(t, k)
+		m.Destroy()
+		checkPageAccounting(t, k)
+	})
+}

@@ -18,6 +18,7 @@ import (
 
 	"machvm/internal/hw"
 	"machvm/internal/pmap"
+	"machvm/internal/trace"
 	"machvm/internal/vmtypes"
 )
 
@@ -96,6 +97,19 @@ type Kernel struct {
 	// anonymous zero-fill memory and COW shadows — between termination
 	// and the next fault that needs one (see newPooledObject).
 	objectPool sync.Pool
+
+	// tracer, when non-nil, receives every externally visible event (map
+	// ops, faults, pager conversations, pageout decisions) as a
+	// deterministic stream stamped with the virtual clock. The disabled
+	// cost on hot paths is one atomic pointer load and a branch.
+	tracer atomic.Pointer[trace.Log]
+
+	// mapIDs and objectIDs issue the stable per-kernel identifiers that
+	// trace events use to name maps and objects, and that seed the treap
+	// priority streams and the page-shard hash. Per-kernel (not global)
+	// so two identically driven kernels assign identical IDs.
+	mapIDs    atomic.Uint64
+	objectIDs atomic.Uint64
 
 	stats Stats
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"machvm/internal/pmap"
+	"machvm/internal/trace"
 	"machvm/internal/vmtypes"
 )
 
@@ -99,6 +100,10 @@ type Map struct {
 
 	mu sync.RWMutex
 
+	// id is the map's stable per-kernel identifier, assigned in creation
+	// order. Trace events name maps by this id.
+	id uint64
+
 	// version counts entry mutations (structure or attributes). Bumped
 	// under the write lock; Fault snapshots it under the read lock and
 	// revalidates before pmap enter (fault.go).
@@ -171,17 +176,28 @@ func (m *Map) bumpVersion() { m.version.Add(1) }
 // NewMap creates a task address map covering [0, limit) where limit is the
 // machine's user address-space bound.
 func (k *Kernel) NewMap() *Map {
+	id := k.mapIDs.Add(1)
 	m := &Map{
 		k:         k,
+		id:        id,
 		min:       0,
 		max:       k.mod.MaxVA(),
 		pm:        k.mod.Create(),
-		prioState: seedPrioState(),
+		prioState: seedPrioState(id),
 	}
 	m.refs.Store(1)
 	m.primeEntryPool(4)
+	if l, top := k.traceBegin(); l != nil {
+		if top {
+			l.Append(k.traceEvent(trace.OpNewMap, trace.Event{Ret: id}))
+		}
+		l.EndOp()
+	}
 	return m
 }
+
+// ID returns the map's stable per-kernel identifier.
+func (m *Map) ID() uint64 { return m.id }
 
 // primeEntryPool pre-populates the map's entry free list so the first
 // allocations and clips recycle instead of allocating — part of keeping
@@ -200,12 +216,14 @@ func (m *Map) primeEntryPool(n int) {
 // copied into it copy-on-write at send time and copied out at receive
 // time, so no physical copy happens end to end.
 func (k *Kernel) NewTransitMap(size uint64) *Map {
+	id := k.mapIDs.Add(1)
 	m := &Map{
 		k:         k,
+		id:        id,
 		min:       0,
 		max:       vmtypes.VA(k.roundPage(size)*2 + k.pageSize*2),
 		isShare:   true,
-		prioState: seedPrioState(),
+		prioState: seedPrioState(id),
 	}
 	m.refs.Store(1)
 	return m
@@ -213,12 +231,14 @@ func (k *Kernel) NewTransitMap(size uint64) *Map {
 
 // newShareMap creates a sharing map spanning [0, size).
 func (k *Kernel) newShareMap(size uint64) *Map {
+	id := k.mapIDs.Add(1)
 	m := &Map{
 		k:         k,
+		id:        id,
 		min:       0,
 		max:       vmtypes.VA(size),
 		isShare:   true,
-		prioState: seedPrioState(),
+		prioState: seedPrioState(id),
 	}
 	m.refs.Store(1)
 	k.stats.ShareMapsMade.Add(1)
@@ -255,6 +275,17 @@ func (m *Map) Reference() { m.refs.Add(1) }
 // Destroy releases the map; the last release deallocates everything and
 // destroys the pmap.
 func (m *Map) Destroy() {
+	l, top := m.k.traceBegin()
+	m.destroy()
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpDestroyMap, trace.Event{Map: m.id}))
+		}
+		l.EndOp()
+	}
+}
+
+func (m *Map) destroy() {
 	if m.refs.Add(-1) > 0 {
 		return
 	}
@@ -287,7 +318,7 @@ func (m *Map) Destroy() {
 		m.k.releaseObject(o)
 	}
 	for _, s := range subs {
-		s.Destroy()
+		s.destroy()
 	}
 }
 
@@ -469,6 +500,21 @@ func (m *Map) checkRange(addr vmtypes.VA, size uint64) error {
 // virtual memory, either anywhere or at a specified address (Table 2-1).
 // The memory is zero-filled lazily, at fault time.
 func (m *Map) Allocate(addr vmtypes.VA, size uint64, anywhere bool) (vmtypes.VA, error) {
+	l, top := m.k.traceBegin()
+	va, err := m.allocate(addr, size, anywhere)
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpAllocate, trace.Event{
+				Map: m.id, Addr: uint64(addr), Size: size, Flag: anywhere,
+				Ret: uint64(va), Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return va, err
+}
+
+func (m *Map) allocate(addr vmtypes.VA, size uint64, anywhere bool) (vmtypes.VA, error) {
 	m.k.machine.Charge(m.k.machine.Cost.Syscall)
 	size = m.k.roundPage(size)
 	m.mu.Lock()
@@ -480,6 +526,31 @@ func (m *Map) Allocate(addr vmtypes.VA, size uint64, anywhere bool) (vmtypes.VA,
 // anywhere). This is vm_allocate_with_pager (Table 3-2) generalised: the
 // object may come from any pager.
 func (m *Map) AllocateWithObject(addr vmtypes.VA, size uint64, anywhere bool, obj *Object, offset uint64, prot, maxProt vmtypes.Prot, inherit vmtypes.Inherit, copyOnWrite bool) (vmtypes.VA, error) {
+	l, top := m.k.traceBegin()
+	va, err := m.allocateWithObject(addr, size, anywhere, obj, offset, prot, maxProt, inherit, copyOnWrite)
+	if l != nil {
+		if top {
+			var objID uint64
+			if obj != nil {
+				objID = obj.ID()
+			}
+			cow := int64(0)
+			if copyOnWrite {
+				cow = 1
+			}
+			l.Append(m.k.traceEvent(trace.OpAllocObject, trace.Event{
+				Map: m.id, Obj: objID, Addr: uint64(addr), Addr2: offset,
+				Size: size, Flag: anywhere,
+				Arg: int64(prot) | int64(maxProt)<<8 | int64(inherit)<<16 | cow<<24,
+				Ret: uint64(va), Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return va, err
+}
+
+func (m *Map) allocateWithObject(addr vmtypes.VA, size uint64, anywhere bool, obj *Object, offset uint64, prot, maxProt vmtypes.Prot, inherit vmtypes.Inherit, copyOnWrite bool) (vmtypes.VA, error) {
 	m.k.machine.Charge(m.k.machine.Cost.Syscall)
 	size = m.k.roundPage(size)
 	m.mu.Lock()
@@ -528,6 +599,20 @@ func (m *Map) allocateLocked(addr vmtypes.VA, size uint64, anywhere bool, obj *O
 // Deallocate implements vm_deallocate: make a range of addresses no
 // longer valid (Table 2-1).
 func (m *Map) Deallocate(addr vmtypes.VA, size uint64) error {
+	l, top := m.k.traceBegin()
+	err := m.deallocate(addr, size)
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpDeallocate, trace.Event{
+				Map: m.id, Addr: uint64(addr), Size: size, Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return err
+}
+
+func (m *Map) deallocate(addr vmtypes.VA, size uint64) error {
 	m.k.machine.Charge(m.k.machine.Cost.Syscall)
 	size = m.k.roundPage(size)
 	if err := m.checkRange(addr, size); err != nil {
@@ -575,7 +660,7 @@ func (m *Map) Deallocate(addr vmtypes.VA, size uint64) error {
 		m.k.releaseObject(o)
 	}
 	for _, s := range subs {
-		s.Destroy()
+		s.destroy()
 	}
 	return nil
 }
@@ -585,6 +670,21 @@ func (m *Map) Deallocate(addr vmtypes.VA, size uint64) error {
 // lowered (it can never be raised); lowering it below the current
 // protection drags the current protection down with it.
 func (m *Map) Protect(addr vmtypes.VA, size uint64, setMax bool, prot vmtypes.Prot) error {
+	l, top := m.k.traceBegin()
+	err := m.protect(addr, size, setMax, prot)
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpProtect, trace.Event{
+				Map: m.id, Addr: uint64(addr), Size: size, Flag: setMax,
+				Arg: int64(prot), Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return err
+}
+
+func (m *Map) protect(addr vmtypes.VA, size uint64, setMax bool, prot vmtypes.Prot) error {
 	m.k.machine.Charge(m.k.machine.Cost.Syscall)
 	size = m.k.roundPage(size)
 	if err := m.checkRange(addr, size); err != nil {
@@ -642,6 +742,21 @@ func (m *Map) Protect(addr vmtypes.VA, size uint64, setMax bool, prot vmtypes.Pr
 // SetInherit implements vm_inherit: set the inheritance attribute of an
 // address range (Table 2-1).
 func (m *Map) SetInherit(addr vmtypes.VA, size uint64, inherit vmtypes.Inherit) error {
+	l, top := m.k.traceBegin()
+	err := m.setInherit(addr, size, inherit)
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpInherit, trace.Event{
+				Map: m.id, Addr: uint64(addr), Size: size,
+				Arg: int64(inherit), Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return err
+}
+
+func (m *Map) setInherit(addr vmtypes.VA, size uint64, inherit vmtypes.Inherit) error {
 	m.k.machine.Charge(m.k.machine.Cost.Syscall)
 	size = m.k.roundPage(size)
 	if err := m.checkRange(addr, size); err != nil {

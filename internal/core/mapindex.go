@@ -13,17 +13,17 @@ package core
 // indexLookupLE, which is read-only and safe under the read lock.
 
 import (
-	"sync/atomic"
-
 	"machvm/internal/vmtypes"
 )
 
-// mapSeed distinguishes the treap priority streams of different maps.
-var mapSeed atomic.Uint64
-
-// seedPrioState returns a non-zero xorshift state for a new map.
-func seedPrioState() uint64 {
-	s := mapSeed.Add(1) * 0x9e3779b97f4a7c15
+// seedPrioState returns a non-zero xorshift state for a new map, derived
+// from its per-kernel id so the treap priority stream — and hence the tree
+// shape and the per-lookup step counts charged to the virtual clock — is
+// deterministic for a deterministically driven kernel. (A process-global
+// seed here made record/replay diverge: any other kernel in the process
+// shifted the stream.)
+func seedPrioState(id uint64) uint64 {
+	s := id * 0x9e3779b97f4a7c15
 	if s == 0 {
 		s = 0x9e3779b97f4a7c15
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"machvm/internal/trace"
 )
 
 // Object is a memory object (§3.3): logically a repository for data,
@@ -63,6 +65,10 @@ type Object struct {
 	// Atomic because the page-shard hash reads it from lock-free
 	// identity snapshots that may race with a pooled reinitialization
 	// (such stale readers then fail seqlock revalidation and retry).
+	// Assigned from a per-kernel counter so generations — and everything
+	// derived from them: the shard hash, trace object IDs — are
+	// deterministic for a deterministically driven kernel, regardless of
+	// what other kernels exist in the process.
 	generation atomic.Uint64
 
 	// clusterPages is the fault-in cluster size in Mach pages (atomic:
@@ -202,8 +208,6 @@ func (o *Object) notePageouts(k *Kernel, n int) {
 	}
 }
 
-var objectGen atomic.Uint64
-
 // NewObject creates a memory object of the given size, managed by pager
 // (nil for internal zero-fill memory).
 func (k *Kernel) NewObject(size uint64, pager Pager, name string) *Object {
@@ -214,7 +218,7 @@ func (k *Kernel) NewObject(size uint64, pager Pager, name string) *Object {
 		internal: pager == nil,
 		name:     name,
 	}
-	o.generation.Store(objectGen.Add(1))
+	o.generation.Store(k.objectIDs.Add(1))
 	if pager != nil {
 		pager.Init(o)
 	}
@@ -254,7 +258,7 @@ func (k *Kernel) newPooledObject() *Object {
 	o.autoTier.Store(0)
 	o.tierRefaults.Store(0)
 	o.tierPageouts.Store(0)
-	o.generation.Store(objectGen.Add(1))
+	o.generation.Store(k.objectIDs.Add(1))
 	return o
 }
 
@@ -267,6 +271,11 @@ func (k *Kernel) newAnonObject(size uint64) *Object {
 	k.stats.ObjectsCreated.Add(1)
 	return o
 }
+
+// ID returns the object's stable per-kernel identifier (its generation):
+// unique per object incarnation, assigned in creation order. Trace events
+// name objects by this ID.
+func (o *Object) ID() uint64 { return o.generation.Load() }
 
 // Name returns the object's debugging label.
 func (o *Object) Name() string { return o.name }
@@ -648,4 +657,14 @@ func (o *Object) CanPersist() bool {
 
 // ReleaseObjectRef drops one reference to the object (the public face of
 // object deallocation; maps drop their references automatically).
-func (k *Kernel) ReleaseObjectRef(o *Object) { k.releaseObject(o) }
+func (k *Kernel) ReleaseObjectRef(o *Object) {
+	l, top := k.traceBegin()
+	id := o.ID()
+	k.releaseObject(o)
+	if l != nil {
+		if top {
+			l.Append(k.traceEvent(trace.OpReleaseObject, trace.Event{Obj: id}))
+		}
+		l.EndOp()
+	}
+}

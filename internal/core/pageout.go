@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"machvm/internal/trace"
 	"machvm/internal/vmtypes"
 )
 
@@ -35,6 +36,18 @@ type scanFlight struct {
 // free memory is exhausted. Concurrent calls coalesce into the scan
 // already in flight and return its result.
 func (k *Kernel) PageoutScan() int {
+	l, top := k.traceBegin()
+	freed := k.pageoutScanFlight()
+	if l != nil {
+		if top {
+			l.Append(k.traceEvent(trace.OpScan, trace.Event{Ret: uint64(freed)}))
+		}
+		l.EndOp()
+	}
+	return freed
+}
+
+func (k *Kernel) pageoutScanFlight() int {
 	k.scanMu.Lock()
 	if f := k.scanFlight; f != nil {
 		k.scanMu.Unlock()
@@ -121,6 +134,10 @@ func (k *Kernel) pageoutScan() int {
 		}
 	}
 	flush()
+	// The scan's outcome is an observation: replay regenerates the scan
+	// (from an OpScan or from allocator pressure inside another op) and
+	// must reclaim exactly as much at exactly the same virtual time.
+	k.traceObserve(trace.EvScan, trace.Event{Ret: uint64(freed)})
 	return freed
 }
 
@@ -172,6 +189,9 @@ func (k *Kernel) claimPageout(p *Page) (pageoutVictim, bool) {
 	s.mu.Unlock()
 
 	k.removeAllMappings(p)
+	k.traceObserve(trace.EvReclaim, trace.Event{
+		Obj: obj.ID(), Addr: curOff, Flag: v.dirty,
+	})
 	return v, true
 }
 
@@ -196,7 +216,18 @@ func (k *Kernel) finishPageoutBatch(batch []pageoutVictim) int {
 			freed++
 		}
 	}
-	for obj, vs := range dirtyByObj {
+	// Drain objects in stable (creation-order) ID order, never Go map
+	// iteration order: the order of DataWrite conversations is externally
+	// visible — trace event order, per-write virtual-clock timestamps,
+	// which write a failing pager rejects first — and must be identical
+	// across record and replay runs.
+	objs := make([]*Object, 0, len(dirtyByObj))
+	for obj := range dirtyByObj {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].ID() < objs[j].ID() })
+	for _, obj := range objs {
+		vs := dirtyByObj[obj]
 		if _, locking := obj.Pager().(LockingPager); locking {
 			// External memory managers negotiate per-offset page locks
 			// and the message protocol delivers them one page at a time;
@@ -353,6 +384,20 @@ func (k *Kernel) StartPageoutDaemon(stop <-chan struct{}, interval time.Duration
 // pageout cannot touch it (used for kernel-critical buffers; the paper's
 // kernel mappings "must always be kept complete and accurate").
 func (m *Map) Wire(addr vmtypes.VA, size uint64) error {
+	l, top := m.k.traceBegin()
+	err := m.wire(addr, size)
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpWire, trace.Event{
+				Map: m.id, Addr: uint64(addr), Size: size, Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return err
+}
+
+func (m *Map) wire(addr vmtypes.VA, size uint64) error {
 	k := m.k
 	size = k.roundPage(size)
 	if err := m.checkRange(addr, size); err != nil {
@@ -388,6 +433,20 @@ func (m *Map) Wire(addr vmtypes.VA, size uint64) error {
 
 // Unwire releases wiring on [addr, addr+size).
 func (m *Map) Unwire(addr vmtypes.VA, size uint64) error {
+	l, top := m.k.traceBegin()
+	err := m.unwire(addr, size)
+	if l != nil {
+		if top {
+			l.Append(m.k.traceEvent(trace.OpUnwire, trace.Event{
+				Map: m.id, Addr: uint64(addr), Size: size, Err: traceErr(err),
+			}))
+		}
+		l.EndOp()
+	}
+	return err
+}
+
+func (m *Map) unwire(addr vmtypes.VA, size uint64) error {
 	k := m.k
 	size = k.roundPage(size)
 	if err := m.checkRange(addr, size); err != nil {

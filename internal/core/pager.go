@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"machvm/internal/hw"
+	"machvm/internal/trace"
 	"machvm/internal/vmtypes"
 )
 
@@ -187,15 +188,24 @@ func (k *Kernel) pagerCall(pager Pager, op string, call func(context.Context) ([
 
 // pagerRequestData is DataRequest under the kernel policy.
 func (k *Kernel) pagerRequestData(pager Pager, obj *Object, offset uint64, length int) ([]byte, error) {
-	return k.pagerCall(pager, "data_request", func(ctx context.Context) ([]byte, error) {
+	data, err := k.pagerCall(pager, "data_request", func(ctx context.Context) ([]byte, error) {
 		return pager.DataRequest(ctx, obj, offset, length)
 	})
+	k.traceObserve(trace.EvPagerRead, trace.Event{
+		Obj: obj.ID(), Addr: offset, Size: uint64(length),
+		Ret: uint64(len(data)), Err: traceErr(err),
+	})
+	return data, err
 }
 
 // pagerWriteData is DataWrite under the kernel policy.
 func (k *Kernel) pagerWriteData(pager Pager, obj *Object, offset uint64, data []byte) error {
 	_, err := k.pagerCall(pager, "data_write", func(ctx context.Context) ([]byte, error) {
 		return nil, pager.DataWrite(ctx, obj, offset, data)
+	})
+	k.traceObserve(trace.EvPagerWrite, trace.Event{
+		Obj: obj.ID(), Addr: offset, Size: uint64(len(data)),
+		Err: traceErr(err),
 	})
 	return err
 }

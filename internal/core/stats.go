@@ -65,6 +65,127 @@ type Stats struct {
 // Stats returns the kernel's counters.
 func (k *Kernel) Stats() *Stats { return &k.stats }
 
+// StatsSnapshot is Stats with every counter captured into a plain field.
+// Field set and order mirror Stats exactly (enforced by a reflection test).
+type StatsSnapshot struct {
+	Faults            uint64
+	ZeroFillFaults    uint64
+	CowFaults         uint64
+	ReactivateHits    uint64
+	Pageins           uint64
+	Pageouts          uint64
+	PageoutsWanted    uint64
+	PageoutWakes      uint64
+	PageoutScanJoins  uint64
+	PagesAllocated    uint64
+	PagesFreed        uint64
+	MagazineHits      uint64
+	DepotRefills      uint64
+	DepotDrains       uint64
+	MagazineSteals    uint64
+	BusyWaits         uint64
+	AllocRaces        uint64
+	ShardRetries      uint64
+	PageoutSkips      uint64
+	ObjectsCreated    uint64
+	ObjectsTerminated uint64
+	ShadowsCreated    uint64
+	ShadowsCollapsed  uint64
+	CacheRevives      uint64
+	MapHintHits       uint64
+	MapHintMisses     uint64
+	MapLookups        uint64
+	FaultRetries      uint64
+	ShareMapsMade     uint64
+	PagerTimeouts     uint64
+	PagerRetries      uint64
+	PagerErrors       uint64
+	PagerFallbacks    uint64
+	PagerFlightJoins  uint64
+	PagerAbandons     uint64
+	PageoutWriteFails uint64
+	PagerRoundTrips   uint64
+	ClusterExtras     uint64
+	PageoutRuns       uint64
+	PageoutRunPages   uint64
+	SpanPromotions    uint64
+
+	ZtierHits            uint64
+	ZtierMisses          uint64
+	ZtierStoredBytes     uint64
+	ZtierCompressedBytes uint64
+	ZtierEvictions       uint64
+	ZtierBypasses        uint64
+	TierPromotions       uint64
+	TierDemotions        uint64
+	SwapZeroPages        uint64
+}
+
+// Snapshot captures every counter at once into a plain struct. Use this —
+// not a sequence of individual Load calls — whenever more than one counter
+// feeds a decision or an assertion: reading live atomics one by one while
+// daemons run yields torn cross-counter views (a pagein counted but not
+// yet its round trip), which is exactly the flakiness that breaks
+// "replayed stats == recorded stats". The snapshot itself is not an atomic
+// cut either (Go offers none across 50 counters), but it is taken at one
+// point in the code, so quiesced kernels — and record/replay, which only
+// snapshots after the event stream is complete — get a stable view.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Faults:            s.Faults.Load(),
+		ZeroFillFaults:    s.ZeroFillFaults.Load(),
+		CowFaults:         s.CowFaults.Load(),
+		ReactivateHits:    s.ReactivateHits.Load(),
+		Pageins:           s.Pageins.Load(),
+		Pageouts:          s.Pageouts.Load(),
+		PageoutsWanted:    s.PageoutsWanted.Load(),
+		PageoutWakes:      s.PageoutWakes.Load(),
+		PageoutScanJoins:  s.PageoutScanJoins.Load(),
+		PagesAllocated:    s.PagesAllocated.Load(),
+		PagesFreed:        s.PagesFreed.Load(),
+		MagazineHits:      s.MagazineHits.Load(),
+		DepotRefills:      s.DepotRefills.Load(),
+		DepotDrains:       s.DepotDrains.Load(),
+		MagazineSteals:    s.MagazineSteals.Load(),
+		BusyWaits:         s.BusyWaits.Load(),
+		AllocRaces:        s.AllocRaces.Load(),
+		ShardRetries:      s.ShardRetries.Load(),
+		PageoutSkips:      s.PageoutSkips.Load(),
+		ObjectsCreated:    s.ObjectsCreated.Load(),
+		ObjectsTerminated: s.ObjectsTerminated.Load(),
+		ShadowsCreated:    s.ShadowsCreated.Load(),
+		ShadowsCollapsed:  s.ShadowsCollapsed.Load(),
+		CacheRevives:      s.CacheRevives.Load(),
+		MapHintHits:       s.MapHintHits.Load(),
+		MapHintMisses:     s.MapHintMisses.Load(),
+		MapLookups:        s.MapLookups.Load(),
+		FaultRetries:      s.FaultRetries.Load(),
+		ShareMapsMade:     s.ShareMapsMade.Load(),
+		PagerTimeouts:     s.PagerTimeouts.Load(),
+		PagerRetries:      s.PagerRetries.Load(),
+		PagerErrors:       s.PagerErrors.Load(),
+		PagerFallbacks:    s.PagerFallbacks.Load(),
+		PagerFlightJoins:  s.PagerFlightJoins.Load(),
+		PagerAbandons:     s.PagerAbandons.Load(),
+		PageoutWriteFails: s.PageoutWriteFails.Load(),
+		PagerRoundTrips:   s.PagerRoundTrips.Load(),
+		ClusterExtras:     s.ClusterExtras.Load(),
+		PageoutRuns:       s.PageoutRuns.Load(),
+		PageoutRunPages:   s.PageoutRunPages.Load(),
+		SpanPromotions:    s.SpanPromotions.Load(),
+
+		ZtierHits:            s.ZtierHits.Load(),
+		ZtierMisses:          s.ZtierMisses.Load(),
+		ZtierStoredBytes:     s.ZtierStoredBytes.Load(),
+		ZtierCompressedBytes: s.ZtierCompressedBytes.Load(),
+		ZtierEvictions:       s.ZtierEvictions.Load(),
+		ZtierBypasses:        s.ZtierBypasses.Load(),
+		TierPromotions:       s.TierPromotions.Load(),
+		TierDemotions:        s.TierDemotions.Load(),
+		SwapZeroPages:        s.SwapZeroPages.Load(),
+	}
+}
+
 // Statistics is the snapshot returned by vm_statistics (Table 2-1).
 type Statistics struct {
 	PageSize         uint64
@@ -126,54 +247,56 @@ func (k *Kernel) VMStatistics() Statistics {
 			wired++
 		}
 	}
-	s := Statistics{
+	snap := k.stats.Snapshot()
+	return Statistics{
 		PageSize:      k.pageSize,
 		FreeCount:     k.FreeCount(),
 		ActiveCount:   k.ActiveCount(),
 		InactiveCount: k.InactiveCount(),
 		WireCount:     wired,
+
+		Faults:           snap.Faults,
+		ZeroFillFaults:   snap.ZeroFillFaults,
+		CowFaults:        snap.CowFaults,
+		Pageins:          snap.Pageins,
+		Pageouts:         snap.Pageouts,
+		Reactivations:    snap.ReactivateHits,
+		ObjectCacheLen:   k.CachedObjects(),
+		ShadowsCreated:   snap.ShadowsCreated,
+		ShadowsCollapsed: snap.ShadowsCollapsed,
+		BusyWaits:        snap.BusyWaits,
+		AllocRaces:       snap.AllocRaces,
+		ShardRetries:     snap.ShardRetries,
+		PageoutSkips:     snap.PageoutSkips,
+		PageoutWakes:     snap.PageoutWakes,
+		PageoutScanJoins: snap.PageoutScanJoins,
+		MagazineHits:     snap.MagazineHits,
+		DepotRefills:     snap.DepotRefills,
+		DepotDrains:      snap.DepotDrains,
+		MagazineSteals:   snap.MagazineSteals,
+		MapHintHits:      snap.MapHintHits,
+		MapHintMisses:    snap.MapHintMisses,
+		FaultRetries:     snap.FaultRetries,
+		PagerTimeouts:    snap.PagerTimeouts,
+		PagerRetries:     snap.PagerRetries,
+		PagerErrors:      snap.PagerErrors,
+		PagerFallbacks:   snap.PagerFallbacks,
+		PagerFlightJoins: snap.PagerFlightJoins,
+		PagerAbandons:    snap.PagerAbandons,
+		PagerRoundTrips:  snap.PagerRoundTrips,
+		ClusterExtras:    snap.ClusterExtras,
+		PageoutRuns:      snap.PageoutRuns,
+		PageoutRunPages:  snap.PageoutRunPages,
+		SpanPromotions:   snap.SpanPromotions,
+
+		ZtierHits:            snap.ZtierHits,
+		ZtierMisses:          snap.ZtierMisses,
+		ZtierStoredBytes:     snap.ZtierStoredBytes,
+		ZtierCompressedBytes: snap.ZtierCompressedBytes,
+		ZtierEvictions:       snap.ZtierEvictions,
+		ZtierBypasses:        snap.ZtierBypasses,
+		TierPromotions:       snap.TierPromotions,
+		TierDemotions:        snap.TierDemotions,
+		SwapZeroPages:        snap.SwapZeroPages,
 	}
-	s.Faults = k.stats.Faults.Load()
-	s.ZeroFillFaults = k.stats.ZeroFillFaults.Load()
-	s.CowFaults = k.stats.CowFaults.Load()
-	s.Pageins = k.stats.Pageins.Load()
-	s.Pageouts = k.stats.Pageouts.Load()
-	s.Reactivations = k.stats.ReactivateHits.Load()
-	s.ObjectCacheLen = k.CachedObjects()
-	s.ShadowsCreated = k.stats.ShadowsCreated.Load()
-	s.ShadowsCollapsed = k.stats.ShadowsCollapsed.Load()
-	s.BusyWaits = k.stats.BusyWaits.Load()
-	s.AllocRaces = k.stats.AllocRaces.Load()
-	s.ShardRetries = k.stats.ShardRetries.Load()
-	s.PageoutSkips = k.stats.PageoutSkips.Load()
-	s.PageoutWakes = k.stats.PageoutWakes.Load()
-	s.PageoutScanJoins = k.stats.PageoutScanJoins.Load()
-	s.MagazineHits = k.stats.MagazineHits.Load()
-	s.DepotRefills = k.stats.DepotRefills.Load()
-	s.DepotDrains = k.stats.DepotDrains.Load()
-	s.MagazineSteals = k.stats.MagazineSteals.Load()
-	s.MapHintHits = k.stats.MapHintHits.Load()
-	s.MapHintMisses = k.stats.MapHintMisses.Load()
-	s.FaultRetries = k.stats.FaultRetries.Load()
-	s.PagerTimeouts = k.stats.PagerTimeouts.Load()
-	s.PagerRetries = k.stats.PagerRetries.Load()
-	s.PagerErrors = k.stats.PagerErrors.Load()
-	s.PagerFallbacks = k.stats.PagerFallbacks.Load()
-	s.PagerFlightJoins = k.stats.PagerFlightJoins.Load()
-	s.PagerAbandons = k.stats.PagerAbandons.Load()
-	s.PagerRoundTrips = k.stats.PagerRoundTrips.Load()
-	s.ClusterExtras = k.stats.ClusterExtras.Load()
-	s.PageoutRuns = k.stats.PageoutRuns.Load()
-	s.PageoutRunPages = k.stats.PageoutRunPages.Load()
-	s.SpanPromotions = k.stats.SpanPromotions.Load()
-	s.ZtierHits = k.stats.ZtierHits.Load()
-	s.ZtierMisses = k.stats.ZtierMisses.Load()
-	s.ZtierStoredBytes = k.stats.ZtierStoredBytes.Load()
-	s.ZtierCompressedBytes = k.stats.ZtierCompressedBytes.Load()
-	s.ZtierEvictions = k.stats.ZtierEvictions.Load()
-	s.ZtierBypasses = k.stats.ZtierBypasses.Load()
-	s.TierPromotions = k.stats.TierPromotions.Load()
-	s.TierDemotions = k.stats.TierDemotions.Load()
-	s.SwapZeroPages = k.stats.SwapZeroPages.Load()
-	return s
 }

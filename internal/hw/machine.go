@@ -23,6 +23,14 @@ type Machine struct {
 	// buffer. Both modes must produce identical virtual totals; tests
 	// flip this to prove the batching invariant.
 	unbatched atomic.Bool
+
+	// chargeHook, when set, observes direct (non-CPU-attributed) Charge
+	// and ChargeKB calls after the clock advances. The trace recorder uses
+	// it to capture driver-level charges — simulated compute time billed
+	// straight to the machine — as replayable events. Per-CPU buffered
+	// charges and their flushes are deliberately not hooked: they happen
+	// while servicing ops that are themselves recorded.
+	chargeHook atomic.Pointer[func(ns int64)]
 }
 
 // Config describes a machine to construct.
@@ -79,7 +87,28 @@ func (m *Machine) CPU(i int) *CPU {
 func (m *Machine) NumCPUs() int { return len(m.cpus) }
 
 // Charge advances the virtual clock by d nanoseconds.
-func (m *Machine) Charge(d int64) { m.Clock.Advance(d) }
+func (m *Machine) Charge(d int64) {
+	m.Clock.Advance(d)
+	m.noteCharge(d)
+}
+
+// SetChargeHook installs (nil removes) the observer for direct charges.
+func (m *Machine) SetChargeHook(h func(ns int64)) {
+	if h == nil {
+		m.chargeHook.Store(nil)
+		return
+	}
+	m.chargeHook.Store(&h)
+}
+
+func (m *Machine) noteCharge(d int64) {
+	if d == 0 {
+		return
+	}
+	if h := m.chargeHook.Load(); h != nil {
+		(*h)(d)
+	}
+}
 
 // chargeKBAmount converts a per-kilobyte rate applied to n bytes into a
 // charge, rounding up so that any nonzero transfer costs at least one
@@ -95,7 +124,9 @@ func chargeKBAmount(perKB int64, bytes int) int64 {
 // ChargeKB advances the clock by a per-kilobyte rate applied to n bytes,
 // rounding up so sub-1KB transfers are never free.
 func (m *Machine) ChargeKB(perKB int64, bytes int) {
-	m.Clock.Advance(chargeKBAmount(perKB, bytes))
+	d := chargeKBAmount(perKB, bytes)
+	m.Clock.Advance(d)
+	m.noteCharge(d)
 }
 
 // ChargeOn charges d nanoseconds to cpu's local buffer when cpu is

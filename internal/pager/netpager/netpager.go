@@ -154,12 +154,18 @@ func (c *Client) Close() error {
 	return err
 }
 
-// fail marks the client dead and releases every waiter.
+// fail marks the client dead and releases every waiter: the sticky error
+// is set once, the done channel wakes every blocked call, and the pending
+// table is drained so no tag can ever match a reply again (the reader has
+// exited or is about to) and no waiter channel outlives its caller.
 func (c *Client) fail(err error) {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		if c.sticky == nil {
 			c.sticky = err
+		}
+		for tag := range c.pending {
+			delete(c.pending, tag)
 		}
 		c.mu.Unlock()
 		close(c.done)

@@ -1,0 +1,208 @@
+package netpager
+
+// White-box shutdown tests: a Close or connection death must wake every
+// pending waiter with the sticky error and leave no tag registered, and a
+// reply arriving after its caller timed out must never be delivered to
+// anyone — tags are monotonic, so a late reply can only miss.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"machvm/internal/core"
+)
+
+func (c *Client) pendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+func (c *Client) stickyErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sticky
+}
+
+// TestCloseWithInflightRequests parks many callers on a remote that never
+// answers, then closes the client: every caller must return the sticky
+// error promptly and the pending table must end empty.
+func TestCloseWithInflightRequests(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	// Swallow the request stream so callers stay in flight.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := srvConn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	defer srvConn.Close()
+	c := NewClient(cliConn, "")
+
+	const inflight = 16
+	obj := &core.Object{}
+	errs := make(chan error, inflight)
+	var started sync.WaitGroup
+	started.Add(inflight)
+	for i := 0; i < inflight; i++ {
+		go func(off uint64) {
+			started.Done()
+			_, err := c.DataRequest(context.Background(), obj, off*4096, 4096)
+			errs <- err
+		}(uint64(i))
+	}
+	started.Wait()
+	for deadline := time.Now().Add(2 * time.Second); c.pendingCount() < inflight; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d calls registered", c.pendingCount(), inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c.Close()
+	for i := 0; i < inflight; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("waiter %d returned %v, want ErrClosed", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("waiter %d still blocked after Close", i)
+		}
+	}
+	if n := c.pendingCount(); n != 0 {
+		t.Fatalf("%d tags still registered after Close", n)
+	}
+	if _, err := c.DataRequest(context.Background(), obj, 0, 4096); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after Close returned %v, want the sticky ErrClosed", err)
+	}
+}
+
+// TestConnDeathWakesAllWaiters severs the wire from the remote side; the
+// reader's failure must wake every waiter with one sticky error that
+// subsequent calls keep returning.
+func TestConnDeathWakesAllWaiters(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := srvConn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewClient(cliConn, "")
+	defer c.Close()
+
+	const inflight = 8
+	obj := &core.Object{}
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func(off uint64) {
+			_, err := c.DataRequest(context.Background(), obj, off*4096, 4096)
+			errs <- err
+		}(uint64(i))
+	}
+	for deadline := time.Now().Add(2 * time.Second); c.pendingCount() < inflight; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d calls registered", c.pendingCount(), inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srvConn.Close() // remote dies
+	var first error
+	for i := 0; i < inflight; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("waiter survived connection death")
+			}
+			if first == nil {
+				first = err
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("waiter %d still blocked after connection death", i)
+		}
+	}
+	if sticky := c.stickyErr(); sticky == nil || !errors.Is(sticky, ErrClosed) {
+		t.Fatalf("sticky error %v, want wrapped ErrClosed", sticky)
+	}
+	if _, err := c.DataRequest(context.Background(), obj, 0, 4096); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after death returned %v, want sticky error", err)
+	}
+}
+
+// TestLateReplyAfterTimeoutNotMisdelivered abandons a call by timeout,
+// then has the remote answer that stale tag with poison bytes before
+// serving the next call. The poison must vanish (no waiter holds that
+// tag, and tags are never reused) and the next call must get its own
+// reply.
+func TestLateReplyAfterTimeoutNotMisdelivered(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	defer srvConn.Close()
+	c := NewClient(cliConn, "")
+	defer c.Close()
+	obj := &core.Object{}
+
+	frames := make(chan frame, 4)
+	go func() {
+		for {
+			f, err := readFrame(srvConn)
+			if err != nil {
+				return
+			}
+			if f.kind == kReq || f.kind == kWrite {
+				frames <- f
+			}
+		}
+	}()
+
+	// Call 1: the remote reads the request but never answers in time.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.DataRequest(ctx, obj, 0, 4096); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("abandoned call returned %v, want deadline exceeded", err)
+	}
+	var stale frame
+	select {
+	case stale = <-frames:
+	case <-time.After(2 * time.Second):
+		t.Fatal("request never reached the remote")
+	}
+	if n := c.pendingCount(); n != 0 {
+		t.Fatalf("%d tags registered after timeout, want 0", n)
+	}
+
+	// The stale tag's reply arrives late, carrying poison.
+	poison := frame{kind: kData, tag: stale.tag, payload: []byte("stale stale stale")}
+	if err := writeFrame(srvConn, poison); err != nil {
+		t.Fatalf("injecting stale reply: %v", err)
+	}
+
+	// Call 2 must receive its own payload, not the poison.
+	want := []byte("fresh data")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req := <-frames
+		if req.tag == stale.tag {
+			t.Errorf("tag %d reused for a new call", stale.tag)
+		}
+		_ = writeFrame(srvConn, frame{kind: kData, tag: req.tag, payload: want})
+	}()
+	got, err := c.DataRequest(context.Background(), obj, 4096, 4096)
+	<-done
+	if err != nil {
+		t.Fatalf("fresh call failed: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("fresh call read %q — the stale reply was misdelivered", got)
+	}
+}

@@ -1,0 +1,191 @@
+package ztier_test
+
+// Model-based fuzzer for the compressed tier: a byte-coded program of
+// DataWrite/DataRequest/Drain/Terminate against a tier with a tiny budget
+// (so admission, replacement, zero-page elision, eviction and writeback
+// all churn constantly), checked against a plain map of expected page
+// contents. Any read returning stale bytes — the shape of the
+// stale-blob-bypass and pool-resident-clamp bugs the PR-8 review found —
+// fails immediately.
+
+import (
+	"context"
+	"testing"
+
+	"machvm/internal/core"
+	"machvm/internal/pager/ztier"
+)
+
+const (
+	zfOpWrite = iota
+	zfOpWriteZero
+	zfOpWriteRun
+	zfOpRead
+	zfOpReadRun
+	zfOpDrain
+	zfOpTerminate
+	zfOpCount
+)
+
+func FuzzTierModel(f *testing.F) {
+	pg := func(ops ...byte) []byte { return ops }
+	// Overwrite-then-read: a replaced blob must never serve the old bytes.
+	f.Add(pg(zfOpWrite, 0, 1, 0x11, zfOpWrite, 0, 1, 0x22, zfOpRead, 0, 1))
+	// Overwrite across a drain: the pool-resident copy is gone, the
+	// backing copy must be the newest write, not the first.
+	f.Add(pg(zfOpWrite, 0, 2, 0x33, zfOpDrain, zfOpWrite, 0, 2, 0x44, zfOpRead, 0, 2, zfOpDrain, zfOpRead, 0, 2))
+	// Zero-page elision round trip, interleaved with data pages.
+	f.Add(pg(zfOpWrite, 0, 3, 0x55, zfOpWriteZero, 0, 4, zfOpRead, 0, 4, zfOpRead, 0, 3, zfOpDrain, zfOpRead, 0, 4))
+	// Budget overflow: a run of writes far past the budget forces CLOCK
+	// eviction and clustered writeback; every page must survive.
+	f.Add(pg(zfOpWriteRun, 0, 0, 12, 0x66, zfOpReadRun, 0, 0, 12, zfOpDrain, zfOpReadRun, 0, 0, 12))
+	// Terminate purges one object without touching its neighbor.
+	f.Add(pg(zfOpWrite, 0, 1, 0x77, zfOpWrite, 1, 1, 0x88, zfOpTerminate, 0, zfOpRead, 1, 1, zfOpRead, 0, 1))
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		k, machine := newTierKernel(t, 1, 2048)
+		backing := newMemBacking(machine)
+		tier := ztier.New(backing, ztier.Config{
+			Budget:   4 * pgsz, // tiny: constant eviction pressure
+			PageSize: pgsz,
+			Stats:    k.Stats(),
+			Machine:  machine,
+		})
+		defer tier.Close()
+		ctx := context.Background()
+
+		const nobjs, npages = 2, 16
+		objs := make([]*core.Object, nobjs)
+		for i := range objs {
+			objs[i] = k.NewObject(npages*pgsz, tier, "fuzz-obj")
+		}
+		// model[obj][page] is the fill byte of the last successful write;
+		// absent means never written (reads must report no data).
+		model := make([]map[int]byte, nobjs)
+		for i := range model {
+			model[i] = map[int]byte{}
+		}
+
+		pos := 0
+		next := func() (byte, bool) {
+			if pos >= len(program) {
+				return 0, false
+			}
+			b := program[pos]
+			pos++
+			return b, true
+		}
+		page := func(b byte) int { return int(b) % npages }
+		fill := func(v byte, n int) []byte {
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = v
+			}
+			return buf
+		}
+		checkRead := func(oi, pageNo int) {
+			data, err := tier.DataRequest(ctx, objs[oi], uint64(pageNo)*pgsz, pgsz)
+			want, written := model[oi][pageNo]
+			if !written {
+				if err == nil && len(data) > 0 {
+					t.Fatalf("obj %d page %d: read %d bytes from a never-written page", oi, pageNo, len(data))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("obj %d page %d: written page unreadable: %v", oi, pageNo, err)
+			}
+			if len(data) < pgsz {
+				t.Fatalf("obj %d page %d: short read %d bytes", oi, pageNo, len(data))
+			}
+			for i := 0; i < pgsz; i++ {
+				if data[i] != want {
+					t.Fatalf("obj %d page %d byte %d: read %#x, model says %#x (stale blob)", oi, pageNo, i, data[i], want)
+				}
+			}
+		}
+
+		steps := 0
+		for {
+			op, ok := next()
+			if !ok || steps > 256 {
+				break
+			}
+			steps++
+			switch int(op) % zfOpCount {
+			case zfOpWrite:
+				ob, ok1 := next()
+				pb, ok2 := next()
+				v, ok3 := next()
+				if !ok1 || !ok2 || !ok3 {
+					break
+				}
+				oi, pageNo := int(ob)%nobjs, page(pb)
+				if err := tier.DataWrite(ctx, objs[oi], uint64(pageNo)*pgsz, fill(v, pgsz)); err == nil {
+					model[oi][pageNo] = v
+				}
+			case zfOpWriteZero:
+				ob, ok1 := next()
+				pb, ok2 := next()
+				if !ok1 || !ok2 {
+					break
+				}
+				oi, pageNo := int(ob)%nobjs, page(pb)
+				if err := tier.DataWrite(ctx, objs[oi], uint64(pageNo)*pgsz, make([]byte, pgsz)); err == nil {
+					model[oi][pageNo] = 0
+				}
+			case zfOpWriteRun:
+				ob, ok1 := next()
+				pb, ok2 := next()
+				nb, ok3 := next()
+				v, ok4 := next()
+				if !ok1 || !ok2 || !ok3 || !ok4 {
+					break
+				}
+				oi, start := int(ob)%nobjs, page(pb)
+				n := int(nb)%(npages-start) + 1
+				if err := tier.DataWrite(ctx, objs[oi], uint64(start)*pgsz, fill(v, n*pgsz)); err == nil {
+					for p := start; p < start+n; p++ {
+						model[oi][p] = v
+					}
+				}
+			case zfOpRead:
+				ob, ok1 := next()
+				pb, ok2 := next()
+				if !ok1 || !ok2 {
+					break
+				}
+				checkRead(int(ob)%nobjs, page(pb))
+			case zfOpReadRun:
+				ob, ok1 := next()
+				pb, ok2 := next()
+				nb, ok3 := next()
+				if !ok1 || !ok2 || !ok3 {
+					break
+				}
+				oi, start := int(ob)%nobjs, page(pb)
+				n := int(nb)%(npages-start) + 1
+				for p := start; p < start+n; p++ {
+					checkRead(oi, p)
+				}
+			case zfOpDrain:
+				tier.Drain(ctx)
+			case zfOpTerminate:
+				ob, ok1 := next()
+				if !ok1 {
+					break
+				}
+				oi := int(ob) % nobjs
+				tier.Terminate(objs[oi])
+				model[oi] = map[int]byte{}
+			}
+		}
+		// Final sweep: everything the model remembers must still be
+		// readable with the right bytes, resident or evicted alike.
+		for oi := range objs {
+			for pageNo := range model[oi] {
+				checkRead(oi, pageNo)
+			}
+		}
+	})
+}

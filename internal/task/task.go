@@ -153,7 +153,7 @@ func (t *Task) SpawnThread(cpu *hw.CPU) *Thread {
 	t.mu.Lock()
 	t.threads = append(t.threads, th)
 	t.mu.Unlock()
-	t.Map.Pmap().Activate(cpu)
+	t.Map.Activate(cpu)
 	return th
 }
 
@@ -167,14 +167,14 @@ func (th *Thread) CPU() *hw.CPU { return th.cpu }
 // the pmap, as the machine-independent layer must tell the pmap which
 // processors use which maps).
 func (th *Thread) MigrateTo(cpu *hw.CPU) {
-	th.task.Map.Pmap().Deactivate(th.cpu)
+	th.task.Map.Deactivate(th.cpu)
 	th.cpu = cpu
-	th.task.Map.Pmap().Activate(cpu)
+	th.task.Map.Activate(cpu)
 }
 
 // Detach unbinds the thread from its CPU.
 func (th *Thread) Detach() {
-	th.task.Map.Pmap().Deactivate(th.cpu)
+	th.task.Map.Deactivate(th.cpu)
 	th.ThreadPort.Destroy()
 }
 

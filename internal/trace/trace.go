@@ -1,0 +1,460 @@
+// Package trace records the externally visible events of a VM kernel —
+// map operations, faults, pager conversations, pageout decisions — as a
+// portable, deterministic event stream stamped with the virtual clock.
+//
+// The stream has two species of event:
+//
+//   - Input ops (Op*): the calls a driver made into the kernel. A replayer
+//     re-executes exactly these against a fresh kernel.
+//   - Observations (Ev*): what the kernel did while servicing those ops
+//     (faults taken, pager round trips, reclaim decisions). A replayer never
+//     executes these; it verifies that the fresh kernel reproduces them
+//     bit-for-bit, timestamps included.
+//
+// Only top-level ops are recorded: an op issued while another op is being
+// serviced (Wire faulting pages in, Copy deallocating its destination) is an
+// implementation detail that replay regenerates. The Log owns the nesting
+// depth counter that enforces this; recording is therefore single-threaded
+// by contract (see DESIGN.md §11 for the full determinism requirements).
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind identifies one event type.
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+
+	// Input ops: replayed.
+	OpNewMap        // Ret=map id
+	OpDestroyMap    // Map
+	OpActivate      // Map, CPU
+	OpDeactivate    // Map, CPU
+	OpAllocate      // Map, Addr=hint, Size, Flag=anywhere, Ret=addr
+	OpAllocObject   // Map, Obj, Addr=hint, Addr2=offset, Size, Flag=anywhere, Arg=prot|maxProt<<8|inherit<<16|cow<<24, Ret=addr
+	OpDeallocate    // Map, Addr, Size
+	OpProtect       // Map, Addr, Size, Flag=setMax, Arg=prot
+	OpInherit       // Map, Addr, Size, Arg=inherit
+	OpWire          // Map, Addr, Size
+	OpUnwire        // Map, Addr, Size
+	OpCopy          // Map, Addr=src, Size, Addr2=dst
+	OpCopyTo        // Map=src, Map2=dst, Addr=srcAddr, Size, Addr2=dstAddr hint, Flag=anywhere, Ret=dstAddr
+	OpFork          // Map, Ret=child map id
+	OpFault         // Map, Addr, Arg=access
+	OpAccess        // Map, CPU, Addr, Size, Flag=write, Data=write payload, Ret=bytes done
+	OpVMRead        // Map, Addr, Size, Ret=bytes read
+	OpVMWrite       // Map, Addr, Data, Ret=bytes written
+	OpScan          // Ret=pages freed
+	OpCharge        // Arg=ns charged directly on the machine by a driver
+	OpFileCreate    // Name, Data
+	OpFileObject    // Name, Ret=obj id
+	OpReleaseObject // Obj
+
+	// Observations: verified, never replayed.
+	EvFault      // Map, Addr, Arg=access
+	EvPagerRead  // Obj, Addr=offset, Size=bytes asked, Ret=bytes returned
+	EvPagerWrite // Obj, Addr=offset, Size=bytes written
+	EvReclaim    // Obj, Addr=offset, Flag=dirty
+	EvScan       // Ret=pages freed
+)
+
+var kindNames = map[Kind]string{
+	OpNewMap: "new-map", OpDestroyMap: "destroy-map",
+	OpActivate: "activate", OpDeactivate: "deactivate",
+	OpAllocate: "allocate", OpAllocObject: "alloc-object",
+	OpDeallocate: "deallocate", OpProtect: "protect", OpInherit: "inherit",
+	OpWire: "wire", OpUnwire: "unwire",
+	OpCopy: "copy", OpCopyTo: "copy-to", OpFork: "fork",
+	OpFault: "fault", OpAccess: "access",
+	OpVMRead: "vm-read", OpVMWrite: "vm-write",
+	OpScan: "scan", OpCharge: "charge",
+	OpFileCreate: "file-create", OpFileObject: "file-object",
+	OpReleaseObject: "release-object",
+	EvFault:         "ev-fault", EvPagerRead: "ev-pager-read",
+	EvPagerWrite: "ev-pager-write", EvReclaim: "ev-reclaim", EvScan: "ev-scan",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsOp reports whether k is an input op (replayed) as opposed to an
+// observation (verified only).
+func (k Kind) IsOp() bool { return k >= OpNewMap && k <= OpReleaseObject }
+
+// DataFill is a byte payload with uniform-fill compression: the workloads
+// write bytes.Repeat patterns, so most payloads encode as (len, byte).
+type DataFill struct {
+	Len     int
+	Uniform bool   // every byte is Byte
+	Byte    byte   // fill value when Uniform
+	Raw     []byte // exact bytes when !Uniform and Len > 0
+}
+
+// FillOf captures b, detecting a uniform fill. It copies non-uniform data.
+func FillOf(b []byte) DataFill {
+	if len(b) == 0 {
+		return DataFill{}
+	}
+	uniform := true
+	for _, c := range b {
+		if c != b[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return DataFill{Len: len(b), Uniform: true, Byte: b[0]}
+	}
+	return DataFill{Len: len(b), Raw: bytes.Clone(b)}
+}
+
+// Bytes materializes the payload.
+func (d DataFill) Bytes() []byte {
+	if d.Len == 0 {
+		return nil
+	}
+	if d.Uniform {
+		return bytes.Repeat([]byte{d.Byte}, d.Len)
+	}
+	return bytes.Clone(d.Raw)
+}
+
+func (d DataFill) encode() string {
+	switch {
+	case d.Len == 0:
+		return "-"
+	case d.Uniform:
+		return fmt.Sprintf("fill:%d:%d", d.Len, d.Byte)
+	default:
+		return "raw:" + base64.StdEncoding.EncodeToString(d.Raw)
+	}
+}
+
+func decodeData(s string) (DataFill, error) {
+	switch {
+	case s == "-":
+		return DataFill{}, nil
+	case strings.HasPrefix(s, "fill:"):
+		var n int
+		var b int
+		if _, err := fmt.Sscanf(s, "fill:%d:%d", &n, &b); err != nil {
+			return DataFill{}, fmt.Errorf("bad fill %q: %v", s, err)
+		}
+		return DataFill{Len: n, Uniform: true, Byte: byte(b)}, nil
+	case strings.HasPrefix(s, "raw:"):
+		raw, err := base64.StdEncoding.DecodeString(s[len("raw:"):])
+		if err != nil {
+			return DataFill{}, fmt.Errorf("bad raw data: %v", err)
+		}
+		return DataFill{Len: len(raw), Raw: raw}, nil
+	default:
+		return DataFill{}, fmt.Errorf("bad data field %q", s)
+	}
+}
+
+// Event is one trace record. Field meaning is per Kind (see the Kind
+// constants); unused fields stay zero so events compare with ==, modulo Data.
+type Event struct {
+	Kind  Kind
+	Time  int64  // virtual clock (ns) when the event completed
+	Map   uint64 // primary map id
+	Map2  uint64 // secondary map id (CopyTo destination)
+	Obj   uint64 // object id
+	CPU   int64  // cpu index, -1 when none
+	Addr  uint64 // va or pager offset
+	Addr2 uint64 // secondary address (copy dst, alloc-object offset)
+	Size  uint64
+	Arg   int64  // prot / inherit / access / charge ns
+	Flag  bool   // anywhere / write / setMax / dirty
+	Ret   uint64 // result value: returned address, child id, count
+	Err   string // error text, "" on success
+	Name  string // file name
+	Data  DataFill
+}
+
+// Equal reports whether two events are bit-identical.
+func (e Event) Equal(o Event) bool {
+	return e.Kind == o.Kind && e.Time == o.Time && e.Map == o.Map &&
+		e.Map2 == o.Map2 && e.Obj == o.Obj && e.CPU == o.CPU &&
+		e.Addr == o.Addr && e.Addr2 == o.Addr2 && e.Size == o.Size &&
+		e.Arg == o.Arg && e.Flag == o.Flag && e.Ret == o.Ret &&
+		e.Err == o.Err && e.Name == o.Name &&
+		e.Data.Len == o.Data.Len && bytes.Equal(e.Data.Bytes(), o.Data.Bytes())
+}
+
+// String renders the event as its one-line trace encoding.
+func (e Event) String() string {
+	return fmt.Sprintf("%s t=%d map=%d map2=%d obj=%d cpu=%d addr=%#x addr2=%#x size=%d arg=%d flag=%t ret=%#x err=%s name=%s data=%s",
+		e.Kind, e.Time, e.Map, e.Map2, e.Obj, e.CPU, e.Addr, e.Addr2,
+		e.Size, e.Arg, e.Flag, e.Ret,
+		strconv.Quote(e.Err), strconv.Quote(e.Name), e.Data.encode())
+}
+
+// splitFields splits an event line on spaces, except inside double-quoted
+// regions (err= and name= values are %q-quoted and may contain spaces).
+func splitFields(line string) []string {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(line):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(line[i])
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				fields = append(fields, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		fields = append(fields, cur.String())
+	}
+	return fields
+}
+
+// ParseEvent decodes one event line produced by Event.String.
+func ParseEvent(line string) (Event, error) {
+	fields := splitFields(line)
+	if len(fields) != 15 {
+		return Event{}, fmt.Errorf("bad event line (%d fields): %q", len(fields), line)
+	}
+	var e Event
+	var ok bool
+	e.Kind, ok = kindByName[fields[0]]
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", fields[0])
+	}
+	get := func(i int, prefix string) (string, error) {
+		if !strings.HasPrefix(fields[i], prefix) {
+			return "", fmt.Errorf("field %d: want prefix %q, got %q", i, prefix, fields[i])
+		}
+		return fields[i][len(prefix):], nil
+	}
+	var err error
+	parse := []struct {
+		prefix string
+		fn     func(string) error
+	}{
+		{"t=", func(s string) error { e.Time, err = strconv.ParseInt(s, 10, 64); return err }},
+		{"map=", func(s string) error { e.Map, err = strconv.ParseUint(s, 10, 64); return err }},
+		{"map2=", func(s string) error { e.Map2, err = strconv.ParseUint(s, 10, 64); return err }},
+		{"obj=", func(s string) error { e.Obj, err = strconv.ParseUint(s, 10, 64); return err }},
+		{"cpu=", func(s string) error { e.CPU, err = strconv.ParseInt(s, 10, 64); return err }},
+		{"addr=", func(s string) error { e.Addr, err = strconv.ParseUint(s, 0, 64); return err }},
+		{"addr2=", func(s string) error { e.Addr2, err = strconv.ParseUint(s, 0, 64); return err }},
+		{"size=", func(s string) error { e.Size, err = strconv.ParseUint(s, 10, 64); return err }},
+		{"arg=", func(s string) error { e.Arg, err = strconv.ParseInt(s, 10, 64); return err }},
+		{"flag=", func(s string) error { e.Flag, err = strconv.ParseBool(s); return err }},
+		{"ret=", func(s string) error { e.Ret, err = strconv.ParseUint(s, 0, 64); return err }},
+		{"err=", func(s string) error { e.Err, err = strconv.Unquote(s); return err }},
+		{"name=", func(s string) error { e.Name, err = strconv.Unquote(s); return err }},
+		{"data=", func(s string) error { e.Data, err = decodeData(s); return err }},
+	}
+	for i, p := range parse {
+		v, gerr := get(i+1, p.prefix)
+		if gerr != nil {
+			return Event{}, gerr
+		}
+		if perr := p.fn(v); perr != nil {
+			return Event{}, fmt.Errorf("field %s%s: %v", p.prefix, v, perr)
+		}
+	}
+	return e, nil
+}
+
+// Log is an append-only event log. It also owns the op nesting depth
+// counter: layers that record composite operations bracket them with
+// BeginOp/EndOp, and only the outermost bracket records the op.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	depth  atomic.Int32
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append adds one event.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// BeginOp enters an op bracket; it reports whether this bracket is the
+// outermost one (and should therefore record the op). Pair with EndOp.
+func (l *Log) BeginOp() bool { return l.depth.Add(1) == 1 }
+
+// EndOp leaves an op bracket.
+func (l *Log) EndOp() { l.depth.Add(-1) }
+
+// Depth returns the current op nesting depth. Driver-level hooks (machine
+// charges) record only at depth 0 so charges made while servicing a
+// recorded op are not double-counted.
+func (l *Log) Depth() int { return int(l.depth.Load()) }
+
+// Len returns the number of events recorded so far.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the recorded events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Header describes the world a trace was recorded on; a replayer boots an
+// identical one.
+type Header struct {
+	Arch        int
+	MemoryMB    int
+	CPUs        int
+	DiskMB      int
+	ObjectCache int
+	Strategy    int
+	PageSize    uint64
+}
+
+// Trace is a complete recording: the world it ran on, the event stream, and
+// the final virtual clock and stats snapshot for end-state verification.
+type Trace struct {
+	Header Header
+	Events []Event
+	Clock  int64
+	Stats  string // deterministic rendering of the final stats snapshot
+}
+
+const traceMagic = "machvm-trace v1"
+
+// Encode writes the trace in its line-oriented text format.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, traceMagic)
+	h := t.Header
+	fmt.Fprintf(bw, "world arch=%d mem=%d cpus=%d disk=%d objcache=%d strategy=%d pagesize=%d\n",
+		h.Arch, h.MemoryMB, h.CPUs, h.DiskMB, h.ObjectCache, h.Strategy, h.PageSize)
+	for _, e := range t.Events {
+		fmt.Fprintln(bw, e.String())
+	}
+	fmt.Fprintf(bw, "end events=%d clock=%d stats=%s\n",
+		len(t.Events), t.Clock, strconv.Quote(t.Stats))
+	return bw.Flush()
+}
+
+// Decode parses a trace written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	if !sc.Scan() || sc.Text() != traceMagic {
+		return nil, fmt.Errorf("not a machvm trace (missing %q header)", traceMagic)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("truncated trace: missing world line")
+	}
+	t := &Trace{}
+	h := &t.Header
+	if _, err := fmt.Sscanf(sc.Text(), "world arch=%d mem=%d cpus=%d disk=%d objcache=%d strategy=%d pagesize=%d",
+		&h.Arch, &h.MemoryMB, &h.CPUs, &h.DiskMB, &h.ObjectCache, &h.Strategy, &h.PageSize); err != nil {
+		return nil, fmt.Errorf("bad world line %q: %v", sc.Text(), err)
+	}
+	sawEnd := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "end ") {
+			var n int
+			var clock int64
+			rest := line
+			if i := strings.Index(line, "stats="); i >= 0 {
+				rest = line[:i]
+				stats, err := strconv.Unquote(strings.TrimSpace(line[i+len("stats="):]))
+				if err != nil {
+					return nil, fmt.Errorf("bad end stats: %v", err)
+				}
+				t.Stats = stats
+			}
+			if _, err := fmt.Sscanf(rest, "end events=%d clock=%d", &n, &clock); err != nil {
+				return nil, fmt.Errorf("bad end line %q: %v", line, err)
+			}
+			if n != len(t.Events) {
+				return nil, fmt.Errorf("trace truncated: end says %d events, read %d", n, len(t.Events))
+			}
+			t.Clock = clock
+			sawEnd = true
+			break
+		}
+		e, err := ParseEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("event %d: %v", len(t.Events), err)
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("truncated trace: missing end line")
+	}
+	return t, nil
+}
+
+// Diff compares two event streams and describes the first divergence.
+// It returns "" when the streams are bit-identical.
+func Diff(recorded, replayed []Event) string {
+	n := len(recorded)
+	if len(replayed) < n {
+		n = len(replayed)
+	}
+	for i := 0; i < n; i++ {
+		if !recorded[i].Equal(replayed[i]) {
+			return fmt.Sprintf("event %d diverged:\n  recorded: %s\n  replayed: %s",
+				i, recorded[i], replayed[i])
+		}
+	}
+	if len(recorded) != len(replayed) {
+		extra, who := recorded, "recorded"
+		if len(replayed) > len(recorded) {
+			extra, who = replayed, "replayed"
+		}
+		return fmt.Sprintf("event count diverged: recorded=%d replayed=%d; first extra %s event:\n  %s",
+			len(recorded), len(replayed), who, extra[n])
+	}
+	return ""
+}

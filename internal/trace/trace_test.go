@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: OpNewMap, Time: 10, Ret: 2},
+		{Kind: OpAllocate, Time: 20, Map: 2, Addr: 0x1000, Size: 8192, Flag: true, Ret: 0x10000},
+		{Kind: OpAccess, Time: 30, Map: 2, CPU: -1, Addr: 0x10000, Size: 16, Flag: true,
+			Data: FillOf(bytes.Repeat([]byte{0xAB}, 16))},
+		{Kind: OpFileCreate, Time: 40, Name: "obj/fork test program-0.o", Size: 5,
+			Data: FillOf([]byte{1, 2, 3, 4, 5})},
+		{Kind: EvFault, Time: 50, Map: 2, Addr: 0x10000, Arg: 3, Err: `quoted "err" text`},
+		{Kind: OpCharge, Time: 60, CPU: -1, Arg: 12345},
+	}
+}
+
+func TestEventStringParseRoundTrip(t *testing.T) {
+	for _, e := range sampleEvents() {
+		got, err := ParseEvent(e.String())
+		if err != nil {
+			t.Fatalf("ParseEvent(%q): %v", e.String(), err)
+		}
+		if !got.Equal(e) {
+			t.Fatalf("round trip changed event:\n  in:  %s\n  out: %s", e, got)
+		}
+	}
+}
+
+func TestSplitFieldsQuotedSpaces(t *testing.T) {
+	line := `a err="has spaces" name="back\\slash \"q\"" data=-`
+	got := splitFields(line)
+	want := []string{"a", `err="has spaces"`, `name="back\\slash \"q\""`, "data=-"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d fields %q, want %d", len(got), got, len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("field %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTraceEncodeDecode(t *testing.T) {
+	tr := &Trace{
+		Header: Header{Arch: 1, MemoryMB: 8, CPUs: 2, DiskMB: 16, ObjectCache: 64, Strategy: 1, PageSize: 4096},
+		Events: sampleEvents(),
+		Clock:  123456,
+		Stats:  "{Faults:3 ZeroFills:2}",
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Header != tr.Header {
+		t.Fatalf("header changed: %+v vs %+v", got.Header, tr.Header)
+	}
+	if got.Clock != tr.Clock || got.Stats != tr.Stats {
+		t.Fatalf("footer changed: clock=%d stats=%q", got.Clock, got.Stats)
+	}
+	if d := Diff(tr.Events, got.Events); d != "" {
+		t.Fatalf("events changed: %s", d)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	tr := &Trace{Header: Header{PageSize: 4096}, Events: sampleEvents()}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	truncated := strings.Join(lines[:len(lines)-2], "\n") + "\n" + lines[len(lines)-1] + "\n"
+	if _, err := Decode(strings.NewReader(truncated)); err == nil {
+		t.Fatal("decode accepted a trace with a missing event")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := sampleEvents()
+	if d := Diff(a, sampleEvents()); d != "" {
+		t.Fatalf("identical streams diff: %s", d)
+	}
+	b := sampleEvents()
+	b[2].Time++
+	if d := Diff(a, b); d == "" || !strings.Contains(d, "event 2") {
+		t.Fatalf("want divergence at event 2, got %q", d)
+	}
+	if d := Diff(a, a[:len(a)-1]); d == "" {
+		t.Fatal("want divergence on shorter stream")
+	}
+	if d := Diff(a[:len(a)-1], a); d == "" {
+		t.Fatal("want divergence on longer stream")
+	}
+}
+
+func TestDataFill(t *testing.T) {
+	uni := FillOf(bytes.Repeat([]byte{7}, 100))
+	if !uni.Uniform || uni.Byte != 7 || uni.Len != 100 {
+		t.Fatalf("uniform fill not detected: %+v", uni)
+	}
+	raw := FillOf([]byte{1, 2, 3})
+	if raw.Uniform {
+		t.Fatalf("non-uniform detected as uniform: %+v", raw)
+	}
+	for _, d := range []DataFill{uni, raw, {}} {
+		dec, err := decodeData(d.encode())
+		if err != nil {
+			t.Fatalf("decodeData(%q): %v", d.encode(), err)
+		}
+		if !bytes.Equal(dec.Bytes(), d.Bytes()) || dec.Len != d.Len {
+			t.Fatalf("data round trip changed: %q", d.encode())
+		}
+	}
+}
+
+func TestLogDepth(t *testing.T) {
+	l := NewLog()
+	if !l.BeginOp() {
+		t.Fatal("outermost BeginOp must report true")
+	}
+	if l.BeginOp() {
+		t.Fatal("nested BeginOp must report false")
+	}
+	l.EndOp()
+	if l.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", l.Depth())
+	}
+	l.EndOp()
+	if l.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0", l.Depth())
+	}
+}

@@ -26,7 +26,7 @@ func MachZeroFill(w *MachWorld, size uint64, reps int) (int64, error) {
 	cpu := w.Machine.CPU(0)
 	m := k.NewMap()
 	defer m.Destroy()
-	m.Pmap().Activate(cpu)
+	m.Activate(cpu)
 	buf := make([]byte, size)
 	var total int64
 	for i := 0; i < reps; i++ {
@@ -146,14 +146,14 @@ type FileReadResult struct {
 // Mach path (mapped object + object cache).
 func MachFileRead(w *MachWorld, size int) (FileReadResult, error) {
 	name := fmt.Sprintf("readtest-%d", size)
-	if _, err := w.FS.Create(name, bytes.Repeat([]byte{0xF1}, size)); err != nil {
+	if err := w.CreateFile(name, bytes.Repeat([]byte{0xF1}, size)); err != nil {
 		return FileReadResult{}, err
 	}
 	k := w.Kernel
 	cpu := w.Machine.CPU(0)
 	m := k.NewMap()
 	defer m.Destroy()
-	m.Pmap().Activate(cpu)
+	m.Activate(cpu)
 	buf := make([]byte, size)
 
 	var res FileReadResult

@@ -135,8 +135,7 @@ func prepareFiles(create func(name string, data []byte) error, cfg CompileConfig
 // MachCompile runs the build on the Mach world and returns virtual ns.
 func MachCompile(w *MachWorld, cfg CompileConfig) (int64, error) {
 	err := prepareFiles(func(name string, data []byte) error {
-		_, e := w.FS.Create(name, data)
-		return e
+		return w.CreateFile(name, data)
 	}, cfg)
 	if err != nil {
 		return 0, err
@@ -211,7 +210,7 @@ func MachCompile(w *MachWorld, cfg CompileConfig) (int64, error) {
 		// Write the object file.
 		out := bytes.Repeat([]byte{3}, job.OutputKB*1024)
 		outName := fmt.Sprintf("obj/%s-%d.o", cfg.Name, i)
-		if _, err := w.FS.Create(outName, out); err != nil {
+		if err := w.CreateFile(outName, out); err != nil {
 			return 0, err
 		}
 

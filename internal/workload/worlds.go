@@ -17,6 +17,7 @@ import (
 	"machvm/internal/pmap/sun3"
 	"machvm/internal/pmap/tlbonly"
 	"machvm/internal/pmap/vax"
+	"machvm/internal/trace"
 	"machvm/internal/unixfs"
 	"machvm/internal/vmtypes"
 )
@@ -182,6 +183,10 @@ type MachWorld struct {
 	FS      *unixfs.FS
 	Inode   *pager.InodePager
 
+	// opts are the boot options, kept so a trace header can describe how
+	// to boot an identical world for replay.
+	opts Options
+
 	mu      sync.Mutex
 	objects map[string]*core.Object
 }
@@ -224,6 +229,7 @@ func NewMachWorld(a Arch, opts Options) (*MachWorld, error) {
 		Kernel:  k,
 		FS:      fs,
 		Inode:   ip,
+		opts:    opts,
 		objects: make(map[string]*core.Object),
 	}, nil
 }
@@ -238,8 +244,33 @@ func MustNewMachWorld(a Arch, opts Options) *MachWorld {
 }
 
 // FileObject returns the (cached) memory object for a file, reviving it
-// from the object cache when possible — the Mach read path.
+// from the object cache when possible — the Mach read path. Recorded as
+// one trace input op: replay re-runs the same cache lookup / inode-pager
+// path and must land on the same object ID.
 func (w *MachWorld) FileObject(name string) (*core.Object, error) {
+	l := w.Kernel.Tracer()
+	var top bool
+	if l != nil {
+		top = l.BeginOp()
+	}
+	obj, err := w.fileObject(name)
+	if l != nil {
+		if top {
+			e := trace.Event{Kind: trace.OpFileObject, Time: w.Machine.Clock.Now(), Name: name}
+			if obj != nil {
+				e.Ret = obj.ID()
+			}
+			if err != nil {
+				e.Err = err.Error()
+			}
+			l.Append(e)
+		}
+		l.EndOp()
+	}
+	return obj, err
+}
+
+func (w *MachWorld) fileObject(name string) (*core.Object, error) {
 	w.mu.Lock()
 	obj := w.objects[name]
 	w.mu.Unlock()
@@ -258,6 +289,75 @@ func (w *MachWorld) FileObject(name string) (*core.Object, error) {
 	w.objects[name] = obj
 	w.mu.Unlock()
 	return obj, nil
+}
+
+// CreateFile creates (or replaces) a file in the simulated filesystem,
+// recording one trace input op. Drivers under recording must use this
+// instead of FS.Create directly: the filesystem charges disk costs while
+// writing, and those charges belong to the file-create op, not to a
+// stream of bare driver charges.
+func (w *MachWorld) CreateFile(name string, data []byte) error {
+	l := w.Kernel.Tracer()
+	var top bool
+	if l != nil {
+		top = l.BeginOp()
+	}
+	_, err := w.FS.Create(name, data)
+	if l != nil {
+		if top {
+			e := trace.Event{
+				Kind: trace.OpFileCreate, Time: w.Machine.Clock.Now(),
+				Name: name, Size: uint64(len(data)), Data: trace.FillOf(data),
+			}
+			if err != nil {
+				e.Err = err.Error()
+			}
+			l.Append(e)
+		}
+		l.EndOp()
+	}
+	return err
+}
+
+// StartTrace begins recording this world's externally visible events.
+// Recording requires the world to be driven deterministically: one
+// goroutine, Background contexts (pager flights then run inline), no
+// pageout daemon, no wall clock — see DESIGN.md §11.
+func (w *MachWorld) StartTrace() *trace.Log {
+	l := trace.NewLog()
+	w.Kernel.SetTracer(l)
+	return l
+}
+
+// StopTrace ends recording and packages the complete trace: boot header,
+// event stream, final virtual clock and stats snapshot.
+func (w *MachWorld) StopTrace() *trace.Trace {
+	l := w.Kernel.Tracer()
+	w.Kernel.SetTracer(nil)
+	t := &trace.Trace{
+		Header: trace.Header{
+			Arch:        int(w.Spec.Arch),
+			MemoryMB:    w.opts.MemoryMB,
+			CPUs:        w.opts.CPUs,
+			DiskMB:      w.opts.DiskMB,
+			ObjectCache: w.opts.ObjectCacheSize,
+			Strategy:    int(w.opts.Strategy),
+			PageSize:    uint64(w.Spec.MachPageSize),
+		},
+		Clock: w.Machine.Clock.Now(),
+		Stats: StatsString(w.Kernel),
+	}
+	if l != nil {
+		t.Events = l.Events()
+	}
+	return t
+}
+
+// StatsString renders the kernel's stats snapshot as one deterministic
+// line (struct fields print in declaration order), the form stored in a
+// trace footer and compared after replay.
+func StatsString(k *core.Kernel) string {
+	return fmt.Sprintf("%+v", k.Stats().Snapshot())
 }
 
 // ReadFileMach performs the Mach read path: map the file's memory object,

@@ -48,7 +48,9 @@ import (
 	"machvm/internal/pager/netpager"
 	"machvm/internal/pager/ztier"
 	"machvm/internal/pmap"
+	"machvm/internal/replay"
 	"machvm/internal/task"
+	"machvm/internal/trace"
 	"machvm/internal/unixfs"
 	"machvm/internal/vmtypes"
 	"machvm/internal/workload"
@@ -165,6 +167,21 @@ type (
 
 	// Tier is a memory object's placement in the paging hierarchy.
 	Tier = core.Tier
+
+	// StatsSnapshot is a plain-struct copy of every kernel counter, taken
+	// at one instant by Kernel.Stats().Snapshot().
+	StatsSnapshot = core.StatsSnapshot
+
+	// TraceLog collects trace events while recording is enabled.
+	TraceLog = trace.Log
+	// Trace is a complete recording: world header, event stream, and final
+	// clock/stats for end-state verification. Encode/Decode give it a
+	// stable text form; replay it with Replay.
+	Trace = trace.Trace
+	// TraceEvent is one recorded event.
+	TraceEvent = trace.Event
+	// ReplayResult reports how a replay compared to its recording.
+	ReplayResult = replay.Result
 )
 
 // Tier placement values: TierAuto lets refault/pageout behaviour decide,
@@ -406,6 +423,37 @@ func NewNetMemBackend(pageSize uint64) *NetMemBackend {
 
 // Statistics returns the vm_statistics snapshot.
 func (s *System) Statistics() Statistics { return s.world.Kernel.VMStatistics() }
+
+// StatsSnapshot copies every kernel counter at one instant. Prefer this
+// over repeated Statistics calls when several counters must be read
+// consistently (deltas across a workload step, test assertions).
+func (s *System) StatsSnapshot() StatsSnapshot { return s.world.Kernel.Stats().Snapshot() }
+
+// CreateFile creates a file in the simulated filesystem. Unlike writing
+// through FS() directly, files created here are recorded in an active
+// trace, so a recorded run can be replayed on an empty disk.
+func (s *System) CreateFile(name string, data []byte) error {
+	return s.world.CreateFile(name, data)
+}
+
+// StartTrace begins recording every externally visible kernel event
+// (operations, faults, pager conversations, pageout decisions) with
+// virtual-clock timestamps. Recording assumes the single-threaded
+// deterministic driving discipline described in DESIGN.md §11.
+func (s *System) StartTrace() *TraceLog { return s.world.StartTrace() }
+
+// StopTrace ends recording and returns the completed trace, including the
+// final virtual clock and stats snapshot for replay verification.
+func (s *System) StopTrace() *Trace { return s.world.StopTrace() }
+
+// Replay re-executes a recorded trace against a freshly booted system and
+// verifies the event stream, final clock and final stats are bit-identical
+// to the recording. The returned result reports any divergence; the error
+// is non-nil only when the trace itself is unusable (corrupt, truncated).
+func Replay(tr *Trace) (*ReplayResult, error) { return replay.Run(tr) }
+
+// DecodeTrace reads a trace in the text form written by Trace.Encode.
+func DecodeTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
 
 // VirtualTime returns the machine's virtual clock in nanoseconds.
 func (s *System) VirtualTime() int64 { return s.world.Machine.Clock.Now() }
