@@ -59,6 +59,15 @@ type faultBenchResult struct {
 	// nanoseconds per page touched.
 	WSRatio     float64 `json:"ws_ratio,omitempty"`
 	TierHitRate float64 `json:"tier_hit_rate,omitempty"`
+
+	// ServerWorld rows only: virtual-clock fault-latency percentiles and
+	// sustained fault throughput from the multi-tenant server world's SLO
+	// snapshot. The ServerWorldMaxSustained row reports the best
+	// faults/virtual-sec among load points whose p99 met the SLO target.
+	FaultP50NS       int64   `json:"fault_p50_ns,omitempty"`
+	FaultP99NS       int64   `json:"fault_p99_ns,omitempty"`
+	FaultsPerVSec    float64 `json:"faults_per_virtual_sec,omitempty"`
+	PagerTimeoutRate float64 `json:"pager_timeout_rate,omitempty"`
 }
 
 type faultBenchFile struct {
@@ -568,6 +577,11 @@ func writeFaultJSON(path string) error {
 		return err
 	}
 	out.Benchmarks = append(out.Benchmarks, sweep...)
+	srv, err := serverRows(loadThresholds("SLO.json"))
+	if err != nil {
+		return err
+	}
+	out.Benchmarks = append(out.Benchmarks, srv...)
 
 	type bench struct {
 		name     string

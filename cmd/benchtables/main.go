@@ -9,9 +9,12 @@
 //	benchtables -table mp  # §5 architecture experiments (not a paper table)
 //	benchtables -kernel    # include the (slow) full kernel-build rows
 //	benchtables -faultjson BENCH_faults.json  # fault-path perf baseline
+//	benchtables -serverjson                   # deterministic ServerWorld rows
+//	benchtables -slogate SLO.json             # SLO gate + fault/failover matrix
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,17 +30,31 @@ import (
 )
 
 var (
-	tableFlag   = flag.String("table", "all", "which table to regenerate: 7-1, 7-2, mp, all")
-	kernelFlag  = flag.Bool("kernel", false, "include the full kernel-build rows in table 7-2")
-	repsFlag    = flag.Int("reps", 20, "repetitions for micro-operations")
-	faultFlag   = flag.String("faultjson", "", "write the fault-path benchmark baseline to this file and exit")
-	scalingFlag = flag.Bool("scaling", false, "print the virtual-clock scaling rows as JSON to stdout and exit")
+	tableFlag      = flag.String("table", "all", "which table to regenerate: 7-1, 7-2, mp, all")
+	kernelFlag     = flag.Bool("kernel", false, "include the full kernel-build rows in table 7-2")
+	repsFlag       = flag.Int("reps", 20, "repetitions for micro-operations")
+	faultFlag      = flag.String("faultjson", "", "write the fault-path benchmark baseline to this file and exit")
+	scalingFlag    = flag.Bool("scaling", false, "print the virtual-clock scaling rows as JSON to stdout and exit")
+	serverJSONFlag = flag.Bool("serverjson", false, "print the deterministic ServerWorld rows as JSON to stdout and exit")
+	sloGateFlag    = flag.String("slogate", "", "gate the server world against this SLO thresholds file, run the fault/failover matrix, exit nonzero on failure")
 )
 
 func main() {
 	flag.Parse()
 	if *scalingFlag {
 		if err := writeScalingJSON(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *serverJSONFlag {
+		if err := writeServerJSON(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *sloGateFlag != "" {
+		if err := runSLOGate(*sloGateFlag); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -73,6 +90,21 @@ func check(err error) {
 	}
 }
 
+// runBoth builds the scenario for both sides of the comparison on the
+// same architecture and returns the two reports.
+func runBoth(a workload.Arch, mk func(opts ...workload.Option) workload.Scenario, opts ...workload.Option) (mach, unix workload.Report) {
+	ctx := context.Background()
+	w, err := mk(opts...).Build(a)
+	check(err)
+	mach, err = w.Run(ctx)
+	check(err)
+	u, err := mk(append(opts[:len(opts):len(opts)], workload.WithBaseline())...).Build(a)
+	check(err)
+	unix, err = u.Run(ctx)
+	check(err)
+	return mach, unix
+}
+
 func table71() {
 	t := &measure.Table{
 		Title: "Table 7-1: Performance of Mach VM Operations (simulated; virtual time)",
@@ -87,15 +119,12 @@ func table71() {
 		{workload.ArchUVAX2, ".58ms / 1.2ms"},
 		{workload.ArchSun3, ".23ms / .27ms"},
 	} {
-		mw := workload.MustNewMachWorld(r.arch, workload.Options{MemoryMB: 8})
-		uw := workload.NewUnixWorld(r.arch, workload.Options{MemoryMB: 8})
-		m, err := workload.MachZeroFill(mw, 1024, *repsFlag)
-		check(err)
-		u, err := workload.UnixZeroFill(uw, 1024, *repsFlag)
-		check(err)
+		m, u := runBoth(r.arch, func(opts ...workload.Option) workload.Scenario {
+			return workload.ZeroFill(1024, *repsFlag, opts...)
+		}, workload.WithMemoryMB(8))
 		t.Rows = append(t.Rows, measure.Row{
 			Label: "zero fill 1K (" + r.arch.String() + ")",
-			Mach:  m, Unix: u, Paper: r.paper,
+			Mach:  m.Aux["ns_per_op"], Unix: u.Aux["ns_per_op"], Paper: r.paper,
 		})
 	}
 	for _, r := range []zfRow{
@@ -103,39 +132,59 @@ func table71() {
 		{workload.ArchUVAX2, "59ms / 220ms"},
 		{workload.ArchSun3, "68ms / 89ms"},
 	} {
-		mw := workload.MustNewMachWorld(r.arch, workload.Options{MemoryMB: 8})
-		uw := workload.NewUnixWorld(r.arch, workload.Options{MemoryMB: 8})
-		m, err := workload.MachFork(mw, 256<<10, 8)
-		check(err)
-		u, err := workload.UnixFork(uw, 256<<10, 8)
-		check(err)
+		m, u := runBoth(r.arch, func(opts ...workload.Option) workload.Scenario {
+			return workload.Fork(256<<10, 8, opts...)
+		}, workload.WithMemoryMB(8))
 		t.Rows = append(t.Rows, measure.Row{
 			Label: "fork 256K (" + r.arch.String() + ")",
-			Mach:  m, Unix: u, Paper: r.paper,
+			Mach:  m.Aux["ns_per_op"], Unix: u.Aux["ns_per_op"], Paper: r.paper,
 		})
 	}
 	fmt.Print(t.String())
 
-	// File reads, VAX 8200.
+	// File reads, VAX 8200. Both sizes run in one world per side so the
+	// second pass of the big file exercises the warmed object/buffer
+	// cache exactly as the paper's experiment did.
 	ft := &measure.Table{
 		Title: "Table 7-1 (cont.): file reads on VAX 8200 (elapsed, virtual time)",
 		Unit:  measure.Seconds,
 	}
-	mw := workload.MustNewMachWorld(workload.ArchVAX8200, workload.Options{MemoryMB: 16, DiskMB: 128})
-	uw := workload.NewUnixWorld(workload.ArchVAX8200, workload.Options{MemoryMB: 16, DiskMB: 128, NBufs: 400})
-	mBig, err := workload.MachFileRead(mw, 2500<<10)
-	check(err)
-	uBig, err := workload.UnixFileRead(uw, 2500<<10)
-	check(err)
-	mSmall, err := workload.MachFileRead(mw, 50<<10)
-	check(err)
-	uSmall, err := workload.UnixFileRead(uw, 50<<10)
-	check(err)
+	type frPair struct{ big, small workload.FileReadResult }
+	runReads := func(baseline bool) frPair {
+		var p frPair
+		opts := []workload.Option{workload.WithMemoryMB(16), workload.WithDiskMB(128), workload.WithNBufs(400)}
+		var sc workload.Scenario
+		if baseline {
+			sc = workload.Unix(func(_ context.Context, u *workload.UnixWorld) (workload.Report, error) {
+				var err error
+				if p.big, err = workload.UnixFileRead(u, 2500<<10); err != nil {
+					return workload.Report{}, err
+				}
+				p.small, err = workload.UnixFileRead(u, 50<<10)
+				return workload.Report{Ops: 4}, err
+			}, opts...)
+		} else {
+			sc = workload.Mach(func(_ context.Context, w *workload.MachWorld) (workload.Report, error) {
+				var err error
+				if p.big, err = workload.MachFileRead(w, 2500<<10); err != nil {
+					return workload.Report{}, err
+				}
+				p.small, err = workload.MachFileRead(w, 50<<10)
+				return workload.Report{Ops: 4}, err
+			}, opts...)
+		}
+		w, err := sc.Build(workload.ArchVAX8200)
+		check(err)
+		_, err = w.Run(context.Background())
+		check(err)
+		return p
+	}
+	mp, up := runReads(false), runReads(true)
 	ft.Rows = []measure.Row{
-		{Label: "read 2.5M file, first time", Mach: mBig.First, Unix: uBig.First, Paper: "5.0s / 5.0s"},
-		{Label: "read 2.5M file, second time", Mach: mBig.Second, Unix: uBig.Second, Paper: "1.4s / 5.0s"},
-		{Label: "read 50K file, first time", Mach: mSmall.First, Unix: uSmall.First, Paper: ".5s / .5s"},
-		{Label: "read 50K file, second time", Mach: mSmall.Second, Unix: uSmall.Second, Paper: ".1s / .2s"},
+		{Label: "read 2.5M file, first time", Mach: mp.big.First, Unix: up.big.First, Paper: "5.0s / 5.0s"},
+		{Label: "read 2.5M file, second time", Mach: mp.big.Second, Unix: up.big.Second, Paper: "1.4s / 5.0s"},
+		{Label: "read 50K file, first time", Mach: mp.small.First, Unix: up.small.First, Paper: ".5s / .5s"},
+		{Label: "read 50K file, second time", Mach: mp.small.Second, Unix: up.small.Second, Paper: ".1s / .2s"},
 	}
 	ft.Comment = "The object cache lets Mach's second big read skip the disk; 2.5MB\n" +
 		"does not fit the baseline's 400 buffers, so it re-reads everything."
@@ -149,13 +198,10 @@ func table72() {
 		Unit:  measure.Seconds,
 	}
 	run := func(label string, arch workload.Arch, cfg workload.CompileConfig, nbufs int, paper string) {
-		mw := workload.MustNewMachWorld(arch, workload.Options{MemoryMB: 16, DiskMB: 256})
-		uw := workload.NewUnixWorld(arch, workload.Options{MemoryMB: 16, DiskMB: 256, NBufs: nbufs})
-		m, err := workload.MachCompile(mw, cfg)
-		check(err)
-		u, err := workload.UnixCompile(uw, cfg)
-		check(err)
-		t.Rows = append(t.Rows, measure.Row{Label: label, Mach: m, Unix: u, Paper: paper})
+		m, u := runBoth(arch, func(opts ...workload.Option) workload.Scenario {
+			return workload.Compile(cfg, opts...)
+		}, workload.WithMemoryMB(16), workload.WithDiskMB(256), workload.WithNBufs(nbufs))
+		t.Rows = append(t.Rows, measure.Row{Label: label, Mach: m.VirtualNS, Unix: u.VirtualNS, Paper: paper})
 	}
 	run("13 programs, 400 buffers", workload.ArchVAX8650, workload.ThirteenPrograms(), 400, "23s / 28s")
 	run("13 programs, generic config", workload.ArchVAX8650, workload.ThirteenPrograms(), 64, "19s / 1:16min")
@@ -175,7 +221,9 @@ func tableMP() {
 
 	// RT PC aliasing.
 	{
-		w := workload.MustNewMachWorld(workload.ArchRTPC, workload.Options{MemoryMB: 8, CPUs: 2})
+		w, err := workload.BuildMachWorld(workload.ArchRTPC,
+			workload.NewConfig(workload.WithMemoryMB(8), workload.WithCPUs(2)))
+		check(err)
 		k := w.Kernel
 		parent := task.New(k, "a")
 		thA := parent.SpawnThread(w.Machine.CPU(0))
@@ -202,7 +250,9 @@ func tableMP() {
 	{
 		fmt.Printf("SUN 3 context competition (8 hardware contexts):\n")
 		for _, n := range []int{4, 8, 12, 16} {
-			w := workload.MustNewMachWorld(workload.ArchSun3, workload.Options{MemoryMB: 16})
+			w, err := workload.BuildMachWorld(workload.ArchSun3,
+				workload.NewConfig(workload.WithMemoryMB(16)))
+			check(err)
 			k := w.Kernel
 			cpu := w.Machine.CPU(0)
 			mod := w.Mod.(*sun3.Module)
@@ -236,7 +286,9 @@ func tableMP() {
 	{
 		fmt.Printf("TLB consistency strategies (4-CPU NS32082, protection-change storm):\n")
 		for _, strat := range []pmap.Strategy{pmap.ShootImmediate, pmap.ShootDeferred, pmap.ShootLazy} {
-			w := workload.MustNewMachWorld(workload.ArchNS32082, workload.Options{MemoryMB: 16, CPUs: 4, Strategy: strat})
+			w, err := workload.BuildMachWorld(workload.ArchNS32082,
+				workload.NewConfig(workload.WithMemoryMB(16), workload.WithCPUs(4), workload.WithStrategy(strat)))
+			check(err)
 			k := w.Kernel
 			tk := task.New(k, "shared")
 			threads := make([]*task.Thread, 4)

@@ -301,6 +301,10 @@ func runScript(sys *machvm.System, script string) {
 			fmt.Printf("pmap(%s): enters=%d removes=%d walks=%d misses=%d table=%dB\n",
 				sys.PmapModule().Name(), ms.Enters.Load(), ms.Removes.Load(),
 				ms.Walks.Load(), ms.WalkMisses.Load(), ms.TableBytes.Load())
+			slo := sys.SLOReport()
+			fmt.Printf("slo: fault p50=%dns p99=%dns max=%dns timeout-rate=%.6f invariant-violations=%d\n",
+				slo.FaultP50NS, slo.FaultP99NS, slo.FaultMaxNS,
+				slo.PagerTimeoutRate, slo.InvariantViolations)
 			fmt.Printf("virtual time: %.3fms\n", float64(sys.VirtualTime())/1e6)
 		default:
 			log.Fatalf("unknown command %q", fields[0])

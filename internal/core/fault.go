@@ -117,23 +117,35 @@ func (k *Kernel) faultContextOn(ctx context.Context, cpu *hw.CPU, m *Map, va vmt
 }
 
 func (k *Kernel) faultRun(ctx context.Context, cpu *hw.CPU, m *Map, va vmtypes.VA, access vmtypes.Prot) error {
+	// Per-fault latency is the virtual-clock delta across the whole fault.
+	// CPU-buffered charges are flushed explicitly before the closing read
+	// so they land inside the window; direct Machine charges (pager waits,
+	// frame copies) are already on the clock. Exact under the
+	// single-goroutine deterministic-world discipline; under parallel load
+	// other CPUs advance the same clock, so the recorded value includes
+	// contention — which is the latency a tenant actually observes.
+	start := k.machine.Clock.Now()
 	k.stats.Faults.Add(1)
 	k.machine.ChargeOn(cpu, k.machine.Cost.FaultTrap)
-	if cpu != nil {
-		defer cpu.FlushCharges()
-	}
 
 	pageAddr := vmtypes.VA(k.truncPage(uint64(va)))
-	for {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("vm_fault: %w", err)
+	err := func() error {
+		for {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("vm_fault: %w", err)
+			}
+			done, err := k.faultOnce(ctx, m, pageAddr, access)
+			if done {
+				return err
+			}
+			k.stats.FaultRetries.Add(1)
 		}
-		done, err := k.faultOnce(ctx, m, pageAddr, access)
-		if done {
-			return err
-		}
-		k.stats.FaultRetries.Add(1)
+	}()
+	if cpu != nil {
+		cpu.FlushCharges()
 	}
+	k.faultLatency.Record(k.machine.Clock.Now() - start)
+	return err
 }
 
 // faultOnce runs one attempt: snapshot, resolve, revalidate. done=false

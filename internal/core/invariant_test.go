@@ -28,220 +28,30 @@ func newTestKernel(t testing.TB) *Kernel {
 	return MustNewKernel(Config{Machine: machine, Module: mod, PageSize: 4096})
 }
 
-// checkMapInvariants verifies the §3.2 structure.
+// checkMapInvariants verifies the §3.2 structure via the runtime checker
+// in invariant.go (also used by the SLO layer and the failover matrix).
 func checkMapInvariants(t *testing.T, m *Map) {
 	t.Helper()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var prev *MapEntry
-	n := 0
-	var size uint64
-	for e := m.head; e != nil; e = e.next {
-		n++
-		size += e.Span()
-		if e.start >= e.end {
-			t.Fatalf("entry [%x,%x) is empty or inverted", e.start, e.end)
-		}
-		if e.start < m.min || e.end > m.max {
-			t.Fatalf("entry [%x,%x) outside map bounds [%x,%x)", e.start, e.end, m.min, m.max)
-		}
-		if prev != nil {
-			if prev.next != e || e.prev != prev {
-				t.Fatal("list links corrupted")
-			}
-			if prev.end > e.start {
-				t.Fatalf("entries overlap or unsorted: [%x,%x) then [%x,%x)", prev.start, prev.end, e.start, e.end)
-			}
-		} else if e.prev != nil {
-			t.Fatal("head has a prev")
-		}
-		if e.object != nil && e.submap != nil {
-			t.Fatal("entry has both object and submap")
-		}
-		if !e.maxProt.Allows(e.prot) {
-			t.Fatalf("current prot %v exceeds max %v", e.prot, e.maxProt)
-		}
-		prev = e
+	for _, v := range m.CheckInvariants() {
+		t.Error(v)
 	}
-	if prev != m.tail {
-		t.Fatal("tail link corrupted")
+	if t.Failed() {
+		t.FailNow()
 	}
-	if n != m.nentries {
-		t.Fatalf("nentries = %d, counted %d", m.nentries, n)
-	}
-	if size != m.sizeBytes {
-		t.Fatalf("sizeBytes = %d, counted %d", m.sizeBytes, size)
-	}
-	if h := m.hint.Load(); h != nil {
-		found := false
-		for e := m.head; e != nil; e = e.next {
-			if e == h {
-				found = true
-				break
-			}
-		}
-		if !found {
-			t.Fatal("hint points at an unlinked entry")
-		}
-	}
-	// The treap index must agree with the list: same membership, sorted
-	// keys, heap-ordered priorities, and exact lookups for every entry.
-	if got := countTreap(t, m.root, nil, nil); got != n {
-		t.Fatalf("treap holds %d entries, list holds %d", got, n)
-	}
-	for e := m.head; e != nil; e = e.next {
-		found, _ := m.indexLookupLE(e.start)
-		if found != e {
-			t.Fatalf("index lookup for [%x,%x) found %p, want %p", e.start, e.end, found, e)
-		}
-	}
-}
-
-// countTreap walks the index checking BST key order and the max-heap
-// priority invariant, returning the node count.
-func countTreap(t *testing.T, e *MapEntry, lo, hi *vmtypes.VA) int {
-	t.Helper()
-	if e == nil {
-		return 0
-	}
-	if lo != nil && e.start < *lo || hi != nil && e.start >= *hi {
-		t.Fatalf("treap key %x violates BST order", e.start)
-	}
-	if e.treeLeft != nil && e.treeLeft.treePrio > e.treePrio ||
-		e.treeRight != nil && e.treeRight.treePrio > e.treePrio {
-		t.Fatalf("treap priority heap violated at %x", e.start)
-	}
-	return 1 + countTreap(t, e.treeLeft, lo, &e.start) + countTreap(t, e.treeRight, &e.start, hi)
 }
 
 // checkPageAccounting verifies the resident page table's three-way
-// linkage: sharded hash, object lists, queues. The caller must have
-// quiesced the kernel (no concurrent faulters or daemon); the locks are
-// still taken shard by shard so the helper is usable right after a
-// concurrent phase ends.
+// linkage — sharded hash, object lists, queues — via the runtime checker
+// in invariant.go. The caller must have quiesced the kernel (no
+// concurrent faulters or daemon); the locks are still taken shard by
+// shard so the helper is usable right after a concurrent phase ends.
 func checkPageAccounting(t *testing.T, k *Kernel) {
 	t.Helper()
-	// Every hashed page's identity agrees with its key, shard by shard.
-	seen := map[*Object]int{}
-	hashed := 0
-	for i := range k.shards {
-		s := &k.shards[i]
-		s.mu.Lock()
-		for key, p := range s.pages {
-			obj, off, _, ok := p.identity()
-			if !ok || obj != key.obj || off != key.offset {
-				s.mu.Unlock()
-				t.Fatal("hash entry disagrees with page identity")
-			}
-			if k.shardFor(key.obj, key.offset) != s {
-				s.mu.Unlock()
-				t.Fatal("page hashed into the wrong shard")
-			}
-			seen[obj]++
-			hashed++
-		}
-		s.mu.Unlock()
+	for _, v := range k.CheckInvariants() {
+		t.Error(v)
 	}
-	// Queue counts are consistent and partition the pages.
-	counts := map[int]int{}
-	for _, p := range k.pages {
-		counts[p.queue]++
-		if _, _, _, ok := p.identity(); ok && (p.queue == queueFree || p.queue == queueMagazine) {
-			t.Fatal("free page still belongs to an object")
-		}
-		if p.wireCount.Load() > 0 && p.queue != queueNone {
-			t.Fatal("wired page on a pageable queue")
-		}
-	}
-	if counts[queueActive] != k.ActiveCount() {
-		t.Fatalf("active count %d vs %d", counts[queueActive], k.ActiveCount())
-	}
-	if counts[queueInactive] != k.InactiveCount() {
-		t.Fatalf("inactive count %d vs %d", counts[queueInactive], k.InactiveCount())
-	}
-	// Free-layer invariant: every free page is on exactly one of depot or
-	// magazine (list membership walked and checked against the queue ids),
-	// and FreeCount() equals magazines + depot.
-	freeListed := map[*Page]int{}
-	k.depot.mu.Lock()
-	depotWalk := 0
-	for p := k.depot.q.head; p != nil; p = p.qNext {
-		freeListed[p]++
-		depotWalk++
-		if p.queue != queueFree {
-			k.depot.mu.Unlock()
-			t.Fatalf("page on the depot has queue id %d", p.queue)
-		}
-	}
-	if depotWalk != k.depot.q.count {
-		k.depot.mu.Unlock()
-		t.Fatalf("depot count %d, walked %d", k.depot.q.count, depotWalk)
-	}
-	k.depot.mu.Unlock()
-	magWalk := 0
-	for i := range k.magazines {
-		m := &k.magazines[i]
-		m.mu.Lock()
-		walked := 0
-		for p := m.q.head; p != nil; p = p.qNext {
-			freeListed[p]++
-			walked++
-			if p.queue != queueMagazine {
-				m.mu.Unlock()
-				t.Fatalf("page in magazine %d has queue id %d", i, p.queue)
-			}
-			if int(p.mag) != i {
-				m.mu.Unlock()
-				t.Fatalf("page in magazine %d is tagged for magazine %d", i, p.mag)
-			}
-		}
-		if walked != m.q.count {
-			m.mu.Unlock()
-			t.Fatalf("magazine %d count %d, walked %d", i, m.q.count, walked)
-		}
-		magWalk += walked
-		m.mu.Unlock()
-	}
-	for p, n := range freeListed {
-		if n != 1 {
-			t.Fatalf("page %p appears %d times across the free layer", p, n)
-		}
-	}
-	if depotWalk != counts[queueFree] {
-		t.Fatalf("depot holds %d pages, queue ids say %d", depotWalk, counts[queueFree])
-	}
-	if magWalk != counts[queueMagazine] {
-		t.Fatalf("magazines hold %d pages, queue ids say %d", magWalk, counts[queueMagazine])
-	}
-	if depotWalk+magWalk != k.FreeCount() {
-		t.Fatalf("free count %d vs depot %d + magazines %d", k.FreeCount(), depotWalk, magWalk)
-	}
-	// Every non-free page with an identity is hashed exactly once.
-	withIdent := 0
-	for _, p := range k.pages {
-		if _, _, _, ok := p.identity(); ok {
-			withIdent++
-		}
-	}
-	if withIdent != hashed {
-		t.Fatalf("%d pages hold an identity but %d are hashed", withIdent, hashed)
-	}
-	// Object resident counts match the hash, and the object lists agree.
-	for obj, n := range seen {
-		obj.mu.Lock()
-		resident := obj.resident
-		listed := 0
-		for p := obj.pageList; p != nil; p = p.objNext {
-			listed++
-		}
-		name := obj.name
-		obj.mu.Unlock()
-		if resident != n {
-			t.Fatalf("object %q resident=%d, hash says %d", name, resident, n)
-		}
-		if listed != n {
-			t.Fatalf("object %q lists %d pages, hash says %d", name, listed, n)
-		}
+	if t.Failed() {
+		t.FailNow()
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"machvm/internal/hw"
+	"machvm/internal/measure"
 	"machvm/internal/pmap"
 	"machvm/internal/trace"
 	"machvm/internal/vmtypes"
@@ -112,6 +113,12 @@ type Kernel struct {
 	objectIDs atomic.Uint64
 
 	stats Stats
+
+	// faultLatency is the per-fault virtual-nanosecond latency histogram
+	// behind SLOReport. Recording is wait-free and allocation-free, so it
+	// rides the fault path without disturbing the zero-allocs gate; it is
+	// deliberately not part of Stats so trace footers stay unchanged.
+	faultLatency measure.Histogram
 }
 
 // getPageBuf returns a zero-capable page-sized scratch buffer; return it

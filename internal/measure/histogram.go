@@ -1,0 +1,147 @@
+package measure
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket, HDR-style latency histogram over
+// non-negative int64 values (virtual nanoseconds). The bucket layout is
+// log-linear: values below 2*histSub land in exact unit buckets; above
+// that, each power of two is split into histSub linear sub-buckets, so
+// the relative quantization error is bounded by 1/histSub (6.25%) at any
+// magnitude up to the full int64 range.
+//
+// Record is wait-free and allocation-free — a bucket index computation
+// and three atomic adds plus a bounded CAS loop for the maximum — so it
+// can sit on the kernel's fault path without disturbing the zero-allocs
+// CI gate. All buckets are plain atomics; the zero value is ready to use
+// and a Histogram can be embedded by value.
+//
+// Driven from a single goroutine (the deterministic-world discipline of
+// DESIGN.md §11) the recorded distribution is exactly reproducible;
+// under concurrent load the counts are still exact, only cross-bucket
+// snapshots are not an atomic cut.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+const (
+	// histSubBits fixes the precision: 2^histSubBits linear sub-buckets
+	// per power of two.
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	// histBuckets covers unit buckets [0, 2*histSub) plus histSub
+	// sub-buckets for each remaining octave up to MaxInt64: the top set
+	// bit of a positive int64 ranges over 2*histSub..2^62, giving
+	// 62-histSubBits octaves beyond the unit region.
+	histBuckets = 2*histSub + (62-histSubBits)*histSub
+)
+
+// bucketOf maps a value to its bucket index. Negative values clamp to
+// bucket 0 (virtual time never runs backwards; a clamp beats a panic on
+// the fault path).
+func bucketOf(v int64) int {
+	if v < 2*histSub {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	u := uint64(v)
+	// shift is the octave: the value's top histSubBits+1 bits start at
+	// bit position shift.
+	shift := uint(bits.Len64(u)) - histSubBits - 1
+	sub := int(u>>shift) & (histSub - 1)
+	return 2*histSub + int(shift-1)*histSub + sub
+}
+
+// bucketUpper returns the largest value mapping to bucket i — the
+// deterministic representative Percentile reports.
+func bucketUpper(i int) int64 {
+	if i < 2*histSub {
+		return int64(i)
+	}
+	shift := uint(i-2*histSub)/histSub + 1
+	sub := uint64(i-2*histSub) % histSub
+	return int64((histSub+sub+1)<<shift - 1)
+}
+
+// Record adds one observation. Safe for concurrent use; never allocates.
+func (h *Histogram) Record(v int64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all recorded values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Percentile returns the upper bound of the bucket holding the q-th
+// quantile (0 < q <= 1), so the reported value is deterministic and
+// conservative: at least a fraction q of observations are <= it, and it
+// overstates the true quantile by at most the bucket width (6.25%).
+// Returns 0 when empty.
+func (h *Histogram) Percentile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Reset clears the histogram. Not atomic with respect to concurrent
+// Records; quiesce first.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}

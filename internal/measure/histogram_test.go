@@ -1,0 +1,118 @@
+package measure
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is >= the value
+	// and within the documented 6.25% relative error.
+	values := []int64{0, 1, 15, 31, 32, 33, 63, 64, 100, 1000, 4096,
+		1 << 20, 1<<20 + 12345, 1 << 40, math.MaxInt64}
+	for _, v := range values {
+		i := bucketOf(v)
+		up := bucketUpper(i)
+		if up < v {
+			t.Fatalf("bucketUpper(%d)=%d < value %d", i, up, v)
+		}
+		if v >= 2*histSub {
+			if rel := float64(up-v) / float64(v); rel > 1.0/histSub {
+				t.Fatalf("value %d: upper %d relative error %.4f > %.4f", v, up, rel, 1.0/histSub)
+			}
+		} else if up != v {
+			t.Fatalf("unit bucket: value %d got upper %d", v, up)
+		}
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	// bucketOf must be monotone and bucketUpper must be the max value of
+	// its bucket: bucketOf(bucketUpper(i)) == i and bucketOf(upper+1) > i.
+	for i := 0; i < histBuckets; i++ {
+		up := bucketUpper(i)
+		if got := bucketOf(up); got != i {
+			t.Fatalf("bucketOf(bucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		if up < math.MaxInt64 {
+			if got := bucketOf(up + 1); got != i+1 {
+				t.Fatalf("bucketOf(%d+1) = %d, want %d", up, got, i+1)
+			}
+		}
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Percentile(1) != 0 {
+		t.Fatalf("negative record: count=%d p100=%d", h.Count(), h.Percentile(1))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	// 100 observations 1..100: exact unit buckets below 32, log-linear
+	// above, so p50 is within one bucket of 50.
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	p50 := h.Percentile(0.50)
+	if p50 < 50 || p50 > 53 {
+		t.Fatalf("p50 = %d, want ~50", p50)
+	}
+	p99 := h.Percentile(0.99)
+	if p99 < 99 || p99 > 103 {
+		t.Fatalf("p99 = %d, want ~99", p99)
+	}
+	if got := h.Percentile(1.0); got < 100 {
+		t.Fatalf("p100 = %d, want >= 100", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramDeterministic(t *testing.T) {
+	// Same inputs -> identical percentiles, independent of host.
+	run := func() [4]int64 {
+		var h Histogram
+		v := int64(12345)
+		for i := 0; i < 10000; i++ {
+			v = v*6364136223846793005 + 1442695040888963407
+			h.Record((v >> 33) & 0xfffff)
+		}
+		return [4]int64{h.Percentile(0.5), h.Percentile(0.9), h.Percentile(0.99), h.Max()}
+	}
+	if run() != run() {
+		t.Fatal("histogram percentiles are not deterministic")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 37)
+	}
+	if h.Count() == 0 {
+		b.Fatal("no records")
+	}
+}

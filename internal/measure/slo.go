@@ -1,0 +1,127 @@
+package measure
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// SLOReport is the typed service-level snapshot of one world run: fault
+// latency percentiles off the per-fault histogram, pager health off the
+// kernel counters, and the structural invariant verdict. Every field is
+// virtual-time derived, so a deterministic world produces bit-identical
+// reports on any host.
+type SLOReport struct {
+	// Faults is the total number of vm_fault calls observed.
+	Faults uint64 `json:"faults"`
+	// FaultP50NS/FaultP90NS/FaultP99NS/FaultMaxNS are per-fault latency
+	// quantiles in virtual nanoseconds (histogram upper bounds, ≤6.25%
+	// overstatement).
+	FaultP50NS int64 `json:"fault_p50_ns"`
+	FaultP90NS int64 `json:"fault_p90_ns"`
+	FaultP99NS int64 `json:"fault_p99_ns"`
+	FaultMaxNS int64 `json:"fault_max_ns"`
+	// FaultMeanNS is the mean per-fault latency in virtual nanoseconds.
+	FaultMeanNS float64 `json:"fault_mean_ns"`
+
+	// Pager-boundary health.
+	PagerRoundTrips  uint64  `json:"pager_round_trips"`
+	PagerTimeouts    uint64  `json:"pager_timeouts"`
+	PagerErrors      uint64  `json:"pager_errors"`
+	PagerFallbacks   uint64  `json:"pager_fallbacks"`
+	PagerTimeoutRate float64 `json:"pager_timeout_rate"`
+
+	// InvariantViolations counts structural invariant failures found by
+	// the kernel's runtime checker (must be 0 on a healthy quiesced
+	// kernel).
+	InvariantViolations int `json:"invariant_violations"`
+
+	// VirtualNS is the virtual clock at snapshot time;
+	// FaultsPerVirtualSec the sustained fault throughput in virtual time.
+	VirtualNS           int64   `json:"virtual_ns"`
+	FaultsPerVirtualSec float64 `json:"faults_per_virtual_sec"`
+}
+
+// SLOThresholds are the gate limits checked into SLO.json. Zero-valued
+// limits are not enforced, so a partial file gates only what it names.
+type SLOThresholds struct {
+	// MaxFaultP50NS / MaxFaultP99NS bound per-fault latency (virtual ns).
+	MaxFaultP50NS int64 `json:"max_fault_p50_ns,omitempty"`
+	MaxFaultP99NS int64 `json:"max_fault_p99_ns,omitempty"`
+	// MaxPagerTimeoutRate bounds PagerTimeouts/PagerRoundTrips. Use a
+	// tiny positive value (not 0) to require a strictly zero rate, since
+	// 0 means "not enforced".
+	MaxPagerTimeoutRate float64 `json:"max_pager_timeout_rate,omitempty"`
+	// RequireZeroTimeouts, when true, fails on any pager timeout at all.
+	RequireZeroTimeouts bool `json:"require_zero_timeouts,omitempty"`
+	// MaxInvariantViolations is almost always 0; the gate always enforces
+	// it (a report with violations never passes).
+	MaxInvariantViolations int `json:"max_invariant_violations"`
+	// MinFaultsPerVirtualSec bounds sustained fault throughput from
+	// below — the "max sustained faults/sec at p99 < target" number.
+	MinFaultsPerVirtualSec float64 `json:"min_faults_per_virtual_sec,omitempty"`
+	// MinFaults guards against the gate trivially passing on an
+	// empty run.
+	MinFaults uint64 `json:"min_faults,omitempty"`
+}
+
+// GateResult is the outcome of evaluating a report against thresholds.
+type GateResult struct {
+	Pass     bool
+	Failures []string
+}
+
+// Evaluate checks the report against the thresholds and returns the gate
+// verdict with one failure line per violated limit.
+func (t SLOThresholds) Evaluate(r SLOReport) GateResult {
+	var fails []string
+	add := func(format string, args ...any) {
+		fails = append(fails, fmt.Sprintf(format, args...))
+	}
+	if t.MinFaults > 0 && r.Faults < t.MinFaults {
+		add("faults %d < required minimum %d (run too small to gate)", r.Faults, t.MinFaults)
+	}
+	if t.MaxFaultP50NS > 0 && r.FaultP50NS > t.MaxFaultP50NS {
+		add("fault p50 %dns exceeds limit %dns", r.FaultP50NS, t.MaxFaultP50NS)
+	}
+	if t.MaxFaultP99NS > 0 && r.FaultP99NS > t.MaxFaultP99NS {
+		add("fault p99 %dns exceeds limit %dns", r.FaultP99NS, t.MaxFaultP99NS)
+	}
+	if t.RequireZeroTimeouts && r.PagerTimeouts > 0 {
+		add("pager timeouts %d, zero required", r.PagerTimeouts)
+	}
+	if t.MaxPagerTimeoutRate > 0 && r.PagerTimeoutRate > t.MaxPagerTimeoutRate {
+		add("pager timeout rate %.6f exceeds limit %.6f", r.PagerTimeoutRate, t.MaxPagerTimeoutRate)
+	}
+	if r.InvariantViolations > t.MaxInvariantViolations {
+		add("%d invariant violations, at most %d allowed", r.InvariantViolations, t.MaxInvariantViolations)
+	}
+	if t.MinFaultsPerVirtualSec > 0 && r.FaultsPerVirtualSec < t.MinFaultsPerVirtualSec {
+		add("sustained %.1f faults/virtual-sec below floor %.1f", r.FaultsPerVirtualSec, t.MinFaultsPerVirtualSec)
+	}
+	return GateResult{Pass: len(fails) == 0, Failures: fails}
+}
+
+// ParseSLOThresholds decodes an SLO.json document. Unknown fields are an
+// error so a typo in the checked-in file cannot silently disable a gate.
+func ParseSLOThresholds(data []byte) (SLOThresholds, error) {
+	var t SLOThresholds
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return SLOThresholds{}, fmt.Errorf("measure: parsing SLO thresholds: %w", err)
+	}
+	return t, nil
+}
+
+// String renders the report as a stable multi-line summary.
+func (r SLOReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults=%d p50=%dns p90=%dns p99=%dns max=%dns mean=%.0fns\n",
+		r.Faults, r.FaultP50NS, r.FaultP90NS, r.FaultP99NS, r.FaultMaxNS, r.FaultMeanNS)
+	fmt.Fprintf(&b, "pager trips=%d timeouts=%d errors=%d fallbacks=%d timeout-rate=%.6f\n",
+		r.PagerRoundTrips, r.PagerTimeouts, r.PagerErrors, r.PagerFallbacks, r.PagerTimeoutRate)
+	fmt.Fprintf(&b, "invariant-violations=%d virtual=%.3fms sustained=%.1f faults/vsec",
+		r.InvariantViolations, float64(r.VirtualNS)/1e6, r.FaultsPerVirtualSec)
+	return b.String()
+}

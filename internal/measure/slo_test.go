@@ -1,0 +1,84 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSLOEvaluate(t *testing.T) {
+	r := SLOReport{
+		Faults:              10000,
+		FaultP50NS:          2000,
+		FaultP99NS:          90000,
+		PagerRoundTrips:     500,
+		PagerTimeouts:       1,
+		PagerTimeoutRate:    1.0 / 500,
+		FaultsPerVirtualSec: 150000,
+	}
+	pass := SLOThresholds{
+		MaxFaultP50NS:          5000,
+		MaxFaultP99NS:          100000,
+		MaxPagerTimeoutRate:    0.01,
+		MinFaultsPerVirtualSec: 100000,
+		MinFaults:              1000,
+	}
+	if g := pass.Evaluate(r); !g.Pass {
+		t.Fatalf("expected pass, got failures: %v", g.Failures)
+	}
+
+	fail := SLOThresholds{
+		MaxFaultP50NS:       1000,
+		MaxFaultP99NS:       50000,
+		MaxPagerTimeoutRate: 0.0001,
+		RequireZeroTimeouts: true,
+	}
+	g := fail.Evaluate(r)
+	if g.Pass {
+		t.Fatal("expected failure")
+	}
+	if len(g.Failures) != 4 {
+		t.Fatalf("expected 4 failures, got %d: %v", len(g.Failures), g.Failures)
+	}
+
+	// Invariant violations always gate, even with zero thresholds.
+	r2 := SLOReport{InvariantViolations: 1}
+	if g := (SLOThresholds{}).Evaluate(r2); g.Pass {
+		t.Fatal("invariant violations must fail the gate")
+	}
+}
+
+func TestSLOZeroLimitsNotEnforced(t *testing.T) {
+	r := SLOReport{FaultP50NS: 1 << 40, FaultP99NS: 1 << 50, PagerTimeoutRate: 0.99}
+	if g := (SLOThresholds{}).Evaluate(r); !g.Pass {
+		t.Fatalf("zero thresholds must not gate: %v", g.Failures)
+	}
+}
+
+func TestParseSLOThresholds(t *testing.T) {
+	good := []byte(`{
+		"max_fault_p50_ns": 5000,
+		"max_fault_p99_ns": 100000,
+		"max_pager_timeout_rate": 0.01,
+		"max_invariant_violations": 0,
+		"min_faults_per_virtual_sec": 100000,
+		"min_faults": 1000
+	}`)
+	th, err := ParseSLOThresholds(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.MaxFaultP99NS != 100000 || th.MinFaults != 1000 {
+		t.Fatalf("bad parse: %+v", th)
+	}
+
+	if _, err := ParseSLOThresholds([]byte(`{"max_falt_p99_ns": 1}`)); err == nil {
+		t.Fatal("typo'd field must be rejected")
+	}
+}
+
+func TestSLOReportString(t *testing.T) {
+	s := SLOReport{Faults: 42, FaultP99NS: 7}.String()
+	if !strings.Contains(s, "faults=42") || !strings.Contains(s, "p99=7ns") {
+		t.Fatalf("unexpected rendering: %q", s)
+	}
+}

@@ -1,0 +1,257 @@
+// Package server is the multi-tenant server world: thousands of
+// short-lived tasks churning through fork/exec over per-tenant shared
+// app images (COW storms over a shared page cache), dirty anonymous
+// state, deterministic request traffic, and periodic pageout pressure —
+// all on the virtual clock, so fault-latency percentiles are
+// host-independent and the whole run records and replays bit-for-bit
+// through the trace layer.
+//
+// The deterministic driver in this file follows the DESIGN.md §11
+// discipline (one goroutine, Background contexts, standard pagers only).
+// The fault/failover matrix in matrix.go deliberately breaks it — real
+// concurrency, external pager stacks, injected failures — and is
+// validated by invariants and race-cleanliness instead of replay.
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"machvm/internal/task"
+	"machvm/internal/vmtypes"
+	"machvm/internal/workload"
+)
+
+// Config shapes the server workload. Zero fields take defaults.
+type Config struct {
+	// Tenants is the number of tenants, each with its own app image and
+	// long-lived base task (default 4).
+	Tenants int
+	// TasksPerTenant is how many short-lived tasks each tenant churns
+	// through (default 25).
+	TasksPerTenant int
+	// ImagePages sizes each tenant's app image in Mach pages
+	// (default 16).
+	ImagePages int
+	// WorkPages is per-task working memory in pages (default 8).
+	WorkPages int
+	// Requests is the number of request touches a task serves before it
+	// exits (default 32).
+	Requests int
+	// PageoutEvery runs a synchronous pageout scan every that many tasks
+	// — the sustained background pressure (default 16; negative
+	// disables).
+	PageoutEvery int
+	// Seed drives the request-traffic LCG (default 1).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tenants == 0 {
+		c.Tenants = 4
+	}
+	if c.TasksPerTenant == 0 {
+		c.TasksPerTenant = 25
+	}
+	if c.ImagePages == 0 {
+		c.ImagePages = 16
+	}
+	if c.WorkPages == 0 {
+		c.WorkPages = 8
+	}
+	if c.Requests == 0 {
+		c.Requests = 32
+	}
+	if c.PageoutEvery == 0 {
+		c.PageoutEvery = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Scenario wraps the deterministic server world in the scenario API.
+func Scenario(cfg Config, opts ...workload.Option) workload.Scenario {
+	return workload.Mach(func(ctx context.Context, w *workload.MachWorld) (workload.Report, error) {
+		return Run(ctx, w, cfg)
+	}, opts...)
+}
+
+// tenant is one tenant's long-lived state: the app image file and the
+// base task every request task forks from.
+type tenant struct {
+	image    string
+	base     *task.Task
+	baseTh   *task.Thread
+	anon     vmtypes.VA
+	anonSize uint64
+	fill     byte
+}
+
+// Run drives the server world on a booted Mach world, single-threaded
+// and deterministic: every operation is a traced primitive, so a
+// recording of this run replays bit-identically.
+func Run(ctx context.Context, w *workload.MachWorld, cfg Config) (workload.Report, error) {
+	cfg = cfg.withDefaults()
+	k := w.Kernel
+	cpu := w.Machine.CPU(0)
+	pageSz := k.PageSize()
+
+	// Boot each tenant: app image on disk, base task with the image
+	// mapped and warmed plus dirty anonymous state — the address space
+	// every request task is forked from.
+	tenants := make([]*tenant, cfg.Tenants)
+	imgBuf := make([]byte, uint64(cfg.ImagePages)*pageSz)
+	strideBuf := make([]byte, 64)
+	for i := range tenants {
+		tt := &tenant{
+			image:    fmt.Sprintf("t%d/app", i),
+			anonSize: uint64(cfg.WorkPages) * pageSz,
+			fill:     byte(0x41 + i%26),
+		}
+		for j := range imgBuf {
+			imgBuf[j] = tt.fill
+		}
+		if err := w.CreateFile(tt.image, imgBuf); err != nil {
+			return workload.Report{}, err
+		}
+		tt.base = task.New(k, fmt.Sprintf("tenant%d", i))
+		tt.baseTh = tt.base.SpawnThread(cpu)
+		addr, err := tt.base.Map.Allocate(0, tt.anonSize, true)
+		if err != nil {
+			return workload.Report{}, err
+		}
+		tt.anon = addr
+		anonBuf := make([]byte, tt.anonSize)
+		for j := range anonBuf {
+			anonBuf[j] = tt.fill
+		}
+		if err := tt.baseTh.Write(tt.anon, anonBuf); err != nil {
+			return workload.Report{}, err
+		}
+		if err := mapAndTouchImage(w, tt.base, tt.image, strideBuf, pageSz); err != nil {
+			return workload.Report{}, err
+		}
+		tenants[i] = tt
+	}
+
+	// Churn: round-robin across tenants, one short-lived task at a time.
+	total := cfg.Tenants * cfg.TasksPerTenant
+	workBuf := make([]byte, uint64(cfg.WorkPages)*pageSz)
+	pageBuf := make([]byte, pageSz)
+	outBuf := make([]byte, 2*pageSz)
+	lcg := cfg.Seed
+	for n := 0; n < total; n++ {
+		if err := ctx.Err(); err != nil {
+			return workload.Report{Ops: n}, err
+		}
+		tt := tenants[n%cfg.Tenants]
+
+		// fork(2): COW child of the tenant's base task.
+		child := tt.base.Fork(fmt.Sprintf("req%d", n))
+		th := child.SpawnThread(cpu)
+
+		// The parent keeps serving: writing its anonymous state while the
+		// child holds a copy forces the COW shadow push — the storm.
+		off := (uint64(n/cfg.Tenants) % uint64(cfg.WorkPages)) * pageSz
+		for j := range pageBuf {
+			pageBuf[j] = tt.fill ^ 1
+		}
+		if err := tt.baseTh.Write(tt.anon+vmtypes.VA(off), pageBuf); err != nil {
+			return workload.Report{Ops: n}, err
+		}
+		// The child reads the inherited page it now must copy-on-reference.
+		if err := th.Read(tt.anon+vmtypes.VA(off), strideBuf); err != nil {
+			return workload.Report{Ops: n}, err
+		}
+
+		// exec(2): map the tenant's app image — a shared page-cache hit
+		// for every task after the first — and run through its text.
+		if err := mapAndTouchImage(w, child, tt.image, strideBuf, pageSz); err != nil {
+			return workload.Report{Ops: n}, err
+		}
+
+		// Task-private working memory.
+		for j := range workBuf {
+			workBuf[j] = tt.fill ^ 2
+		}
+		workVA, err := child.Map.Allocate(0, uint64(cfg.WorkPages)*pageSz, true)
+		if err != nil {
+			return workload.Report{Ops: n}, err
+		}
+		if err := th.Write(workVA, workBuf); err != nil {
+			return workload.Report{Ops: n}, err
+		}
+
+		// Serve requests: LCG-driven touches over the working set,
+		// alternating reads and writes.
+		for r := 0; r < cfg.Requests; r++ {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			page := (lcg >> 33) % uint64(cfg.WorkPages)
+			va := workVA + vmtypes.VA(page*pageSz)
+			if r%2 == 0 {
+				err = th.Read(va, strideBuf)
+			} else {
+				err = th.Write(va, strideBuf)
+			}
+			if err != nil {
+				return workload.Report{Ops: n}, err
+			}
+		}
+
+		// Every eighth task writes a response artifact back to disk.
+		if n%8 == 7 {
+			for j := range outBuf {
+				outBuf[j] = tt.fill ^ 3
+			}
+			if err := w.CreateFile(fmt.Sprintf("t%d/out%d", n%cfg.Tenants, n), outBuf); err != nil {
+				return workload.Report{Ops: n}, err
+			}
+		}
+
+		th.Detach()
+		child.Destroy()
+
+		// Sustained background pressure: a synchronous daemon pass.
+		if cfg.PageoutEvery > 0 && n%cfg.PageoutEvery == cfg.PageoutEvery-1 {
+			k.PageoutScan()
+		}
+	}
+
+	for _, tt := range tenants {
+		tt.baseTh.Detach()
+		tt.base.Destroy()
+	}
+	return workload.Report{
+		Ops: total,
+		Aux: map[string]int64{
+			"tenants": int64(cfg.Tenants),
+			"tasks":   int64(total),
+		},
+	}, nil
+}
+
+// mapAndTouchImage maps a tenant's app image into the task (the exec
+// text mapping) and strides through it read-only — demand paging every
+// other page straight from the shared page cache.
+func mapAndTouchImage(w *workload.MachWorld, t *task.Task, image string, buf []byte, pageSz uint64) error {
+	k := w.Kernel
+	obj, err := w.FileObject(image)
+	if err != nil {
+		return err
+	}
+	va, err := t.Map.AllocateWithObject(0, obj.Size(), true, obj, 0,
+		vmtypes.ProtRead|vmtypes.ProtExecute, vmtypes.ProtAll, vmtypes.InheritCopy, false)
+	if err != nil {
+		k.ReleaseObjectRef(obj)
+		return err
+	}
+	cpu := w.Machine.CPU(0)
+	for off := uint64(0); off < obj.Size(); off += 2 * pageSz {
+		if err := k.AccessBytes(cpu, t.Map, va+vmtypes.VA(off), buf, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

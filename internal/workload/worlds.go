@@ -11,6 +11,7 @@ import (
 	"machvm/internal/core"
 	"machvm/internal/hw"
 	"machvm/internal/pager"
+	"machvm/internal/pager/ztier"
 	"machvm/internal/pmap"
 	"machvm/internal/pmap/ns32082"
 	"machvm/internal/pmap/rtpc"
@@ -135,6 +136,9 @@ func SpecFor(a Arch) Spec {
 }
 
 // Options tune a world.
+//
+// Deprecated: use NewConfig with functional options (WithMemoryMB,
+// WithPagerPolicy, ...) and BuildMachWorld/BuildUnixWorld, or a Scenario.
 type Options struct {
 	// MemoryMB is physical memory size (default 8; the NS32082 caps at
 	// its 32MB hardware limit regardless).
@@ -155,23 +159,28 @@ type Options struct {
 	Pager core.PagerPolicy
 }
 
-func (o Options) withDefaults() Options {
-	if o.MemoryMB == 0 {
-		o.MemoryMB = 8
+// toConfig maps legacy Options onto the scenario Config, applying the
+// same defaults NewConfig does.
+func (o Options) toConfig() Config {
+	cfg := NewConfig()
+	if o.MemoryMB != 0 {
+		cfg.MemoryMB = o.MemoryMB
 	}
-	if o.CPUs == 0 {
-		o.CPUs = 1
+	if o.CPUs != 0 {
+		cfg.CPUs = o.CPUs
 	}
-	if o.DiskMB == 0 {
-		o.DiskMB = 64
+	if o.DiskMB != 0 {
+		cfg.DiskMB = o.DiskMB
 	}
-	if o.NBufs == 0 {
-		o.NBufs = 400
+	if o.NBufs != 0 {
+		cfg.NBufs = o.NBufs
 	}
-	if o.ObjectCacheSize == 0 {
-		o.ObjectCacheSize = 4096
+	if o.ObjectCacheSize != 0 {
+		cfg.ObjectCacheSize = o.ObjectCacheSize
 	}
-	return o
+	cfg.Strategy = o.Strategy
+	cfg.Pager = o.Pager
+	return cfg
 }
 
 // MachWorld is a booted Mach stack.
@@ -183,58 +192,36 @@ type MachWorld struct {
 	FS      *unixfs.FS
 	Inode   *pager.InodePager
 
-	// opts are the boot options, kept so a trace header can describe how
-	// to boot an identical world for replay.
-	opts Options
+	// cfg is the boot configuration, kept so a trace header can describe
+	// how to boot an identical world for replay.
+	cfg Config
+
+	// tier is the compressed swap tier when WithTiering interposed one;
+	// Close stops its writeback worker.
+	tier *ztier.Tier
 
 	mu      sync.Mutex
 	objects map[string]*core.Object
 }
 
+// Close releases background resources (the compressed tier's writeback
+// worker, when one was configured). Safe on any world, idempotent.
+func (w *MachWorld) Close() {
+	if w.tier != nil {
+		w.tier.Close()
+	}
+}
+
 // NewMachWorld boots Mach on the architecture.
+//
+// Deprecated: use BuildMachWorld with NewConfig, or a Scenario.
 func NewMachWorld(a Arch, opts Options) (*MachWorld, error) {
-	opts = opts.withDefaults()
-	spec := SpecFor(a)
-	frames := opts.MemoryMB << 20 / spec.HWPageSize
-	var holes []hw.FrameRange
-	if spec.Holes != nil {
-		holes = spec.Holes(frames)
-	}
-	machine := hw.NewMachine(hw.Config{
-		Cost:       spec.Cost,
-		HWPageSize: spec.HWPageSize,
-		PhysFrames: frames,
-		Holes:      holes,
-		CPUs:       opts.CPUs,
-		TLBSize:    64,
-	})
-	mod := spec.NewModule(machine, opts.Strategy)
-	k, err := core.NewKernel(core.Config{
-		Machine:         machine,
-		Module:          mod,
-		PageSize:        spec.MachPageSize,
-		ObjectCacheSize: opts.ObjectCacheSize,
-		Pager:           opts.Pager,
-	})
-	if err != nil {
-		return nil, err
-	}
-	fs := unixfs.NewFS(unixfs.NewDisk(machine, opts.DiskMB<<20/unixfs.BlockSize))
-	ip := pager.NewInodePager(fs)
-	k.SetSwapPager(pager.NewSwapPager(fs))
-	return &MachWorld{
-		Spec:    spec,
-		Machine: machine,
-		Mod:     mod,
-		Kernel:  k,
-		FS:      fs,
-		Inode:   ip,
-		opts:    opts,
-		objects: make(map[string]*core.Object),
-	}, nil
+	return BuildMachWorld(a, opts.toConfig())
 }
 
 // MustNewMachWorld is NewMachWorld, panicking on error (tests, examples).
+//
+// Deprecated: use BuildMachWorld with NewConfig, or a Scenario.
 func MustNewMachWorld(a Arch, opts Options) *MachWorld {
 	w, err := NewMachWorld(a, opts)
 	if err != nil {
@@ -337,11 +324,11 @@ func (w *MachWorld) StopTrace() *trace.Trace {
 	t := &trace.Trace{
 		Header: trace.Header{
 			Arch:        int(w.Spec.Arch),
-			MemoryMB:    w.opts.MemoryMB,
-			CPUs:        w.opts.CPUs,
-			DiskMB:      w.opts.DiskMB,
-			ObjectCache: w.opts.ObjectCacheSize,
-			Strategy:    int(w.opts.Strategy),
+			MemoryMB:    w.cfg.MemoryMB,
+			CPUs:        w.cfg.CPUs,
+			DiskMB:      w.cfg.DiskMB,
+			ObjectCache: w.cfg.ObjectCacheSize,
+			Strategy:    int(w.cfg.Strategy),
 			PageSize:    uint64(w.Spec.MachPageSize),
 		},
 		Clock: w.Machine.Clock.Now(),
@@ -403,32 +390,15 @@ type UnixWorld struct {
 }
 
 // NewUnixWorld boots the traditional comparison system on identical
-// hardware.
+// hardware, panicking on a bad architecture (the historical signature
+// has no error return).
+//
+// Deprecated: use BuildUnixWorld with NewConfig, or a Scenario — those
+// report construction errors instead of panicking.
 func NewUnixWorld(a Arch, opts Options) *UnixWorld {
-	opts = opts.withDefaults()
-	spec := SpecFor(a)
-	frames := opts.MemoryMB << 20 / spec.HWPageSize
-	var holes []hw.FrameRange
-	if spec.Holes != nil {
-		holes = spec.Holes(frames)
+	u, err := BuildUnixWorld(a, opts.toConfig())
+	if err != nil {
+		panic(err)
 	}
-	machine := hw.NewMachine(hw.Config{
-		Cost:       spec.Cost,
-		HWPageSize: spec.HWPageSize,
-		PhysFrames: frames,
-		Holes:      holes,
-		CPUs:       opts.CPUs,
-		TLBSize:    64,
-	})
-	mod := spec.NewModule(machine, opts.Strategy)
-	fs := unixfs.NewFS(unixfs.NewDisk(machine, opts.DiskMB<<20/unixfs.BlockSize))
-	sys := baseline.New(baseline.Config{
-		Machine:  machine,
-		Module:   mod,
-		Costs:    spec.BaselineCosts,
-		FS:       fs,
-		NBufs:    opts.NBufs,
-		PageSize: spec.MachPageSize,
-	})
-	return &UnixWorld{Spec: spec, Machine: machine, Mod: mod, Sys: sys, FS: fs}
+	return u
 }

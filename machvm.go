@@ -44,6 +44,7 @@ import (
 	"machvm/internal/core"
 	"machvm/internal/hw"
 	"machvm/internal/ipc"
+	"machvm/internal/measure"
 	"machvm/internal/pager"
 	"machvm/internal/pager/netpager"
 	"machvm/internal/pager/ztier"
@@ -171,6 +172,21 @@ type (
 	// StatsSnapshot is a plain-struct copy of every kernel counter, taken
 	// at one instant by Kernel.Stats().Snapshot().
 	StatsSnapshot = core.StatsSnapshot
+
+	// SLOReport is the typed service-level snapshot: fault-latency
+	// percentiles from the kernel's virtual-clock histogram, pager
+	// timeout rate, invariant-violation count, and sustained fault
+	// throughput. Produced by System.SLOReport.
+	SLOReport = measure.SLOReport
+	// SLOThresholds is the checked-in gate configuration (SLO.json);
+	// zero-valued limits are not enforced.
+	SLOThresholds = measure.SLOThresholds
+	// SLOGateResult is the outcome of SLOThresholds.Evaluate: pass/fail
+	// plus one line per violated threshold.
+	SLOGateResult = measure.GateResult
+	// FaultHistogram is the fixed-bucket log-linear latency histogram
+	// underlying the SLO percentiles.
+	FaultHistogram = measure.Histogram
 
 	// TraceLog collects trace events while recording is enabled.
 	TraceLog = trace.Log
@@ -303,14 +319,22 @@ func New(arch Arch, opts Options) (*System, error) {
 	default:
 		return nil, fmt.Errorf("machvm: unknown architecture %d", arch)
 	}
-	w, err := workload.NewMachWorld(wa, workload.Options{
-		MemoryMB:        opts.MemoryMB,
-		CPUs:            opts.CPUs,
-		DiskMB:          opts.DiskMB,
-		Strategy:        opts.Strategy,
-		ObjectCacheSize: opts.ObjectCacheSize,
-		Pager:           opts.Pager,
-	})
+	cfg := workload.NewConfig()
+	if opts.MemoryMB != 0 {
+		cfg.MemoryMB = opts.MemoryMB
+	}
+	if opts.CPUs != 0 {
+		cfg.CPUs = opts.CPUs
+	}
+	if opts.DiskMB != 0 {
+		cfg.DiskMB = opts.DiskMB
+	}
+	if opts.ObjectCacheSize != 0 {
+		cfg.ObjectCacheSize = opts.ObjectCacheSize
+	}
+	cfg.Strategy = opts.Strategy
+	cfg.Pager = opts.Pager
+	w, err := workload.BuildMachWorld(wa, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -428,6 +452,21 @@ func (s *System) Statistics() Statistics { return s.world.Kernel.VMStatistics() 
 // over repeated Statistics calls when several counters must be read
 // consistently (deltas across a workload step, test assertions).
 func (s *System) StatsSnapshot() StatsSnapshot { return s.world.Kernel.Stats().Snapshot() }
+
+// SLOReport assembles the typed service-level snapshot: virtual-clock
+// fault-latency percentiles (p50/p90/p99/max/mean), the pager timeout
+// rate, the live structural-invariant violation count, and sustained
+// fault throughput per virtual second. Everything is derived from the
+// virtual clock, so reports are host-independent and comparable across
+// runs. Gate one against checked-in thresholds with
+// ParseSLOThresholds + Evaluate.
+func (s *System) SLOReport() SLOReport { return s.world.Kernel.SLOReport() }
+
+// ParseSLOThresholds reads a gate configuration (the SLO.json schema);
+// unknown fields are rejected so typos fail loudly.
+func ParseSLOThresholds(data []byte) (SLOThresholds, error) {
+	return measure.ParseSLOThresholds(data)
+}
 
 // CreateFile creates a file in the simulated filesystem. Unlike writing
 // through FS() directly, files created here are recorded in an active
